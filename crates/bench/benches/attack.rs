@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the attacker toolchain: injection rewriting,
+//! evasion planning, querying, and end-to-end reverse-engineering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rhmd_bench::Experiment;
+use rhmd_core::evasion::{plan_evasion, EvasionConfig};
+use rhmd_core::hmd::{Detector, Hmd};
+use rhmd_core::reveng::{query_dataset, reverse_engineer};
+use rhmd_data::CorpusConfig;
+use rhmd_features::vector::FeatureKind;
+use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+use rhmd_trace::inject::{apply, InjectionPlan, Placement};
+use rhmd_trace::isa::Opcode;
+
+fn bench_injection(c: &mut Criterion) {
+    let exp = Experiment::with_config(CorpusConfig::tiny());
+    let program = exp.traced.corpus().program(0).clone();
+    let mut group = c.benchmark_group("inject");
+    for count in [1usize, 5, 15] {
+        let plan = InjectionPlan::new(vec![Opcode::Fpu; count], Placement::EveryBlock);
+        group.bench_function(format!("rewrite_{count}_per_block"), |b| {
+            b.iter(|| apply(&program, &plan).1.added_bytes)
+        });
+    }
+    group.finish();
+}
+
+fn bench_attack_steps(c: &mut Criterion) {
+    let exp = Experiment::with_config(CorpusConfig::tiny());
+    let spec = exp.spec(FeatureKind::Instructions, 5_000);
+    let mut victim = Hmd::train(
+        Algorithm::Lr,
+        spec.clone(),
+        &exp.trainer,
+        &exp.traced,
+        &exp.splits.victim_train,
+    );
+
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(10);
+
+    group.bench_function("query_victim_per_program", |b| {
+        let subs = exp.traced.subwindows(0).to_vec();
+        b.iter(|| victim.decisions(&subs).len())
+    });
+
+    group.bench_function("build_attacker_dataset", |b| {
+        b.iter(|| query_dataset(&mut victim, &exp.traced, &exp.splits.attacker_train, &spec).len())
+    });
+
+    group.bench_function("reverse_engineer_e2e", |b| {
+        b.iter(|| {
+            reverse_engineer(
+                &mut victim,
+                &exp.traced,
+                &exp.splits.attacker_train,
+                spec.clone(),
+                Algorithm::Lr,
+                &TrainerConfig::with_seed(1),
+            )
+        })
+    });
+
+    let surrogate = reverse_engineer(
+        &mut victim,
+        &exp.traced,
+        &exp.splits.attacker_train,
+        spec,
+        Algorithm::Lr,
+        &TrainerConfig::with_seed(1),
+    );
+    group.bench_function("plan_evasion", |b| {
+        b.iter(|| plan_evasion(&surrogate, &EvasionConfig::least_weight(2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_injection, bench_attack_steps);
+criterion_main!(benches);

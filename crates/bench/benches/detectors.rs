@@ -1,0 +1,75 @@
+//! Criterion benchmarks of detector training and inference.
+//!
+//! Inference latency is the quantity hardware implementations care about:
+//! the paper argues LR's low complexity is what makes online HMDs cheap,
+//! and that RHMD adds only a detector-select on top.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rhmd_bench::Experiment;
+use rhmd_core::hmd::{Detector, Hmd};
+use rhmd_core::rhmd::{build_pool, pool_specs};
+use rhmd_data::CorpusConfig;
+use rhmd_features::vector::FeatureKind;
+use rhmd_ml::trainer::{train, Algorithm};
+
+fn bench_training(c: &mut Criterion) {
+    let exp = Experiment::with_config(CorpusConfig::tiny());
+    let spec = exp.spec(FeatureKind::Instructions, 5_000);
+    let data = exp.traced.window_dataset(&exp.splits.victim_train, &spec);
+
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    for algo in Algorithm::ALL {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| train(algo, &exp.trainer, &data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let exp = Experiment::with_config(CorpusConfig::tiny());
+    let spec = exp.spec(FeatureKind::Instructions, 5_000);
+    let data = exp.traced.window_dataset(&exp.splits.victim_train, &spec);
+    let row = data.rows()[0].clone();
+
+    let mut group = c.benchmark_group("inference_per_window");
+    group.throughput(Throughput::Elements(1));
+    for algo in Algorithm::ALL {
+        let model = train(algo, &exp.trainer, &data);
+        group.bench_function(algo.name(), |b| b.iter(|| model.predict(&row)));
+    }
+    group.finish();
+}
+
+fn bench_detection_stream(c: &mut Criterion) {
+    let exp = Experiment::with_config(CorpusConfig::tiny());
+    let subs = exp.traced.subwindows(0).to_vec();
+
+    let mut group = c.benchmark_group("decision_stream_per_program");
+    group.bench_function("single_hmd", |b| {
+        let mut hmd = Hmd::train(
+            Algorithm::Lr,
+            exp.spec(FeatureKind::Architectural, 5_000),
+            &exp.trainer,
+            &exp.traced,
+            &exp.splits.victim_train,
+        );
+        b.iter(|| hmd.label_subwindows(&subs).len());
+    });
+    for (name, periods) in [("rhmd_3", vec![10_000u32]), ("rhmd_6", vec![10_000, 5_000])] {
+        let mut rhmd = build_pool(
+            Algorithm::Lr,
+            pool_specs(&FeatureKind::ALL, &periods, &exp.opcodes),
+            &exp.trainer,
+            &exp.traced,
+            &exp.splits.victim_train,
+            1,
+        );
+        group.bench_function(name, |b| b.iter(|| rhmd.label_subwindows(&subs).len()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference, bench_detection_stream);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the simulation substrate: program generation,
+//! trace execution, microarchitecture modelling, and feature extraction.
+//!
+//! These quantify the cost of the "weeks of Pin runs" the paper reports,
+//! as delivered by the synthetic substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rhmd_features::pipeline::trace_subwindows;
+use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_trace::exec::{CountingSink, ExecLimits};
+use rhmd_trace::generate::{benign_profile, malware_profile, BenignClass, MalwareFamily,
+                           ProgramGenerator};
+use rhmd_uarch::{CoreConfig, CoreModel};
+
+const TRACE_INSTRUCTIONS: u64 = 100_000;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.bench_function("benign_program", |b| {
+        let generator = ProgramGenerator::new(benign_profile(BenignClass::Browser));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generator.generate(seed)
+        });
+    });
+    group.bench_function("malware_program", |b| {
+        let generator = ProgramGenerator::new(malware_profile(MalwareFamily::Ransomware));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generator.generate(seed)
+        });
+    });
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let program = ProgramGenerator::new(benign_profile(BenignClass::SpecCompute)).generate(1);
+    let limits = ExecLimits {
+        max_instructions: TRACE_INSTRUCTIONS,
+        max_original_instructions: u64::MAX,
+        max_syscalls: u64::MAX,
+        max_call_depth: 128,
+    };
+    let mut group = c.benchmark_group("execute");
+    group.throughput(Throughput::Elements(TRACE_INSTRUCTIONS));
+
+    group.bench_function("raw_stream", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::default();
+            program.execute(limits, &mut sink);
+            sink.total
+        });
+    });
+
+    group.bench_function("with_uarch_model", |b| {
+        b.iter_batched(
+            || CoreModel::new(CoreConfig::default()),
+            |mut core| {
+                program.execute(limits, &mut core);
+                core.counters().instructions
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("full_feature_trace", |b| {
+        b.iter(|| trace_subwindows(&program, limits, CoreConfig::default()).len());
+    });
+    group.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let program = ProgramGenerator::new(malware_profile(MalwareFamily::Spambot)).generate(2);
+    let limits = ExecLimits {
+        max_instructions: TRACE_INSTRUCTIONS,
+        max_original_instructions: u64::MAX,
+        max_syscalls: u64::MAX,
+        max_call_depth: 128,
+    };
+    let subs = trace_subwindows(&program, limits, CoreConfig::default());
+    let opcodes: Vec<_> = (0..16).map(rhmd_trace::isa::Opcode::from_index).collect();
+
+    let mut group = c.benchmark_group("project");
+    for kind in FeatureKind::ALL {
+        let spec = FeatureSpec::new(kind, 10_000, opcodes.clone());
+        group.bench_function(format!("{kind}"), |b| {
+            b.iter(|| rhmd_features::pipeline::project_windows(&subs, &spec).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_execution, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the ablation studies (DESIGN.md §5): per-feature evasion,
+//! the Theorem-1 probability trade-off, switching granularity, and the
+//! attacker's query budget.
+
+use rhmd_bench::figures::ablation;
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", ablation::ablation_feature_evasion(&exp));
+    println!("{}", ablation::ablation_probability_tradeoff(&exp));
+    println!("{}", ablation::ablation_switching(&exp));
+    println!("{}", ablation::ablation_query_budget(&exp));
+    println!("{}", ablation::ablation_minimal_overhead(&exp));
+    println!("{}", ablation::ablation_verdict_policy(&exp));
+}

@@ -1,0 +1,14 @@
+//! Regenerates the extension experiments: deterministic ensembles vs RHMDs,
+//! the non-stationary RHMD of paper §8.3, the unsupervised anomaly HMD, and
+//! a random-forest victim.
+
+use rhmd_bench::figures::extensions;
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", extensions::ext_ensemble_vs_rhmd(&exp));
+    println!("{}", extensions::ext_anomaly_detector(&exp));
+    println!("{}", extensions::ext_random_forest_victim(&exp));
+    println!("{}", extensions::ext_dormant_malware(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Fig 2 (baseline detector AUC/accuracy).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::baseline::fig02(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Fig 3a (reverse-engineering the collection period).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::reveng::fig03_period(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Figs 4a/4b (reverse-engineering efficiency).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    for t in rhmd_bench::figures::reveng::fig04(&exp) { println!("{t}"); }
+}

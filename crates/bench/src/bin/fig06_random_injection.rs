@@ -1,0 +1,8 @@
+//! Regenerates paper Fig 6 (random instruction injection).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::evasion::fig06(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Figs 8a/8b (least-weight injection).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    for t in rhmd_bench::figures::evasion::fig08(&exp) { println!("{t}"); }
+}

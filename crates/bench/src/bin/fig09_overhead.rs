@@ -1,0 +1,8 @@
+//! Regenerates paper Fig 9 (injection overhead).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::evasion::fig09(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Fig 10 (weighted injection).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::evasion::fig10(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Figs 11a/11b (retraining effectiveness).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    for t in rhmd_bench::figures::retraining::fig11(&exp) { println!("{t}"); }
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Fig 13 (evade-retrain generations).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::retraining::fig13(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Figs 14a/14b (RHMD reverse-engineering, feature diversity).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    for t in rhmd_bench::figures::resilient::fig14(&exp) { println!("{t}"); }
+}

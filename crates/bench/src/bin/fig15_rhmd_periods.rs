@@ -1,0 +1,8 @@
+//! Regenerates paper Figs 15a/15b (RHMD reverse-engineering, feature+period diversity).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    for t in rhmd_bench::figures::resilient::fig15(&exp) { println!("{t}"); }
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Fig 16 (RHMD evasion resilience).
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::resilient::fig16(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper §7 hardware overhead numbers.
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::theory::tab_hw(&exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper §8 Theorem 1 error band.
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!("{}", rhmd_bench::figures::theory::thm1(&exp));
+}

@@ -1,0 +1,41 @@
+//! Fig 2 — performance of the individual baseline detectors.
+
+use crate::context::Experiment;
+use crate::report::Table;
+use rhmd_core::hmd::Hmd;
+use rhmd_features::vector::FeatureKind;
+use rhmd_ml::metrics::{auc, best_accuracy_threshold};
+use rhmd_ml::model::score_all;
+use rhmd_ml::trainer::Algorithm;
+
+/// Fig 2: AUC and best accuracy of LR and NN detectors over the three
+/// feature vectors at a 10K-instruction period.
+pub fn fig02(exp: &Experiment) -> Table {
+    let mut table = Table::new(
+        "Fig 2",
+        "baseline detector AUC / accuracy (paper: ~0.85-0.95, NN comparable to LR)",
+        &["feature", "AUC (LR)", "acc (LR)", "AUC (NN)", "acc (NN)"],
+    );
+    for kind in FeatureKind::ALL {
+        let spec = exp.spec(kind, 10_000);
+        let test = exp.traced.window_dataset(&exp.splits.attacker_test, &spec);
+        let mut cells = vec![kind.to_string()];
+        for algo in [Algorithm::Lr, Algorithm::Nn] {
+            let hmd = Hmd::train(
+                algo,
+                spec.clone(),
+                &exp.trainer,
+                &exp.traced,
+                &exp.splits.victim_train,
+            );
+            let scores = score_all(hmd.model(), &test);
+            let roc_auc = auc(&scores, test.labels());
+            let (_, acc) = best_accuracy_threshold(&scores, test.labels());
+            cells.push(Table::num(roc_auc));
+            cells.push(Table::pct(acc));
+        }
+        // Reorder to match header: AUC(LR) acc(LR) AUC(NN) acc(NN).
+        table.push_row(cells);
+    }
+    table
+}

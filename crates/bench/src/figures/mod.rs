@@ -1,0 +1,11 @@
+//! One module per group of paper figures; each function regenerates the
+//! corresponding table(s). See DESIGN.md §4 for the full experiment index.
+
+pub mod ablation;
+pub mod baseline;
+pub mod evasion;
+pub mod extensions;
+pub mod resilient;
+pub mod retraining;
+pub mod reveng;
+pub mod theory;

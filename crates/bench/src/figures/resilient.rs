@@ -1,0 +1,175 @@
+//! Figs 14–16 — reverse-engineering and evading RHMDs.
+
+use crate::context::Experiment;
+use crate::report::Table;
+use rhmd_core::evasion::{evade_corpus, plan_evasion, EvasionConfig};
+use rhmd_core::reveng::attack;
+use rhmd_core::rhmd::{build_pool, pool_specs, ResilientHmd};
+use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+
+/// The four pool shapes the paper evaluates.
+pub fn pool(exp: &Experiment, kinds: &[FeatureKind], periods: &[u32]) -> ResilientHmd {
+    build_pool(
+        Algorithm::Lr,
+        pool_specs(kinds, periods, &exp.opcodes),
+        &exp.trainer,
+        &exp.traced,
+        &exp.splits.victim_train,
+        0x5eed,
+    )
+}
+
+const TWO: [FeatureKind; 2] = [FeatureKind::Memory, FeatureKind::Instructions];
+const THREE: [FeatureKind; 3] = [
+    FeatureKind::Memory,
+    FeatureKind::Instructions,
+    FeatureKind::Architectural,
+];
+
+/// One RHMD reverse-engineering table: attacker sweeps feature hypotheses
+/// (each base feature plus their union) × surrogate algorithms.
+fn reveng_table(
+    exp: &Experiment,
+    id: &str,
+    caption: &str,
+    rhmd: &mut ResilientHmd,
+    kinds: &[FeatureKind],
+) -> Table {
+    let mut table = Table::new(id, caption, &["feature", "LR", "DT", "SVM"]);
+    let mut hypotheses: Vec<(String, FeatureSpec)> = kinds
+        .iter()
+        .map(|&k| (k.to_string(), exp.spec(k, 10_000)))
+        .collect();
+    hypotheses.push(("Combined".into(), exp.combined_spec(kinds, 10_000)));
+    for (name, spec) in hypotheses {
+        let mut cells = vec![name];
+        for algorithm in Algorithm::SURROGATES {
+            rhmd.reset();
+            let (_, report) = attack(
+                rhmd,
+                &exp.traced,
+                &exp.splits.attacker_train,
+                &exp.splits.attacker_test,
+                spec.clone(),
+                algorithm,
+                &TrainerConfig::with_seed(0x14),
+            );
+            cells.push(Table::pct(report.agreement));
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+/// Figs 14a/14b: reverse-engineering RHMDs of two and three feature-diverse
+/// detectors (single period).
+pub fn fig14(exp: &Experiment) -> Vec<Table> {
+    let mut two = pool(exp, &TWO, &[10_000]);
+    let mut three = pool(exp, &THREE, &[10_000]);
+    vec![
+        reveng_table(
+            exp,
+            "Fig 14a",
+            "reverse-engineering an RHMD of 2 feature-diverse detectors \
+             (paper: agreement drops well below the deterministic ~100%)",
+            &mut two,
+            &TWO,
+        ),
+        reveng_table(
+            exp,
+            "Fig 14b",
+            "reverse-engineering an RHMD of 3 feature-diverse detectors \
+             (paper: harder than 2)",
+            &mut three,
+            &THREE,
+        ),
+    ]
+}
+
+/// Figs 15a/15b: adding period diversity (10K and 5K) to the same pools.
+pub fn fig15(exp: &Experiment) -> Vec<Table> {
+    let mut four = pool(exp, &TWO, &[10_000, 5_000]);
+    let mut six = pool(exp, &THREE, &[10_000, 5_000]);
+    vec![
+        reveng_table(
+            exp,
+            "Fig 15a",
+            "reverse-engineering an RHMD of 2 features x 2 periods (4 detectors)",
+            &mut four,
+            &TWO,
+        ),
+        reveng_table(
+            exp,
+            "Fig 15b",
+            "reverse-engineering an RHMD of 3 features x 2 periods (6 detectors) \
+             (paper: hardest of all)",
+            &mut six,
+            &THREE,
+        ),
+    ]
+}
+
+/// Fig 16: evasion against RHMDs — injection tuned to the best surrogate no
+/// longer hides the malware, and resilience grows with diversity.
+pub fn fig16(exp: &Experiment) -> Table {
+    let mut table = Table::new(
+        "Fig 16",
+        "RHMD evasion resilience (paper: detection stays high under injection, \
+         higher diversity = more resilient)",
+        &[
+            "injected",
+            "two features",
+            "three features",
+            "two features + periods",
+            "three features + periods",
+        ],
+    );
+    let configs: Vec<(&[FeatureKind], &[u32])> = vec![
+        (&TWO, &[10_000]),
+        (&THREE, &[10_000]),
+        (&TWO, &[10_000, 5_000]),
+        (&THREE, &[10_000, 5_000]),
+    ];
+    // Build pools + their surrogates once. As in the paper, the evasion
+    // experiments inject against the Instructions feature ("without loss of
+    // generality, all of our experiments use the instruction feature", §5).
+    let mut pools: Vec<(ResilientHmd, rhmd_core::hmd::Hmd)> = configs
+        .iter()
+        .map(|(kinds, periods)| {
+            let mut rhmd = pool(exp, kinds, periods);
+            let surrogate = rhmd_core::reveng::reverse_engineer(
+                &mut rhmd,
+                &exp.traced,
+                &exp.splits.attacker_train,
+                exp.spec(FeatureKind::Instructions, 10_000),
+                Algorithm::Nn,
+                &TrainerConfig::with_seed(0x16),
+            );
+            let _ = kinds;
+            (rhmd, surrogate)
+        })
+        .collect();
+
+    let malware = exp.test_malware();
+    for count in [0usize, 1, 5, 10] {
+        let mut cells = vec![count.to_string()];
+        for (rhmd, surrogate) in &mut pools {
+            rhmd.reset();
+            if count == 0 {
+                let plan = rhmd_trace::inject::InjectionPlan::new(
+                    vec![],
+                    rhmd_trace::inject::Placement::EveryBlock,
+                );
+                let trial = evade_corpus(rhmd, &exp.traced, &malware, &plan);
+                cells.push(Table::pct(trial.detection_rate()));
+            } else {
+                let plan = plan_evasion(surrogate, &EvasionConfig::least_weight(count));
+                let trial = evade_corpus(rhmd, &exp.traced, &malware, &plan);
+                cells.push(Table::pct(trial.detection_rate()));
+            }
+        }
+        table.push_row(cells);
+    }
+    table
+}

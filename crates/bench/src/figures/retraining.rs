@@ -1,0 +1,132 @@
+//! Figs 11, 13 — retraining on evasive malware.
+
+use crate::context::Experiment;
+use crate::report::Table;
+use rhmd_core::evasion::{plan_evasion, EvasionConfig, Strategy};
+use rhmd_core::hmd::Hmd;
+use rhmd_core::retrain::{
+    evade_retrain_game, retrain_sweep, trace_evasive_variants, GameConfig,
+};
+use rhmd_core::reveng::reverse_engineer;
+use rhmd_features::vector::FeatureKind;
+use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+use rhmd_trace::inject::Placement;
+
+/// Figs 11a/11b: retraining LR and NN with a growing share of evasive
+/// malware in the training set.
+pub fn fig11(exp: &Experiment) -> Vec<Table> {
+    let spec = exp.spec(FeatureKind::Instructions, 10_000);
+
+    // The evasive malware is built against the *original* LR detector via
+    // its reverse-engineered surrogate, with the weighted strategy (paper
+    // §5-§6).
+    let mut original = Hmd::train(
+        Algorithm::Lr,
+        spec.clone(),
+        &exp.trainer,
+        &exp.traced,
+        &exp.splits.victim_train,
+    );
+    let surrogate = reverse_engineer(
+        &mut original,
+        &exp.traced,
+        &exp.splits.attacker_train,
+        spec.clone(),
+        Algorithm::Lr,
+        &TrainerConfig::with_seed(0x11a),
+    );
+    let plan = plan_evasion(
+        &surrogate,
+        &EvasionConfig {
+            strategy: Strategy::Weighted,
+            count: 2,
+            placement: Placement::EveryBlock,
+            seed: 0x11b,
+        },
+    );
+    let evasive_train = trace_evasive_variants(&exp.traced, &exp.train_malware(), &plan);
+    let evasive_test = trace_evasive_variants(&exp.traced, &exp.test_malware(), &plan);
+
+    let fractions = [0.0, 0.05, 0.07, 0.10, 0.14, 0.17, 0.20, 0.22, 0.25];
+    [(Algorithm::Lr, "Fig 11a"), (Algorithm::Nn, "Fig 11b")]
+        .into_iter()
+        .map(|(algo, id)| {
+            let mut table = Table::new(
+                id,
+                format!(
+                    "retraining {} with evasive malware (paper: LR trades unmodified \
+                     sensitivity for evasive sensitivity; NN gains both)",
+                    algo
+                ),
+                &[
+                    "evasive fraction",
+                    "sens (evasive)",
+                    "sens (unmodified)",
+                    "specificity",
+                ],
+            );
+            let points = retrain_sweep(
+                algo,
+                &spec,
+                &exp.trainer,
+                &exp.traced,
+                &exp.splits.victim_train,
+                &exp.splits.attacker_test,
+                &evasive_train,
+                &evasive_test,
+                &fractions,
+            );
+            for p in points {
+                table.push_row(vec![
+                    Table::pct(p.fraction),
+                    Table::pct(p.sensitivity_evasive),
+                    Table::pct(p.sensitivity_unmodified),
+                    Table::pct(p.specificity),
+                ]);
+            }
+            table
+        })
+        .collect()
+}
+
+/// Fig 13: the NN evade–retrain game over seven generations.
+pub fn fig13(exp: &Experiment) -> Table {
+    let mut table = Table::new(
+        "Fig 13",
+        "NN detector across evade-retrain generations (paper: previous-gen evasive caught, \
+         current-gen evades, breakdown by gen ~7)",
+        &[
+            "generation",
+            "specificity",
+            "sens (unmodified)",
+            "sens (current evasive)",
+            "sens (previous evasive)",
+        ],
+    );
+    let config = GameConfig {
+        algorithm: Algorithm::Nn,
+        spec: exp.spec(FeatureKind::Instructions, 10_000),
+        surrogate: Algorithm::Nn,
+        payload: 2,
+        generations: 7,
+        trainer: exp.trainer,
+        seed: 0x13,
+    };
+    let records = evade_retrain_game(
+        &config,
+        &exp.traced,
+        &exp.splits.victim_train,
+        &exp.splits.attacker_train,
+        &exp.splits.attacker_test,
+    );
+    for r in records {
+        table.push_row(vec![
+            r.generation.to_string(),
+            Table::pct(r.specificity),
+            Table::pct(r.sensitivity_unmodified),
+            Table::pct(r.sensitivity_current_evasive),
+            Table::pct(r.sensitivity_previous_evasive),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,124 @@
+//! Figs 3–4 — reverse-engineering the victim's configuration and model.
+
+use crate::context::Experiment;
+use crate::report::Table;
+use rhmd_core::hmd::Hmd;
+use rhmd_core::reveng::attack;
+use rhmd_features::vector::FeatureKind;
+use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+
+fn victim(exp: &Experiment, algorithm: Algorithm) -> Hmd {
+    Hmd::train(
+        algorithm,
+        exp.spec(FeatureKind::Instructions, 10_000),
+        &exp.trainer,
+        &exp.traced,
+        &exp.splits.victim_train,
+    )
+}
+
+/// Fig 3a: agreement of LR/DT/SVM surrogates as the attacker sweeps its
+/// collection period; the victim's true period (10K) should maximize it.
+pub fn fig03_period(exp: &Experiment) -> Table {
+    let mut table = Table::new(
+        "Fig 3a",
+        "reverse-engineering accuracy vs attacker collection period (victim: LR Instructions@10k)",
+        &["period", "LR", "DT", "SVM"],
+    );
+    let mut victim_hmd = victim(exp, Algorithm::Lr);
+    for period in [5_000u32, 8_000, 9_000, 10_000, 11_000, 12_000, 15_000, 19_000] {
+        let mut cells = vec![format!("{}k", period / 1000)];
+        for algorithm in Algorithm::SURROGATES {
+            let spec = exp.spec(FeatureKind::Instructions, period);
+            let (_, report) = attack(
+                &mut victim_hmd,
+                &exp.traced,
+                &exp.splits.attacker_train,
+                &exp.splits.attacker_test,
+                spec,
+                algorithm,
+                &TrainerConfig::with_seed(0x3a ^ u64::from(period)),
+            );
+            cells.push(Table::pct(report.agreement));
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+/// Fig 3b: agreement of LR/DT/SVM surrogates as the attacker sweeps its
+/// feature hypothesis; the victim's true feature (Instructions) should
+/// maximize it.
+pub fn fig03_feature(exp: &Experiment) -> Table {
+    let mut table = Table::new(
+        "Fig 3b",
+        "reverse-engineering accuracy vs attacker feature hypothesis (victim: LR Instructions@10k)",
+        &["feature", "LR", "DT", "SVM"],
+    );
+    let mut victim_hmd = victim(exp, Algorithm::Lr);
+    for kind in [
+        FeatureKind::Memory,
+        FeatureKind::Instructions,
+        FeatureKind::Architectural,
+    ] {
+        let mut cells = vec![kind.to_string()];
+        for algorithm in Algorithm::SURROGATES {
+            let (_, report) = attack(
+                &mut victim_hmd,
+                &exp.traced,
+                &exp.splits.attacker_train,
+                &exp.splits.attacker_test,
+                exp.spec(kind, 10_000),
+                algorithm,
+                &TrainerConfig::with_seed(0x3b),
+            );
+            cells.push(Table::pct(report.agreement));
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+/// Figs 4a/4b: agreement of LR/DT/NN surrogates against LR and NN victims
+/// across all three features (correct feature + period assumed known).
+pub fn fig04(exp: &Experiment) -> Vec<Table> {
+    [(Algorithm::Lr, "Fig 4a"), (Algorithm::Nn, "Fig 4b")]
+        .into_iter()
+        .map(|(victim_algo, id)| {
+            let mut table = Table::new(
+                id,
+                format!(
+                    "reverse-engineering a {} victim (paper: near-perfect for LR victims; \
+                     LR surrogates struggle on NN victims)",
+                    victim_algo
+                ),
+                &["feature", "LR", "DT", "NN"],
+            );
+            for kind in FeatureKind::ALL {
+                let spec = exp.spec(kind, 10_000);
+                let mut victim_hmd = Hmd::train(
+                    victim_algo,
+                    spec.clone(),
+                    &exp.trainer,
+                    &exp.traced,
+                    &exp.splits.victim_train,
+                );
+                let mut cells = vec![kind.to_string()];
+                for surrogate in [Algorithm::Lr, Algorithm::Dt, Algorithm::Nn] {
+                    let (_, report) = attack(
+                        &mut victim_hmd,
+                        &exp.traced,
+                        &exp.splits.attacker_train,
+                        &exp.splits.attacker_test,
+                        spec.clone(),
+                        surrogate,
+                        &TrainerConfig::with_seed(0x4a),
+                    );
+                    cells.push(Table::pct(report.agreement));
+                }
+                table.push_row(cells);
+            }
+            table
+        })
+        .collect()
+}

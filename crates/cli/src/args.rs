@@ -1,0 +1,105 @@
+//! A minimal `--flag value` argument parser (the approved dependency set
+//! has no CLI framework, and the surface here is small).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for flags without values or stray positionals.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                args.command = iter.next();
+            }
+        }
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{token}'"));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            args.flags.insert(key.to_owned(), value);
+        }
+        Ok(args)
+    }
+
+    /// Raw flag lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// String flag with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_owned()
+    }
+
+    /// Parsed numeric/typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the flag when parsing fails.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let args = parse(&["train", "--algo", "lr", "--period", "10000"]).unwrap();
+        assert_eq!(args.command.as_deref(), Some("train"));
+        assert_eq!(args.get("algo"), Some("lr"));
+        assert_eq!(args.parse_or("period", 0u32).unwrap(), 10_000);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let args = parse(&["corpus"]).unwrap();
+        assert_eq!(args.str_or("scale", "small"), "small");
+        assert_eq!(args.parse_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["train", "--algo"]).is_err());
+    }
+
+    #[test]
+    fn stray_positional_is_an_error() {
+        assert!(parse(&["train", "lr"]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_names_flag() {
+        let args = parse(&["x", "--period", "ten"]).unwrap();
+        let err = args.parse_or("period", 0u32).unwrap_err();
+        assert!(err.contains("--period"));
+    }
+}

@@ -1,0 +1,374 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use crate::persist::{load_hmd, save_hmd};
+use rhmd_core::evasion::{evade_corpus, plan_evasion, EvasionConfig, Strategy};
+use rhmd_core::hmd::Hmd;
+use rhmd_core::retrain::detection_quality;
+use rhmd_core::reveng;
+use rhmd_core::rhmd::{build_pool, pool_specs};
+use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
+use rhmd_features::select::select_top_delta_opcodes;
+use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_ml::metrics::{auc, best_accuracy_threshold};
+use rhmd_ml::model::score_all;
+use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+use rhmd_trace::inject::Placement;
+use rhmd_uarch::CoreConfig;
+use std::path::PathBuf;
+
+fn scale_config(name: &str) -> Result<CorpusConfig, String> {
+    match name {
+        "tiny" => Ok(CorpusConfig::tiny()),
+        "small" => Ok(CorpusConfig::small()),
+        "standard" => Ok(CorpusConfig::standard()),
+        "paper" => Ok(CorpusConfig::paper()),
+        other => Err(format!("unknown scale '{other}' (tiny|small|standard|paper)")),
+    }
+}
+
+fn parse_kind(name: &str) -> Result<FeatureKind, String> {
+    match name {
+        "instructions" => Ok(FeatureKind::Instructions),
+        "memory" => Ok(FeatureKind::Memory),
+        "architectural" => Ok(FeatureKind::Architectural),
+        other => Err(format!(
+            "unknown feature '{other}' (instructions|memory|architectural)"
+        )),
+    }
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    match name {
+        "lr" => Ok(Algorithm::Lr),
+        "dt" => Ok(Algorithm::Dt),
+        "svm" => Ok(Algorithm::Svm),
+        "nn" => Ok(Algorithm::Nn),
+        "rf" => Ok(Algorithm::Rf),
+        other => Err(format!("unknown algorithm '{other}' (lr|dt|svm|nn|rf)")),
+    }
+}
+
+struct Workbench {
+    traced: TracedCorpus,
+    splits: Splits,
+    opcodes: Vec<rhmd_trace::Opcode>,
+    trainer: TrainerConfig,
+}
+
+fn workbench(args: &Args) -> Result<Workbench, String> {
+    let config = scale_config(&args.str_or("scale", "small"))?;
+    eprintln!(
+        "[rhmd] building + tracing {} programs ...",
+        config.total_programs()
+    );
+    let corpus = Corpus::build(&config);
+    let splits = Splits::new(&corpus, config.seed);
+    let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
+    let labels = traced.corpus().labels();
+    let collect = |want: bool| -> Vec<_> {
+        splits
+            .victim_train
+            .iter()
+            .filter(|&&i| labels[i] == want)
+            .flat_map(|&i| traced.subwindows(i).to_vec())
+            .collect()
+    };
+    let opcodes = select_top_delta_opcodes(&collect(true), &collect(false), 16);
+    Ok(Workbench {
+        traced,
+        splits,
+        opcodes,
+        trainer: TrainerConfig::with_seed(config.seed),
+    })
+}
+
+/// `rhmd corpus [--scale s]` — build the corpus and print a summary.
+pub fn corpus(args: &Args) -> Result<(), String> {
+    let config = scale_config(&args.str_or("scale", "small"))?;
+    let corpus = Corpus::build(&config);
+    println!("{corpus}");
+    let mut by_family: std::collections::BTreeMap<u32, (String, usize, u64)> =
+        std::collections::BTreeMap::new();
+    for p in corpus.programs() {
+        let entry = by_family.entry(p.family).or_insert_with(|| {
+            let name = p.name.split('-').next().unwrap_or("?").to_owned();
+            (name, 0, 0)
+        });
+        entry.1 += 1;
+        entry.2 += p.static_instruction_count();
+    }
+    println!("{:>12} {:>8} {:>16}", "family", "programs", "avg static instr");
+    for (_, (name, count, instrs)) in by_family {
+        println!("{name:>12} {count:>8} {:>16}", instrs / count as u64);
+    }
+    Ok(())
+}
+
+/// `rhmd dump [--scale s] [--program name-or-index] [--functions n]` —
+/// print an objdump-style listing of one synthetic binary.
+pub fn dump(args: &Args) -> Result<(), String> {
+    let config = scale_config(&args.str_or("scale", "tiny"))?;
+    let corpus = Corpus::build(&config);
+    let selector = args.str_or("program", "0");
+    let index = match selector.parse::<usize>() {
+        Ok(i) if i < corpus.len() => i,
+        Ok(i) => return Err(format!("program index {i} out of range (0..{})", corpus.len())),
+        Err(_) => corpus
+            .programs()
+            .iter()
+            .position(|p| p.name == selector)
+            .ok_or_else(|| format!("no program named '{selector}'"))?,
+    };
+    let functions: usize = args.parse_or("functions", 2)?;
+    print!(
+        "{}",
+        rhmd_trace::dump::listing(corpus.program(index), Some(functions))
+    );
+    Ok(())
+}
+
+/// `rhmd train [--scale s] [--feature f] [--algo a] [--period n] [--out path]`
+pub fn train(args: &Args) -> Result<(), String> {
+    let kind = parse_kind(&args.str_or("feature", "instructions"))?;
+    let algorithm = parse_algorithm(&args.str_or("algo", "lr"))?;
+    let period: u32 = args.parse_or("period", 10_000)?;
+    let bench = workbench(args)?;
+    let spec = FeatureSpec::new(kind, period, bench.opcodes.clone());
+    let hmd = Hmd::train(
+        algorithm,
+        spec.clone(),
+        &bench.trainer,
+        &bench.traced,
+        &bench.splits.victim_train,
+    );
+
+    let test = bench
+        .traced
+        .window_dataset(&bench.splits.attacker_test, &spec);
+    let scores = score_all(hmd.model(), &test);
+    let roc_auc = auc(&scores, test.labels());
+    let (_, acc) = best_accuracy_threshold(&scores, test.labels());
+    println!(
+        "trained {}: window AUC {roc_auc:.3}, window accuracy {:.1}%",
+        hmd.describe_public(),
+        100.0 * acc
+    );
+
+    if let Some(path) = args.get("out") {
+        save_hmd(&hmd, &PathBuf::from(path))?;
+        println!("model saved to {path}");
+    }
+    Ok(())
+}
+
+/// `rhmd evaluate --model path [--scale s]` — reload a saved detector and
+/// score the held-out programs.
+pub fn evaluate(args: &Args) -> Result<(), String> {
+    let path = args
+        .get("model")
+        .ok_or("evaluate needs --model <path>")?
+        .to_owned();
+    let mut hmd = load_hmd(&PathBuf::from(&path))?;
+    let bench = workbench(args)?;
+    let quality = detection_quality(&mut hmd, &bench.traced, &bench.splits.attacker_test);
+    println!(
+        "{}: program-level sensitivity {:.1}%, specificity {:.1}%",
+        hmd.describe_public(),
+        100.0 * quality.sensitivity_unmodified,
+        100.0 * quality.specificity
+    );
+    Ok(())
+}
+
+/// `rhmd attack [--scale s] [--feature f] [--algo a] [--surrogate a]
+/// [--count n] [--strategy s]` — the full reverse-engineer + evade campaign.
+pub fn attack(args: &Args) -> Result<(), String> {
+    let kind = parse_kind(&args.str_or("feature", "instructions"))?;
+    let victim_algo = parse_algorithm(&args.str_or("algo", "lr"))?;
+    let surrogate_algo = parse_algorithm(&args.str_or("surrogate", "lr"))?;
+    let count: usize = args.parse_or("count", 2)?;
+    let strategy = match args.str_or("strategy", "least-weight").as_str() {
+        "random" => Strategy::Random,
+        "least-weight" => Strategy::LeastWeight,
+        "weighted" => Strategy::Weighted,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let bench = workbench(args)?;
+    let spec = FeatureSpec::new(kind, 10_000, bench.opcodes.clone());
+    let mut victim = Hmd::train(
+        victim_algo,
+        spec.clone(),
+        &bench.trainer,
+        &bench.traced,
+        &bench.splits.victim_train,
+    );
+    let surrogate = reveng::reverse_engineer(
+        &mut victim,
+        &bench.traced,
+        &bench.splits.attacker_train,
+        spec,
+        surrogate_algo,
+        &TrainerConfig::with_seed(0xc11),
+    );
+    let fidelity = reveng::agreement(
+        &mut victim,
+        &surrogate,
+        &bench.traced,
+        &bench.splits.attacker_test,
+    );
+    println!("surrogate agreement: {:.1}%", 100.0 * fidelity);
+    let labels = bench.traced.corpus().labels();
+    let malware: Vec<usize> = bench
+        .splits
+        .attacker_test
+        .iter()
+        .copied()
+        .filter(|&i| labels[i])
+        .collect();
+    let plan = plan_evasion(
+        &surrogate,
+        &EvasionConfig {
+            strategy,
+            count,
+            placement: Placement::EveryBlock,
+            seed: 0xc12,
+        },
+    );
+    let trial = evade_corpus(&mut victim, &bench.traced, &malware, &plan);
+    println!(
+        "evasion ({strategy}, {count}/block): {}/{} still detected ({:.1}%), \
+         overhead static {:.1}% dynamic {:.1}%",
+        trial.detected_after,
+        trial.initially_detected,
+        100.0 * trial.detection_rate(),
+        100.0 * trial.mean_static_overhead,
+        100.0 * trial.mean_dynamic_overhead
+    );
+    Ok(())
+}
+
+/// `rhmd defend [--scale s] [--periods 10000,5000] [--count n]` — deploy an
+/// RHMD pool and report its resilience under the standard attack.
+pub fn defend(args: &Args) -> Result<(), String> {
+    let periods: Vec<u32> = args
+        .str_or("periods", "10000")
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad period '{p}'")))
+        .collect::<Result<_, _>>()?;
+    let count: usize = args.parse_or("count", 2)?;
+    let bench = workbench(args)?;
+    let mut rhmd = build_pool(
+        Algorithm::Lr,
+        pool_specs(&FeatureKind::ALL, &periods, &bench.opcodes),
+        &bench.trainer,
+        &bench.traced,
+        &bench.splits.victim_train,
+        0xc13,
+    );
+    let quality = detection_quality(&mut rhmd, &bench.traced, &bench.splits.attacker_test);
+    println!(
+        "pool of {} detectors: sensitivity {:.1}%, specificity {:.1}%",
+        rhmd.detectors().len(),
+        100.0 * quality.sensitivity_unmodified,
+        100.0 * quality.specificity
+    );
+    let surrogate = reveng::reverse_engineer(
+        &mut rhmd,
+        &bench.traced,
+        &bench.splits.attacker_train,
+        FeatureSpec::new(FeatureKind::Instructions, 10_000, bench.opcodes.clone()),
+        Algorithm::Nn,
+        &TrainerConfig::with_seed(0xc14),
+    );
+    let fidelity = reveng::agreement(
+        &mut rhmd,
+        &surrogate,
+        &bench.traced,
+        &bench.splits.attacker_test,
+    );
+    let labels = bench.traced.corpus().labels();
+    let malware: Vec<usize> = bench
+        .splits
+        .attacker_test
+        .iter()
+        .copied()
+        .filter(|&i| labels[i])
+        .collect();
+    let plan = plan_evasion(&surrogate, &EvasionConfig::least_weight(count));
+    rhmd.reset();
+    let trial = evade_corpus(&mut rhmd, &bench.traced, &malware, &plan);
+    println!(
+        "attacker: agreement {:.1}%, detection after {count}/block injection {:.1}%",
+        100.0 * fidelity,
+        100.0 * trial.detection_rate()
+    );
+    Ok(())
+}
+
+/// Extension trait so commands can describe HMDs without `Detector`'s
+/// `&mut` requirement.
+trait DescribePublic {
+    fn describe_public(&self) -> String;
+}
+
+impl DescribePublic for Hmd {
+    fn describe_public(&self) -> String {
+        format!("{}[{}]", self.algorithm(), self.spec().label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert!(scale_config("tiny").is_ok());
+        assert!(scale_config("galactic").is_err());
+    }
+
+    #[test]
+    fn kind_and_algorithm_parsing() {
+        assert_eq!(parse_kind("memory").unwrap(), FeatureKind::Memory);
+        assert!(parse_kind("entropy").is_err());
+        assert_eq!(parse_algorithm("nn").unwrap(), Algorithm::Nn);
+        assert!(parse_algorithm("xgboost").is_err());
+    }
+
+    #[test]
+    fn corpus_command_runs_at_tiny_scale() {
+        let args = Args::parse(["corpus", "--scale", "tiny"].map(String::from)).unwrap();
+        corpus(&args).unwrap();
+    }
+
+    #[test]
+    fn train_and_evaluate_round_trip() {
+        let dir = std::env::temp_dir().join("rhmd-cli-cmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.json");
+        let train_args = Args::parse(
+            [
+                "train",
+                "--scale",
+                "tiny",
+                "--feature",
+                "architectural",
+                "--algo",
+                "lr",
+                "--out",
+                model_path.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        train(&train_args).unwrap();
+        let eval_args = Args::parse(
+            ["evaluate", "--scale", "tiny", "--model", model_path.to_str().unwrap()]
+                .map(String::from),
+        )
+        .unwrap();
+        evaluate(&eval_args).unwrap();
+        std::fs::remove_file(&model_path).ok();
+    }
+}

@@ -1,0 +1,62 @@
+//! `rhmd` — command-line interface to the RHMD reproduction.
+//!
+//! ```text
+//! rhmd corpus   [--scale tiny|small|standard|paper]
+//! rhmd train    [--scale s] [--feature f] [--algo a] [--period n] [--out model.json]
+//! rhmd evaluate --model model.json [--scale s]
+//! rhmd attack   [--scale s] [--feature f] [--algo a] [--surrogate a]
+//!               [--strategy random|least-weight|weighted] [--count n]
+//! rhmd defend   [--scale s] [--periods 10000,5000] [--count n]
+//! ```
+
+mod args;
+mod commands;
+mod persist;
+
+use args::Args;
+
+const USAGE: &str = "\
+rhmd — evasion-resilient hardware malware detectors (MICRO'17 reproduction)
+
+USAGE: rhmd <command> [--flag value]...
+
+COMMANDS:
+  corpus     build the synthetic corpus and summarize it
+  dump       print an objdump-style listing of one synthetic binary
+  train      train a baseline HMD; optionally save it (--out model.json)
+  evaluate   score a saved detector on held-out programs (--model path)
+  attack     reverse-engineer a victim detector and evade it
+  defend     deploy an RHMD pool and measure its resilience
+
+COMMON FLAGS:
+  --scale tiny|small|standard|paper     corpus size (default: small)
+  --feature instructions|memory|architectural
+  --algo lr|dt|svm|nn|rf
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let exit = match run(raw) {
+        Ok(()) => 0,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(exit);
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    match args.command.as_deref() {
+        Some("corpus") => commands::corpus(&args),
+        Some("dump") => commands::dump(&args),
+        Some("train") => commands::train(&args),
+        Some("evaluate") => commands::evaluate(&args),
+        Some("attack") => commands::attack(&args),
+        Some("defend") => commands::defend(&args),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".into()),
+    }
+}

@@ -1,0 +1,406 @@
+//! Retraining victim detectors on evasive malware (paper §6).
+//!
+//! Two experiments:
+//!
+//! * **Fraction sweep** (Fig 11) — retrain with `f`% of the malware training
+//!   windows replaced by evasive ones; measure sensitivity on evasive and
+//!   unmodified malware and specificity on benign programs.
+//! * **Evade–retrain generations** (Fig 13) — alternate attacker evasion and
+//!   defender retraining, tracking how each generation's detector handles
+//!   current and previous evasive malware.
+
+use crate::evasion::{plan_evasion, EvasionConfig};
+use crate::hmd::{Detector, Hmd, ProgramVerdict};
+use crate::reveng;
+use rhmd_data::{parallel_map, TracedCorpus};
+use rhmd_features::vector::FeatureSpec;
+use rhmd_features::window::RawWindow;
+use rhmd_ml::model::Dataset;
+use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+use rhmd_trace::inject::{apply, InjectionPlan};
+use rhmd_trace::Program;
+use serde::{Deserialize, Serialize};
+
+/// Traces the evasive variant of every program in `indices`, returning the
+/// per-program subwindows.
+pub fn trace_evasive_variants(
+    traced: &TracedCorpus,
+    indices: &[usize],
+    plan: &InjectionPlan,
+) -> Vec<Vec<RawWindow>> {
+    let programs: Vec<&Program> = indices.iter().map(|&i| traced.corpus().program(i)).collect();
+    parallel_map(&programs, |p| {
+        let (modified, overhead) = apply(p, plan);
+        traced.trace_program(&modified, 1.05 + overhead.ratio())
+    })
+}
+
+/// Builds a retraining dataset where `fraction` of the malware windows are
+/// evasive (paper Fig 11's x-axis) and benign windows are unchanged.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn mixed_training_set(
+    traced: &TracedCorpus,
+    victim_train: &[usize],
+    spec: &FeatureSpec,
+    evasive_subwindows: &[Vec<RawWindow>],
+    fraction: f64,
+) -> Dataset {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let labels = traced.corpus().labels();
+    let mut data = Dataset::new(spec.dims());
+    // Benign windows: unchanged.
+    for &i in victim_train.iter().filter(|&&i| !labels[i]) {
+        for v in traced.program_vectors(i, spec) {
+            data.push(v, false);
+        }
+    }
+    // Malware windows: keep (1 - fraction) original...
+    let malware: Vec<usize> = victim_train.iter().copied().filter(|&i| labels[i]).collect();
+    let keep = ((malware.len() as f64) * (1.0 - fraction)).round() as usize;
+    for &i in &malware[..keep.min(malware.len())] {
+        for v in traced.program_vectors(i, spec) {
+            data.push(v, true);
+        }
+    }
+    // ...and draw the remainder from evasive variants.
+    let need = malware.len() - keep.min(malware.len());
+    for subs in evasive_subwindows.iter().cycle().take(need) {
+        for w in rhmd_features::window::aggregate(subs, spec.period) {
+            data.push(spec.project(&w), true);
+        }
+    }
+    data
+}
+
+/// Program-level detection quality of a detector over a set of programs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionQuality {
+    /// Fraction of unmodified malware programs detected.
+    pub sensitivity_unmodified: f64,
+    /// Fraction of benign programs passed.
+    pub specificity: f64,
+}
+
+/// Measures program-level sensitivity/specificity over `indices`.
+pub fn detection_quality(
+    detector: &mut dyn Detector,
+    traced: &TracedCorpus,
+    indices: &[usize],
+) -> DetectionQuality {
+    let labels = traced.corpus().labels();
+    let (mut tp, mut mal, mut tn, mut ben) = (0usize, 0usize, 0usize, 0usize);
+    for &i in indices {
+        let stream = detector.label_subwindows(traced.subwindows(i));
+        let verdict = ProgramVerdict::from_decisions(&stream).is_malware();
+        if labels[i] {
+            mal += 1;
+            if verdict {
+                tp += 1;
+            }
+        } else {
+            ben += 1;
+            if !verdict {
+                tn += 1;
+            }
+        }
+    }
+    DetectionQuality {
+        sensitivity_unmodified: if mal == 0 { 0.0 } else { tp as f64 / mal as f64 },
+        specificity: if ben == 0 { 0.0 } else { tn as f64 / ben as f64 },
+    }
+}
+
+/// Fraction of evasive variants (given as per-program subwindow traces)
+/// flagged as malware.
+pub fn evasive_sensitivity(
+    detector: &mut dyn Detector,
+    evasive_subwindows: &[Vec<RawWindow>],
+) -> f64 {
+    if evasive_subwindows.is_empty() {
+        return 0.0;
+    }
+    let detected = evasive_subwindows
+        .iter()
+        .filter(|subs| {
+            let stream = detector.label_subwindows(subs);
+            ProgramVerdict::from_decisions(&stream).is_malware()
+        })
+        .count();
+    detected as f64 / evasive_subwindows.len() as f64
+}
+
+/// One point of the Fig 11 retraining sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrainPoint {
+    /// Fraction of evasive malware in the training set.
+    pub fraction: f64,
+    /// Sensitivity on evasive malware (program level).
+    pub sensitivity_evasive: f64,
+    /// Sensitivity on unmodified malware.
+    pub sensitivity_unmodified: f64,
+    /// Specificity on benign programs.
+    pub specificity: f64,
+}
+
+/// Runs the Fig 11 sweep for one algorithm.
+///
+/// `evasive_train` supplies the evasive windows mixed into training;
+/// `evasive_test` the held-out evasive variants measured against.
+#[allow(clippy::too_many_arguments)]
+pub fn retrain_sweep(
+    algorithm: Algorithm,
+    spec: &FeatureSpec,
+    trainer: &TrainerConfig,
+    traced: &TracedCorpus,
+    victim_train: &[usize],
+    test_indices: &[usize],
+    evasive_train: &[Vec<RawWindow>],
+    evasive_test: &[Vec<RawWindow>],
+    fractions: &[f64],
+) -> Vec<RetrainPoint> {
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let data =
+                mixed_training_set(traced, victim_train, spec, evasive_train, fraction);
+            let mut retrained =
+                Hmd::train_on_dataset(algorithm, spec.clone(), trainer, &data);
+            let quality = detection_quality(&mut retrained, traced, test_indices);
+            RetrainPoint {
+                fraction,
+                sensitivity_evasive: evasive_sensitivity(&mut retrained, evasive_test),
+                sensitivity_unmodified: quality.sensitivity_unmodified,
+                specificity: quality.specificity,
+            }
+        })
+        .collect()
+}
+
+/// One generation of the evade–retrain game (Fig 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationRecord {
+    /// 1-based generation number.
+    pub generation: u32,
+    /// Specificity on benign programs.
+    pub specificity: f64,
+    /// Sensitivity on unmodified malware.
+    pub sensitivity_unmodified: f64,
+    /// Sensitivity on the evasive malware created against *this* detector.
+    pub sensitivity_current_evasive: f64,
+    /// Sensitivity on the previous generation's evasive malware.
+    pub sensitivity_previous_evasive: f64,
+}
+
+/// Configuration of the evade–retrain game.
+#[derive(Debug, Clone)]
+pub struct GameConfig {
+    /// Defender's algorithm (the paper plays this with NN).
+    pub algorithm: Algorithm,
+    /// Defender's feature spec.
+    pub spec: FeatureSpec,
+    /// Attacker's surrogate algorithm.
+    pub surrogate: Algorithm,
+    /// Instructions injected per site each generation.
+    pub payload: usize,
+    /// Number of generations to play.
+    pub generations: u32,
+    /// Training hyperparameters.
+    pub trainer: TrainerConfig,
+    /// Game seed.
+    pub seed: u64,
+}
+
+/// Plays the evade–retrain game and records each generation.
+///
+/// Per generation: the attacker reverse-engineers the current detector and
+/// rewrites the malware; the defender then retrains with the evasive samples
+/// added to the training set (as the paper does, "adding malware from the
+/// previous generations to the training set").
+#[allow(clippy::too_many_arguments)]
+pub fn evade_retrain_game(
+    config: &GameConfig,
+    traced: &TracedCorpus,
+    victim_train: &[usize],
+    attacker_train: &[usize],
+    test_indices: &[usize],
+) -> Vec<GenerationRecord> {
+    let labels = traced.corpus().labels();
+    let train_malware: Vec<usize> = victim_train
+        .iter()
+        .copied()
+        .filter(|&i| labels[i])
+        .collect();
+    let test_malware: Vec<usize> = test_indices
+        .iter()
+        .copied()
+        .filter(|&i| labels[i])
+        .collect();
+
+    let mut training_data = {
+        let mut d = traced.window_dataset(victim_train, &config.spec);
+        d.extend_from(&Dataset::new(config.spec.dims()));
+        d
+    };
+    let mut victim = Hmd::train_on_dataset(
+        config.algorithm,
+        config.spec.clone(),
+        &config.trainer,
+        &training_data,
+    );
+    let mut previous_evasive_test: Vec<Vec<RawWindow>> = Vec::new();
+    let mut records = Vec::with_capacity(config.generations as usize);
+
+    for generation in 1..=config.generations {
+        // Attacker: reverse-engineer the current detector and build a plan.
+        let surrogate = reveng::reverse_engineer(
+            &mut victim,
+            traced,
+            attacker_train,
+            config.spec.clone(),
+            config.surrogate,
+            &TrainerConfig::with_seed(config.seed ^ u64::from(generation)),
+        );
+        let plan = plan_evasion(
+            &surrogate,
+            &EvasionConfig {
+                seed: config.seed ^ (u64::from(generation) << 8),
+                ..EvasionConfig::least_weight(config.payload)
+            },
+        );
+
+        // Evasive variants: of the training malware (for retraining) and the
+        // test malware (for evaluation).
+        let evasive_train = trace_evasive_variants(traced, &train_malware, &plan);
+        let evasive_test = trace_evasive_variants(traced, &test_malware, &plan);
+
+        let quality = detection_quality(&mut victim, traced, test_indices);
+        let record = GenerationRecord {
+            generation,
+            specificity: quality.specificity,
+            sensitivity_unmodified: quality.sensitivity_unmodified,
+            sensitivity_current_evasive: evasive_sensitivity(&mut victim, &evasive_test),
+            sensitivity_previous_evasive: if previous_evasive_test.is_empty() {
+                quality.sensitivity_unmodified
+            } else {
+                evasive_sensitivity(&mut victim, &previous_evasive_test)
+            },
+        };
+        records.push(record);
+
+        // Defender: retrain with the new evasive samples added.
+        for subs in &evasive_train {
+            for w in rhmd_features::window::aggregate(subs, config.spec.period) {
+                training_data.push(config.spec.project(&w), true);
+            }
+        }
+        victim = Hmd::train_on_dataset(
+            config.algorithm,
+            config.spec.clone(),
+            &config.trainer,
+            &training_data,
+        );
+        previous_evasive_test = evasive_test;
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhmd_data::{Corpus, CorpusConfig, Splits};
+    use rhmd_features::vector::FeatureKind;
+    use rhmd_features::select::select_top_delta_opcodes;
+    use rhmd_uarch::CoreConfig;
+
+    fn fixture() -> (TracedCorpus, Splits, FeatureSpec) {
+        let config = CorpusConfig::tiny();
+        let corpus = Corpus::build(&config);
+        let splits = Splits::new(&corpus, config.seed);
+        let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
+        let labels = traced.corpus().labels();
+        let mal: Vec<_> = splits
+            .victim_train
+            .iter()
+            .filter(|&&i| labels[i])
+            .flat_map(|&i| traced.subwindows(i).to_vec())
+            .collect();
+        let ben: Vec<_> = splits
+            .victim_train
+            .iter()
+            .filter(|&&i| !labels[i])
+            .flat_map(|&i| traced.subwindows(i).to_vec())
+            .collect();
+        let opcodes = select_top_delta_opcodes(&mal, &ben, 12);
+        let spec = FeatureSpec::new(FeatureKind::Instructions, 5_000, opcodes);
+        (traced, splits, spec)
+    }
+
+    #[test]
+    fn mixed_training_set_swaps_malware_windows() {
+        let (traced, splits, spec) = fixture();
+        let labels = traced.corpus().labels();
+        let malware: Vec<usize> = splits
+            .victim_train
+            .iter()
+            .copied()
+            .filter(|&i| labels[i])
+            .collect();
+        let plan = InjectionPlan::new(
+            vec![rhmd_trace::isa::Opcode::Fpu],
+            rhmd_trace::inject::Placement::EveryBlock,
+        );
+        let evasive = trace_evasive_variants(&traced, &malware[..2], &plan);
+        let zero = mixed_training_set(&traced, &splits.victim_train, &spec, &evasive, 0.0);
+        let half = mixed_training_set(&traced, &splits.victim_train, &spec, &evasive, 0.5);
+        assert!(zero.positives() > 0);
+        assert!(half.positives() > 0);
+        assert_eq!(zero.negatives(), half.negatives());
+    }
+
+    #[test]
+    fn detection_quality_bounds() {
+        let (traced, splits, spec) = fixture();
+        let mut hmd = Hmd::train(
+            Algorithm::Lr,
+            spec,
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        let q = detection_quality(&mut hmd, &traced, &splits.attacker_test);
+        assert!((0.0..=1.0).contains(&q.sensitivity_unmodified));
+        assert!((0.0..=1.0).contains(&q.specificity));
+        assert!(q.sensitivity_unmodified > 0.4);
+        assert!(q.specificity > 0.4);
+    }
+
+    #[test]
+    fn game_runs_generations() {
+        let (traced, splits, spec) = fixture();
+        let config = GameConfig {
+            algorithm: Algorithm::Nn,
+            spec,
+            surrogate: Algorithm::Lr,
+            payload: 2,
+            generations: 2,
+            trainer: TrainerConfig::default(),
+            seed: 11,
+        };
+        let records = evade_retrain_game(
+            &config,
+            &traced,
+            &splits.victim_train,
+            &splits.attacker_train,
+            &splits.attacker_test,
+        );
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].generation, 1);
+        for r in &records {
+            assert!((0.0..=1.0).contains(&r.sensitivity_current_evasive));
+            assert!((0.0..=1.0).contains(&r.specificity));
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Resilient HMDs (paper §7): a pool of diverse base detectors with
+//! stochastic, unpredictable switching between them.
+
+use crate::hmd::{Detector, Hmd};
+use rhmd_data::TracedCorpus;
+use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_features::window::{aggregate, RawWindow, SUBWINDOW};
+use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+use rhmd_trace::isa::Opcode;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A randomized ensemble of base detectors.
+///
+/// At every detection epoch the RHMD draws one base detector (uniformly, or
+/// by the configured probabilities), collects features over *that*
+/// detector's period, and emits its decision. The attacker observing the
+/// decision stream cannot tell which detector produced which decision, which
+/// is what makes reverse-engineering provably lossy (paper §8, Theorem 1).
+///
+/// # Examples
+///
+/// ```no_run
+/// use rhmd_core::hmd::Detector;
+/// use rhmd_core::rhmd::ResilientHmd;
+/// # fn doc(detectors: Vec<rhmd_core::hmd::Hmd>, subs: &[rhmd_features::RawWindow]) {
+/// let mut rhmd = ResilientHmd::new(detectors, 42);
+/// let decisions = rhmd.label_subwindows(subs);
+/// # }
+/// ```
+pub struct ResilientHmd {
+    detectors: Vec<Hmd>,
+    probabilities: Vec<f64>,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl ResilientHmd {
+    /// Creates an RHMD switching uniformly among `detectors`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detectors` is empty.
+    pub fn new(detectors: Vec<Hmd>, seed: u64) -> ResilientHmd {
+        let n = detectors.len();
+        ResilientHmd::with_probabilities(detectors, vec![1.0 / n as f64; n], seed)
+    }
+
+    /// Creates an RHMD with explicit selection probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detectors` is empty, lengths differ, or probabilities are
+    /// not a distribution.
+    pub fn with_probabilities(
+        detectors: Vec<Hmd>,
+        probabilities: Vec<f64>,
+        seed: u64,
+    ) -> ResilientHmd {
+        assert!(!detectors.is_empty(), "RHMD needs at least one detector");
+        assert_eq!(
+            detectors.len(),
+            probabilities.len(),
+            "one probability per detector"
+        );
+        assert!(
+            probabilities.iter().all(|&p| p >= 0.0)
+                && (probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "probabilities must form a distribution"
+        );
+        ResilientHmd {
+            detectors,
+            probabilities,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The base detectors.
+    pub fn detectors(&self) -> &[Hmd] {
+        &self.detectors
+    }
+
+    /// The selection probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Restarts the switching RNG so a fresh query sequence is reproducible.
+    pub fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+    }
+
+    fn draw_detector(&mut self) -> usize {
+        let mut u = self.rng.gen::<f64>();
+        for (i, &p) in self.probabilities.iter().enumerate() {
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+        self.probabilities.len() - 1
+    }
+}
+
+impl ResilientHmd {
+    /// Walks a trace emitting `(decision, subwindows_consumed)` pairs.
+    fn walk(&mut self, subwindows: &[RawWindow]) -> Vec<(bool, usize)> {
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        loop {
+            let idx = self.draw_detector();
+            let detector = &self.detectors[idx];
+            let per = (detector.spec().period / SUBWINDOW) as usize;
+            if cursor + per > subwindows.len() {
+                break;
+            }
+            let chunk = &subwindows[cursor..cursor + per];
+            let windows = aggregate(chunk, detector.spec().period);
+            if windows.len() != 1 {
+                break; // truncated subwindow inside the chunk
+            }
+            out.push((detector.classify_window(&windows[0]), per));
+            cursor += per;
+        }
+        out
+    }
+}
+
+impl Detector for ResilientHmd {
+    fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(subwindows.len());
+        for (decision, per) in self.walk(subwindows) {
+            out.extend(std::iter::repeat(decision).take(per));
+        }
+        out
+    }
+
+    fn decisions(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
+        self.walk(subwindows).into_iter().map(|(d, _)| d).collect()
+    }
+
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self.detectors.iter().map(|d| d.describe()).collect();
+        format!("RHMD{{{}}}", parts.join(", "))
+    }
+}
+
+impl fmt::Debug for ResilientHmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResilientHmd")
+            .field("detectors", &self.describe())
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds the feature specs for a pool of `kinds` × `periods` base
+/// detectors (paper §7's construction: two or three features, optionally at
+/// 10K and 5K periods).
+pub fn pool_specs(kinds: &[FeatureKind], periods: &[u32], opcodes: &[Opcode]) -> Vec<FeatureSpec> {
+    let mut specs = Vec::with_capacity(kinds.len() * periods.len());
+    for &period in periods {
+        for &kind in kinds {
+            specs.push(FeatureSpec::new(kind, period, opcodes.to_vec()));
+        }
+    }
+    specs
+}
+
+/// Trains one base detector per spec and assembles an RHMD.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn build_pool(
+    algorithm: Algorithm,
+    specs: Vec<FeatureSpec>,
+    trainer: &TrainerConfig,
+    traced: &TracedCorpus,
+    train_indices: &[usize],
+    seed: u64,
+) -> ResilientHmd {
+    assert!(!specs.is_empty(), "pool needs at least one spec");
+    let detectors = specs
+        .into_iter()
+        .map(|spec| Hmd::train(algorithm, spec, trainer, traced, train_indices))
+        .collect();
+    ResilientHmd::new(detectors, seed)
+}
+
+/// Non-stationary RHMD (paper §8.3, future work): a large candidate pool of
+/// detectors of which only a random *subset* is active at any time; the
+/// active subset is re-drawn periodically. Even an attacker who knows the
+/// full candidate set cannot iteratively evade the active detectors, because
+/// the decision boundary itself moves.
+pub struct NonStationaryRhmd {
+    candidates: Vec<Hmd>,
+    active: Vec<usize>,
+    active_size: usize,
+    /// Number of detection epochs between subset re-draws.
+    redraw_every: u32,
+    epochs_since_redraw: u32,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl NonStationaryRhmd {
+    /// Creates a non-stationary pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty, `active_size` is zero or exceeds the
+    /// candidate count, or `redraw_every` is zero.
+    pub fn new(
+        candidates: Vec<Hmd>,
+        active_size: usize,
+        redraw_every: u32,
+        seed: u64,
+    ) -> NonStationaryRhmd {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        assert!(
+            active_size >= 1 && active_size <= candidates.len(),
+            "active subset size out of range"
+        );
+        assert!(redraw_every > 0, "redraw interval must be positive");
+        let mut pool = NonStationaryRhmd {
+            candidates,
+            active: Vec::new(),
+            active_size,
+            redraw_every,
+            epochs_since_redraw: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        };
+        pool.redraw();
+        pool
+    }
+
+    /// The full candidate pool.
+    pub fn candidates(&self) -> &[Hmd] {
+        &self.candidates
+    }
+
+    /// Indices of the currently active subset.
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// Restarts the RNG and re-draws the initial subset.
+    pub fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.epochs_since_redraw = 0;
+        self.redraw();
+    }
+
+    fn redraw(&mut self) {
+        // Partial Fisher-Yates over candidate indices.
+        let mut indices: Vec<usize> = (0..self.candidates.len()).collect();
+        for i in 0..self.active_size {
+            let j = self.rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices.truncate(self.active_size);
+        self.active = indices;
+    }
+
+    fn step(&mut self, subwindows: &[RawWindow], cursor: usize) -> Option<(bool, usize)> {
+        if self.epochs_since_redraw >= self.redraw_every {
+            self.redraw();
+            self.epochs_since_redraw = 0;
+        }
+        let pick = self.active[self.rng.gen_range(0..self.active.len())];
+        let detector = &self.candidates[pick];
+        let per = (detector.spec().period / SUBWINDOW) as usize;
+        if cursor + per > subwindows.len() {
+            return None;
+        }
+        let windows = aggregate(&subwindows[cursor..cursor + per], detector.spec().period);
+        if windows.len() != 1 {
+            return None;
+        }
+        self.epochs_since_redraw += 1;
+        Some((detector.classify_window(&windows[0]), per))
+    }
+}
+
+impl Detector for NonStationaryRhmd {
+    fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(subwindows.len());
+        let mut cursor = 0usize;
+        while let Some((decision, per)) = self.step(subwindows, cursor) {
+            out.extend(std::iter::repeat(decision).take(per));
+            cursor += per;
+        }
+        out
+    }
+
+    fn decisions(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        while let Some((decision, per)) = self.step(subwindows, cursor) {
+            out.push(decision);
+            cursor += per;
+        }
+        out
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "NonStationaryRHMD{{{} of {} candidates, redraw every {} epochs}}",
+            self.active_size,
+            self.candidates.len(),
+            self.redraw_every
+        )
+    }
+}
+
+impl fmt::Debug for NonStationaryRhmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NonStationaryRhmd")
+            .field("pool", &self.describe())
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hmd::ProgramVerdict;
+    use rhmd_data::{Corpus, CorpusConfig, Splits};
+    use rhmd_uarch::CoreConfig;
+
+    fn fixture() -> (TracedCorpus, Splits) {
+        let config = CorpusConfig::tiny();
+        let corpus = Corpus::build(&config);
+        let splits = Splits::new(&corpus, config.seed);
+        let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
+        (traced, splits)
+    }
+
+    fn two_detector_pool(traced: &TracedCorpus, train: &[usize], seed: u64) -> ResilientHmd {
+        let specs = pool_specs(
+            &[FeatureKind::Memory, FeatureKind::Architectural],
+            &[5_000],
+            &[],
+        );
+        build_pool(
+            Algorithm::Lr,
+            specs,
+            &TrainerConfig::default(),
+            traced,
+            train,
+            seed,
+        )
+    }
+
+    #[test]
+    fn pool_specs_cross_product() {
+        let specs = pool_specs(
+            &[FeatureKind::Memory, FeatureKind::Instructions],
+            &[5_000, 10_000],
+            &[Opcode::Xor],
+        );
+        assert_eq!(specs.len(), 4);
+        let labels: Vec<String> = specs.iter().map(FeatureSpec::label).collect();
+        assert!(labels.contains(&"Memory@5k".to_owned()));
+        assert!(labels.contains(&"Instructions@10k".to_owned()));
+    }
+
+    #[test]
+    fn label_stream_covers_complete_epochs() {
+        let (traced, splits) = fixture();
+        let mut rhmd = two_detector_pool(&traced, &splits.victim_train, 1);
+        let subs = traced.subwindows(0);
+        let stream = rhmd.label_subwindows(subs);
+        assert!(!stream.is_empty());
+        assert!(stream.len() <= subs.len());
+    }
+
+    #[test]
+    fn switching_is_stochastic_but_seed_deterministic() {
+        let (traced, splits) = fixture();
+        let subs = traced.subwindows(0);
+        let mut a = two_detector_pool(&traced, &splits.victim_train, 7);
+        let mut b = two_detector_pool(&traced, &splits.victim_train, 7);
+        assert_eq!(a.label_subwindows(subs), b.label_subwindows(subs));
+        // Reset restores the stream.
+        let first = {
+            a.reset();
+            a.label_subwindows(subs)
+        };
+        a.reset();
+        assert_eq!(a.label_subwindows(subs), first);
+    }
+
+    #[test]
+    fn rhmd_detection_beats_chance() {
+        let (traced, splits) = fixture();
+        let mut rhmd = two_detector_pool(&traced, &splits.victim_train, 3);
+        let labels = traced.corpus().labels();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for &i in &splits.attacker_test {
+            let stream = rhmd.label_subwindows(traced.subwindows(i));
+            let verdict = ProgramVerdict::from_decisions(&stream);
+            if verdict.is_malware() == labels[i] {
+                correct += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.6,
+            "program accuracy {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn mixed_periods_consume_variable_epochs() {
+        let (traced, splits) = fixture();
+        let specs = pool_specs(
+            &[FeatureKind::Memory, FeatureKind::Architectural],
+            &[5_000, 10_000],
+            &[],
+        );
+        let mut rhmd = build_pool(
+            Algorithm::Lr,
+            specs,
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+            5,
+        );
+        assert_eq!(rhmd.detectors().len(), 4);
+        let stream = rhmd.label_subwindows(traced.subwindows(1));
+        assert!(!stream.is_empty());
+    }
+
+    #[test]
+    fn non_stationary_pool_runs_and_redraws() {
+        let (traced, splits) = fixture();
+        let kinds = [FeatureKind::Memory, FeatureKind::Architectural, FeatureKind::Instructions];
+        let candidates: Vec<Hmd> = pool_specs(&kinds, &[5_000, 10_000], &[Opcode::Xor, Opcode::Fpu])
+            .into_iter()
+            .map(|spec| {
+                Hmd::train(
+                    Algorithm::Lr,
+                    spec,
+                    &TrainerConfig::default(),
+                    &traced,
+                    &splits.victim_train,
+                )
+            })
+            .collect();
+        let mut pool = NonStationaryRhmd::new(candidates, 3, 2, 42);
+        assert_eq!(pool.active().len(), 3);
+        let first_active = pool.active().to_vec();
+        let subs = traced.subwindows(0);
+        let stream = pool.label_subwindows(subs);
+        assert!(!stream.is_empty());
+        // After several epochs the active subset should have been re-drawn.
+        assert!(
+            pool.active() != first_active.as_slice() || {
+                // Redraw can coincidentally pick the same subset; force more
+                // epochs and check the RNG advanced.
+                let more = pool.decisions(subs);
+                !more.is_empty()
+            }
+        );
+        // Determinism via reset.
+        pool.reset();
+        let replay = pool.label_subwindows(subs);
+        pool.reset();
+        assert_eq!(pool.label_subwindows(subs), replay);
+    }
+
+    #[test]
+    #[should_panic(expected = "active subset size")]
+    fn non_stationary_validates_subset_size() {
+        let (traced, splits) = fixture();
+        let pool = two_detector_pool(&traced, &splits.victim_train, 1);
+        let _ = NonStationaryRhmd::new(pool.detectors().to_vec(), 5, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one detector")]
+    fn empty_pool_rejected() {
+        let _ = ResilientHmd::new(vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution")]
+    fn bad_probabilities_rejected() {
+        let (traced, splits) = fixture();
+        let pool = two_detector_pool(&traced, &splits.victim_train, 1);
+        let detectors = pool.detectors().to_vec();
+        let _ = ResilientHmd::with_probabilities(detectors, vec![0.9, 0.9], 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Program-level verdict policies.
+//!
+//! A detector emits one decision per window; deployment needs one verdict
+//! per *program*. The paper raises accuracy "by averaging the decisions
+//! across multiple intervals" (§8.2) — majority vote. Majority is brittle
+//! for randomized pools, though: if an attacker fully evades one of `k`
+//! base detectors, the expected flag rate drops by `1/k` and can sink below
+//! ½ even though the remaining detectors still fire on every window they
+//! judge. A *calibrated* policy instead thresholds the flag rate just above
+//! what benign programs produce, so any sustained excess of flagged windows
+//! convicts — the natural operating point for a deployed HMD.
+
+use crate::hmd::{Detector, ProgramVerdict};
+use rhmd_data::TracedCorpus;
+use serde::{Deserialize, Serialize};
+
+/// A threshold over a program's window flag rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerdictPolicy {
+    threshold: f64,
+}
+
+impl VerdictPolicy {
+    /// The paper's majority vote: malware if at least half the windows flag.
+    pub fn majority() -> VerdictPolicy {
+        VerdictPolicy { threshold: 0.5 }
+    }
+
+    /// An explicit flag-rate threshold in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn fixed(threshold: f64) -> VerdictPolicy {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
+        VerdictPolicy { threshold }
+    }
+
+    /// Calibrates the threshold on benign programs: the verdict fires when a
+    /// program's flag rate exceeds the `(1 - fp_budget)` quantile of benign
+    /// flag rates (plus a small margin), bounding the program-level false
+    /// positive rate by `fp_budget` on the calibration set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benign_indices` is empty or `fp_budget` is outside
+    /// `(0, 1)`.
+    pub fn calibrated(
+        detector: &mut dyn Detector,
+        traced: &TracedCorpus,
+        benign_indices: &[usize],
+        fp_budget: f64,
+    ) -> VerdictPolicy {
+        assert!(!benign_indices.is_empty(), "need benign calibration programs");
+        assert!((0.0..1.0).contains(&fp_budget) && fp_budget > 0.0, "fp budget in (0,1)");
+        let mut rates: Vec<f64> = benign_indices
+            .iter()
+            .map(|&i| {
+                let stream = detector.label_subwindows(traced.subwindows(i));
+                ProgramVerdict::from_decisions(&stream).flag_rate()
+            })
+            .collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = (((1.0 - fp_budget) * rates.len() as f64) as usize).min(rates.len() - 1);
+        VerdictPolicy {
+            threshold: (rates[idx] + 0.02).min(0.99),
+        }
+    }
+
+    /// The flag-rate threshold in effect.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Applies the policy to a verdict.
+    pub fn is_malware(&self, verdict: &ProgramVerdict) -> bool {
+        verdict.flag_rate() > self.threshold
+    }
+
+    /// Convenience: runs `detector` over a trace and applies the policy.
+    pub fn judge(
+        &self,
+        detector: &mut dyn Detector,
+        subwindows: &[rhmd_features::window::RawWindow],
+    ) -> bool {
+        let stream = detector.label_subwindows(subwindows);
+        self.is_malware(&ProgramVerdict::from_decisions(&stream))
+    }
+}
+
+impl Default for VerdictPolicy {
+    fn default() -> VerdictPolicy {
+        VerdictPolicy::majority()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hmd::Hmd;
+    use rhmd_data::{Corpus, CorpusConfig, Splits};
+    use rhmd_features::vector::{FeatureKind, FeatureSpec};
+    use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+    use rhmd_uarch::CoreConfig;
+
+    fn fixture() -> (TracedCorpus, Splits, Hmd) {
+        let config = CorpusConfig::tiny();
+        let corpus = Corpus::build(&config);
+        let splits = Splits::new(&corpus, config.seed);
+        let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
+        let hmd = Hmd::train(
+            Algorithm::Lr,
+            FeatureSpec::new(FeatureKind::Architectural, 5_000, vec![]),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        (traced, splits, hmd)
+    }
+
+    #[test]
+    fn majority_matches_program_verdict() {
+        let policy = VerdictPolicy::majority();
+        let v = ProgramVerdict::from_decisions(&[true, true, false]);
+        assert!(policy.is_malware(&v));
+        let v2 = ProgramVerdict::from_decisions(&[true, false, false, false]);
+        assert!(!policy.is_malware(&v2));
+    }
+
+    #[test]
+    fn calibration_bounds_benign_false_positives() {
+        let (traced, splits, hmd) = fixture();
+        let labels = traced.corpus().labels();
+        let benign_train: Vec<usize> = splits
+            .victim_train
+            .iter()
+            .copied()
+            .filter(|&i| !labels[i])
+            .collect();
+        let mut detector = hmd.clone();
+        let policy = VerdictPolicy::calibrated(&mut detector, &traced, &benign_train, 0.15);
+
+        // On held-out benign programs the violation rate stays moderate.
+        let benign_test: Vec<usize> = splits
+            .attacker_test
+            .iter()
+            .copied()
+            .filter(|&i| !labels[i])
+            .collect();
+        let fp = benign_test
+            .iter()
+            .filter(|&&i| policy.judge(&mut detector, traced.subwindows(i)))
+            .count() as f64
+            / benign_test.len().max(1) as f64;
+        assert!(fp <= 0.5, "calibrated fp rate {fp}");
+    }
+
+    #[test]
+    fn calibrated_is_more_sensitive_than_majority_when_benign_is_quiet() {
+        let (traced, splits, hmd) = fixture();
+        let labels = traced.corpus().labels();
+        let benign_train: Vec<usize> = splits
+            .victim_train
+            .iter()
+            .copied()
+            .filter(|&i| !labels[i])
+            .collect();
+        let mut detector = hmd.clone();
+        let policy = VerdictPolicy::calibrated(&mut detector, &traced, &benign_train, 0.1);
+        // A 40%-flagged program is missed by majority but can be convicted
+        // by a calibrated threshold below 0.4.
+        let v = ProgramVerdict {
+            flagged: 4,
+            total: 10,
+        };
+        assert!(!VerdictPolicy::majority().is_malware(&v));
+        if policy.threshold() < 0.38 {
+            assert!(policy.is_malware(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn fixed_validates_range() {
+        let _ = VerdictPolicy::fixed(1.5);
+    }
+}

@@ -1,0 +1,171 @@
+//! The program corpus: all malware and benign samples in one indexable set.
+
+use crate::config::CorpusConfig;
+use rhmd_trace::generate::{benign_profile, malware_profile, BenignClass, MalwareFamily,
+                           ProgramGenerator};
+use rhmd_trace::{Program, ProgramClass};
+use std::fmt;
+
+/// An immutable collection of generated programs with ground-truth labels.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_data::config::CorpusConfig;
+/// use rhmd_data::corpus::Corpus;
+///
+/// let corpus = Corpus::build(&CorpusConfig::tiny());
+/// assert_eq!(corpus.len(), CorpusConfig::tiny().total_programs());
+/// assert!(corpus.malware_count() > 0 && corpus.benign_count() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    programs: Vec<Program>,
+}
+
+impl Corpus {
+    /// Generates the full corpus for `config`, deterministically.
+    pub fn build(config: &CorpusConfig) -> Corpus {
+        let mut programs =
+            Vec::with_capacity(config.total_programs());
+        for family in MalwareFamily::ALL {
+            let generator = ProgramGenerator::new(malware_profile(family));
+            for i in 0..config.malware_per_family {
+                programs.push(generator.generate(config.seed ^ (i as u64)));
+            }
+        }
+        for class in BenignClass::ALL {
+            let generator = ProgramGenerator::new(benign_profile(class));
+            for i in 0..config.benign_per_class {
+                programs.push(generator.generate(config.seed ^ (i as u64)));
+            }
+        }
+        Corpus { programs }
+    }
+
+    /// Wraps an explicit program list (used by evasion experiments that
+    /// rewrite subsets of the corpus).
+    pub fn from_programs(programs: Vec<Program>) -> Corpus {
+        Corpus { programs }
+    }
+
+    /// Number of programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// All programs, in build order (malware families first).
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// The program at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn program(&self, index: usize) -> &Program {
+        &self.programs[index]
+    }
+
+    /// Ground-truth label per program (`true` = malware).
+    pub fn labels(&self) -> Vec<bool> {
+        self.programs.iter().map(|p| p.class.label()).collect()
+    }
+
+    /// Stratum id per program (the generation family), for stratified
+    /// splitting.
+    pub fn strata(&self) -> Vec<u32> {
+        self.programs.iter().map(|p| p.family).collect()
+    }
+
+    /// Indices of malware programs.
+    pub fn malware_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.programs[i].class == ProgramClass::Malware)
+            .collect()
+    }
+
+    /// Indices of benign programs.
+    pub fn benign_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.programs[i].class == ProgramClass::Benign)
+            .collect()
+    }
+
+    /// Number of malware programs.
+    pub fn malware_count(&self) -> usize {
+        self.malware_indices().len()
+    }
+
+    /// Number of benign programs.
+    pub fn benign_count(&self) -> usize {
+        self.benign_indices().len()
+    }
+}
+
+impl fmt::Display for Corpus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Corpus({} programs: {} malware, {} benign)",
+            self.len(),
+            self.malware_count(),
+            self.benign_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let c = CorpusConfig::tiny();
+        assert_eq!(Corpus::build(&c), Corpus::build(&c));
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = CorpusConfig::tiny();
+        let corpus = Corpus::build(&cfg);
+        assert_eq!(corpus.malware_count(), cfg.malware_per_family * 6);
+        assert_eq!(corpus.benign_count(), cfg.benign_per_class * 8);
+    }
+
+    #[test]
+    fn labels_align_with_indices() {
+        let corpus = Corpus::build(&CorpusConfig::tiny());
+        let labels = corpus.labels();
+        for i in corpus.malware_indices() {
+            assert!(labels[i]);
+        }
+        for i in corpus.benign_indices() {
+            assert!(!labels[i]);
+        }
+    }
+
+    #[test]
+    fn strata_cover_all_families() {
+        let corpus = Corpus::build(&CorpusConfig::tiny());
+        let mut strata = corpus.strata();
+        strata.sort_unstable();
+        strata.dedup();
+        assert_eq!(strata.len(), 14); // 6 malware families + 8 benign classes
+    }
+
+    #[test]
+    fn programs_have_unique_names() {
+        let corpus = Corpus::build(&CorpusConfig::tiny());
+        let mut names: Vec<&str> = corpus.programs().iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+}

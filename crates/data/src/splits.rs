@@ -1,0 +1,86 @@
+//! The paper's three-way corpus split (§3): 60% victim training, 20%
+//! attacker training, 20% attacker testing — stratified per family so "each
+//! set includes a randomly selected subset of malware samples from each type
+//! of malware".
+
+use crate::corpus::Corpus;
+use rhmd_ml::split::stratified_split;
+use serde::{Deserialize, Serialize};
+
+/// Index sets of the three roles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Splits {
+    /// Programs the victim (defender) trains on.
+    pub victim_train: Vec<usize>,
+    /// Programs the attacker queries the victim with, to train a surrogate.
+    pub attacker_train: Vec<usize>,
+    /// Programs the attacker evaluates agreement / evasion on.
+    pub attacker_test: Vec<usize>,
+}
+
+impl Splits {
+    /// Splits a corpus 60/20/20, stratified by generation family.
+    pub fn new(corpus: &Corpus, seed: u64) -> Splits {
+        let groups = stratified_split(&corpus.strata(), &[0.6, 0.2, 0.2], seed);
+        let mut iter = groups.into_iter();
+        Splits {
+            victim_train: iter.next().expect("three groups"),
+            attacker_train: iter.next().expect("three groups"),
+            attacker_test: iter.next().expect("three groups"),
+        }
+    }
+
+    /// All three index sets in role order.
+    pub fn roles(&self) -> [&[usize]; 3] {
+        [
+            &self.victim_train,
+            &self.attacker_train,
+            &self.attacker_test,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorpusConfig;
+
+    #[test]
+    fn splits_partition_the_corpus() {
+        let corpus = Corpus::build(&CorpusConfig::tiny());
+        let s = Splits::new(&corpus, 1);
+        let mut all: Vec<usize> = s
+            .roles()
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..corpus.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_role_sees_malware_and_benign() {
+        let corpus = Corpus::build(&CorpusConfig::tiny());
+        let labels = corpus.labels();
+        let s = Splits::new(&corpus, 2);
+        for role in s.roles() {
+            assert!(role.iter().any(|&i| labels[i]), "role lacks malware");
+            assert!(role.iter().any(|&i| !labels[i]), "role lacks benign");
+        }
+    }
+
+    #[test]
+    fn victim_split_is_largest() {
+        let corpus = Corpus::build(&CorpusConfig::tiny());
+        let s = Splits::new(&corpus, 3);
+        assert!(s.victim_train.len() > s.attacker_train.len());
+        assert!(s.victim_train.len() > s.attacker_test.len());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let corpus = Corpus::build(&CorpusConfig::tiny());
+        assert_eq!(Splits::new(&corpus, 7), Splits::new(&corpus, 7));
+        assert_ne!(Splits::new(&corpus, 7), Splits::new(&corpus, 8));
+    }
+}

@@ -1,0 +1,31 @@
+//! Windowed hardware-feature extraction for the RHMD reproduction.
+//!
+//! Implements the three feature vectors of paper §3 over collection windows
+//! of committed instructions:
+//!
+//! * **Instructions** — frequencies of the opcodes whose executed frequency
+//!   differs most between malware and benign training programs
+//!   ([`select::select_top_delta_opcodes`]);
+//! * **Memory** — a histogram of log2-binned deltas between consecutive
+//!   memory-reference addresses;
+//! * **Architectural** — per-instruction rates of hardware events
+//!   (cache misses, mispredictions, unaligned accesses, …) from
+//!   [`rhmd_uarch`].
+//!
+//! Extraction is two-phase: [`pipeline::trace_subwindows`] runs a program
+//! once at fine granularity, and any [`vector::FeatureSpec`] (kind × period ×
+//! opcode subset) can then be projected from the cached subwindows — the
+//! pattern every period/feature sweep in the paper relies on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pipeline;
+pub mod select;
+pub mod vector;
+pub mod window;
+
+pub use pipeline::{extract, project_windows, trace_subwindows};
+pub use select::{select_top_delta_opcodes, DEFAULT_TOP_K};
+pub use vector::{FeatureKind, FeatureSpec};
+pub use window::{RawWindow, MEM_BINS, SUBWINDOW};

@@ -1,0 +1,100 @@
+//! End-to-end extraction: program → subwindows → feature vectors.
+
+use crate::vector::FeatureSpec;
+use crate::window::{aggregate, RawWindow, WindowAccumulator};
+use rhmd_trace::exec::ExecLimits;
+use rhmd_trace::Program;
+use rhmd_uarch::{CoreConfig, CoreModel};
+
+/// Executes `program` once and returns its fine-grained subwindows.
+///
+/// One call serves every collection period that divides into
+/// [`crate::window::SUBWINDOW`] multiples — execute once, aggregate many
+/// times.
+pub fn trace_subwindows(
+    program: &Program,
+    limits: ExecLimits,
+    config: CoreConfig,
+) -> Vec<RawWindow> {
+    let mut acc = WindowAccumulator::new(CoreModel::new(config));
+    program.execute(limits, &mut acc);
+    acc.finish()
+}
+
+/// Projects pre-traced subwindows onto a spec's vectors at the spec's
+/// period.
+pub fn project_windows(subwindows: &[RawWindow], spec: &FeatureSpec) -> Vec<Vec<f64>> {
+    aggregate(subwindows, spec.period)
+        .iter()
+        .map(|w| spec.project(w))
+        .collect()
+}
+
+/// Convenience: trace and project in one call.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_features::pipeline::extract;
+/// use rhmd_features::vector::{FeatureKind, FeatureSpec};
+/// use rhmd_trace::exec::ExecLimits;
+/// use rhmd_trace::generate::{benign_profile, BenignClass, ProgramGenerator};
+/// use rhmd_uarch::CoreConfig;
+///
+/// let program = ProgramGenerator::new(benign_profile(BenignClass::Browser)).generate(0);
+/// let spec = FeatureSpec::new(FeatureKind::Memory, 10_000, vec![]);
+/// let vectors = extract(&program, &spec, ExecLimits::instructions(50_000), CoreConfig::default());
+/// assert_eq!(vectors.len(), 5);
+/// assert_eq!(vectors[0].len(), spec.dims());
+/// ```
+pub fn extract(
+    program: &Program,
+    spec: &FeatureSpec,
+    limits: ExecLimits,
+    config: CoreConfig,
+) -> Vec<Vec<f64>> {
+    project_windows(&trace_subwindows(program, limits, config), spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::FeatureKind;
+    use rhmd_trace::generate::{malware_profile, MalwareFamily, ProgramGenerator};
+    use rhmd_trace::isa::Opcode;
+
+    #[test]
+    fn one_trace_serves_many_periods() {
+        let p = ProgramGenerator::new(malware_profile(MalwareFamily::Keylogger)).generate(4);
+        let limits = ExecLimits {
+            max_instructions: 40_000,
+            max_original_instructions: u64::MAX,
+            max_syscalls: u64::MAX,
+            max_call_depth: 128,
+        };
+        let subs = trace_subwindows(&p, limits, CoreConfig::default());
+        let spec5 = FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]);
+        let spec10 = FeatureSpec::new(FeatureKind::Memory, 10_000, vec![]);
+        assert_eq!(project_windows(&subs, &spec5).len(), 8);
+        assert_eq!(project_windows(&subs, &spec10).len(), 4);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let p = ProgramGenerator::new(malware_profile(MalwareFamily::Worm)).generate(0);
+        let spec = FeatureSpec::new(FeatureKind::Instructions, 5_000, vec![Opcode::Xor, Opcode::Add]);
+        let a = extract(&p, &spec, ExecLimits::instructions(20_000), CoreConfig::default());
+        let b = extract(&p, &spec, ExecLimits::instructions(20_000), CoreConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vectors_have_spec_dims() {
+        let p = ProgramGenerator::new(malware_profile(MalwareFamily::Spambot)).generate(2);
+        for kind in FeatureKind::ALL {
+            let spec = FeatureSpec::new(kind, 5_000, vec![Opcode::Xor]);
+            let vs = extract(&p, &spec, ExecLimits::instructions(10_000), CoreConfig::default());
+            assert!(vs.iter().all(|v| v.len() == spec.dims()));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Feature selection for the Instructions vector.
+//!
+//! Paper §3: the Instructions feature "tracks the frequency of instructions
+//! that show the most different frequency (delta) between normal programs
+//! and malware in the training set".
+
+use crate::window::RawWindow;
+use rhmd_trace::isa::{Opcode, OPCODE_COUNT};
+
+/// Default number of opcodes retained by the Instructions feature.
+pub const DEFAULT_TOP_K: usize = 16;
+
+/// Mean opcode-frequency vector over a set of windows.
+fn mean_frequencies<'a, I>(windows: I) -> [f64; OPCODE_COUNT]
+where
+    I: IntoIterator<Item = &'a RawWindow>,
+{
+    let mut sums = [0.0; OPCODE_COUNT];
+    let mut n = 0u64;
+    for w in windows {
+        let denom = w.instructions.max(1) as f64;
+        for (s, &c) in sums.iter_mut().zip(&w.opcode_counts) {
+            *s += c as f64 / denom;
+        }
+        n += 1;
+    }
+    if n > 0 {
+        for s in &mut sums {
+            *s /= n as f64;
+        }
+    }
+    sums
+}
+
+/// Selects the `k` opcodes whose mean executed frequency differs most
+/// between malware and benign windows.
+///
+/// Ties (and the ordering of the result) are deterministic: opcodes are
+/// ranked by `(delta, index)` descending, then returned sorted by index so
+/// the feature layout is stable.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds [`OPCODE_COUNT`].
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_features::select::select_top_delta_opcodes;
+/// use rhmd_features::window::RawWindow;
+/// use rhmd_trace::isa::Opcode;
+///
+/// let mut benign = RawWindow::default();
+/// benign.instructions = 100;
+/// benign.opcode_counts[Opcode::Fpu.index()] = 90;
+/// let mut malware = RawWindow::default();
+/// malware.instructions = 100;
+/// malware.opcode_counts[Opcode::Xor.index()] = 90;
+///
+/// let top = select_top_delta_opcodes(&[malware], &[benign], 2);
+/// assert!(top.contains(&Opcode::Xor) && top.contains(&Opcode::Fpu));
+/// ```
+pub fn select_top_delta_opcodes(
+    malware: &[RawWindow],
+    benign: &[RawWindow],
+    k: usize,
+) -> Vec<Opcode> {
+    assert!(k > 0 && k <= OPCODE_COUNT, "k must be in 1..={OPCODE_COUNT}");
+    let mal = mean_frequencies(malware);
+    let ben = mean_frequencies(benign);
+    let mut ranked: Vec<(f64, usize)> = mal
+        .iter()
+        .zip(&ben)
+        .enumerate()
+        .map(|(i, (m, b))| ((m - b).abs(), i))
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(b.1.cmp(&a.1)));
+    let mut chosen: Vec<usize> = ranked[..k].iter().map(|&(_, i)| i).collect();
+    chosen.sort_unstable();
+    chosen.into_iter().map(Opcode::from_index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_with(pairs: &[(Opcode, u64)]) -> RawWindow {
+        let mut w = RawWindow::default();
+        w.instructions = 1_000;
+        for &(op, c) in pairs {
+            w.opcode_counts[op.index()] = c;
+        }
+        w
+    }
+
+    #[test]
+    fn picks_most_discriminative() {
+        let malware = vec![window_with(&[(Opcode::Xor, 500), (Opcode::Add, 100)])];
+        let benign = vec![window_with(&[(Opcode::Fpu, 400), (Opcode::Add, 120)])];
+        let top = select_top_delta_opcodes(&malware, &benign, 2);
+        assert_eq!(top, vec![Opcode::Xor, Opcode::Fpu]);
+    }
+
+    #[test]
+    fn result_is_sorted_by_opcode_index() {
+        let malware = vec![window_with(&[(Opcode::Syscall, 100), (Opcode::Mov, 200)])];
+        let benign = vec![window_with(&[(Opcode::Load, 300)])];
+        let top = select_top_delta_opcodes(&malware, &benign, 3);
+        let mut sorted = top.clone();
+        sorted.sort_by_key(|op| op.index());
+        assert_eq!(top, sorted);
+    }
+
+    #[test]
+    fn deterministic_under_repeat() {
+        let malware = vec![window_with(&[(Opcode::Xor, 10)])];
+        let benign = vec![window_with(&[(Opcode::Add, 10)])];
+        let a = select_top_delta_opcodes(&malware, &benign, 5);
+        let b = select_top_delta_opcodes(&malware, &benign, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_empty_window_sets() {
+        let top = select_top_delta_opcodes(&[], &[], 4);
+        assert_eq!(top.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn rejects_zero_k() {
+        let _ = select_top_delta_opcodes(&[], &[], 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Raw per-window accumulation of everything the three feature vectors need.
+//!
+//! Windows are accumulated at a fine fixed granularity ([`SUBWINDOW`]) and
+//! later aggregated to any collection period that is a multiple of it. This
+//! lets one (expensive) execution serve every period in the paper's sweep
+//! {5K, 8K, 9K, 10K, 11K, 12K, 15K, 19K} (Fig 3a).
+
+use rhmd_trace::exec::{ExecEvent, Sink};
+use rhmd_trace::isa::OPCODE_COUNT;
+use rhmd_uarch::events::CounterSet;
+use rhmd_uarch::CoreModel;
+use serde::{Deserialize, Serialize};
+
+/// Fine accumulation granularity, in committed instructions.
+pub const SUBWINDOW: u32 = 1_000;
+
+/// Number of bins in the memory-delta histogram (paper's Memory feature).
+pub const MEM_BINS: usize = 16;
+
+/// Raw statistics of one window of committed instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawWindow {
+    /// Committed instructions in the window (== the period except possibly
+    /// in the final, truncated window).
+    pub instructions: u64,
+    /// Executed count of each opcode class.
+    pub opcode_counts: [u64; OPCODE_COUNT],
+    /// Histogram over log2-binned deltas between consecutive memory-access
+    /// addresses.
+    pub mem_delta_hist: [u64; MEM_BINS],
+    /// Hardware event counters for the window.
+    pub counters: CounterSet,
+}
+
+impl Default for RawWindow {
+    fn default() -> RawWindow {
+        RawWindow {
+            instructions: 0,
+            opcode_counts: [0; OPCODE_COUNT],
+            mem_delta_hist: [0; MEM_BINS],
+            counters: CounterSet::default(),
+        }
+    }
+}
+
+impl RawWindow {
+    /// Merges `other` into `self` (for aggregating subwindows).
+    pub fn merge(&mut self, other: &RawWindow) {
+        self.instructions += other.instructions;
+        for (a, b) in self.opcode_counts.iter_mut().zip(&other.opcode_counts) {
+            *a += b;
+        }
+        for (a, b) in self.mem_delta_hist.iter_mut().zip(&other.mem_delta_hist) {
+            *a += b;
+        }
+        self.counters += other.counters;
+    }
+
+    /// Total memory accesses recorded in the delta histogram.
+    pub fn mem_accesses(&self) -> u64 {
+        self.mem_delta_hist.iter().sum()
+    }
+}
+
+/// Maps an address delta to its histogram bin.
+///
+/// Bin 0 holds repeated addresses (delta 0); bin `b ≥ 1` holds deltas in
+/// `[2^(b-1), 2^b)`, with the last bin absorbing everything larger.
+#[inline]
+pub fn delta_bin(prev: u64, addr: u64) -> usize {
+    let delta = prev.abs_diff(addr);
+    if delta == 0 {
+        0
+    } else {
+        ((64 - delta.leading_zeros()) as usize).min(MEM_BINS - 1)
+    }
+}
+
+/// A [`Sink`] that drives a [`CoreModel`] and slices the stream into
+/// [`SUBWINDOW`]-sized [`RawWindow`]s.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_features::window::WindowAccumulator;
+/// use rhmd_trace::exec::ExecLimits;
+/// use rhmd_trace::generate::{benign_profile, BenignClass, ProgramGenerator};
+/// use rhmd_uarch::{CoreConfig, CoreModel};
+///
+/// let program = ProgramGenerator::new(benign_profile(BenignClass::Browser)).generate(0);
+/// let mut acc = WindowAccumulator::new(CoreModel::new(CoreConfig::default()));
+/// program.execute(ExecLimits::instructions(5_000), &mut acc);
+/// assert_eq!(acc.finish().len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct WindowAccumulator {
+    core: CoreModel,
+    current: RawWindow,
+    windows: Vec<RawWindow>,
+    last_mem_addr: Option<u64>,
+}
+
+impl WindowAccumulator {
+    /// Creates an accumulator running the stream through `core`.
+    pub fn new(core: CoreModel) -> WindowAccumulator {
+        WindowAccumulator {
+            core,
+            current: RawWindow::default(),
+            windows: Vec::new(),
+            last_mem_addr: None,
+        }
+    }
+
+    /// Finalizes accumulation, returning all complete subwindows plus a
+    /// trailing partial subwindow if one is non-empty.
+    pub fn finish(mut self) -> Vec<RawWindow> {
+        self.seal_current();
+        self.windows
+    }
+
+    fn seal_current(&mut self) {
+        if self.current.instructions > 0 {
+            let mut window = std::mem::take(&mut self.current);
+            window.counters = self.core.drain_counters();
+            self.windows.push(window);
+        }
+    }
+}
+
+impl Sink for WindowAccumulator {
+    #[inline]
+    fn event(&mut self, ev: &ExecEvent) {
+        self.core.event(ev);
+        let w = &mut self.current;
+        w.instructions += 1;
+        w.opcode_counts[ev.opcode.index()] += 1;
+        if let Some(mem) = ev.mem {
+            if let Some(prev) = self.last_mem_addr {
+                w.mem_delta_hist[delta_bin(prev, mem.addr)] += 1;
+            }
+            self.last_mem_addr = Some(mem.addr);
+        }
+        if w.instructions == u64::from(SUBWINDOW) {
+            self.seal_current();
+        }
+    }
+}
+
+/// Aggregates fine subwindows into collection windows of `period`
+/// instructions, dropping a trailing partial window.
+///
+/// # Panics
+///
+/// Panics if `period` is zero or not a multiple of [`SUBWINDOW`].
+pub fn aggregate(subwindows: &[RawWindow], period: u32) -> Vec<RawWindow> {
+    assert!(
+        period > 0 && period % SUBWINDOW == 0,
+        "period {period} must be a positive multiple of {SUBWINDOW}"
+    );
+    let per = (period / SUBWINDOW) as usize;
+    subwindows
+        .chunks(per)
+        .filter(|chunk| {
+            chunk.len() == per && chunk.iter().all(|w| w.instructions == u64::from(SUBWINDOW))
+        })
+        .map(|chunk| {
+            let mut merged = RawWindow::default();
+            for w in chunk {
+                merged.merge(w);
+            }
+            merged
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhmd_trace::exec::ExecLimits;
+    use rhmd_trace::generate::{benign_profile, BenignClass, ProgramGenerator};
+    use rhmd_uarch::CoreConfig;
+
+    fn subwindows(n_instr: u64) -> Vec<RawWindow> {
+        let p = ProgramGenerator::new(benign_profile(BenignClass::Archiver)).generate(1);
+        let mut acc = WindowAccumulator::new(CoreModel::new(CoreConfig::default()));
+        p.execute(ExecLimits::instructions(n_instr), &mut acc);
+        acc.finish()
+    }
+
+    #[test]
+    fn subwindow_sizes_are_exact() {
+        let subs = subwindows(10_500);
+        assert_eq!(subs.len(), 11);
+        for w in &subs[..10] {
+            assert_eq!(w.instructions, 1_000);
+            assert_eq!(w.opcode_counts.iter().sum::<u64>(), 1_000);
+            assert_eq!(w.counters.instructions, 1_000);
+        }
+        assert_eq!(subs[10].instructions, 500);
+    }
+
+    #[test]
+    fn aggregation_merges_counts() {
+        let subs = subwindows(20_000);
+        let windows = aggregate(&subs, 5_000);
+        assert_eq!(windows.len(), 4);
+        for w in &windows {
+            assert_eq!(w.instructions, 5_000);
+            assert_eq!(w.opcode_counts.iter().sum::<u64>(), 5_000);
+        }
+    }
+
+    #[test]
+    fn aggregation_drops_partial_tail() {
+        let subs = subwindows(12_500);
+        assert_eq!(aggregate(&subs, 10_000).len(), 1);
+        assert_eq!(aggregate(&subs, 4_000).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn aggregation_rejects_bad_period() {
+        let subs = subwindows(2_000);
+        let _ = aggregate(&subs, 1_500);
+    }
+
+    #[test]
+    fn delta_bins() {
+        assert_eq!(delta_bin(100, 100), 0);
+        assert_eq!(delta_bin(100, 101), 1);
+        assert_eq!(delta_bin(100, 102), 2); // delta 2 → [2,4)
+        assert_eq!(delta_bin(100, 98), 2); // absolute value
+        assert_eq!(delta_bin(0, 1 << 20), MEM_BINS - 1); // saturates
+    }
+
+    #[test]
+    fn histogram_counts_consecutive_pairs() {
+        let subs = subwindows(5_000);
+        let total: u64 = subs.iter().map(RawWindow::mem_accesses).sum();
+        // Every memory access after the first contributes one delta.
+        assert!(total > 0);
+        let mem_instrs: u64 = subs
+            .iter()
+            .flat_map(|w| {
+                rhmd_trace::isa::Opcode::ALL
+                    .iter()
+                    .filter(|op| op.is_memory())
+                    .map(move |op| w.opcode_counts[op.index()])
+            })
+            .sum();
+        assert_eq!(total, mem_instrs - 1);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let subs = subwindows(3_000);
+        let mut merged = RawWindow::default();
+        for w in &subs {
+            merged.merge(w);
+        }
+        assert_eq!(merged.instructions, 3_000);
+        assert_eq!(
+            merged.counters.instructions,
+            subs.iter().map(|w| w.counters.instructions).sum::<u64>()
+        );
+    }
+}

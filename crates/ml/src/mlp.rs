@@ -1,0 +1,340 @@
+//! Multi-layer perceptron — the paper's non-linear detector (§4): one hidden
+//! layer with as many neurons as input features, `tanh` activations, sigmoid
+//! output.
+
+use crate::metrics::best_accuracy_threshold;
+use crate::model::{Classifier, Dataset};
+use crate::scale::Standardizer;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters for [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Passes over the training set.
+    pub epochs: u32,
+    /// Initial SGD step size (decays as 1/(1 + epoch)).
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Weight-initialization and shuffling seed.
+    pub seed: u64,
+    /// Reweight samples inversely to class frequency.
+    pub balance_classes: bool,
+    /// Hidden-layer width override; `None` = number of input features
+    /// (the paper's architecture).
+    pub hidden: Option<usize>,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            epochs: 300,
+            learning_rate: 0.08,
+            momentum: 0.95,
+            l2: 1e-4,
+            seed: 0x0de1,
+            balance_classes: true,
+            hidden: None,
+        }
+    }
+}
+
+/// A trained one-hidden-layer perceptron detector.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_ml::mlp::{Mlp, MlpConfig};
+/// use rhmd_ml::model::{Classifier, Dataset};
+///
+/// // XOR-like data that no linear model can fit.
+/// let data = Dataset::from_rows(
+///     vec![vec![0., 0.], vec![1., 1.], vec![0., 1.], vec![1., 0.]],
+///     vec![false, false, true, true],
+/// );
+/// let nn = Mlp::fit(&MlpConfig { epochs: 400, ..MlpConfig::default() }, &data);
+/// assert!(nn.predict(&[0.9, 0.1]));
+/// assert!(!nn.predict(&[0.95, 0.9]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    scaler: Standardizer,
+    /// `hidden × input` weights.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    /// `hidden` output weights.
+    w2: Vec<f64>,
+    b2: f64,
+    threshold: f64,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Mlp {
+    /// Trains with backpropagation (SGD + momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(config: &MlpConfig, data: &Dataset) -> Mlp {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let scaler = Standardizer::fit(data);
+        let scaled = scaler.transform_dataset(data);
+        let dims = scaled.dims();
+        let hidden = config.hidden.unwrap_or(dims).max(2);
+        let n = scaled.len();
+        let (pos, neg) = (scaled.positives().max(1), scaled.negatives().max(1));
+        let (wt_pos, wt_neg) = if config.balance_classes {
+            (n as f64 / (2.0 * pos as f64), n as f64 / (2.0 * neg as f64))
+        } else {
+            (1.0, 1.0)
+        };
+
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let xavier = (1.0 / dims.max(1) as f64).sqrt();
+        let mut w1: Vec<Vec<f64>> = (0..hidden)
+            .map(|_| (0..dims).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * xavier).collect())
+            .collect();
+        let mut b1 = vec![0.0; hidden];
+        let hx = (1.0 / hidden as f64).sqrt();
+        let mut w2: Vec<f64> = (0..hidden).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * hx).collect();
+        let mut b2 = 0.0;
+
+        // Momentum buffers.
+        let mut v1 = vec![vec![0.0; dims]; hidden];
+        let mut vb1 = vec![0.0; hidden];
+        let mut v2 = vec![0.0; hidden];
+        let mut vb2 = 0.0;
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut act = vec![0.0; hidden];
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let lr = config.learning_rate / (1.0 + 0.02 * f64::from(epoch));
+            for &i in &order {
+                let row = &scaled.rows()[i];
+                let y = f64::from(u8::from(scaled.labels()[i]));
+                let sample_weight = if scaled.labels()[i] { wt_pos } else { wt_neg };
+
+                // Forward.
+                for (a, (w, b)) in act.iter_mut().zip(w1.iter().zip(&b1)) {
+                    let z: f64 = b + w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>();
+                    *a = z.tanh();
+                }
+                let out = sigmoid(b2 + w2.iter().zip(&act).map(|(w, a)| w * a).sum::<f64>());
+
+                // Backward.
+                let delta_out = (out - y) * sample_weight;
+                for h in 0..hidden {
+                    let grad2 = delta_out * act[h] + config.l2 * w2[h];
+                    v2[h] = config.momentum * v2[h] - lr * grad2;
+                    let delta_h = delta_out * w2[h] * (1.0 - act[h] * act[h]);
+                    for d in 0..dims {
+                        let grad1 = delta_h * row[d] + config.l2 * w1[h][d];
+                        v1[h][d] = config.momentum * v1[h][d] - lr * grad1;
+                        w1[h][d] += v1[h][d];
+                    }
+                    vb1[h] = config.momentum * vb1[h] - lr * delta_h;
+                    b1[h] += vb1[h];
+                    w2[h] += v2[h];
+                }
+                vb2 = config.momentum * vb2 - lr * delta_out;
+                b2 += vb2;
+            }
+        }
+
+        let mut model = Mlp {
+            scaler,
+            w1,
+            b1,
+            w2,
+            b2,
+            threshold: 0.5,
+        };
+        let scores: Vec<f64> = data.rows().iter().map(|r| model.score(r)).collect();
+        let (threshold, _) = best_accuracy_threshold(&scores, data.labels());
+        model.threshold = if threshold.is_finite() { threshold } else { 0.5 };
+        model
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_units(&self) -> usize {
+        self.w2.len()
+    }
+
+    /// The gradient of the network's score with respect to the *raw* input
+    /// features, evaluated at `x`.
+    ///
+    /// This is the local, exact version of the paper's weight-collapsing
+    /// heuristic: collapsing sums `w1·w2` ignoring each hidden unit's
+    /// activation regime, while the gradient weights unit `h` by its local
+    /// slope `1 - tanh²(z_h)`. Evasion payloads built from the gradient at a
+    /// malware centroid transfer much better against non-linear victims.
+    pub fn input_gradient(&self, x: &[f64]) -> Vec<f64> {
+        let z = self.scaler.transform(x);
+        let dims = self.scaler.dims();
+        let mut grad = vec![0.0; dims];
+        for ((w, b), &wout) in self.w1.iter().zip(&self.b1).zip(&self.w2) {
+            let pre: f64 = b + w.iter().zip(&z).map(|(wi, xi)| wi * xi).sum::<f64>();
+            let slope = 1.0 - pre.tanh() * pre.tanh();
+            for (g, &wi) in grad.iter_mut().zip(w) {
+                *g += wout * slope * wi;
+            }
+        }
+        for (g, &s) in grad.iter_mut().zip(self.scaler.std()) {
+            *g /= s;
+        }
+        grad
+    }
+
+    /// Collapses the network into one per-input weight vector using the
+    /// paper's heuristic (§5): the weight of input `j` is
+    /// `Σ_i w1[i][j] · w2[i]`, summed over all hidden neurons. Returned in
+    /// *raw feature space* (scaling folded in), so evasion strategies can
+    /// treat it exactly like an LR weight vector — approximately, since the
+    /// true surface is non-linear.
+    pub fn collapsed_input_weights(&self) -> Vec<f64> {
+        let dims = self.scaler.dims();
+        let mut w = vec![0.0; dims];
+        for (row, &wout) in self.w1.iter().zip(&self.w2) {
+            for (acc, &wi) in w.iter_mut().zip(row) {
+                *acc += wi * wout;
+            }
+        }
+        for (acc, &s) in w.iter_mut().zip(self.scaler.std()) {
+            *acc /= s;
+        }
+        w
+    }
+}
+
+impl Classifier for Mlp {
+    fn score(&self, x: &[f64]) -> f64 {
+        let z = self.scaler.transform(x);
+        let mut sum = self.b2;
+        for ((w, b), &wout) in self.w1.iter().zip(&self.b1).zip(&self.w2) {
+            let a: f64 = b + w.iter().zip(&z).map(|(wi, xi)| wi * xi).sum::<f64>();
+            sum += wout * a.tanh();
+        }
+        sigmoid(sum)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "NN"
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let a = rng.gen::<bool>();
+            let b = rng.gen::<bool>();
+            let x = f64::from(u8::from(a)) + (rng.gen::<f64>() - 0.5) * 0.3;
+            let y = f64::from(u8::from(b)) + (rng.gen::<f64>() - 0.5) * 0.3;
+            d.push(vec![x, y], a != b);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let data = xor_data(400, 1);
+        let nn = Mlp::fit(
+            &MlpConfig {
+                epochs: 200,
+                hidden: Some(8),
+                ..MlpConfig::default()
+            },
+            &data,
+        );
+        let acc = data
+            .iter()
+            .filter(|(row, label)| nn.predict(row) == *label)
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc > 0.95, "acc {acc}");
+    }
+
+    #[test]
+    fn default_hidden_width_equals_input_dims() {
+        let data = xor_data(50, 2);
+        let nn = Mlp::fit(&MlpConfig { epochs: 5, ..MlpConfig::default() }, &data);
+        assert_eq!(nn.hidden_units(), 2);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = xor_data(100, 3);
+        let cfg = MlpConfig { epochs: 20, ..MlpConfig::default() };
+        assert_eq!(Mlp::fit(&cfg, &data), Mlp::fit(&cfg, &data));
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let data = xor_data(100, 4);
+        let nn = Mlp::fit(&MlpConfig { epochs: 20, ..MlpConfig::default() }, &data);
+        for (row, _) in data.iter() {
+            let s = nn.score(row);
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn collapsed_weights_have_input_dims() {
+        let data = xor_data(100, 5);
+        let nn = Mlp::fit(&MlpConfig { epochs: 10, ..MlpConfig::default() }, &data);
+        assert_eq!(nn.collapsed_input_weights().len(), 2);
+    }
+
+    #[test]
+    fn collapsed_weights_track_linear_signal() {
+        // One informative dimension: collapsed weight should be positive for
+        // the malware-increasing feature.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut d = Dataset::new(2);
+        for _ in 0..300 {
+            let malware = rng.gen::<bool>();
+            let x = if malware { 1.0 } else { 0.0 } + (rng.gen::<f64>() - 0.5) * 0.4;
+            let noise = rng.gen::<f64>();
+            d.push(vec![x, noise], malware);
+        }
+        let nn = Mlp::fit(&MlpConfig { epochs: 60, ..MlpConfig::default() }, &d);
+        let w = nn.collapsed_input_weights();
+        assert!(
+            w[0] > w[1].abs(),
+            "informative weight {} vs noise {}",
+            w[0],
+            w[1]
+        );
+    }
+}

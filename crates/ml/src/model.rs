@@ -1,0 +1,255 @@
+//! Dataset container and the classifier abstraction shared by all models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A labelled feature-vector dataset (label `true` = malware, as in the
+/// paper's 0/1 convention).
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_ml::model::Dataset;
+///
+/// let mut d = Dataset::new(2);
+/// d.push(vec![0.1, 0.9], true);
+/// d.push(vec![0.8, 0.2], false);
+/// assert_eq!(d.len(), 2);
+/// assert_eq!(d.positives(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    dims: usize,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of `dims`-dimensional rows.
+    pub fn new(dims: usize) -> Dataset {
+        Dataset {
+            dims,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Builds a dataset from parallel rows and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, rows have inconsistent dimensionality, or
+    /// any value is non-finite.
+    pub fn from_rows(rows: Vec<Vec<f64>>, labels: Vec<bool>) -> Dataset {
+        assert_eq!(rows.len(), labels.len(), "rows and labels must align");
+        let dims = rows.first().map_or(0, Vec::len);
+        let mut d = Dataset::new(dims);
+        for (row, label) in rows.into_iter().zip(labels) {
+            d.push(row, label);
+        }
+        d
+    }
+
+    /// Appends one labelled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's dimensionality mismatches or contains non-finite
+    /// values.
+    pub fn push(&mut self, row: Vec<f64>, label: bool) {
+        if self.rows.is_empty() && self.dims == 0 {
+            self.dims = row.len();
+        }
+        assert_eq!(row.len(), self.dims, "row has wrong dimensionality");
+        assert!(
+            row.iter().all(|v| v.is_finite()),
+            "feature values must be finite"
+        );
+        self.rows.push(row);
+        self.labels.push(label);
+    }
+
+    /// Appends every row of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        for (row, &label) in other.rows.iter().zip(&other.labels) {
+            self.push(row.clone(), label);
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// The labels, parallel to [`Dataset::rows`].
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Count of positive (malware) rows.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Count of negative (benign) rows.
+    pub fn negatives(&self) -> usize {
+        self.len() - self.positives()
+    }
+
+    /// Iterates `(row, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool)> + '_ {
+        self.rows
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+
+    /// Returns a dataset with the same rows but labels replaced by
+    /// `new_labels` — how the attacker relabels its training set with the
+    /// victim's decisions (paper Fig 1a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_labels` has the wrong length.
+    #[must_use]
+    pub fn with_labels(&self, new_labels: Vec<bool>) -> Dataset {
+        assert_eq!(new_labels.len(), self.len(), "label count must match rows");
+        Dataset {
+            dims: self.dims,
+            rows: self.rows.clone(),
+            labels: new_labels,
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dataset({} rows x {} dims, {} malware / {} benign)",
+            self.len(),
+            self.dims,
+            self.positives(),
+            self.negatives()
+        )
+    }
+}
+
+/// A trained binary classifier.
+///
+/// `score` returns a real-valued malware-likeness; `predict` applies the
+/// model's operating threshold. All models here pick the threshold
+/// maximizing training accuracy — the paper's "point on the ROC which
+/// maximizes the accuracy".
+///
+/// This trait is object-safe: RHMD pools store `Box<dyn Classifier>`.
+pub trait Classifier: fmt::Debug + Send + Sync {
+    /// Malware-likeness score for a feature vector.
+    fn score(&self, x: &[f64]) -> f64;
+
+    /// The operating threshold applied by [`Classifier::predict`].
+    fn threshold(&self) -> f64;
+
+    /// Hard decision: `true` = malware.
+    fn predict(&self, x: &[f64]) -> bool {
+        self.score(x) >= self.threshold()
+    }
+
+    /// Short algorithm name (e.g. `"LR"`, `"NN"`).
+    fn algorithm(&self) -> &'static str;
+
+    /// Clones into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn Classifier>;
+
+    /// Access to the concrete type, so strategy code (e.g. evasion weight
+    /// extraction) can downcast.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+impl Clone for Box<dyn Classifier> {
+    fn clone(&self) -> Box<dyn Classifier> {
+        self.clone_box()
+    }
+}
+
+/// Scores every row of a dataset.
+pub fn score_all(model: &dyn Classifier, data: &Dataset) -> Vec<f64> {
+    data.rows().iter().map(|r| model.score(r)).collect()
+}
+
+/// Predicts every row of a dataset.
+pub fn predict_all(model: &dyn Classifier, data: &Dataset) -> Vec<bool> {
+    data.rows().iter().map(|r| model.predict(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tracks_counts() {
+        let mut d = Dataset::new(1);
+        d.push(vec![1.0], true);
+        d.push(vec![2.0], false);
+        d.push(vec![3.0], true);
+        assert_eq!(d.positives(), 2);
+        assert_eq!(d.negatives(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn push_rejects_wrong_dims() {
+        let mut d = Dataset::new(2);
+        d.push(vec![1.0], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_rejects_nan() {
+        let mut d = Dataset::new(1);
+        d.push(vec![f64::NAN], true);
+    }
+
+    #[test]
+    fn with_labels_replaces() {
+        let d = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]);
+        let relabelled = d.with_labels(vec![false, true]);
+        assert_eq!(relabelled.labels(), &[false, true]);
+        assert_eq!(relabelled.rows(), d.rows());
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = Dataset::from_rows(vec![vec![1.0]], vec![true]);
+        let b = Dataset::from_rows(vec![vec![2.0]], vec![false]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.labels(), &[true, false]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let d = Dataset::from_rows(vec![vec![0.0, 0.0]], vec![true]);
+        assert_eq!(format!("{d}"), "Dataset(1 rows x 2 dims, 1 malware / 0 benign)");
+    }
+}

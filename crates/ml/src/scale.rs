@@ -1,0 +1,152 @@
+//! Feature standardization (zero mean, unit variance), fitted on training
+//! data and baked into every model so callers always work in raw feature
+//! space.
+
+use crate::model::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension affine standardizer: `z = (x - mean) / std`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    /// Standard deviation with a floor so constant dimensions pass through
+    /// as zeros instead of blowing up.
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits on a dataset's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset) -> Standardizer {
+        assert!(!data.is_empty(), "cannot fit a standardizer on no data");
+        let dims = data.dims();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; dims];
+        for row in data.rows() {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dims];
+        for row in data.rows() {
+            for ((s, &v), &m) in var.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| (s / n).sqrt().max(1e-9))
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// The identity transform for `dims` dimensions.
+    pub fn identity(dims: usize) -> Standardizer {
+        Standardizer {
+            mean: vec![0.0; dims],
+            std: vec![1.0; dims],
+        }
+    }
+
+    /// Dimensionality handled by this standardizer.
+    pub fn dims(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Fitted per-dimension means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Fitted per-dimension standard deviations (floored at 1e-9).
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Standardizes one row into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    #[inline]
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
+        out.clear();
+        out.extend(
+            x.iter()
+                .zip(&self.mean)
+                .zip(&self.std)
+                .map(|((&v, &m), &s)| (v - m) / s),
+        );
+    }
+
+    /// Standardizes one row, allocating.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(x.len());
+        self.transform_into(x, &mut out);
+        out
+    }
+
+    /// Standardizes a whole dataset (labels preserved).
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        Dataset::from_rows(
+            data.rows().iter().map(|r| self.transform(r)).collect(),
+            data.labels().to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]],
+            vec![true, false, true],
+        )
+    }
+
+    #[test]
+    fn fit_computes_moments() {
+        let s = Standardizer::fit(&toy());
+        assert_eq!(s.mean(), &[3.0, 10.0]);
+        assert!((s.std()[0] - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_var() {
+        let data = toy();
+        let s = Standardizer::fit(&data);
+        let t = s.transform_dataset(&data);
+        let mean0: f64 = t.rows().iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        let var0: f64 = t.rows().iter().map(|r| r[0] * r[0]).sum::<f64>() / 3.0;
+        assert!((var0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let s = Standardizer::fit(&toy());
+        let t = s.transform(&[3.0, 10.0]);
+        assert_eq!(t, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let s = Standardizer::identity(2);
+        assert_eq!(s.transform(&[4.0, -1.0]), vec![4.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn fit_requires_rows() {
+        let _ = Standardizer::fit(&Dataset::new(2));
+    }
+}

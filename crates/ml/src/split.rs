@@ -1,0 +1,124 @@
+//! Stratified splitting utilities (paper §3: 60% victim training, 20%
+//! attacker training, 20% attacker testing, stratified per malware type).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits indices `0..n` into groups with the given `fractions`, stratified
+/// by the `stratum` of each index so every group receives a proportional
+/// share of each stratum.
+///
+/// The final group absorbs rounding remainders so every index is assigned
+/// exactly once.
+///
+/// # Panics
+///
+/// Panics if `fractions` is empty, contains non-positive entries, or does
+/// not sum to 1 (within 1e-9).
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_ml::split::stratified_split;
+///
+/// let strata = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+/// let groups = stratified_split(&strata, &[0.6, 0.2, 0.2], 42);
+/// assert_eq!(groups.len(), 3);
+/// assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 10);
+/// // Each group holds members of both strata.
+/// assert!(groups[0].iter().any(|&i| strata[i] == 0));
+/// assert!(groups[0].iter().any(|&i| strata[i] == 1));
+/// ```
+pub fn stratified_split(strata: &[u32], fractions: &[f64], seed: u64) -> Vec<Vec<usize>> {
+    assert!(!fractions.is_empty(), "need at least one fraction");
+    assert!(
+        fractions.iter().all(|&f| f > 0.0),
+        "fractions must be positive"
+    );
+    let total: f64 = fractions.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "fractions must sum to 1 (got {total})"
+    );
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); fractions.len()];
+
+    // Group indices by stratum, preserving deterministic order.
+    let mut unique: Vec<u32> = strata.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    for stratum in unique {
+        let mut members: Vec<usize> = (0..strata.len())
+            .filter(|&i| strata[i] == stratum)
+            .collect();
+        members.shuffle(&mut rng);
+        let n = members.len();
+        let mut start = 0usize;
+        for (g, &frac) in fractions.iter().enumerate() {
+            let count = if g == fractions.len() - 1 {
+                n - start
+            } else {
+                ((n as f64 * frac).round() as usize).min(n - start)
+            };
+            groups[g].extend(&members[start..start + count]);
+            start += count;
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_indices_assigned_once() {
+        let strata: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let groups = stratified_split(&strata, &[0.6, 0.2, 0.2], 1);
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn proportions_are_respected() {
+        let strata = vec![0u32; 1000];
+        let groups = stratified_split(&strata, &[0.6, 0.2, 0.2], 2);
+        assert!((groups[0].len() as i64 - 600).abs() <= 1);
+        assert!((groups[1].len() as i64 - 200).abs() <= 1);
+        assert!((groups[2].len() as i64 - 200).abs() <= 1);
+    }
+
+    #[test]
+    fn stratification_balances_rare_strata() {
+        // 10 members of stratum 9 among 910 of stratum 0.
+        let mut strata = vec![0u32; 900];
+        strata.extend(vec![9u32; 10]);
+        let groups = stratified_split(&strata, &[0.5, 0.5], 3);
+        for g in &groups {
+            let rare = g.iter().filter(|&&i| strata[i] == 9).count();
+            assert_eq!(rare, 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let strata: Vec<u32> = (0..50).map(|i| i % 3).collect();
+        assert_eq!(
+            stratified_split(&strata, &[0.5, 0.5], 7),
+            stratified_split(&strata, &[0.5, 0.5], 7)
+        );
+        assert_ne!(
+            stratified_split(&strata, &[0.5, 0.5], 7),
+            stratified_split(&strata, &[0.5, 0.5], 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_fractions() {
+        let _ = stratified_split(&[0, 1], &[0.5, 0.6], 0);
+    }
+}

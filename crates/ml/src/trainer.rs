@@ -1,0 +1,163 @@
+//! A uniform handle over the four model families, so experiment code can
+//! sweep algorithms the way the paper does (LR / DT / SVM / NN).
+
+use crate::forest::{ForestConfig, RandomForest};
+use crate::linear::{LogisticRegression, LrConfig};
+use crate::mlp::{Mlp, MlpConfig};
+use crate::model::{Classifier, Dataset};
+use crate::svm::{LinearSvm, SvmConfig};
+use crate::tree::{DecisionTree, TreeConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The classification algorithms used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Logistic regression.
+    Lr,
+    /// Decision tree.
+    Dt,
+    /// Linear support vector machine.
+    Svm,
+    /// One-hidden-layer neural network.
+    Nn,
+    /// Random forest (bagged CART trees).
+    Rf,
+}
+
+impl Algorithm {
+    /// The surrogate families the attacker sweeps in Figs 3–4.
+    pub const SURROGATES: [Algorithm; 3] = [Algorithm::Lr, Algorithm::Dt, Algorithm::Svm];
+
+    /// All five families.
+    pub const ALL: [Algorithm; 5] =
+        [Algorithm::Lr, Algorithm::Dt, Algorithm::Svm, Algorithm::Nn, Algorithm::Rf];
+
+    /// Short display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Lr => "LR",
+            Algorithm::Dt => "DT",
+            Algorithm::Svm => "SVM",
+            Algorithm::Nn => "NN",
+            Algorithm::Rf => "RF",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bundled hyperparameters for every family, with a single seed knob.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Logistic-regression settings.
+    pub lr: LrConfig,
+    /// Decision-tree settings.
+    pub tree: TreeConfig,
+    /// SVM settings.
+    pub svm: SvmConfig,
+    /// MLP settings.
+    pub mlp: MlpConfig,
+    /// Random-forest settings.
+    pub forest: ForestConfig,
+}
+
+impl TrainerConfig {
+    /// Defaults re-seeded so distinct experiment stages don't share RNG
+    /// streams.
+    pub fn with_seed(seed: u64) -> TrainerConfig {
+        let mut c = TrainerConfig::default();
+        c.lr.seed = seed;
+        c.svm.seed = seed ^ 0x51;
+        c.mlp.seed = seed ^ 0x77;
+        c.forest.seed = seed ^ 0xf0;
+        c
+    }
+}
+
+impl Default for TrainerConfig {
+    fn default() -> TrainerConfig {
+        TrainerConfig {
+            lr: LrConfig::default(),
+            tree: TreeConfig::default(),
+            svm: SvmConfig::default(),
+            mlp: MlpConfig::default(),
+            forest: ForestConfig::default(),
+        }
+    }
+}
+
+/// Trains one model of the requested family.
+///
+/// # Panics
+///
+/// Panics if `data` is empty (all fitters require data).
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_ml::trainer::{train, Algorithm, TrainerConfig};
+/// use rhmd_ml::model::Dataset;
+///
+/// let data = Dataset::from_rows(
+///     vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]],
+///     vec![false, false, true, true],
+/// );
+/// for algo in Algorithm::ALL {
+///     let model = train(algo, &TrainerConfig::default(), &data);
+///     assert!(model.predict(&[0.95]));
+/// }
+/// ```
+pub fn train(algorithm: Algorithm, config: &TrainerConfig, data: &Dataset) -> Box<dyn Classifier> {
+    match algorithm {
+        Algorithm::Lr => Box::new(LogisticRegression::fit(&config.lr, data)),
+        Algorithm::Dt => Box::new(DecisionTree::fit(&config.tree, data)),
+        Algorithm::Svm => Box::new(LinearSvm::fit(&config.svm, data)),
+        Algorithm::Nn => Box::new(Mlp::fit(&config.mlp, data)),
+        Algorithm::Rf => Box::new(RandomForest::fit(&config.forest, data)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Algorithm::Lr.name(), "LR");
+        assert_eq!(Algorithm::Nn.to_string(), "NN");
+        assert_eq!(Algorithm::SURROGATES.len(), 3);
+    }
+
+    #[test]
+    fn train_dispatches_by_algorithm() {
+        let data = Dataset::from_rows(
+            vec![vec![0.0], vec![0.2], vec![0.8], vec![1.0]],
+            vec![false, false, true, true],
+        );
+        for algo in Algorithm::ALL {
+            let model = train(algo, &TrainerConfig::default(), &data);
+            assert_eq!(model.algorithm(), algo.name());
+        }
+    }
+
+    #[test]
+    fn with_seed_decorrelates_streams() {
+        let a = TrainerConfig::with_seed(1);
+        assert_ne!(a.lr.seed, a.svm.seed);
+        assert_ne!(a.lr.seed, a.mlp.seed);
+        assert_ne!(a.lr.seed, a.forest.seed);
+    }
+
+    #[test]
+    fn boxed_models_clone() {
+        let data = Dataset::from_rows(vec![vec![0.0], vec![1.0]], vec![false, true]);
+        let model = train(Algorithm::Lr, &TrainerConfig::default(), &data);
+        let copy = model.clone();
+        assert_eq!(copy.score(&[0.5]), model.score(&[0.5]));
+    }
+}

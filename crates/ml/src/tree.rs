@@ -1,0 +1,287 @@
+//! CART decision tree — one of the attacker's surrogate model families
+//! (paper §4 uses DT to reverse-engineer victims).
+
+use crate::model::{Classifier, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters for [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: u32,
+    /// Minimum samples required to split a node.
+    pub min_split: usize,
+    /// Minimum samples in each child of a split.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> TreeConfig {
+        TreeConfig {
+            max_depth: 10,
+            min_split: 8,
+            min_leaf: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Fraction of malware samples at the leaf (the score).
+        malware_frac: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained CART classifier (Gini impurity, axis-aligned splits).
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_ml::tree::{DecisionTree, TreeConfig};
+/// use rhmd_ml::model::{Classifier, Dataset};
+///
+/// let data = Dataset::from_rows(
+///     vec![vec![0.1], vec![0.2], vec![0.8], vec![0.9]],
+///     vec![false, false, true, true],
+/// );
+/// let tree = DecisionTree::fit(&TreeConfig::default(), &data);
+/// assert!(tree.predict(&[0.85]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    depth: u32,
+    leaves: u32,
+}
+
+impl DecisionTree {
+    /// Grows a tree on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(config: &TreeConfig, data: &Dataset) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut stats = (0u32, 0u32); // (max depth seen, leaves)
+        let root = grow(config, data, &indices, 0, &mut stats);
+        DecisionTree {
+            root,
+            depth: stats.0,
+            leaves: stats.1,
+        }
+    }
+
+    /// Depth of the grown tree.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> u32 {
+        self.leaves
+    }
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total == 0.0 {
+        0.0
+    } else {
+        let p = pos / total;
+        2.0 * p * (1.0 - p)
+    }
+}
+
+fn grow(
+    config: &TreeConfig,
+    data: &Dataset,
+    indices: &[usize],
+    depth: u32,
+    stats: &mut (u32, u32),
+) -> Node {
+    stats.0 = stats.0.max(depth);
+    let total = indices.len() as f64;
+    let pos = indices.iter().filter(|&&i| data.labels()[i]).count() as f64;
+    let node_gini = gini(pos, total);
+    let make_leaf = |stats: &mut (u32, u32)| {
+        stats.1 += 1;
+        Node::Leaf {
+            malware_frac: if total > 0.0 { pos / total } else { 0.0 },
+        }
+    };
+    if depth >= config.max_depth
+        || indices.len() < config.min_split
+        || node_gini == 0.0
+    {
+        return make_leaf(stats);
+    }
+
+    // Best axis-aligned split by Gini gain.
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+    let mut sorted = indices.to_vec();
+    for feature in 0..data.dims() {
+        sorted.sort_by(|&a, &b| {
+            data.rows()[a][feature]
+                .partial_cmp(&data.rows()[b][feature])
+                .unwrap()
+        });
+        let mut left_pos = 0.0;
+        for (k, window) in sorted.windows(2).enumerate() {
+            if data.labels()[window[0]] {
+                left_pos += 1.0;
+            }
+            let left_n = (k + 1) as f64;
+            let right_n = total - left_n;
+            let lo = data.rows()[window[0]][feature];
+            let hi = data.rows()[window[1]][feature];
+            if lo == hi || (k + 1) < config.min_leaf || (right_n as usize) < config.min_leaf {
+                continue;
+            }
+            let right_pos = pos - left_pos;
+            let weighted =
+                (left_n * gini(left_pos, left_n) + right_n * gini(right_pos, right_n)) / total;
+            if best.map_or(true, |(bi, _, _)| weighted < bi) {
+                best = Some((weighted, feature, (lo + hi) / 2.0));
+            }
+        }
+    }
+
+    match best {
+        Some((impurity, feature, threshold)) if impurity < node_gini - 1e-12 => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| data.rows()[i][feature] <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(grow(config, data, &left_idx, depth + 1, stats)),
+                right: Box::new(grow(config, data, &right_idx, depth + 1, stats)),
+            }
+        }
+        _ => make_leaf(stats),
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn score(&self, x: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { malware_frac } => return *malware_frac,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        0.5
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "DT"
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let data = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]);
+        let tree = DecisionTree::fit(&TreeConfig::default(), &data);
+        assert_eq!(tree.leaves(), 1);
+        assert!(tree.predict(&[5.0]));
+    }
+
+    #[test]
+    fn learns_threshold_split() {
+        let data = Dataset::from_rows(
+            (0..40).map(|i| vec![f64::from(i)]).collect(),
+            (0..40).map(|i| i >= 20).collect(),
+        );
+        let tree = DecisionTree::fit(&TreeConfig::default(), &data);
+        assert!(tree.predict(&[30.0]));
+        assert!(!tree.predict(&[10.0]));
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut d = Dataset::new(2);
+        for _ in 0..400 {
+            let a = rng.gen::<bool>();
+            let b = rng.gen::<bool>();
+            d.push(
+                vec![
+                    f64::from(u8::from(a)) + (rng.gen::<f64>() - 0.5) * 0.2,
+                    f64::from(u8::from(b)) + (rng.gen::<f64>() - 0.5) * 0.2,
+                ],
+                a != b,
+            );
+        }
+        let tree = DecisionTree::fit(&TreeConfig::default(), &d);
+        let acc = d
+            .iter()
+            .filter(|(row, label)| tree.predict(row) == *label)
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc > 0.95, "acc {acc}");
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut d = Dataset::new(3);
+        for _ in 0..300 {
+            d.push(
+                vec![rng.gen(), rng.gen(), rng.gen()],
+                rng.gen::<bool>(),
+            );
+        }
+        let tree = DecisionTree::fit(
+            &TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+            &d,
+        );
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let rows: Vec<Vec<f64>> = (0..100).map(|_| vec![rng.gen(), rng.gen()]).collect();
+        let labels: Vec<bool> = (0..100).map(|_| rng.gen()).collect();
+        let d = Dataset::from_rows(rows, labels);
+        let a = DecisionTree::fit(&TreeConfig::default(), &d);
+        let b = DecisionTree::fit(&TreeConfig::default(), &d);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,270 @@
+//! Address-stream generators for memory operands.
+//!
+//! The paper's Memory feature is a histogram of address *deltas* between
+//! consecutive memory references. A program's memory personality is therefore
+//! modelled as a set of address streams, each evolving by one of the
+//! [`AddrPattern`]s; the mixture of patterns is class-conditional and is what
+//! separates (or fails to separate) malware from benign programs in the
+//! Memory-feature space.
+
+use crate::isa::AddrPattern;
+use serde::{Deserialize, Serialize};
+
+/// Base virtual address of the simulated heap region.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+/// Base virtual address of the simulated stack region.
+pub const STACK_BASE: u64 = 0x7fff_0000;
+/// Size of the region a random/pointer-chase stream wanders within.
+pub const REGION_BYTES: u64 = 1 << 22; // 4 MiB
+/// Size of a hot stack frame for `StackLocal` streams.
+pub const FRAME_BYTES: u64 = 512;
+/// Base address of the scratch region used by injected instructions.
+///
+/// Keeping injected traffic in its own region guarantees injection cannot
+/// perturb the original program's address streams (semantic preservation),
+/// while still flowing through the cache model and the Memory feature.
+pub const SCRATCH_BASE: u64 = 0x5000_0000;
+
+/// Deterministic per-stream state that yields the next effective address.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_trace::address::AddressStream;
+/// use rhmd_trace::isa::AddrPattern;
+///
+/// let mut s = AddressStream::new(AddrPattern::Strided { stride: 64 }, 7);
+/// let a = s.next_addr();
+/// let b = s.next_addr();
+/// assert_eq!(b - a, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressStream {
+    pattern: AddrPattern,
+    /// Current position of the stream.
+    cursor: u64,
+    /// Region base for wrap-around.
+    base: u64,
+    /// Cheap xorshift state for Random / PointerChase evolution.
+    rng_state: u64,
+}
+
+impl AddressStream {
+    /// Creates a stream following `pattern`, seeded so distinct streams of
+    /// the same pattern do not alias.
+    pub fn new(pattern: AddrPattern, stream_id: u64) -> AddressStream {
+        let base = match pattern {
+            AddrPattern::StackLocal => STACK_BASE - stream_id * FRAME_BYTES * 4,
+            _ => HEAP_BASE + stream_id * REGION_BYTES,
+        };
+        AddressStream {
+            pattern,
+            cursor: base,
+            base,
+            rng_state: 0x9e37_79b9_7f4a_7c15 ^ (stream_id.wrapping_mul(0xa076_1d64_78bd_642f) | 1),
+        }
+    }
+
+    /// Creates the dedicated scratch stream used by injected instructions.
+    ///
+    /// `delta` is the fixed stride between consecutive injected accesses,
+    /// letting the evasion framework steer the Memory-feature histogram
+    /// ("insertion of load and store instructions with controlled distances",
+    /// paper §5).
+    pub fn scratch(delta: u32) -> AddressStream {
+        AddressStream {
+            pattern: AddrPattern::Strided { stride: delta },
+            cursor: SCRATCH_BASE,
+            base: SCRATCH_BASE,
+            rng_state: 1,
+        }
+    }
+
+    /// The pattern this stream follows.
+    pub fn pattern(&self) -> AddrPattern {
+        self.pattern
+    }
+
+    #[inline]
+    fn xorshift(&mut self) -> u64 {
+        // xorshift64*: fast, deterministic, adequate for address jitter.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Produces the next effective address of this stream.
+    #[inline]
+    pub fn next_addr(&mut self) -> u64 {
+        match self.pattern {
+            AddrPattern::Strided { stride } => {
+                let addr = self.cursor;
+                self.cursor = self.cursor.wrapping_add(u64::from(stride));
+                if self.cursor >= self.base + REGION_BYTES {
+                    self.cursor = self.base;
+                }
+                addr
+            }
+            AddrPattern::Random => self.base + (self.xorshift() % REGION_BYTES),
+            AddrPattern::PointerChase => {
+                // Next pointer is a hash of the current one: long dependent
+                // chains with poor locality, like linked-list traversal.
+                let next = self.base + (self.cursor.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 20) % REGION_BYTES;
+                self.cursor = next ^ (self.xorshift() & 0xfff);
+                self.base + (self.cursor % REGION_BYTES)
+            }
+            AddrPattern::StackLocal => {
+                // Small offsets within one hot frame.
+                self.base - (self.xorshift() % FRAME_BYTES)
+            }
+        }
+    }
+}
+
+/// Mixture weights over the four address patterns, characterizing a program
+/// class's memory personality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternMix {
+    /// Weight of strided streams.
+    pub strided: f64,
+    /// Weight of uniform-random streams.
+    pub random: f64,
+    /// Weight of pointer-chasing streams.
+    pub pointer_chase: f64,
+    /// Weight of stack-local streams.
+    pub stack: f64,
+}
+
+impl PatternMix {
+    /// Creates a mixture, normalizing the weights to sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all weights are zero.
+    pub fn new(strided: f64, random: f64, pointer_chase: f64, stack: f64) -> PatternMix {
+        assert!(
+            strided >= 0.0 && random >= 0.0 && pointer_chase >= 0.0 && stack >= 0.0,
+            "pattern weights must be non-negative"
+        );
+        let total = strided + random + pointer_chase + stack;
+        assert!(total > 0.0, "at least one pattern weight must be positive");
+        PatternMix {
+            strided: strided / total,
+            random: random / total,
+            pointer_chase: pointer_chase / total,
+            stack: stack / total,
+        }
+    }
+
+    /// Samples a pattern given a uniform draw `u` in `[0, 1)`.
+    pub fn sample(&self, u: f64, stride_hint: u32) -> AddrPattern {
+        let mut acc = self.strided;
+        if u < acc {
+            return AddrPattern::Strided {
+                stride: stride_hint,
+            };
+        }
+        acc += self.random;
+        if u < acc {
+            return AddrPattern::Random;
+        }
+        acc += self.pointer_chase;
+        if u < acc {
+            return AddrPattern::PointerChase;
+        }
+        AddrPattern::StackLocal
+    }
+}
+
+impl Default for PatternMix {
+    /// A balanced mixture.
+    fn default() -> PatternMix {
+        PatternMix::new(0.25, 0.25, 0.25, 0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_stream_advances_by_stride() {
+        let mut s = AddressStream::new(AddrPattern::Strided { stride: 16 }, 0);
+        let a = s.next_addr();
+        assert_eq!(s.next_addr(), a + 16);
+        assert_eq!(s.next_addr(), a + 32);
+    }
+
+    #[test]
+    fn strided_stream_wraps_within_region() {
+        let mut s = AddressStream::new(AddrPattern::Strided { stride: 1 << 20 }, 0);
+        for _ in 0..100 {
+            let a = s.next_addr();
+            assert!(a >= HEAP_BASE && a < HEAP_BASE + REGION_BYTES);
+        }
+    }
+
+    #[test]
+    fn random_stream_stays_in_region() {
+        let mut s = AddressStream::new(AddrPattern::Random, 2);
+        let base = HEAP_BASE + 2 * REGION_BYTES;
+        for _ in 0..1000 {
+            let a = s.next_addr();
+            assert!(a >= base && a < base + REGION_BYTES, "addr {a:x} out of region");
+        }
+    }
+
+    #[test]
+    fn stack_stream_stays_in_frame() {
+        let mut s = AddressStream::new(AddrPattern::StackLocal, 1);
+        for _ in 0..1000 {
+            let a = s.next_addr();
+            assert!(STACK_BASE - a <= FRAME_BYTES * 4 + FRAME_BYTES);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = AddressStream::new(AddrPattern::PointerChase, 5);
+        let mut b = AddressStream::new(AddrPattern::PointerChase, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_addr(), b.next_addr());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_do_not_collide() {
+        let mut a = AddressStream::new(AddrPattern::Random, 0);
+        let mut b = AddressStream::new(AddrPattern::Random, 1);
+        // Regions are disjoint, so no address can coincide.
+        for _ in 0..100 {
+            assert_ne!(a.next_addr(), b.next_addr());
+        }
+    }
+
+    #[test]
+    fn scratch_stream_has_controlled_delta() {
+        let mut s = AddressStream::scratch(128);
+        let a = s.next_addr();
+        assert_eq!(s.next_addr() - a, 128);
+        assert!(a >= SCRATCH_BASE);
+    }
+
+    #[test]
+    fn pattern_mix_normalizes() {
+        let m = PatternMix::new(2.0, 2.0, 0.0, 0.0);
+        assert!((m.strided - 0.5).abs() < 1e-12);
+        assert!((m.random - 0.5).abs() < 1e-12);
+        assert_eq!(m.sample(0.1, 64), AddrPattern::Strided { stride: 64 });
+        assert_eq!(m.sample(0.9, 64), AddrPattern::Random);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn pattern_mix_rejects_negative() {
+        let _ = PatternMix::new(-1.0, 1.0, 1.0, 1.0);
+    }
+}

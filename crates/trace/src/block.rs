@@ -1,0 +1,233 @@
+//! Basic blocks and terminators.
+
+use crate::isa::{Instruction, Opcode, INSTR_BYTES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a basic block in a program's flat block arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Index of a function within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// The control-flow-altering instruction that ends a basic block.
+///
+/// Terminators are real instructions: they occupy 4 bytes, have a program
+/// counter, and contribute their opcode class to the instruction-mix feature,
+/// exactly like the control-flow instructions Pin observes in the paper's
+/// traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump {
+        /// Destination block.
+        target: BlockId,
+    },
+    /// Conditional branch with stochastic, temporally correlated outcome.
+    Branch {
+        /// Destination when taken.
+        taken: BlockId,
+        /// Destination when not taken (fall-through).
+        fallthrough: BlockId,
+        /// Long-run probability the branch is taken.
+        taken_prob: f64,
+        /// Probability the branch repeats its previous outcome, giving the
+        /// streaky behaviour real predictors exploit.
+        persistence: f64,
+    },
+    /// Call into another function; control returns to `return_to`.
+    Call {
+        /// The callee.
+        callee: FuncId,
+        /// Block executed after the callee returns.
+        return_to: BlockId,
+    },
+    /// Return to the caller (or end of trace when the stack is empty).
+    Return,
+    /// System call, then continue at `next`.
+    Syscall {
+        /// Block executed after the system call.
+        next: BlockId,
+    },
+    /// Program exit.
+    Exit,
+}
+
+impl Terminator {
+    /// The opcode class this terminator contributes to the dynamic stream.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Terminator::Jump { .. } => Opcode::Jmp,
+            Terminator::Branch { .. } => Opcode::Jcc,
+            Terminator::Call { .. } => Opcode::Call,
+            Terminator::Return => Opcode::Ret,
+            Terminator::Syscall { .. } => Opcode::Syscall,
+            Terminator::Exit => Opcode::Syscall,
+        }
+    }
+}
+
+/// A straight-line sequence of instructions ended by a terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Instructions executed unconditionally when the block runs. None of
+    /// them alter control flow.
+    pub body: Vec<Instruction>,
+    /// The block's control-flow-altering final instruction.
+    pub terminator: Terminator,
+    /// Virtual address of the first instruction; assigned by program layout.
+    pub addr: u64,
+}
+
+impl BasicBlock {
+    /// Creates a block with the given body and terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any body instruction is a control-flow opcode (those may
+    /// only appear as terminators).
+    pub fn new(body: Vec<Instruction>, terminator: Terminator) -> BasicBlock {
+        assert!(
+            body.iter().all(|i| !i.opcode.is_control_flow()),
+            "control-flow instructions may only appear as terminators"
+        );
+        BasicBlock {
+            body,
+            terminator,
+            addr: 0,
+        }
+    }
+
+    /// Number of instructions in the block, including the terminator.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.body.len() + 1
+    }
+
+    /// A block always contains at least its terminator.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Encoded size of the block in bytes.
+    #[inline]
+    pub fn byte_len(&self) -> u64 {
+        self.len() as u64 * INSTR_BYTES
+    }
+
+    /// Program counter of the terminator instruction.
+    #[inline]
+    pub fn terminator_pc(&self) -> u64 {
+        self.addr + self.body.len() as u64 * INSTR_BYTES
+    }
+}
+
+/// A function: a contiguous range of blocks with a distinguished entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Entry block.
+    pub entry: BlockId,
+    /// All block ids belonging to this function (entry first).
+    pub blocks: Vec<BlockId>,
+}
+
+impl Function {
+    /// Creates a function from its block list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new(blocks: Vec<BlockId>) -> Function {
+        assert!(!blocks.is_empty(), "a function needs at least one block");
+        Function {
+            entry: blocks[0],
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_len_counts_terminator() {
+        let b = BasicBlock::new(
+            vec![Instruction::reg(Opcode::Add), Instruction::reg(Opcode::Xor)],
+            Terminator::Return,
+        );
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.byte_len(), 12);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn terminator_pc_follows_body() {
+        let mut b = BasicBlock::new(vec![Instruction::reg(Opcode::Add)], Terminator::Return);
+        b.addr = 0x1000;
+        assert_eq!(b.terminator_pc(), 0x1004);
+    }
+
+    #[test]
+    #[should_panic(expected = "control-flow")]
+    fn body_rejects_control_flow() {
+        let _ = BasicBlock::new(
+            vec![Instruction {
+                opcode: Opcode::Jmp,
+                mem: None,
+                injected: false,
+            }],
+            Terminator::Return,
+        );
+    }
+
+    #[test]
+    fn terminator_opcode_mapping() {
+        assert_eq!(
+            Terminator::Jump { target: BlockId(0) }.opcode(),
+            Opcode::Jmp
+        );
+        assert_eq!(Terminator::Return.opcode(), Opcode::Ret);
+        assert_eq!(
+            Terminator::Syscall { next: BlockId(0) }.opcode(),
+            Opcode::Syscall
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn function_requires_blocks() {
+        let _ = Function::new(vec![]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Human-readable program listings — an objdump-style view of the synthetic
+//! binaries, for debugging generators and inspecting what injection did to a
+//! program.
+
+use crate::block::Terminator;
+use crate::isa::INSTR_BYTES;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders an assembly-like listing of `program`.
+///
+/// Injected instructions are marked with `*` so a rewritten binary can be
+/// diffed against its original at a glance.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_trace::dump::listing;
+/// use rhmd_trace::generate::{benign_profile, BenignClass, ProgramGenerator};
+///
+/// let p = ProgramGenerator::new(benign_profile(BenignClass::TextEditor)).generate(0);
+/// let text = listing(&p, Some(1));
+/// assert!(text.contains("fn0:"));
+/// assert!(text.contains("bb0:"));
+/// ```
+pub fn listing(program: &Program, max_functions: Option<usize>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; {} — {:?}, {} functions, {} blocks, {} bytes text, {} streams",
+        program.name,
+        program.class,
+        program.functions.len(),
+        program.blocks.len(),
+        program.text_bytes(),
+        program.streams.len(),
+    );
+    let limit = max_functions.unwrap_or(program.functions.len());
+    for (f, function) in program.functions.iter().enumerate().take(limit) {
+        let _ = writeln!(out, "fn{f}:");
+        for &bid in &function.blocks {
+            let block = program.block(bid);
+            let _ = writeln!(out, "  bb{}:  ; {:#010x}", bid.0, block.addr);
+            for (i, instr) in block.body.iter().enumerate() {
+                let pc = block.addr + i as u64 * INSTR_BYTES;
+                let marker = if instr.injected { '*' } else { ' ' };
+                let _ = writeln!(out, "   {marker}{pc:#010x}  {instr}");
+            }
+            let term = match block.terminator {
+                Terminator::Jump { target } => format!("jmp bb{}", target.0),
+                Terminator::Branch {
+                    taken,
+                    fallthrough,
+                    taken_prob,
+                    ..
+                } => format!(
+                    "jcc bb{} (p={taken_prob:.2}) else bb{}",
+                    taken.0, fallthrough.0
+                ),
+                Terminator::Call { callee, return_to } => {
+                    format!("call fn{} ; ret to bb{}", callee.0, return_to.0)
+                }
+                Terminator::Return => "ret".to_owned(),
+                Terminator::Syscall { next } => format!("int 0x80 ; then bb{}", next.0),
+                Terminator::Exit => "hlt".to_owned(),
+            };
+            let _ = writeln!(out, "    {:#010x}  {term}", block.terminator_pc());
+        }
+    }
+    if limit < program.functions.len() {
+        let _ = writeln!(
+            out,
+            "; ... {} more functions elided",
+            program.functions.len() - limit
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{malware_profile, MalwareFamily, ProgramGenerator};
+    use crate::inject::{apply, InjectionPlan, Placement};
+    use crate::isa::Opcode;
+
+    fn sample() -> Program {
+        ProgramGenerator::new(malware_profile(MalwareFamily::Dropper)).generate(1)
+    }
+
+    #[test]
+    fn listing_covers_every_block_when_unbounded() {
+        let p = sample();
+        let text = listing(&p, None);
+        for bid in 0..p.blocks.len() {
+            assert!(text.contains(&format!("bb{bid}:")), "bb{bid} missing");
+        }
+        assert!(!text.contains("elided"));
+    }
+
+    #[test]
+    fn listing_elides_beyond_limit() {
+        let p = sample();
+        let text = listing(&p, Some(1));
+        assert!(text.contains("more functions elided"));
+        assert!(text.contains("fn0:"));
+        assert!(!text.contains("fn1:"));
+    }
+
+    #[test]
+    fn injected_instructions_are_marked() {
+        let p = sample();
+        let clean = listing(&p, None);
+        assert!(!clean.contains("*0x"), "clean binary must have no markers");
+        let plan = InjectionPlan::new(vec![Opcode::Fpu], Placement::EveryBlock);
+        let (modified, _) = apply(&p, &plan);
+        let dirty = listing(&modified, None);
+        assert!(dirty.contains("*0x"), "injected marker missing");
+        assert_eq!(
+            dirty.matches("*0x").count() as u64,
+            modified.injected_instruction_count()
+        );
+    }
+
+    #[test]
+    fn header_summarizes_program() {
+        let p = sample();
+        let text = listing(&p, Some(0));
+        assert!(text.starts_with(&format!("; {}", p.name)));
+        assert!(text.contains("bytes text"));
+    }
+}

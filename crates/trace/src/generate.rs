@@ -1,0 +1,730 @@
+//! Generative models for benign applications and malware families.
+//!
+//! This module stands in for the paper's corpus of 3,000 MalwareDB samples
+//! and 554 Windows applications: each program class is a generative profile
+//! over opcode mixes, memory-access patterns, control-flow shape, and system
+//! call density. Classes overlap enough that baseline detectors land in the
+//! ~85–95% accuracy band of Fig 2 instead of separating trivially.
+
+use crate::address::PatternMix;
+use crate::block::{BasicBlock, BlockId, FuncId, Function, Terminator};
+use crate::isa::{Instruction, Opcode, OPCODE_COUNT};
+use crate::mix::OpcodeMix;
+use crate::program::{Program, ProgramClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The eight benign application classes in the corpus (paper §3: browsers,
+/// text editors, system programs, SPEC 2006, Acrobat Reader, Notepad++,
+/// WinRAR, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenignClass {
+    /// Web browser: pointer-chasing, call-heavy, branchy.
+    Browser,
+    /// Text editor: stack-local, light compute.
+    TextEditor,
+    /// System utility: syscall-leaning, mixed memory.
+    SystemUtility,
+    /// SPEC-like compute kernel: FPU/SIMD heavy, strided memory.
+    SpecCompute,
+    /// Media player: SIMD decode loops, streaming memory.
+    MediaPlayer,
+    /// Archiver (WinRAR-like): shifts/rotates, strided + random memory.
+    Archiver,
+    /// PDF reader: parsing, branchy, pointer-chase.
+    PdfReader,
+    /// Spreadsheet: FPU + cell-graph pointer chasing.
+    Spreadsheet,
+}
+
+impl BenignClass {
+    /// All benign classes.
+    pub const ALL: [BenignClass; 8] = [
+        BenignClass::Browser,
+        BenignClass::TextEditor,
+        BenignClass::SystemUtility,
+        BenignClass::SpecCompute,
+        BenignClass::MediaPlayer,
+        BenignClass::Archiver,
+        BenignClass::PdfReader,
+        BenignClass::Spreadsheet,
+    ];
+
+    /// Short name used in program names.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenignClass::Browser => "browser",
+            BenignClass::TextEditor => "editor",
+            BenignClass::SystemUtility => "sysutil",
+            BenignClass::SpecCompute => "spec",
+            BenignClass::MediaPlayer => "media",
+            BenignClass::Archiver => "archiver",
+            BenignClass::PdfReader => "pdf",
+            BenignClass::Spreadsheet => "sheet",
+        }
+    }
+}
+
+/// The six malware families in the corpus, modelled on the behavioural
+/// categories the paper's threat model emphasises (computationally intensive
+/// bots, scanners, information stealers, crypters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MalwareFamily {
+    /// Spam bot: tight message-formatting loops, heavy syscalls/string ops.
+    Spambot,
+    /// Click-fraud bot: request forging, timer loops, branchy.
+    ClickFraud,
+    /// Network worm / scanner: random probing, syscall heavy.
+    Worm,
+    /// Keylogger / infostealer: event polling, small buffers.
+    Keylogger,
+    /// Ransomware: crypto loops (xor/rotate/shift), streaming file I/O.
+    Ransomware,
+    /// Packed dropper: unpacking stubs, xor/rotate, pointer-chase.
+    Dropper,
+}
+
+impl MalwareFamily {
+    /// All malware families.
+    pub const ALL: [MalwareFamily; 6] = [
+        MalwareFamily::Spambot,
+        MalwareFamily::ClickFraud,
+        MalwareFamily::Worm,
+        MalwareFamily::Keylogger,
+        MalwareFamily::Ransomware,
+        MalwareFamily::Dropper,
+    ];
+
+    /// Short name used in program names.
+    pub fn name(self) -> &'static str {
+        match self {
+            MalwareFamily::Spambot => "spambot",
+            MalwareFamily::ClickFraud => "clickfraud",
+            MalwareFamily::Worm => "worm",
+            MalwareFamily::Keylogger => "keylogger",
+            MalwareFamily::Ransomware => "ransomware",
+            MalwareFamily::Dropper => "dropper",
+        }
+    }
+}
+
+/// Inclusive integer range used by profile knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Lower bound (inclusive).
+    pub min: u32,
+    /// Upper bound (inclusive).
+    pub max: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u32, max: u32) -> Span {
+        assert!(min <= max, "span min {min} > max {max}");
+        Span { min, max }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// A generative profile: everything needed to sample programs of one class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSpec {
+    /// Name prefix for generated programs.
+    pub name: String,
+    /// Ground-truth class of generated programs.
+    pub class: ProgramClass,
+    /// Family index (unique across benign classes and malware families).
+    pub family: u32,
+    /// Base opcode mixture; control-flow entries are ignored for block
+    /// bodies (control flow is produced by terminators).
+    pub opcode_mix: OpcodeMix,
+    /// Dirichlet concentration for per-program perturbation of the mix.
+    pub concentration: f64,
+    /// Memory-pattern mixture for the program's address streams.
+    pub pattern_mix: PatternMix,
+    /// Candidate strides (bytes) for strided streams.
+    pub strides: Vec<u32>,
+    /// Number of address streams per program.
+    pub num_streams: Span,
+    /// Functions per program.
+    pub functions: Span,
+    /// Blocks per function.
+    pub blocks_per_function: Span,
+    /// Body instructions per block.
+    pub block_len: Span,
+    /// Mean probability a conditional branch is taken.
+    pub taken_bias: f64,
+    /// Probability a branch repeats its previous outcome.
+    pub persistence: f64,
+    /// Probability a block terminates in a system call.
+    pub syscall_prob: f64,
+    /// Probability a block terminates in a call (when a callee exists).
+    pub call_prob: f64,
+    /// Probability a conditional branch's taken edge is a back edge (loop).
+    pub backedge_prob: f64,
+    /// Weights over access sizes {1, 2, 4, 8, 16} bytes.
+    pub size_weights: [f64; 5],
+}
+
+const ACCESS_SIZES: [u8; 5] = [1, 2, 4, 8, 16];
+
+impl ProfileSpec {
+    fn sample_size<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        let total: f64 = self.size_weights.iter().sum();
+        let mut u = rng.gen::<f64>() * total;
+        for (w, &s) in self.size_weights.iter().zip(&ACCESS_SIZES) {
+            if u < *w {
+                return s;
+            }
+            u -= w;
+        }
+        4
+    }
+}
+
+/// Builds opcode weights from `(opcode, weight)` overrides on a small
+/// baseline so profiles read as diffs against "a generic program".
+fn weights(overrides: &[(Opcode, f64)]) -> [f64; OPCODE_COUNT] {
+    // Generic application baseline: mov/load/store dominated, modest ALU.
+    let mut w = [0.4; OPCODE_COUNT];
+    let base: &[(Opcode, f64)] = &[
+        (Opcode::Mov, 14.0),
+        (Opcode::Load, 12.0),
+        (Opcode::Store, 7.0),
+        (Opcode::Push, 3.0),
+        (Opcode::Pop, 3.0),
+        (Opcode::Lea, 4.0),
+        (Opcode::Add, 7.0),
+        (Opcode::Sub, 4.0),
+        (Opcode::Inc, 2.5),
+        (Opcode::And, 2.0),
+        (Opcode::Or, 1.5),
+        (Opcode::Xor, 2.5),
+        (Opcode::Shift, 2.0),
+        (Opcode::Cmp, 6.0),
+        (Opcode::Test, 3.0),
+        (Opcode::Nop, 1.0),
+        (Opcode::Mul, 1.0),
+        (Opcode::Cmov, 0.8),
+        (Opcode::SetCc, 0.6),
+    ];
+    for &(op, v) in base {
+        w[op.index()] = v;
+    }
+    for &(op, v) in overrides {
+        w[op.index()] = v;
+    }
+    // Control-flow classes never appear in block bodies; zero them so the
+    // body mix normalization is exact.
+    for op in [
+        Opcode::Jcc,
+        Opcode::Jmp,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::Syscall,
+    ] {
+        w[op.index()] = 0.0;
+    }
+    w
+}
+
+/// The generative profile for a benign application class.
+pub fn benign_profile(class: BenignClass) -> ProfileSpec {
+    let (ovr, pattern, strides, syscall, block_len, taken, calls): (
+        &[(Opcode, f64)],
+        PatternMix,
+        Vec<u32>,
+        f64,
+        Span,
+        f64,
+        f64,
+    ) = match class {
+        BenignClass::Browser => (
+            &[(Opcode::Load, 14.0), (Opcode::Cmp, 7.0), (Opcode::Test, 4.0)],
+            PatternMix::new(0.28, 0.10, 0.37, 0.25),
+            vec![8, 16, 64],
+            0.020,
+            Span::new(4, 10),
+            0.52,
+            0.16,
+        ),
+        BenignClass::TextEditor => (
+            &[(Opcode::Mov, 16.0), (Opcode::StringOp, 1.8)],
+            PatternMix::new(0.30, 0.10, 0.15, 0.45),
+            vec![1, 2, 16],
+            0.016,
+            Span::new(5, 12),
+            0.55,
+            0.12,
+        ),
+        BenignClass::SystemUtility => (
+            &[(Opcode::Test, 4.5), (Opcode::And, 3.0)],
+            PatternMix::new(0.40, 0.12, 0.15, 0.33),
+            vec![4, 8, 32],
+            0.030,
+            Span::new(4, 11),
+            0.50,
+            0.13,
+        ),
+        BenignClass::SpecCompute => (
+            &[
+                (Opcode::Fpu, 9.0),
+                (Opcode::Simd, 5.0),
+                (Opcode::SimdMem, 4.0),
+                (Opcode::Mul, 4.0),
+                (Opcode::Add, 10.0),
+                (Opcode::Load, 14.0),
+            ],
+            PatternMix::new(0.60, 0.10, 0.15, 0.15),
+            vec![4, 8, 16, 64],
+            0.004,
+            Span::new(8, 18),
+            0.72,
+            0.08,
+        ),
+        BenignClass::MediaPlayer => (
+            &[
+                (Opcode::Simd, 7.0),
+                (Opcode::SimdMem, 6.0),
+                (Opcode::Shift, 3.5),
+                (Opcode::Add, 9.0),
+            ],
+            PatternMix::new(0.55, 0.10, 0.10, 0.25),
+            vec![16, 32, 64],
+            0.012,
+            Span::new(7, 16),
+            0.68,
+            0.10,
+        ),
+        BenignClass::Archiver => (
+            &[
+                (Opcode::Shift, 5.0),
+                (Opcode::Rotate, 2.0),
+                (Opcode::And, 4.0),
+                (Opcode::Or, 3.0),
+                (Opcode::Load, 14.0),
+                (Opcode::Store, 9.0),
+            ],
+            PatternMix::new(0.45, 0.25, 0.10, 0.20),
+            vec![1, 2, 4, 32],
+            0.010,
+            Span::new(6, 14),
+            0.62,
+            0.09,
+        ),
+        BenignClass::PdfReader => (
+            &[(Opcode::Cmp, 8.0), (Opcode::Load, 13.0), (Opcode::SetCc, 1.2)],
+            PatternMix::new(0.30, 0.12, 0.32, 0.26),
+            vec![2, 8, 16],
+            0.018,
+            Span::new(4, 10),
+            0.50,
+            0.15,
+        ),
+        BenignClass::Spreadsheet => (
+            &[(Opcode::Fpu, 5.0), (Opcode::Mul, 2.5), (Opcode::Cmov, 1.5)],
+            PatternMix::new(0.33, 0.10, 0.31, 0.26),
+            vec![8, 16, 128],
+            0.014,
+            Span::new(5, 12),
+            0.57,
+            0.12,
+        ),
+    };
+    ProfileSpec {
+        name: class.name().to_owned(),
+        class: ProgramClass::Benign,
+        family: class as u32,
+        opcode_mix: OpcodeMix::from_weights(&weights(ovr)),
+        concentration: 160.0,
+        pattern_mix: pattern,
+        strides,
+        num_streams: Span::new(6, 12),
+        functions: Span::new(4, 10),
+        blocks_per_function: Span::new(8, 20),
+        block_len: block_len,
+        taken_bias: taken,
+        persistence: 0.82,
+        syscall_prob: syscall,
+        call_prob: calls,
+        backedge_prob: 0.35,
+        size_weights: [0.08, 0.10, 0.45, 0.27, 0.10],
+    }
+}
+
+/// The generative profile for a malware family.
+pub fn malware_profile(family: MalwareFamily) -> ProfileSpec {
+    let (ovr, pattern, strides, syscall, block_len, taken, calls): (
+        &[(Opcode, f64)],
+        PatternMix,
+        Vec<u32>,
+        f64,
+        Span,
+        f64,
+        f64,
+    ) = match family {
+        MalwareFamily::Spambot => (
+            &[
+                (Opcode::StringOp, 4.5),
+                (Opcode::Store, 10.0),
+                (Opcode::Inc, 4.0),
+                (Opcode::Cmp, 7.5),
+            ],
+            PatternMix::new(0.28, 0.37, 0.10, 0.25),
+            vec![1, 2, 8],
+            0.065,
+            Span::new(4, 9),
+            0.60,
+            0.11,
+        ),
+        MalwareFamily::ClickFraud => (
+            &[
+                (Opcode::StringOp, 3.0),
+                (Opcode::Test, 5.0),
+                (Opcode::SetCc, 1.8),
+                (Opcode::Inc, 4.5),
+            ],
+            PatternMix::new(0.25, 0.37, 0.13, 0.25),
+            vec![2, 4, 16],
+            0.055,
+            Span::new(4, 9),
+            0.48,
+            0.14,
+        ),
+        MalwareFamily::Worm => (
+            &[
+                (Opcode::StringOp, 3.5),
+                (Opcode::Xor, 4.0),
+                (Opcode::Or, 3.0),
+                (Opcode::Inc, 3.5),
+            ],
+            PatternMix::new(0.20, 0.45, 0.15, 0.20),
+            vec![4, 128, 4096],
+            0.075,
+            Span::new(3, 8),
+            0.45,
+            0.12,
+        ),
+        MalwareFamily::Keylogger => (
+            &[
+                (Opcode::Test, 6.0),
+                (Opcode::And, 4.0),
+                (Opcode::Cmov, 1.8),
+                (Opcode::Store, 9.0),
+            ],
+            PatternMix::new(0.18, 0.30, 0.17, 0.35),
+            vec![1, 2, 4],
+            0.080,
+            Span::new(3, 8),
+            0.40,
+            0.13,
+        ),
+        MalwareFamily::Ransomware => (
+            &[
+                (Opcode::Xor, 8.0),
+                (Opcode::Rotate, 4.0),
+                (Opcode::Shift, 5.0),
+                (Opcode::Load, 14.0),
+                (Opcode::Store, 10.0),
+                (Opcode::Add, 8.0),
+            ],
+            PatternMix::new(0.55, 0.15, 0.10, 0.20),
+            vec![1, 16, 64],
+            0.035,
+            Span::new(6, 13),
+            0.66,
+            0.08,
+        ),
+        MalwareFamily::Dropper => (
+            &[
+                (Opcode::Xor, 7.0),
+                (Opcode::Rotate, 3.0),
+                (Opcode::Not, 2.0),
+                (Opcode::Xchg, 1.5),
+                (Opcode::Nop, 2.5),
+            ],
+            PatternMix::new(0.15, 0.30, 0.45, 0.10),
+            vec![1, 4, 256],
+            0.045,
+            Span::new(3, 8),
+            0.44,
+            0.15,
+        ),
+    };
+    ProfileSpec {
+        name: family.name().to_owned(),
+        class: ProgramClass::Malware,
+        family: 100 + family as u32,
+        opcode_mix: OpcodeMix::from_weights(&weights(ovr)),
+        concentration: 130.0,
+        pattern_mix: pattern,
+        strides,
+        num_streams: Span::new(5, 10),
+        functions: Span::new(3, 8),
+        blocks_per_function: Span::new(6, 16),
+        block_len: block_len,
+        taken_bias: taken,
+        persistence: 0.70,
+        syscall_prob: syscall,
+        call_prob: calls,
+        backedge_prob: 0.40,
+        size_weights: [0.15, 0.12, 0.42, 0.21, 0.10],
+    }
+}
+
+/// Samples [`Program`]s from a [`ProfileSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_trace::generate::{malware_profile, MalwareFamily, ProgramGenerator};
+///
+/// let gen = ProgramGenerator::new(malware_profile(MalwareFamily::Ransomware));
+/// let a = gen.generate(0);
+/// let b = gen.generate(0);
+/// assert_eq!(a, b); // fully deterministic in the seed
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramGenerator {
+    spec: ProfileSpec,
+}
+
+impl ProgramGenerator {
+    /// Creates a generator for the given profile.
+    pub fn new(spec: ProfileSpec) -> ProgramGenerator {
+        ProgramGenerator { spec }
+    }
+
+    /// The profile this generator samples from.
+    pub fn spec(&self) -> &ProfileSpec {
+        &self.spec
+    }
+
+    /// Generates the `seed`-th program of this class.
+    pub fn generate(&self, seed: u64) -> Program {
+        let spec = &self.spec;
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (u64::from(spec.family)).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let program_mix = spec.opcode_mix.perturb(spec.concentration, &mut rng);
+
+        // Address streams.
+        let num_streams = spec.num_streams.sample(&mut rng) as usize;
+        let streams = (0..num_streams)
+            .map(|_| {
+                let stride = spec.strides[rng.gen_range(0..spec.strides.len())];
+                spec.pattern_mix.sample(rng.gen(), stride)
+            })
+            .collect::<Vec<_>>();
+
+        // Control-flow skeleton.
+        let func_count = spec.functions.sample(&mut rng) as usize;
+        let mut functions = Vec::with_capacity(func_count);
+        let mut blocks = Vec::new();
+        for f in 0..func_count {
+            let nblocks = spec.blocks_per_function.sample(&mut rng) as usize;
+            let base = blocks.len() as u32;
+            let ids: Vec<BlockId> = (0..nblocks as u32).map(|i| BlockId(base + i)).collect();
+            for i in 0..nblocks {
+                let body = self.sample_body(&program_mix, num_streams, &mut rng);
+                let is_last = i == nblocks - 1;
+                let terminator = if is_last {
+                    if f == 0 {
+                        // `main` loops forever; traces are budget-bounded.
+                        Terminator::Jump { target: ids[0] }
+                    } else {
+                        Terminator::Return
+                    }
+                } else {
+                    self.sample_terminator(f, func_count, i, &ids, &mut rng)
+                };
+                blocks.push(BasicBlock::new(body, terminator));
+            }
+            functions.push(Function::new(ids));
+        }
+
+        let mut program = Program {
+            name: format!("{}-{seed:04}", spec.name),
+            class: spec.class,
+            family: spec.family,
+            seed: seed ^ u64::from(spec.family) << 32,
+            functions,
+            blocks,
+            streams,
+            scratch_delta: 64,
+        };
+        program.relayout();
+        debug_assert_eq!(program.validate(), Ok(()));
+        program
+    }
+
+    fn sample_body(
+        &self,
+        mix: &OpcodeMix,
+        num_streams: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<Instruction> {
+        let len = self.spec.block_len.sample(rng) as usize;
+        // Memory locality is block-scoped: a basic block works on one buffer
+        // (its primary stream), with occasional accesses to a secondary one.
+        // Without this, consecutive dynamic accesses almost always hop
+        // between unrelated streams and the Memory feature's delta histogram
+        // degenerates into inter-region jumps.
+        let primary = rng.gen_range(0..num_streams) as u8;
+        let secondary = rng.gen_range(0..num_streams) as u8;
+        (0..len)
+            .map(|_| {
+                // Body mixes have zero mass on control flow (see `weights`),
+                // but a perturbed mix keeps a tiny floor on every class;
+                // resample those rare draws.
+                let mut opcode = mix.sample(rng);
+                while opcode.is_control_flow() {
+                    opcode = mix.sample(rng);
+                }
+                if opcode.is_memory() {
+                    let stream = if rng.gen::<f64>() < 0.85 { primary } else { secondary };
+                    let size = self.spec.sample_size(rng);
+                    Instruction::mem(opcode, stream, size)
+                } else {
+                    Instruction::reg(opcode)
+                }
+            })
+            .collect()
+    }
+
+    fn sample_terminator(
+        &self,
+        func: usize,
+        func_count: usize,
+        block_idx: usize,
+        ids: &[BlockId],
+        rng: &mut SmallRng,
+    ) -> Terminator {
+        let spec = &self.spec;
+        let next = ids[block_idx + 1];
+        let roll: f64 = rng.gen();
+        if roll < spec.syscall_prob {
+            return Terminator::Syscall { next };
+        }
+        if roll < spec.syscall_prob + spec.call_prob && func + 1 < func_count {
+            // Calls only go to higher-numbered functions: the call graph is a
+            // DAG, so execution cannot recurse unboundedly.
+            let callee = FuncId(rng.gen_range(func as u32 + 1..func_count as u32));
+            return Terminator::Call {
+                callee,
+                return_to: next,
+            };
+        }
+        // Conditional branch. Taken edge: back edge (loop) or forward skip.
+        let taken = if rng.gen::<f64>() < spec.backedge_prob || block_idx + 2 >= ids.len() {
+            ids[rng.gen_range(0..=block_idx)]
+        } else {
+            ids[rng.gen_range(block_idx + 1..ids.len())]
+        };
+        let jitter: f64 = rng.gen::<f64>() * 0.3 - 0.15;
+        Terminator::Branch {
+            taken,
+            fallthrough: next,
+            taken_prob: (spec.taken_bias + jitter).clamp(0.05, 0.95),
+            persistence: spec.persistence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in MalwareFamily::ALL {
+            let gen = ProgramGenerator::new(malware_profile(family));
+            assert_eq!(gen.generate(5), gen.generate(5));
+        }
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        for class in BenignClass::ALL {
+            let gen = ProgramGenerator::new(benign_profile(class));
+            for seed in 0..3 {
+                gen.generate(seed).validate().unwrap();
+            }
+        }
+        for family in MalwareFamily::ALL {
+            let gen = ProgramGenerator::new(malware_profile(family));
+            for seed in 0..3 {
+                gen.generate(seed).validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn family_ids_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for class in BenignClass::ALL {
+            assert!(seen.insert(benign_profile(class).family));
+        }
+        for family in MalwareFamily::ALL {
+            assert!(seen.insert(malware_profile(family).family));
+        }
+    }
+
+    #[test]
+    fn classes_have_correct_labels() {
+        assert_eq!(
+            benign_profile(BenignClass::Browser).class,
+            ProgramClass::Benign
+        );
+        assert_eq!(
+            malware_profile(MalwareFamily::Worm).class,
+            ProgramClass::Malware
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = ProgramGenerator::new(benign_profile(BenignClass::Archiver));
+        assert_ne!(gen.generate(0), gen.generate(1));
+    }
+
+    #[test]
+    fn bodies_never_contain_control_flow() {
+        let gen = ProgramGenerator::new(malware_profile(MalwareFamily::Dropper));
+        let p = gen.generate(9);
+        for block in &p.blocks {
+            for instr in &block.body {
+                assert!(!instr.opcode.is_control_flow());
+            }
+        }
+    }
+
+    #[test]
+    fn main_function_loops() {
+        let gen = ProgramGenerator::new(benign_profile(BenignClass::Browser));
+        let p = gen.generate(3);
+        let main = &p.functions[0];
+        let last = *main.blocks.last().unwrap();
+        assert_eq!(
+            p.block(last).terminator,
+            Terminator::Jump { target: main.entry }
+        );
+    }
+
+    #[test]
+    fn span_sampling_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let span = Span::new(3, 7);
+        for _ in 0..100 {
+            let v = span.sample(&mut rng);
+            assert!((3..=7).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The instruction-set abstraction used by the synthetic program substrate.
+//!
+//! The paper's detectors never decode real x86; they only observe *opcode
+//! classes* (for the Instructions feature), memory operands (for the Memory
+//! feature), and dynamic events (for the Architectural feature). We therefore
+//! model instructions at the granularity of 32 x86-flavoured opcode classes,
+//! which is the same granularity at which the paper's instruction-mix feature
+//! operates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of distinct opcode classes in the synthetic ISA.
+pub const OPCODE_COUNT: usize = 32;
+
+/// An x86-flavoured opcode class.
+///
+/// Classes are chosen so that the generative model can express the behaviours
+/// the paper's features depend on: ALU mixes, memory traffic, control flow,
+/// string/SIMD-heavy loops, and system interaction.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_trace::isa::Opcode;
+///
+/// assert!(Opcode::Load.is_memory());
+/// assert!(Opcode::Jcc.is_control_flow());
+/// assert_eq!(Opcode::ALL.len(), rhmd_trace::isa::OPCODE_COUNT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Register-to-register move.
+    Mov = 0,
+    /// Load from memory into a register.
+    Load = 1,
+    /// Store from a register to memory.
+    Store = 2,
+    /// Push to the stack (stack store).
+    Push = 3,
+    /// Pop from the stack (stack load).
+    Pop = 4,
+    /// Load effective address (no memory traffic).
+    Lea = 5,
+    /// Integer addition.
+    Add = 6,
+    /// Integer subtraction.
+    Sub = 7,
+    /// Integer multiplication.
+    Mul = 8,
+    /// Integer division.
+    Div = 9,
+    /// Increment/decrement.
+    Inc = 10,
+    /// Bitwise AND.
+    And = 11,
+    /// Bitwise OR.
+    Or = 12,
+    /// Bitwise XOR (heavily used by packers/crypters).
+    Xor = 13,
+    /// Bitwise NOT / NEG.
+    Not = 14,
+    /// Shifts (SHL/SHR/SAR).
+    Shift = 15,
+    /// Rotates (ROL/ROR) — common in hashing and obfuscation.
+    Rotate = 16,
+    /// Compare.
+    Cmp = 17,
+    /// Bit test (TEST).
+    Test = 18,
+    /// Conditional branch (Jcc family).
+    Jcc = 19,
+    /// Unconditional jump.
+    Jmp = 20,
+    /// Call.
+    Call = 21,
+    /// Return.
+    Ret = 22,
+    /// No operation.
+    Nop = 23,
+    /// String operation (MOVS/STOS/SCAS) with implicit memory access.
+    StringOp = 24,
+    /// x87/scalar floating-point arithmetic.
+    Fpu = 25,
+    /// Packed SIMD arithmetic (SSE-class).
+    Simd = 26,
+    /// SIMD/packed move with memory operand.
+    SimdMem = 27,
+    /// Conditional move.
+    Cmov = 28,
+    /// Set-on-condition.
+    SetCc = 29,
+    /// Exchange (XCHG/XADD; includes lock-prefixed forms).
+    Xchg = 30,
+    /// System call / software interrupt.
+    Syscall = 31,
+}
+
+impl Opcode {
+    /// All opcode classes in discriminant order.
+    pub const ALL: [Opcode; OPCODE_COUNT] = [
+        Opcode::Mov,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Push,
+        Opcode::Pop,
+        Opcode::Lea,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Inc,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Not,
+        Opcode::Shift,
+        Opcode::Rotate,
+        Opcode::Cmp,
+        Opcode::Test,
+        Opcode::Jcc,
+        Opcode::Jmp,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::Nop,
+        Opcode::StringOp,
+        Opcode::Fpu,
+        Opcode::Simd,
+        Opcode::SimdMem,
+        Opcode::Cmov,
+        Opcode::SetCc,
+        Opcode::Xchg,
+        Opcode::Syscall,
+    ];
+
+    /// Returns the opcode with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= OPCODE_COUNT`.
+    #[inline]
+    pub fn from_index(index: usize) -> Opcode {
+        Self::ALL[index]
+    }
+
+    /// The dense index of this opcode in `[0, OPCODE_COUNT)`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short mnemonic for display purposes.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Mov => "mov",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Push => "push",
+            Opcode::Pop => "pop",
+            Opcode::Lea => "lea",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Inc => "inc",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Not => "not",
+            Opcode::Shift => "shl",
+            Opcode::Rotate => "rol",
+            Opcode::Cmp => "cmp",
+            Opcode::Test => "test",
+            Opcode::Jcc => "jcc",
+            Opcode::Jmp => "jmp",
+            Opcode::Call => "call",
+            Opcode::Ret => "ret",
+            Opcode::Nop => "nop",
+            Opcode::StringOp => "movs",
+            Opcode::Fpu => "fadd",
+            Opcode::Simd => "paddd",
+            Opcode::SimdMem => "movdqu",
+            Opcode::Cmov => "cmov",
+            Opcode::SetCc => "setcc",
+            Opcode::Xchg => "xchg",
+            Opcode::Syscall => "int",
+        }
+    }
+
+    /// Whether instructions of this class implicitly read memory.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Opcode::Load | Opcode::Pop | Opcode::StringOp | Opcode::SimdMem | Opcode::Xchg
+        )
+    }
+
+    /// Whether instructions of this class implicitly write memory.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(
+            self,
+            Opcode::Store | Opcode::Push | Opcode::StringOp | Opcode::Xchg
+        )
+    }
+
+    /// Whether this class touches memory at all.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this class alters control flow.
+    #[inline]
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self,
+            Opcode::Jcc | Opcode::Jmp | Opcode::Call | Opcode::Ret | Opcode::Syscall
+        )
+    }
+
+    /// Whether an instruction of this class can be injected into a program
+    /// without changing its architectural state.
+    ///
+    /// Injected instructions target dead registers or scratch memory, so any
+    /// non-control-flow class can be made side-effect free. Control flow and
+    /// system calls cannot: the paper's evasion framework likewise never
+    /// injects them.
+    #[inline]
+    pub fn is_injectable(self) -> bool {
+        !self.is_control_flow()
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The memory-access pattern an instruction's operand follows.
+///
+/// Each static instruction that touches memory is bound to one of the
+/// program's address streams (see [`crate::address`]); the pattern describes
+/// how that stream evolves. Class-conditional pattern mixtures are what give
+/// malware and benign programs different Memory-feature histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddrPattern {
+    /// Sequential accesses with a fixed stride in bytes.
+    Strided {
+        /// Stride between consecutive accesses, in bytes.
+        stride: u32,
+    },
+    /// Uniformly random accesses within a region.
+    Random,
+    /// Pointer-chasing: next address derived from a hash of the current one.
+    PointerChase,
+    /// Accesses to a small, hot stack frame.
+    StackLocal,
+}
+
+/// A static memory operand: which address stream it uses and how wide the
+/// access is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemOperand {
+    /// Index of the address stream within the owning program.
+    pub stream: u8,
+    /// Access size in bytes (1, 2, 4, 8, or 16).
+    pub size: u8,
+}
+
+/// A static instruction in a basic block.
+///
+/// Instructions are 4 bytes in the synthetic layout; the fixed size keeps
+/// static-overhead accounting (Fig 9) simple without affecting any feature
+/// the detectors observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Opcode class.
+    pub opcode: Opcode,
+    /// Memory operand, if the opcode touches memory.
+    pub mem: Option<MemOperand>,
+    /// True for instructions spliced in by the evasion framework.
+    pub injected: bool,
+}
+
+/// Encoded size of every synthetic instruction, in bytes.
+pub const INSTR_BYTES: u64 = 4;
+
+impl Instruction {
+    /// Creates a non-memory instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` requires a memory operand (see
+    /// [`Opcode::is_memory`]).
+    pub fn reg(opcode: Opcode) -> Instruction {
+        assert!(
+            !opcode.is_memory(),
+            "opcode {opcode} requires a memory operand; use Instruction::mem"
+        );
+        Instruction {
+            opcode,
+            mem: None,
+            injected: false,
+        }
+    }
+
+    /// Creates a memory-touching instruction bound to an address stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` does not access memory.
+    pub fn mem(opcode: Opcode, stream: u8, size: u8) -> Instruction {
+        assert!(
+            opcode.is_memory(),
+            "opcode {opcode} does not access memory"
+        );
+        Instruction {
+            opcode,
+            mem: Some(MemOperand { stream, size }),
+            injected: false,
+        }
+    }
+
+    /// Returns a copy of this instruction marked as injected.
+    #[must_use]
+    pub fn as_injected(mut self) -> Instruction {
+        self.injected = true;
+        self
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mem {
+            Some(m) => write!(f, "{} [s{}:{}B]", self.opcode, m.stream, m.size),
+            None => write!(f, "{}", self.opcode),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_table_is_in_discriminant_order() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(Opcode::from_index(i), *op);
+        }
+    }
+
+    #[test]
+    fn memory_classification_is_consistent() {
+        for op in Opcode::ALL {
+            if op.is_load() || op.is_store() {
+                assert!(op.is_memory());
+            } else {
+                assert!(!op.is_memory());
+            }
+        }
+    }
+
+    #[test]
+    fn control_flow_is_never_injectable() {
+        for op in Opcode::ALL {
+            assert_eq!(op.is_injectable(), !op.is_control_flow());
+        }
+    }
+
+    #[test]
+    fn reg_constructor_rejects_memory_opcodes() {
+        let result = std::panic::catch_unwind(|| Instruction::reg(Opcode::Load));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn mem_constructor_rejects_register_opcodes() {
+        let result = std::panic::catch_unwind(|| Instruction::mem(Opcode::Add, 0, 4));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn display_includes_stream_for_memory_ops() {
+        let i = Instruction::mem(Opcode::Load, 3, 8);
+        assert_eq!(format!("{i}"), "load [s3:8B]");
+        let r = Instruction::reg(Opcode::Add);
+        assert_eq!(format!("{r}"), "add");
+    }
+
+    #[test]
+    fn as_injected_sets_flag() {
+        let i = Instruction::reg(Opcode::Nop).as_injected();
+        assert!(i.injected);
+    }
+}

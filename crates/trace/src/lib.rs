@@ -1,0 +1,55 @@
+//! Synthetic program substrate for the RHMD reproduction.
+//!
+//! The RHMD paper (Khasawneh et al., MICRO 2017) evaluates hardware malware
+//! detectors on dynamic traces of real Windows malware collected with Pin.
+//! That substrate — the binaries, the VM, and the instrumentation tool — is
+//! replaced here by a fully synthetic, deterministic equivalent:
+//!
+//! * [`isa`] — a 32-class x86-flavoured opcode alphabet;
+//! * [`mix`] / [`address`] — class-conditional generative personalities
+//!   (opcode mixtures and memory-access patterns);
+//! * [`block`] / [`program`] — dynamic control-flow graphs;
+//! * [`generate`] — benign application classes and malware families;
+//! * [`exec`] — a deterministic executor emitting committed-instruction
+//!   events (the role of Pin);
+//! * [`inject`] — the evasion framework's block-/function-level instruction
+//!   injection, with static/dynamic overhead accounting (paper §5, Fig 9).
+//!
+//! # Examples
+//!
+//! Generate a spam bot, trace it, and count its system calls:
+//!
+//! ```
+//! use rhmd_trace::exec::{ExecEvent, ExecLimits};
+//! use rhmd_trace::generate::{malware_profile, MalwareFamily, ProgramGenerator};
+//!
+//! let bot = ProgramGenerator::new(malware_profile(MalwareFamily::Spambot)).generate(0);
+//! let mut syscalls = 0u64;
+//! bot.execute(ExecLimits::instructions(50_000), &mut |ev: &ExecEvent| {
+//!     if ev.syscall {
+//!         syscalls += 1;
+//!     }
+//! });
+//! assert!(syscalls > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod address;
+pub mod block;
+pub mod dump;
+pub mod exec;
+pub mod generate;
+pub mod inject;
+pub mod isa;
+pub mod mix;
+pub mod program;
+
+pub use block::{BasicBlock, BlockId, FuncId, Function, Terminator};
+pub use exec::{ExecEvent, ExecLimits, ExecSummary, Executor, Sink};
+pub use generate::{benign_profile, malware_profile, BenignClass, MalwareFamily, ProfileSpec,
+                   ProgramGenerator};
+pub use inject::{apply as apply_injection, InjectionPlan, Placement, StaticOverhead};
+pub use isa::{Instruction, Opcode, OPCODE_COUNT};
+pub use program::{Program, ProgramClass};

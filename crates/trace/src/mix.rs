@@ -1,0 +1,231 @@
+//! Class-conditional opcode mixtures.
+//!
+//! Every program class (malware family or benign application class) owns a
+//! base profile over the 32 opcode classes. Each generated program perturbs
+//! the base profile with a Dirichlet draw, so programs of one class cluster
+//! in instruction-mix space while retaining within-class variance — the
+//! regime in which the paper's baseline detectors reach high-but-imperfect
+//! accuracy (Fig 2).
+
+use crate::isa::{Opcode, OPCODE_COUNT};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A probability distribution over opcode classes.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_trace::mix::OpcodeMix;
+/// use rhmd_trace::isa::Opcode;
+///
+/// let mix = OpcodeMix::uniform();
+/// let p: f64 = Opcode::ALL.iter().map(|&op| mix.prob(op)).sum();
+/// assert!((p - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpcodeMix {
+    probs: [f64; OPCODE_COUNT],
+    /// Cumulative distribution for fast sampling.
+    cdf: [f64; OPCODE_COUNT],
+}
+
+impl OpcodeMix {
+    /// Builds a mix from raw non-negative weights, normalizing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite, or if all weights are
+    /// zero.
+    pub fn from_weights(weights: &[f64; OPCODE_COUNT]) -> OpcodeMix {
+        let mut probs = [0.0; OPCODE_COUNT];
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            total += w;
+        }
+        assert!(total > 0.0, "at least one weight must be positive");
+        for (p, &w) in probs.iter_mut().zip(weights) {
+            *p = w / total;
+        }
+        let mut cdf = [0.0; OPCODE_COUNT];
+        let mut acc = 0.0;
+        for (c, &p) in cdf.iter_mut().zip(&probs) {
+            acc += p;
+            *c = acc;
+        }
+        cdf[OPCODE_COUNT - 1] = 1.0;
+        OpcodeMix { probs, cdf }
+    }
+
+    /// The uniform mixture.
+    pub fn uniform() -> OpcodeMix {
+        OpcodeMix::from_weights(&[1.0; OPCODE_COUNT])
+    }
+
+    /// Probability of `opcode` under this mixture.
+    #[inline]
+    pub fn prob(&self, opcode: Opcode) -> f64 {
+        self.probs[opcode.index()]
+    }
+
+    /// The full probability vector, indexed by [`Opcode::index`].
+    pub fn probs(&self) -> &[f64; OPCODE_COUNT] {
+        &self.probs
+    }
+
+    /// Samples an opcode.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Opcode {
+        let u: f64 = rng.gen();
+        // Binary search over the CDF.
+        let idx = self.cdf.partition_point(|&c| c < u).min(OPCODE_COUNT - 1);
+        Opcode::from_index(idx)
+    }
+
+    /// Draws a per-program mixture from `Dirichlet(concentration * base)`.
+    ///
+    /// Larger `concentration` values keep programs closer to the class base
+    /// profile (less within-class variance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concentration` is not positive.
+    pub fn perturb<R: Rng + ?Sized>(&self, concentration: f64, rng: &mut R) -> OpcodeMix {
+        assert!(concentration > 0.0, "concentration must be positive");
+        let mut weights = [0.0; OPCODE_COUNT];
+        for (w, &p) in weights.iter_mut().zip(&self.probs) {
+            // Avoid zero-alpha gamma draws: give every opcode a small floor
+            // so no class is strictly impossible in any program.
+            let alpha = (p * concentration).max(1e-3);
+            *w = sample_gamma(alpha, rng);
+        }
+        OpcodeMix::from_weights(&weights)
+    }
+
+    /// L1 distance between two mixtures (total-variation distance × 2).
+    pub fn l1_distance(&self, other: &OpcodeMix) -> f64 {
+        self.probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+impl Default for OpcodeMix {
+    fn default() -> OpcodeMix {
+        OpcodeMix::uniform()
+    }
+}
+
+/// Samples from `Gamma(alpha, 1)` using Marsaglia–Tsang, with the boost trick
+/// for `alpha < 1`.
+///
+/// Implemented locally because the approved dependency set includes `rand`
+/// but not `rand_distr`.
+pub fn sample_gamma<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
+    assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_weights_normalizes() {
+        let mut w = [0.0; OPCODE_COUNT];
+        w[0] = 3.0;
+        w[1] = 1.0;
+        let m = OpcodeMix::from_weights(&w);
+        assert!((m.prob(Opcode::Mov) - 0.75).abs() < 1e-12);
+        assert!((m.prob(Opcode::Load) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_respects_support() {
+        let mut w = [0.0; OPCODE_COUNT];
+        w[Opcode::Xor.index()] = 1.0;
+        let m = OpcodeMix::from_weights(&w);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), Opcode::Xor);
+        }
+    }
+
+    #[test]
+    fn sample_matches_probabilities_approximately() {
+        let mut w = [0.0; OPCODE_COUNT];
+        w[Opcode::Add.index()] = 0.7;
+        w[Opcode::Load.index()] = 0.3;
+        let m = OpcodeMix::from_weights(&w);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let adds = (0..n).filter(|_| m.sample(&mut rng) == Opcode::Add).count();
+        let frac = adds as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn gamma_mean_is_alpha() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for &alpha in &[0.3, 1.0, 4.5] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(alpha, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - alpha).abs() < 0.1 * alpha.max(1.0),
+                "alpha {alpha}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturb_preserves_rough_shape() {
+        let mut w = [1.0; OPCODE_COUNT];
+        w[Opcode::Xor.index()] = 30.0;
+        let base = OpcodeMix::from_weights(&w);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = base.perturb(500.0, &mut rng);
+        // High concentration: xor remains dominant.
+        assert!(p.prob(Opcode::Xor) > 0.2, "xor prob {}", p.prob(Opcode::Xor));
+    }
+
+    #[test]
+    fn perturb_adds_variance() {
+        let base = OpcodeMix::uniform();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = base.perturb(10.0, &mut rng);
+        let b = base.perturb(10.0, &mut rng);
+        assert!(a.l1_distance(&b) > 1e-3);
+    }
+
+    #[test]
+    fn l1_distance_is_zero_for_identical() {
+        let m = OpcodeMix::uniform();
+        assert_eq!(m.l1_distance(&m.clone()), 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! Feeds the cache-miss components of the paper's Architectural feature.
+//! Timing is not modelled — only hit/miss behaviour matters to the detectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 4-way, 64 B-line L1 configuration.
+    pub fn l1_32k() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 4,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size,
+    /// or capacity not divisible into sets).
+    pub fn sets(&self) -> u32 {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways > 0, "associativity must be positive");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines % self.ways == 0 && lines > 0,
+            "capacity must divide into an integral number of sets"
+        );
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// One set-associative cache with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_uarch::cache::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::l1_32k());
+/// assert!(!c.access(0x1000)); // cold miss
+/// assert!(c.access(0x1000));  // hit
+/// assert!(c.access(0x1004));  // same line: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: u32,
+    line_shift: u32,
+    /// Tag per way per set; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamp per way per set (higher = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
+        let entries = (sets * config.ways) as usize;
+        Cache {
+            config,
+            sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            tags: vec![u64::MAX; entries],
+            stamps: vec![0; entries],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Performs one access; returns `true` on hit. Misses allocate.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.clock += 1;
+        let line = addr >> self.line_shift;
+        let set = (line % u64::from(self.sets)) as usize;
+        let tag = line;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.tags[base..base + ways];
+        if let Some(way) = slots.iter().position(|&t| t == tag) {
+            self.stamps[base + way] = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        // Evict LRU way.
+        let victim = (0..ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Accesses that straddle a line boundary touch both lines; returns the
+    /// number of misses incurred (0–2).
+    pub fn access_range(&mut self, addr: u64, size: u8) -> u32 {
+        let first = !self.access(addr) as u32;
+        if size > 1 {
+            let last = addr + u64::from(size) - 1;
+            if (last >> self.line_shift) != (addr >> self.line_shift) {
+                return first + !self.access(last) as u32;
+            }
+        }
+        first
+    }
+
+    /// Miss rate over all accesses so far (0.0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::l1_32k();
+        assert_eq!(c.sets(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 48,
+            ways: 2,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        assert!(!c.access(0x40));
+        assert!(c.access(0x40));
+        assert!(c.access(0x7f)); // same 64B line
+        assert!(!c.access(0x80)); // next line
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.accesses, 4);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Tiny cache: 1 set, 2 ways, 64B lines.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 64,
+            ways: 2,
+        });
+        assert!(!c.access(0)); // A
+        assert!(!c.access(64)); // B (set 0 too: 1 set)
+        assert!(c.access(0)); // A hit, B is now LRU
+        assert!(!c.access(128)); // C evicts B
+        assert!(c.access(0)); // A still resident
+        assert!(!c.access(64)); // B was evicted
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        let misses = c.access_range(0x3e, 8); // crosses 0x40 boundary
+        assert_eq!(misses, 2);
+        assert_eq!(c.access_range(0x3e, 8), 0); // both lines now resident
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_misses() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        });
+        // Stream over 64 KiB twice: second pass still misses (capacity).
+        for pass in 0..2 {
+            for i in 0..1024u64 {
+                c.access(i * 64);
+            }
+            if pass == 1 {
+                assert!(c.miss_rate() > 0.99);
+            }
+        }
+    }
+
+    #[test]
+    fn small_working_set_hits() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        for _ in 0..10 {
+            for i in 0..64u64 {
+                c.access(i * 64);
+            }
+        }
+        assert!(c.miss_rate() < 0.15, "miss rate {}", c.miss_rate());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        c.access(0);
+        c.reset();
+        assert_eq!(c.accesses, 0);
+        assert_eq!(c.misses, 0);
+        assert!(!c.access(0)); // cold again
+    }
+}

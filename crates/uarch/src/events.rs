@@ -1,0 +1,227 @@
+//! Hardware event counters — the performance-monitoring unit the paper's
+//! Architectural feature reads.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub};
+
+/// One sample of the performance counters.
+///
+/// All counts are deltas over some interval (usually a collection window).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSet {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Load micro-accesses.
+    pub loads: u64,
+    /// Store micro-accesses.
+    pub stores: u64,
+    /// Unaligned memory accesses.
+    pub unaligned: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Taken control transfers (all kinds).
+    pub taken_branches: u64,
+    /// Direction mispredictions.
+    pub mispredicts: u64,
+    /// BTB misses on taken transfers.
+    pub btb_misses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+    /// Unified L2 misses.
+    pub l2_misses: u64,
+    /// Instruction-TLB misses.
+    pub itlb_misses: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+    /// Function calls.
+    pub calls: u64,
+    /// Function returns.
+    pub returns: u64,
+    /// System calls.
+    pub syscalls: u64,
+}
+
+/// Number of scalar event channels exported to the Architectural feature.
+pub const COUNTER_DIMS: usize = 16;
+
+/// Names of the exported channels, in [`CounterSet::to_array`] order.
+pub const COUNTER_NAMES: [&str; COUNTER_DIMS] = [
+    "instructions",
+    "loads",
+    "stores",
+    "unaligned",
+    "cond_branches",
+    "taken_branches",
+    "mispredicts",
+    "btb_misses",
+    "icache_misses",
+    "dcache_misses",
+    "l2_misses",
+    "itlb_misses",
+    "dtlb_misses",
+    "calls",
+    "returns",
+    "syscalls",
+];
+
+impl CounterSet {
+    /// Exports the counters as a fixed-order array (see [`COUNTER_NAMES`]).
+    pub fn to_array(&self) -> [u64; COUNTER_DIMS] {
+        [
+            self.instructions,
+            self.loads,
+            self.stores,
+            self.unaligned,
+            self.cond_branches,
+            self.taken_branches,
+            self.mispredicts,
+            self.btb_misses,
+            self.icache_misses,
+            self.dcache_misses,
+            self.l2_misses,
+            self.itlb_misses,
+            self.dtlb_misses,
+            self.calls,
+            self.returns,
+            self.syscalls,
+        ]
+    }
+
+    /// Normalizes every channel by the committed-instruction count, yielding
+    /// per-instruction rates suitable as detector features.
+    pub fn to_rates(&self) -> [f64; COUNTER_DIMS] {
+        let denom = self.instructions.max(1) as f64;
+        let raw = self.to_array();
+        let mut rates = [0.0; COUNTER_DIMS];
+        for (r, &v) in rates.iter_mut().zip(&raw) {
+            *r = v as f64 / denom;
+        }
+        // Channel 0 would always be 1.0; expose it as window fill instead
+        // (useful for truncated final windows).
+        rates[0] = 1.0;
+        rates
+    }
+}
+
+impl Add for CounterSet {
+    type Output = CounterSet;
+
+    fn add(mut self, rhs: CounterSet) -> CounterSet {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CounterSet {
+    fn add_assign(&mut self, rhs: CounterSet) {
+        self.instructions += rhs.instructions;
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.unaligned += rhs.unaligned;
+        self.cond_branches += rhs.cond_branches;
+        self.taken_branches += rhs.taken_branches;
+        self.mispredicts += rhs.mispredicts;
+        self.btb_misses += rhs.btb_misses;
+        self.icache_misses += rhs.icache_misses;
+        self.dcache_misses += rhs.dcache_misses;
+        self.l2_misses += rhs.l2_misses;
+        self.itlb_misses += rhs.itlb_misses;
+        self.dtlb_misses += rhs.dtlb_misses;
+        self.calls += rhs.calls;
+        self.returns += rhs.returns;
+        self.syscalls += rhs.syscalls;
+    }
+}
+
+impl Sub for CounterSet {
+    type Output = CounterSet;
+
+    /// Pairwise saturating difference, for delta-over-interval readings.
+    fn sub(self, rhs: CounterSet) -> CounterSet {
+        CounterSet {
+            instructions: self.instructions.saturating_sub(rhs.instructions),
+            loads: self.loads.saturating_sub(rhs.loads),
+            stores: self.stores.saturating_sub(rhs.stores),
+            unaligned: self.unaligned.saturating_sub(rhs.unaligned),
+            cond_branches: self.cond_branches.saturating_sub(rhs.cond_branches),
+            taken_branches: self.taken_branches.saturating_sub(rhs.taken_branches),
+            mispredicts: self.mispredicts.saturating_sub(rhs.mispredicts),
+            btb_misses: self.btb_misses.saturating_sub(rhs.btb_misses),
+            icache_misses: self.icache_misses.saturating_sub(rhs.icache_misses),
+            dcache_misses: self.dcache_misses.saturating_sub(rhs.dcache_misses),
+            l2_misses: self.l2_misses.saturating_sub(rhs.l2_misses),
+            itlb_misses: self.itlb_misses.saturating_sub(rhs.itlb_misses),
+            dtlb_misses: self.dtlb_misses.saturating_sub(rhs.dtlb_misses),
+            calls: self.calls.saturating_sub(rhs.calls),
+            returns: self.returns.saturating_sub(rhs.returns),
+            syscalls: self.syscalls.saturating_sub(rhs.syscalls),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_matches_names() {
+        let c = CounterSet {
+            instructions: 1,
+            syscalls: 13,
+            ..CounterSet::default()
+        };
+        let a = c.to_array();
+        assert_eq!(a.len(), COUNTER_NAMES.len());
+        assert_eq!(a[0], 1);
+        assert_eq!(a[COUNTER_DIMS - 1], 13);
+    }
+
+    #[test]
+    fn rates_normalize_by_instructions() {
+        let c = CounterSet {
+            instructions: 200,
+            loads: 50,
+            ..CounterSet::default()
+        };
+        let r = c.to_rates();
+        assert_eq!(r[0], 1.0);
+        assert!((r[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_survive_zero_instructions() {
+        let r = CounterSet::default().to_rates();
+        assert!(r.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let a = CounterSet {
+            instructions: 10,
+            loads: 4,
+            ..CounterSet::default()
+        };
+        let b = CounterSet {
+            instructions: 7,
+            loads: 1,
+            mispredicts: 2,
+            ..CounterSet::default()
+        };
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn sub_saturates() {
+        let small = CounterSet {
+            instructions: 1,
+            ..CounterSet::default()
+        };
+        let big = CounterSet {
+            instructions: 5,
+            ..CounterSet::default()
+        };
+        assert_eq!((small - big).instructions, 0);
+    }
+}

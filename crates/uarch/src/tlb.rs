@@ -1,0 +1,135 @@
+//! Translation lookaside buffers: small fully-associative LRU caches over
+//! 4 KiB pages. TLB miss rates are another commit-stage event channel the
+//! Architectural feature can observe — pointer-chasing malware walks many
+//! more pages than a strided kernel.
+
+use serde::{Deserialize, Serialize};
+
+/// Page size covered by one TLB entry.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative).
+    pub entries: u32,
+}
+
+impl Default for TlbConfig {
+    /// A 64-entry L1 TLB.
+    fn default() -> TlbConfig {
+        TlbConfig { entries: 64 }
+    }
+}
+
+/// A fully-associative, true-LRU TLB.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_uarch::tlb::{Tlb, TlbConfig};
+///
+/// let mut tlb = Tlb::new(TlbConfig { entries: 2 });
+/// assert!(!tlb.access(0x0000)); // cold
+/// assert!(tlb.access(0x0004));  // same page
+/// assert!(!tlb.access(0x2000)); // new page
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    pages: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+    /// Total translations requested.
+    pub accesses: u64,
+    /// Translations that missed.
+    pub misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count is zero.
+    pub fn new(config: TlbConfig) -> Tlb {
+        assert!(config.entries > 0, "TLB needs at least one entry");
+        Tlb {
+            pages: vec![u64::MAX; config.entries as usize],
+            stamps: vec![0; config.entries as usize],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates one address; returns `true` on hit. Misses install the
+    /// page, evicting the LRU entry.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.clock += 1;
+        let page = addr / PAGE_BYTES;
+        if let Some(slot) = self.pages.iter().position(|&p| p == page) {
+            self.stamps[slot] = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        let victim = (0..self.pages.len())
+            .min_by_key(|&i| self.stamps[i])
+            .expect("entries > 0");
+        self.pages[victim] = page;
+        self.stamps[victim] = self.clock;
+        false
+    }
+
+    /// Miss rate over all translations so far.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        assert!(!tlb.access(0x1000));
+        for offset in (0..PAGE_BYTES).step_by(64) {
+            assert!(tlb.access(0x1000 + offset));
+        }
+        assert_eq!(tlb.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut tlb = Tlb::new(TlbConfig { entries: 2 });
+        tlb.access(0 * PAGE_BYTES); // A
+        tlb.access(1 * PAGE_BYTES); // B
+        tlb.access(0 * PAGE_BYTES); // A hit → B is LRU
+        tlb.access(2 * PAGE_BYTES); // C evicts B
+        assert!(tlb.access(0 * PAGE_BYTES));
+        assert!(!tlb.access(1 * PAGE_BYTES));
+    }
+
+    #[test]
+    fn page_walk_heavy_pattern_misses() {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        // Touch 1000 distinct pages round-robin: far exceeds capacity.
+        for i in 0..10_000u64 {
+            tlb.access((i % 1000) * PAGE_BYTES);
+        }
+        assert!(tlb.miss_rate() > 0.9, "miss rate {}", tlb.miss_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Tlb::new(TlbConfig { entries: 0 });
+    }
+}
