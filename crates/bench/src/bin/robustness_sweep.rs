@@ -1,0 +1,188 @@
+//! Robustness sweep: detection quality under counter fault injection.
+//!
+//! Sweeps fault intensity × kind over the held-out test programs and
+//! reports how each detector family degrades: a single LR and NN baseline,
+//! the deterministic majority ensemble, and a 6-detector RHMD pool. The
+//! claim under test: RHMD's pooled quorum degrades no faster than its best
+//! base detector, because abstention removes corrupted windows from the
+//! vote instead of letting them mis-vote.
+//!
+//! Run with `RHMD_SCALE=tiny cargo run --release -p rhmd-bench --bin
+//! robustness_sweep` for a quick pass.
+
+use rhmd_bench::{Experiment, Table};
+use rhmd_core::ensemble::{Combiner, EnsembleHmd};
+use rhmd_core::hmd::{Hmd, QuorumVerdict};
+use rhmd_core::rhmd::{build_pool, pool_specs, ResilientHmd};
+use rhmd_core::verdict::{DegradedVerdict, VerdictPolicy};
+use rhmd_features::vector::FeatureKind;
+use rhmd_features::window::apply_faults;
+use rhmd_ml::trainer::Algorithm;
+use rhmd_uarch::faults::{FaultConfig, FaultModel};
+
+/// Windows must be at least half-full to vote.
+const MIN_FILL: f64 = 0.5;
+/// Programs whose surviving-window coverage drops below this abstain.
+const MIN_COVERAGE: f64 = 0.25;
+/// Base seed for per-program fault models.
+const FAULT_SEED: u64 = 0xfa17;
+
+/// The fault grid: identity first, then each kind at escalating intensity.
+fn fault_grid() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("none", FaultConfig::none()),
+        ("noise 5%", FaultConfig::noise(0.05)),
+        ("noise 20%", FaultConfig::noise(0.2)),
+        ("drop 10%", FaultConfig::dropping(0.1)),
+        ("drop 30%", FaultConfig::dropping(0.3)),
+        ("multiplex 25%", FaultConfig::multiplexed(0.25)),
+        ("burst 5%", FaultConfig::bursty(0.05, 4)),
+        ("saturate 12b", FaultConfig::saturating(12)),
+        ("wrap 12b", FaultConfig::wrapping(12)),
+    ]
+}
+
+/// Sensitivity / specificity / abstention of one detector over the test
+/// split, with every program's counter stream passed through `config`.
+struct Quality {
+    sensitivity: f64,
+    specificity: f64,
+    abstain_rate: f64,
+}
+
+fn measure(
+    exp: &Experiment,
+    config: FaultConfig,
+    mut quorum_of: impl FnMut(&[rhmd_features::RawWindow]) -> QuorumVerdict,
+) -> Quality {
+    let policy = VerdictPolicy::majority();
+    let labels = exp.traced.corpus().labels();
+    let (mut tp, mut malware, mut tn, mut benign, mut abstained) = (0u32, 0u32, 0u32, 0u32, 0u32);
+    for &i in &exp.splits.attacker_test {
+        let model = FaultModel::new(config, FAULT_SEED ^ i as u64);
+        let subs = apply_faults(exp.traced.subwindows(i), &model);
+        match policy.judge_quorum(&quorum_of(&subs), MIN_COVERAGE) {
+            DegradedVerdict::Abstained => abstained += 1,
+            DegradedVerdict::Decided(flag) => {
+                if labels[i] {
+                    malware += 1;
+                    tp += u32::from(flag);
+                } else {
+                    benign += 1;
+                    tn += u32::from(!flag);
+                }
+            }
+        }
+    }
+    Quality {
+        sensitivity: f64::from(tp) / f64::from(malware.max(1)),
+        specificity: f64::from(tn) / f64::from(benign.max(1)),
+        abstain_rate: f64::from(abstained) / exp.splits.attacker_test.len().max(1) as f64,
+    }
+}
+
+fn cell(q: &Quality) -> String {
+    if q.abstain_rate > 0.0 {
+        format!(
+            "{} / {} ({}% abst)",
+            Table::pct(q.sensitivity),
+            Table::pct(q.specificity),
+            (100.0 * q.abstain_rate).round()
+        )
+    } else {
+        format!("{} / {}", Table::pct(q.sensitivity), Table::pct(q.specificity))
+    }
+}
+
+fn main() {
+    let exp = Experiment::load();
+    let spec = exp.spec(FeatureKind::Architectural, 10_000);
+
+    eprintln!("[robustness] training detectors ...");
+    let lr = Hmd::train(
+        Algorithm::Lr,
+        spec.clone(),
+        &exp.trainer,
+        &exp.traced,
+        &exp.splits.victim_train,
+    );
+    let nn = Hmd::train(
+        Algorithm::Nn,
+        spec,
+        &exp.trainer,
+        &exp.traced,
+        &exp.splits.victim_train,
+    );
+    let ensemble = EnsembleHmd::new(
+        FeatureKind::ALL
+            .iter()
+            .map(|&k| {
+                Hmd::train(
+                    Algorithm::Lr,
+                    exp.spec(k, 10_000),
+                    &exp.trainer,
+                    &exp.traced,
+                    &exp.splits.victim_train,
+                )
+            })
+            .collect(),
+        Combiner::Majority,
+    );
+    let mut rhmd: ResilientHmd = build_pool(
+        Algorithm::Lr,
+        pool_specs(&FeatureKind::ALL, &[10_000, 5_000], &exp.opcodes),
+        &exp.trainer,
+        &exp.traced,
+        &exp.splits.victim_train,
+        0x5eed,
+    );
+    assert_eq!(rhmd.detectors().len(), 6);
+
+    let mut table = Table::new(
+        "Robustness",
+        "program-level sensitivity / specificity under counter fault injection \
+         (majority verdict over voting windows; abstentions excluded from the vote)",
+        &["fault", "LR", "NN", "Ensemble(3)", "RHMD(6)"],
+    );
+    let mut sweep: Vec<[Quality; 4]> = Vec::new();
+    for (name, config) in fault_grid() {
+        eprintln!("[robustness] fault: {name}");
+        let q_lr = measure(&exp, config, |subs| lr.quorum_verdict(subs, MIN_FILL));
+        let q_nn = measure(&exp, config, |subs| nn.quorum_verdict(subs, MIN_FILL));
+        let q_en = measure(&exp, config, |subs| ensemble.quorum_verdict(subs, MIN_FILL));
+        let q_rh = measure(&exp, config, |subs| {
+            rhmd.reset();
+            rhmd.quorum_verdict(subs, MIN_FILL)
+        });
+        table.push_row(vec![
+            name.to_owned(),
+            cell(&q_lr),
+            cell(&q_nn),
+            cell(&q_en),
+            cell(&q_rh),
+        ]);
+        sweep.push([q_lr, q_nn, q_en, q_rh]);
+    }
+    println!("{table}");
+
+    // Degradation summary relative to the fault-free first row.
+    let mut degradation = Table::new(
+        "Degradation",
+        "worst-case sensitivity drop vs the fault-free baseline (percentage points)",
+        &["detector", "clean sens", "worst sens", "drop"],
+    );
+    for (col, label) in ["LR", "NN", "Ensemble(3)", "RHMD(6)"].iter().enumerate() {
+        let clean = sweep[0][col].sensitivity;
+        let worst = sweep[1..]
+            .iter()
+            .map(|row| row[col].sensitivity)
+            .fold(f64::INFINITY, f64::min);
+        degradation.push_row(vec![
+            (*label).to_owned(),
+            Table::pct(clean),
+            Table::pct(worst),
+            format!("{:.1}pp", 100.0 * (clean - worst)),
+        ]);
+    }
+    println!("{degradation}");
+}

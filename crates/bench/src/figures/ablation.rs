@@ -273,7 +273,8 @@ pub fn ablation_verdict_policy(exp: &Experiment) -> Table {
         .filter(|&i| !labels[i])
         .collect();
     rhmd.reset();
-    let calibrated = VerdictPolicy::calibrated(&mut rhmd, &exp.traced, &benign_train, 0.1);
+    let calibrated = VerdictPolicy::calibrated(&mut rhmd, &exp.traced, &benign_train, 0.1)
+        .expect("benign training split is non-empty");
     let majority = VerdictPolicy::majority();
 
     let surrogate = reverse_engineer(

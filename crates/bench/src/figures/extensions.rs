@@ -126,7 +126,7 @@ impl Detector for AnomalyHmd {
         let per = (self.spec.period / SUBWINDOW) as usize;
         let mut out = Vec::with_capacity(subwindows.len());
         for decision in self.decide_windows(subwindows) {
-            out.extend(std::iter::repeat(decision).take(per));
+            out.extend(std::iter::repeat_n(decision, per));
         }
         out
     }

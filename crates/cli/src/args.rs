@@ -1,6 +1,7 @@
 //! A minimal `--flag value` argument parser (the approved dependency set
 //! has no CLI framework, and the surface here is small).
 
+use rhmd_core::RhmdError;
 use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand plus `--key value` flags.
@@ -17,7 +18,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns an error for flags without values or stray positionals.
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, RhmdError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter().peekable();
         if let Some(first) = iter.peek() {
@@ -27,11 +28,13 @@ impl Args {
         }
         while let Some(token) = iter.next() {
             let Some(key) = token.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument '{token}'"));
+                return Err(RhmdError::config(format!(
+                    "unexpected positional argument '{token}'"
+                )));
             };
             let value = iter
                 .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                .ok_or_else(|| RhmdError::config(format!("flag --{key} needs a value")))?;
             args.flags.insert(key.to_owned(), value);
         }
         Ok(args)
@@ -52,12 +55,12 @@ impl Args {
     /// # Errors
     ///
     /// Returns an error naming the flag when parsing fails.
-    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, RhmdError> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+                .map_err(|_| RhmdError::parse(format!("--{key}"), format!("invalid value '{v}'"))),
         }
     }
 
@@ -67,7 +70,7 @@ impl Args {
 mod tests {
     use super::*;
 
-    fn parse(tokens: &[&str]) -> Result<Args, String> {
+    fn parse(tokens: &[&str]) -> Result<Args, RhmdError> {
         Args::parse(tokens.iter().map(|s| (*s).to_owned()))
     }
 
@@ -100,6 +103,7 @@ mod tests {
     fn bad_parse_names_flag() {
         let args = parse(&["x", "--period", "ten"]).unwrap();
         let err = args.parse_or("period", 0u32).unwrap_err();
-        assert!(err.contains("--period"));
+        assert!(matches!(err, RhmdError::Parse { .. }));
+        assert!(err.to_string().contains("--period"));
     }
 }

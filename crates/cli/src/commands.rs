@@ -7,45 +7,91 @@ use rhmd_core::hmd::Hmd;
 use rhmd_core::retrain::detection_quality;
 use rhmd_core::reveng;
 use rhmd_core::rhmd::{build_pool, pool_specs};
+use rhmd_core::verdict::{DegradedVerdict, VerdictPolicy};
+use rhmd_core::RhmdError;
 use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
 use rhmd_features::select::select_top_delta_opcodes;
 use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_features::window::apply_faults;
 use rhmd_ml::metrics::{auc, best_accuracy_threshold};
 use rhmd_ml::model::score_all;
 use rhmd_ml::trainer::{Algorithm, TrainerConfig};
 use rhmd_trace::inject::Placement;
+use rhmd_uarch::faults::{FaultConfig, FaultModel};
 use rhmd_uarch::CoreConfig;
 use std::path::PathBuf;
 
-fn scale_config(name: &str) -> Result<CorpusConfig, String> {
-    match name {
-        "tiny" => Ok(CorpusConfig::tiny()),
-        "small" => Ok(CorpusConfig::small()),
-        "standard" => Ok(CorpusConfig::standard()),
-        "paper" => Ok(CorpusConfig::paper()),
-        other => Err(format!("unknown scale '{other}' (tiny|small|standard|paper)")),
-    }
+fn scale_config(name: &str) -> Result<CorpusConfig, RhmdError> {
+    CorpusConfig::from_scale_name(name).map_err(RhmdError::Config)
 }
 
-fn parse_kind(name: &str) -> Result<FeatureKind, String> {
+fn parse_kind(name: &str) -> Result<FeatureKind, RhmdError> {
     match name {
         "instructions" => Ok(FeatureKind::Instructions),
         "memory" => Ok(FeatureKind::Memory),
         "architectural" => Ok(FeatureKind::Architectural),
-        other => Err(format!(
+        other => Err(RhmdError::config(format!(
             "unknown feature '{other}' (instructions|memory|architectural)"
-        )),
+        ))),
     }
 }
 
-fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+fn parse_algorithm(name: &str) -> Result<Algorithm, RhmdError> {
     match name {
         "lr" => Ok(Algorithm::Lr),
         "dt" => Ok(Algorithm::Dt),
         "svm" => Ok(Algorithm::Svm),
         "nn" => Ok(Algorithm::Nn),
         "rf" => Ok(Algorithm::Rf),
-        other => Err(format!("unknown algorithm '{other}' (lr|dt|svm|nn|rf)")),
+        other => Err(RhmdError::config(format!(
+            "unknown algorithm '{other}' (lr|dt|svm|nn|rf)"
+        ))),
+    }
+}
+
+/// Parses a `--fault kind:intensity` specification, e.g. `noise:0.1`,
+/// `drop:0.3`, `multiplex:0.25`, `burst:0.05`, `saturate:12`, `wrap:12`.
+fn parse_fault(value: &str) -> Result<FaultConfig, RhmdError> {
+    let bad = |message: String| RhmdError::parse("--fault", message);
+    let (kind, level) = value
+        .split_once(':')
+        .ok_or_else(|| bad(format!("expected kind:intensity, got '{value}'")))?;
+    let rate = |what: &str| -> Result<f64, RhmdError> {
+        let r: f64 = level
+            .parse()
+            .map_err(|_| bad(format!("{what} must be a number, got '{level}'")))?;
+        if !(0.0..=1.0).contains(&r) {
+            return Err(bad(format!("{what} must be in [0, 1], got {r}")));
+        }
+        Ok(r)
+    };
+    let bits = || -> Result<u32, RhmdError> {
+        let b: u32 = level
+            .parse()
+            .map_err(|_| bad(format!("counter width must be an integer, got '{level}'")))?;
+        if !(1..=64).contains(&b) {
+            return Err(bad(format!("counter width must be 1..=64 bits, got {b}")));
+        }
+        Ok(b)
+    };
+    match kind {
+        "noise" => {
+            let sigma: f64 = level
+                .parse()
+                .map_err(|_| bad(format!("noise sigma must be a number, got '{level}'")))?;
+            if !sigma.is_finite() || sigma < 0.0 {
+                return Err(bad(format!("noise sigma must be >= 0, got {sigma}")));
+            }
+            Ok(FaultConfig::noise(sigma))
+        }
+        "drop" => Ok(FaultConfig::dropping(rate("drop rate")?)),
+        "multiplex" => Ok(FaultConfig::multiplexed(rate("multiplex rate")?)),
+        "burst" => Ok(FaultConfig::bursty(rate("burst rate")?, 4)),
+        "saturate" => Ok(FaultConfig::saturating(bits()?)),
+        "wrap" => Ok(FaultConfig::wrapping(bits()?)),
+        other => Err(bad(format!(
+            "unknown fault kind '{other}' (noise|drop|multiplex|burst|saturate|wrap)"
+        ))),
     }
 }
 
@@ -56,7 +102,7 @@ struct Workbench {
     trainer: TrainerConfig,
 }
 
-fn workbench(args: &Args) -> Result<Workbench, String> {
+fn workbench(args: &Args) -> Result<Workbench, RhmdError> {
     let config = scale_config(&args.str_or("scale", "small"))?;
     eprintln!(
         "[rhmd] building + tracing {} programs ...",
@@ -84,7 +130,7 @@ fn workbench(args: &Args) -> Result<Workbench, String> {
 }
 
 /// `rhmd corpus [--scale s]` — build the corpus and print a summary.
-pub fn corpus(args: &Args) -> Result<(), String> {
+pub fn corpus(args: &Args) -> Result<(), RhmdError> {
     let config = scale_config(&args.str_or("scale", "small"))?;
     let corpus = Corpus::build(&config);
     println!("{corpus}");
@@ -107,18 +153,23 @@ pub fn corpus(args: &Args) -> Result<(), String> {
 
 /// `rhmd dump [--scale s] [--program name-or-index] [--functions n]` —
 /// print an objdump-style listing of one synthetic binary.
-pub fn dump(args: &Args) -> Result<(), String> {
+pub fn dump(args: &Args) -> Result<(), RhmdError> {
     let config = scale_config(&args.str_or("scale", "tiny"))?;
     let corpus = Corpus::build(&config);
     let selector = args.str_or("program", "0");
     let index = match selector.parse::<usize>() {
         Ok(i) if i < corpus.len() => i,
-        Ok(i) => return Err(format!("program index {i} out of range (0..{})", corpus.len())),
+        Ok(i) => {
+            return Err(RhmdError::config(format!(
+                "program index {i} out of range (0..{})",
+                corpus.len()
+            )))
+        }
         Err(_) => corpus
             .programs()
             .iter()
             .position(|p| p.name == selector)
-            .ok_or_else(|| format!("no program named '{selector}'"))?,
+            .ok_or_else(|| RhmdError::config(format!("no program named '{selector}'")))?,
     };
     let functions: usize = args.parse_or("functions", 2)?;
     print!(
@@ -129,7 +180,7 @@ pub fn dump(args: &Args) -> Result<(), String> {
 }
 
 /// `rhmd train [--scale s] [--feature f] [--algo a] [--period n] [--out path]`
-pub fn train(args: &Args) -> Result<(), String> {
+pub fn train(args: &Args) -> Result<(), RhmdError> {
     let kind = parse_kind(&args.str_or("feature", "instructions"))?;
     let algorithm = parse_algorithm(&args.str_or("algo", "lr"))?;
     let period: u32 = args.parse_or("period", 10_000)?;
@@ -162,12 +213,13 @@ pub fn train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `rhmd evaluate --model path [--scale s]` — reload a saved detector and
-/// score the held-out programs.
-pub fn evaluate(args: &Args) -> Result<(), String> {
+/// `rhmd evaluate --model path [--scale s] [--fault kind:x] [--fault-seed n]`
+/// — reload a saved detector and score the held-out programs, optionally
+/// through a fault-injected counter stream (e.g. `--fault noise:0.1`).
+pub fn evaluate(args: &Args) -> Result<(), RhmdError> {
     let path = args
         .get("model")
-        .ok_or("evaluate needs --model <path>")?
+        .ok_or_else(|| RhmdError::config("evaluate needs --model <path>"))?
         .to_owned();
     let mut hmd = load_hmd(&PathBuf::from(&path))?;
     let bench = workbench(args)?;
@@ -178,12 +230,43 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
         100.0 * quality.sensitivity_unmodified,
         100.0 * quality.specificity
     );
+
+    if let Some(spec) = args.get("fault") {
+        let config = parse_fault(spec)?;
+        let seed: u64 = args.parse_or("fault-seed", 0xfa17)?;
+        let policy = VerdictPolicy::majority();
+        let labels = bench.traced.corpus().labels();
+        let (mut tp, mut malware, mut tn, mut benign, mut abstained) = (0u32, 0u32, 0u32, 0u32, 0u32);
+        for &i in &bench.splits.attacker_test {
+            let model = FaultModel::new(config, seed ^ i as u64);
+            let subs = apply_faults(bench.traced.subwindows(i), &model);
+            let quorum = hmd.quorum_verdict(&subs, 0.5);
+            match policy.judge_quorum(&quorum, 0.25) {
+                DegradedVerdict::Abstained => abstained += 1,
+                DegradedVerdict::Decided(flag) => {
+                    if labels[i] {
+                        malware += 1;
+                        tp += u32::from(flag);
+                    } else {
+                        benign += 1;
+                        tn += u32::from(!flag);
+                    }
+                }
+            }
+        }
+        let total = bench.splits.attacker_test.len();
+        println!(
+            "under --fault {spec}: sensitivity {:.1}%, specificity {:.1}%, abstained {abstained}/{total}",
+            100.0 * f64::from(tp) / f64::from(malware.max(1)),
+            100.0 * f64::from(tn) / f64::from(benign.max(1)),
+        );
+    }
     Ok(())
 }
 
 /// `rhmd attack [--scale s] [--feature f] [--algo a] [--surrogate a]
 /// [--count n] [--strategy s]` — the full reverse-engineer + evade campaign.
-pub fn attack(args: &Args) -> Result<(), String> {
+pub fn attack(args: &Args) -> Result<(), RhmdError> {
     let kind = parse_kind(&args.str_or("feature", "instructions"))?;
     let victim_algo = parse_algorithm(&args.str_or("algo", "lr"))?;
     let surrogate_algo = parse_algorithm(&args.str_or("surrogate", "lr"))?;
@@ -192,7 +275,11 @@ pub fn attack(args: &Args) -> Result<(), String> {
         "random" => Strategy::Random,
         "least-weight" => Strategy::LeastWeight,
         "weighted" => Strategy::Weighted,
-        other => return Err(format!("unknown strategy '{other}'")),
+        other => {
+            return Err(RhmdError::config(format!(
+                "unknown strategy '{other}' (random|least-weight|weighted)"
+            )))
+        }
     };
     let bench = workbench(args)?;
     let spec = FeatureSpec::new(kind, 10_000, bench.opcodes.clone());
@@ -250,11 +337,15 @@ pub fn attack(args: &Args) -> Result<(), String> {
 
 /// `rhmd defend [--scale s] [--periods 10000,5000] [--count n]` — deploy an
 /// RHMD pool and report its resilience under the standard attack.
-pub fn defend(args: &Args) -> Result<(), String> {
+pub fn defend(args: &Args) -> Result<(), RhmdError> {
     let periods: Vec<u32> = args
         .str_or("periods", "10000")
         .split(',')
-        .map(|p| p.trim().parse().map_err(|_| format!("bad period '{p}'")))
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| RhmdError::parse("--periods", format!("bad period '{p}'")))
+        })
         .collect::<Result<_, _>>()?;
     let count: usize = args.parse_or("count", 2)?;
     let bench = workbench(args)?;
@@ -334,6 +425,27 @@ mod tests {
         assert!(parse_kind("entropy").is_err());
         assert_eq!(parse_algorithm("nn").unwrap(), Algorithm::Nn);
         assert!(parse_algorithm("xgboost").is_err());
+    }
+
+    #[test]
+    fn fault_spec_parsing() {
+        assert_eq!(parse_fault("noise:0.1").unwrap(), FaultConfig::noise(0.1));
+        assert_eq!(parse_fault("drop:0.3").unwrap(), FaultConfig::dropping(0.3));
+        assert_eq!(
+            parse_fault("saturate:12").unwrap(),
+            FaultConfig::saturating(12)
+        );
+        assert_eq!(parse_fault("wrap:16").unwrap(), FaultConfig::wrapping(16));
+        assert_eq!(
+            parse_fault("burst:0.05").unwrap(),
+            FaultConfig::bursty(0.05, 4)
+        );
+        // Malformed specs become typed parse errors naming the flag.
+        for bad in ["noise", "noise:x", "drop:1.5", "saturate:0", "gamma:0.1"] {
+            let err = parse_fault(bad).unwrap_err();
+            assert!(matches!(err, RhmdError::Parse { .. }), "{bad}: {err}");
+            assert!(err.to_string().contains("--fault"));
+        }
     }
 
     #[test]

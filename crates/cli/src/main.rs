@@ -3,7 +3,7 @@
 //! ```text
 //! rhmd corpus   [--scale tiny|small|standard|paper]
 //! rhmd train    [--scale s] [--feature f] [--algo a] [--period n] [--out model.json]
-//! rhmd evaluate --model model.json [--scale s]
+//! rhmd evaluate --model model.json [--scale s] [--fault noise:0.1]
 //! rhmd attack   [--scale s] [--feature f] [--algo a] [--surrogate a]
 //!               [--strategy random|least-weight|weighted] [--count n]
 //! rhmd defend   [--scale s] [--periods 10000,5000] [--count n]
@@ -14,6 +14,7 @@ mod commands;
 mod persist;
 
 use args::Args;
+use rhmd_core::RhmdError;
 
 const USAGE: &str = "\
 rhmd — evasion-resilient hardware malware detectors (MICRO'17 reproduction)
@@ -24,7 +25,9 @@ COMMANDS:
   corpus     build the synthetic corpus and summarize it
   dump       print an objdump-style listing of one synthetic binary
   train      train a baseline HMD; optionally save it (--out model.json)
-  evaluate   score a saved detector on held-out programs (--model path)
+  evaluate   score a saved detector on held-out programs (--model path);
+             optionally through faulted counters (--fault noise:0.1,
+             also drop:P | multiplex:P | burst:P | saturate:BITS | wrap:BITS)
   attack     reverse-engineer a victim detector and evade it
   defend     deploy an RHMD pool and measure its resilience
 
@@ -47,7 +50,7 @@ fn main() {
     std::process::exit(exit);
 }
 
-fn run(raw: Vec<String>) -> Result<(), String> {
+fn run(raw: Vec<String>) -> Result<(), RhmdError> {
     let args = Args::parse(raw)?;
     match args.command.as_deref() {
         Some("corpus") => commands::corpus(&args),
@@ -56,7 +59,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         Some("evaluate") => commands::evaluate(&args),
         Some("attack") => commands::attack(&args),
         Some("defend") => commands::defend(&args),
-        Some(other) => Err(format!("unknown command '{other}'")),
-        None => Err("no command given".into()),
+        Some(other) => Err(RhmdError::config(format!("unknown command '{other}'"))),
+        None => Err(RhmdError::config("no command given")),
     }
 }

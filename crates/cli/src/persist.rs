@@ -2,6 +2,7 @@
 //! detector trained once can be attacked, deployed, or audited later.
 
 use rhmd_core::hmd::Hmd;
+use rhmd_core::RhmdError;
 use rhmd_features::vector::FeatureSpec;
 use rhmd_ml::model::Classifier;
 use rhmd_ml::trainer::Algorithm;
@@ -75,11 +76,11 @@ pub const FORMAT_VERSION: u32 = 1;
 ///
 /// # Errors
 ///
-/// Returns an error message if the model's concrete type does not match its
-/// declared algorithm (never the case for `Hmd`s trained by this crate).
-pub fn snapshot(hmd: &Hmd) -> Result<SavedHmd, String> {
+/// Returns [`RhmdError::Model`] if the model's concrete type does not match
+/// its declared algorithm (never the case for `Hmd`s trained by this crate).
+pub fn snapshot(hmd: &Hmd) -> Result<SavedHmd, RhmdError> {
     let model = SavedModel::from_classifier(hmd.algorithm(), hmd.model())
-        .ok_or_else(|| format!("cannot snapshot a {} model", hmd.algorithm()))?;
+        .ok_or_else(|| RhmdError::model(format!("cannot snapshot a {} model", hmd.algorithm())))?;
     Ok(SavedHmd {
         version: FORMAT_VERSION,
         spec: hmd.spec().clone(),
@@ -97,27 +98,33 @@ pub fn restore(saved: SavedHmd) -> Hmd {
 ///
 /// # Errors
 ///
-/// Returns an error string on snapshot, serialization, or I/O failure.
-pub fn save_hmd(hmd: &Hmd, path: &Path) -> Result<(), String> {
+/// Returns [`RhmdError::Model`] on snapshot or serialization failure and
+/// [`RhmdError::Io`] when the file cannot be written.
+pub fn save_hmd(hmd: &Hmd, path: &Path) -> Result<(), RhmdError> {
     let saved = snapshot(hmd)?;
-    let json = serde_json::to_string_pretty(&saved).map_err(|e| e.to_string())?;
-    std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+    let json = serde_json::to_string_pretty(&saved)
+        .map_err(|e| RhmdError::model(format!("serializing model: {e}")))?;
+    std::fs::write(path, json)
+        .map_err(|e| RhmdError::io(path.display().to_string(), format!("cannot write: {e}")))
 }
 
 /// Loads an HMD from JSON.
 ///
 /// # Errors
 ///
-/// Returns an error string on I/O, parse, or version mismatch.
-pub fn load_hmd(path: &Path) -> Result<Hmd, String> {
+/// Returns [`RhmdError::Io`] when the file cannot be read (e.g. a missing
+/// model file), [`RhmdError::Parse`] on malformed JSON, and
+/// [`RhmdError::Version`] on a format-version mismatch.
+pub fn load_hmd(path: &Path) -> Result<Hmd, RhmdError> {
     let json = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
-    let saved: SavedHmd = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+        .map_err(|e| RhmdError::io(path.display().to_string(), format!("cannot read: {e}")))?;
+    let saved: SavedHmd = serde_json::from_str(&json)
+        .map_err(|e| RhmdError::parse(path.display().to_string(), e.to_string()))?;
     if saved.version != FORMAT_VERSION {
-        return Err(format!(
-            "unsupported model format version {} (expected {FORMAT_VERSION})",
-            saved.version
-        ));
+        return Err(RhmdError::Version {
+            found: saved.version,
+            expected: FORMAT_VERSION,
+        });
     }
     Ok(restore(saved))
 }
@@ -197,7 +204,32 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad-version.json");
         std::fs::write(&path, serde_json::to_string(&saved).unwrap()).unwrap();
-        assert!(load_hmd(&path).is_err());
+        let err = load_hmd(&path).unwrap_err();
+        assert_eq!(
+            err,
+            RhmdError::Version {
+                found: 99,
+                expected: FORMAT_VERSION
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_hmd(Path::new("/nonexistent/rhmd-model.json")).unwrap_err();
+        assert!(matches!(err, RhmdError::Io { .. }));
+        assert!(err.to_string().contains("rhmd-model.json"));
+    }
+
+    #[test]
+    fn malformed_json_is_parse_error() {
+        let dir = std::env::temp_dir().join("rhmd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = load_hmd(&path).unwrap_err();
+        assert!(matches!(err, RhmdError::Parse { .. }));
         std::fs::remove_file(&path).ok();
     }
 }

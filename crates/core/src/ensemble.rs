@@ -7,8 +7,8 @@
 //! deterministic, they can be reverse engineered and evaded." This module
 //! implements that baseline so the claim can be tested head-to-head.
 
-use crate::hmd::{Detector, Hmd};
-use rhmd_features::window::{aggregate, RawWindow, SUBWINDOW};
+use crate::hmd::{Detector, Hmd, QuorumVerdict};
+use rhmd_features::window::{aggregate, aggregate_with_gaps, RawWindow, SUBWINDOW};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -101,6 +101,32 @@ impl EnsembleHmd {
             })
             .collect()
     }
+
+    /// Fault-tolerant variant of [`EnsembleHmd::decide_windows`]: windows
+    /// are recovered gap-tolerantly (keeping those at least `min_fill`
+    /// full), each base detector abstains on windows whose features fail
+    /// the sanity check, and an epoch abstains only when *every* base
+    /// detector does — so one corrupted counter channel degrades the vote
+    /// instead of poisoning it.
+    pub fn quorum_verdict(&self, subwindows: &[RawWindow], min_fill: f64) -> QuorumVerdict {
+        let votes: Vec<Option<bool>> = aggregate_with_gaps(subwindows, self.period, min_fill)
+            .iter()
+            .map(|w| {
+                let cast: Vec<bool> = self
+                    .detectors
+                    .iter()
+                    .filter_map(|d| d.classify_window_checked(w))
+                    .collect();
+                if cast.is_empty() {
+                    None
+                } else {
+                    let flags = cast.iter().filter(|&&v| v).count();
+                    Some(self.combiner.combine(flags, cast.len()))
+                }
+            })
+            .collect();
+        QuorumVerdict::from_votes(&votes)
+    }
 }
 
 impl Detector for EnsembleHmd {
@@ -108,7 +134,7 @@ impl Detector for EnsembleHmd {
         let per = (self.period / SUBWINDOW) as usize;
         let mut out = Vec::with_capacity(subwindows.len());
         for decision in EnsembleHmd::decide_windows(self, subwindows) {
-            out.extend(std::iter::repeat(decision).take(per));
+            out.extend(std::iter::repeat_n(decision, per));
         }
         out
     }

@@ -1,0 +1,111 @@
+//! Typed errors for fallible RHMD operations.
+//!
+//! Public constructors and config/persistence paths that previously panicked
+//! on malformed input return [`RhmdError`] instead, so embedders and the CLI
+//! can report actionable messages and exit nonzero rather than abort.
+
+use std::fmt;
+
+/// The error hierarchy for detector construction, calibration, persistence,
+/// and user-facing configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RhmdError {
+    /// An invalid configuration value (threshold out of range, empty pool,
+    /// malformed flag value, …).
+    Config(String),
+    /// Calibration could not run (e.g. no benign calibration programs).
+    Calibration(String),
+    /// A model could not be snapshotted or restored.
+    Model(String),
+    /// An I/O failure, with the path involved.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// Malformed serialized input (bad JSON, wrong shape).
+    Parse {
+        /// What was being parsed (a path or a flag name).
+        what: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// A persisted model's format version is not supported.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+}
+
+impl RhmdError {
+    /// Shorthand for a [`RhmdError::Config`].
+    pub fn config(message: impl Into<String>) -> RhmdError {
+        RhmdError::Config(message.into())
+    }
+
+    /// Shorthand for a [`RhmdError::Model`].
+    pub fn model(message: impl Into<String>) -> RhmdError {
+        RhmdError::Model(message.into())
+    }
+
+    /// Shorthand for a [`RhmdError::Parse`].
+    pub fn parse(what: impl Into<String>, message: impl Into<String>) -> RhmdError {
+        RhmdError::Parse {
+            what: what.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`RhmdError::Io`].
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> RhmdError {
+        RhmdError::Io {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RhmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RhmdError::Config(m) => write!(f, "invalid configuration: {m}"),
+            RhmdError::Calibration(m) => write!(f, "calibration failed: {m}"),
+            RhmdError::Model(m) => write!(f, "model error: {m}"),
+            RhmdError::Io { path, message } => write!(f, "{path}: {message}"),
+            RhmdError::Parse { what, message } => write!(f, "cannot parse {what}: {message}"),
+            RhmdError::Version { found, expected } => write!(
+                f,
+                "unsupported model format version {found} (this build expects {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RhmdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = RhmdError::parse("--period", "invalid digit");
+        assert_eq!(e.to_string(), "cannot parse --period: invalid digit");
+        let v = RhmdError::Version {
+            found: 9,
+            expected: 1,
+        };
+        assert!(v.to_string().contains("version 9"));
+        let io = RhmdError::io("model.json", "No such file or directory");
+        assert!(io.to_string().starts_with("model.json:"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&RhmdError::config("x"));
+    }
+}

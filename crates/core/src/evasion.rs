@@ -216,7 +216,7 @@ pub fn plan_evasion_at(
                     .collect();
                 if negatives.is_empty() {
                     // Nothing pulls toward benign: dilute with nops.
-                    payload.extend(std::iter::repeat(Opcode::Nop).take(config.count));
+                    payload.extend(std::iter::repeat_n(Opcode::Nop, config.count));
                 } else {
                     match config.strategy {
                         Strategy::LeastWeight => {
@@ -225,7 +225,7 @@ pub fn plan_evasion_at(
                                 .copied()
                                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                                 .expect("non-empty");
-                            payload.extend(std::iter::repeat(op).take(config.count));
+                            payload.extend(std::iter::repeat_n(op, config.count));
                         }
                         Strategy::Weighted => {
                             let total: f64 = negatives.iter().map(|(_, w)| w.abs()).sum();
@@ -248,10 +248,10 @@ pub fn plan_evasion_at(
             } else if view.memory_bin_weights().is_some() {
                 // Memory-only detector: payload is loads into the steered
                 // scratch stride.
-                payload.extend(std::iter::repeat(Opcode::Load).take(config.count));
+                payload.extend(std::iter::repeat_n(Opcode::Load, config.count));
             } else {
                 // Architectural-only detector: dilute event rates.
-                payload.extend(std::iter::repeat(Opcode::Nop).take(config.count));
+                payload.extend(std::iter::repeat_n(Opcode::Nop, config.count));
             }
         }
         _ => {
@@ -540,20 +540,35 @@ mod tests {
             .copied()
             .filter(|&i| labels[i])
             .collect();
-        let plan = plan_evasion(
-            &victim.clone(),
-            &EvasionConfig {
-                strategy: Strategy::Random,
-                count: 2,
-                placement: Placement::EveryBlock,
-                seed: 3,
-            },
-        );
-        let trial = evade_corpus(&mut victim, &traced, &malware, &plan);
-        // Random injection should not produce strong evasion (paper Fig 6).
+        // Paper Fig 6: random injection is the weak control. A single
+        // seed's outcome over 4 malware samples is a coin flip, so
+        // average over a seed sweep and compare against the targeted
+        // least-weight attack, which reliably evades this victim.
+        let seeds = [0u64, 1, 2, 3, 4, 5, 6, 7];
+        let mut total_rate = 0.0;
+        for &seed in &seeds {
+            let plan = plan_evasion(
+                &victim.clone(),
+                &EvasionConfig {
+                    strategy: Strategy::Random,
+                    count: 2,
+                    placement: Placement::EveryBlock,
+                    seed,
+                },
+            );
+            let trial = evade_corpus(&mut victim, &traced, &malware, &plan);
+            assert!(trial.mean_static_overhead > 0.0);
+            assert!(trial.mean_dynamic_overhead > 0.0);
+            total_rate += trial.detection_rate();
+        }
+        let random_rate = total_rate / seeds.len() as f64;
+        let targeted_plan = plan_evasion(&victim.clone(), &EvasionConfig::least_weight(2));
+        let targeted = evade_corpus(&mut victim, &traced, &malware, &targeted_plan);
         assert!(
-            trial.detection_rate() > 0.5,
-            "random injection evaded too well: {trial:?}"
+            random_rate > targeted.detection_rate() + 0.2,
+            "random injection should evade far less than targeted: \
+             random {random_rate}, targeted {}",
+            targeted.detection_rate()
         );
     }
 

@@ -3,10 +3,16 @@
 
 use rhmd_data::TracedCorpus;
 use rhmd_features::vector::FeatureSpec;
-use rhmd_features::window::{aggregate, RawWindow, SUBWINDOW};
+use rhmd_features::window::{aggregate, aggregate_with_gaps, RawWindow, SUBWINDOW};
 use rhmd_ml::model::{Classifier, Dataset};
 use rhmd_ml::trainer::{train, Algorithm, TrainerConfig};
 use std::fmt;
+
+/// Largest plausible magnitude for any healthy feature component. Every
+/// projection is a frequency, normalized histogram mass, or per-instruction
+/// rate, all of order one; values beyond this bound only arise from
+/// corrupted counters, and a detector abstains rather than vote on them.
+pub const ABSTAIN_BOUND: f64 = 1e3;
 
 /// The black-box interface the attacker can query (paper §2: "the attacker
 /// has access to a machine with a similar detector").
@@ -67,6 +73,79 @@ impl ProgramVerdict {
     /// Majority-vote malware verdict.
     pub fn is_malware(&self) -> bool {
         2 * self.flagged >= self.total.max(1)
+    }
+}
+
+/// Program-level verdict over a vote stream that may contain abstentions:
+/// windows a detector declined to judge (corrupted features, empty windows)
+/// count toward coverage but never toward the vote, so a degraded stream
+/// cannot silently mis-vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct QuorumVerdict {
+    /// Votes that flagged malware.
+    pub flagged: usize,
+    /// Windows that produced a vote (flagged or clean).
+    pub voted: usize,
+    /// Windows the detector abstained on.
+    pub abstained: usize,
+}
+
+impl QuorumVerdict {
+    /// Builds a quorum verdict from per-window votes (`None` = abstain).
+    pub fn from_votes(votes: &[Option<bool>]) -> QuorumVerdict {
+        let mut v = QuorumVerdict {
+            flagged: 0,
+            voted: 0,
+            abstained: 0,
+        };
+        for vote in votes {
+            match vote {
+                Some(true) => {
+                    v.flagged += 1;
+                    v.voted += 1;
+                }
+                Some(false) => v.voted += 1,
+                None => v.abstained += 1,
+            }
+        }
+        v
+    }
+
+    /// Total windows examined (voted + abstained).
+    pub fn total(&self) -> usize {
+        self.voted + self.abstained
+    }
+
+    /// Fraction of examined windows that produced a vote (1.0 for empty
+    /// streams — nothing was degraded).
+    pub fn coverage(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.voted as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of *voting* windows that flagged (0.0 with no votes).
+    pub fn flag_rate(&self) -> f64 {
+        if self.voted == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / self.voted as f64
+        }
+    }
+
+    /// Majority vote over the voting windows only.
+    pub fn is_malware(&self) -> bool {
+        2 * self.flagged >= self.voted.max(1)
+    }
+
+    /// Collapses to a plain [`ProgramVerdict`] over the voting windows.
+    pub fn to_program_verdict(&self) -> ProgramVerdict {
+        ProgramVerdict {
+            flagged: self.flagged,
+            total: self.voted,
+        }
     }
 }
 
@@ -180,6 +259,40 @@ impl Hmd {
         self.model.predict(&self.spec.project(window))
     }
 
+    /// Decision with abstention: `None` when the window is empty or its
+    /// projection carries a component beyond [`ABSTAIN_BOUND`] — the
+    /// signature of corrupted counters — so callers can skip this detector's
+    /// vote instead of recording a meaningless one.
+    pub fn classify_window_checked(&self, window: &RawWindow) -> Option<bool> {
+        if window.instructions == 0 {
+            return None;
+        }
+        let v = self.spec.project(window);
+        if v.iter().any(|x| !x.is_finite() || x.abs() > ABSTAIN_BOUND) {
+            return None;
+        }
+        Some(self.model.predict(&v))
+    }
+
+    /// Per-collection-window votes over a possibly degraded trace:
+    /// aggregation tolerates dropped/coalesced subwindows down to
+    /// `min_fill` of the period, and corrupted windows abstain.
+    pub fn decide_windows_checked(
+        &self,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+    ) -> Vec<Option<bool>> {
+        aggregate_with_gaps(subwindows, self.spec.period, min_fill)
+            .iter()
+            .map(|w| self.classify_window_checked(w))
+            .collect()
+    }
+
+    /// Program-level quorum verdict over a possibly degraded trace.
+    pub fn quorum_verdict(&self, subwindows: &[RawWindow], min_fill: f64) -> QuorumVerdict {
+        QuorumVerdict::from_votes(&self.decide_windows_checked(subwindows, min_fill))
+    }
+
     /// Per-collection-window decisions for a program trace.
     pub fn decide_windows(&self, subwindows: &[RawWindow]) -> Vec<bool> {
         aggregate(subwindows, self.spec.period)
@@ -199,7 +312,7 @@ impl Detector for Hmd {
         let per = (self.spec.period / SUBWINDOW) as usize;
         let mut out = Vec::with_capacity(subwindows.len());
         for decision in Hmd::decide_windows(self, subwindows) {
-            out.extend(std::iter::repeat(decision).take(per));
+            out.extend(std::iter::repeat_n(decision, per));
         }
         out
     }
@@ -235,7 +348,7 @@ impl fmt::Debug for Hmd {
 /// Panics if `attacker_period` is not a positive multiple of [`SUBWINDOW`].
 pub fn transfer_labels(victim_stream: &[bool], attacker_period: u32) -> Vec<bool> {
     assert!(
-        attacker_period > 0 && attacker_period % SUBWINDOW == 0,
+        attacker_period > 0 && attacker_period.is_multiple_of(SUBWINDOW),
         "attacker period must be a positive multiple of {SUBWINDOW}"
     );
     let per = (attacker_period / SUBWINDOW) as usize;
@@ -319,6 +432,66 @@ mod tests {
         let v2 = ProgramVerdict::from_decisions(&[true, false, false]);
         assert!(!v2.is_malware());
         assert!(!ProgramVerdict::from_decisions(&[]).is_malware());
+    }
+
+    #[test]
+    fn quorum_verdict_ignores_abstentions() {
+        let q = QuorumVerdict::from_votes(&[Some(true), None, Some(true), Some(false), None]);
+        assert_eq!(q.flagged, 2);
+        assert_eq!(q.voted, 3);
+        assert_eq!(q.abstained, 2);
+        assert!((q.coverage() - 0.6).abs() < 1e-12);
+        assert!((q.flag_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(q.is_malware());
+        assert_eq!(q.to_program_verdict().total, 3);
+        // All-abstained stream: no vote, full degradation visible.
+        let empty = QuorumVerdict::from_votes(&[None, None]);
+        assert_eq!(empty.coverage(), 0.0);
+        assert!(!empty.is_malware());
+    }
+
+    #[test]
+    fn checked_classification_abstains_on_corruption() {
+        let (traced, splits) = fixture();
+        let hmd = Hmd::train(
+            Algorithm::Lr,
+            arch_spec(),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        // Clean windows vote identically to the unchecked path.
+        let windows = aggregate(traced.subwindows(0), 5_000);
+        for w in &windows {
+            assert_eq!(hmd.classify_window_checked(w), Some(hmd.classify_window(w)));
+        }
+        // An empty window abstains.
+        assert_eq!(hmd.classify_window_checked(&RawWindow::default()), None);
+        // A wildly out-of-range rate abstains.
+        let mut corrupt = windows[0].clone();
+        corrupt.counters.instructions = 1;
+        corrupt.counters.l2_misses = u64::MAX / 2;
+        assert_eq!(hmd.classify_window_checked(&corrupt), None);
+    }
+
+    #[test]
+    fn checked_decisions_match_plain_on_clean_traces() {
+        let (traced, splits) = fixture();
+        let hmd = Hmd::train(
+            Algorithm::Lr,
+            arch_spec(),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        let subs = traced.subwindows(2);
+        let plain = hmd.decide_windows(subs);
+        let checked: Vec<bool> = hmd
+            .decide_windows_checked(subs, 1.0)
+            .into_iter()
+            .map(|v| v.expect("clean trace must not abstain"))
+            .collect();
+        assert_eq!(plain, checked);
     }
 
     #[test]

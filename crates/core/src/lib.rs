@@ -57,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ensemble;
+pub mod error;
 pub mod evasion;
 pub mod hmd;
 pub mod hw;
@@ -67,8 +68,9 @@ pub mod reveng;
 pub mod rhmd;
 pub mod verdict;
 
+pub use error::RhmdError;
 pub use evasion::{evade_corpus, plan_evasion, EvasionConfig, EvasionTrial, Strategy};
-pub use hmd::{transfer_labels, Detector, Hmd, ProgramVerdict};
+pub use hmd::{transfer_labels, Detector, Hmd, ProgramVerdict, QuorumVerdict, ABSTAIN_BOUND};
 pub use hw::{overhead as hw_overhead, HwOverhead, UnitCosts};
 pub use optimizer::{minimal_evasion, MinimalEvasion};
 pub use pac::{base_errors, disagreement_matrix, theorem1_band, Theorem1Band};
@@ -76,4 +78,4 @@ pub use retrain::{evade_retrain_game, retrain_sweep, GameConfig, GenerationRecor
 pub use reveng::{reverse_engineer, RevengReport};
 pub use ensemble::{Combiner, EnsembleHmd};
 pub use rhmd::{build_pool, pool_specs, NonStationaryRhmd, ResilientHmd};
-pub use verdict::VerdictPolicy;
+pub use verdict::{DegradedVerdict, VerdictPolicy};

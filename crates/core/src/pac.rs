@@ -176,11 +176,11 @@ mod tests {
     fn disagreement_is_symmetric_with_zero_diagonal() {
         let (traced, splits, detectors) = fixture();
         let delta = disagreement_matrix(&detectors, &traced, &splits.attacker_test);
-        for i in 0..delta.len() {
-            assert_eq!(delta[i][i], 0.0);
-            for j in 0..delta.len() {
-                assert_eq!(delta[i][j], delta[j][i]);
-                assert!((0.0..=1.0).contains(&delta[i][j]));
+        for (i, row) in delta.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, delta[j][i]);
+                assert!((0.0..=1.0).contains(cell));
             }
         }
     }

@@ -126,7 +126,7 @@ pub fn reverse_engineer_validated(
             let predictions: Vec<bool> = data.rows().iter().map(|r| candidate.model().predict(r)).collect();
             rhmd_ml::metrics::agreement(&predictions, data.labels())
         };
-        if best.as_ref().map_or(true, |(score, _)| fit > *score) {
+        if best.as_ref().is_none_or(|(score, _)| fit > *score) {
             best = Some((fit, candidate));
         }
     }

@@ -1,10 +1,10 @@
 //! Resilient HMDs (paper §7): a pool of diverse base detectors with
 //! stochastic, unpredictable switching between them.
 
-use crate::hmd::{Detector, Hmd};
+use crate::hmd::{Detector, Hmd, QuorumVerdict};
 use rhmd_data::TracedCorpus;
 use rhmd_features::vector::{FeatureKind, FeatureSpec};
-use rhmd_features::window::{aggregate, RawWindow, SUBWINDOW};
+use rhmd_features::window::{aggregate_with_gaps, RawWindow, SUBWINDOW};
 use rhmd_ml::trainer::{Algorithm, TrainerConfig};
 use rhmd_trace::isa::Opcode;
 use rand::rngs::SmallRng;
@@ -105,8 +105,26 @@ impl ResilientHmd {
 }
 
 impl ResilientHmd {
-    /// Walks a trace emitting `(decision, subwindows_consumed)` pairs.
-    fn walk(&mut self, subwindows: &[RawWindow]) -> Vec<(bool, usize)> {
+    /// Walks a trace emitting `(vote, subwindows_consumed)` pairs.
+    ///
+    /// A vote of `None` marks an epoch whose window was truncated by a gap
+    /// or whose features failed the sanity check — the epoch is *skipped*
+    /// (the cursor still advances) rather than aborting the walk, so one
+    /// corrupted window in the middle of a trace does not silence every
+    /// detector downstream of it.
+    ///
+    /// `min_fill` is the minimum fraction of the detector's period an
+    /// epoch's window must cover to vote. `1.0` reproduces the strict
+    /// behavior on clean streams while still accepting the *over*-full
+    /// windows an interrupt-coalescing fault produces (dropped reads merge
+    /// into the next surviving one, so those windows span extra
+    /// instructions and their rate features renormalize).
+    fn walk(
+        &mut self,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+        skip_gaps: bool,
+    ) -> Vec<(Option<bool>, usize)> {
         let mut out = Vec::new();
         let mut cursor = 0usize;
         loop {
@@ -117,28 +135,51 @@ impl ResilientHmd {
                 break;
             }
             let chunk = &subwindows[cursor..cursor + per];
-            let windows = aggregate(chunk, detector.spec().period);
-            if windows.len() != 1 {
-                break; // truncated subwindow inside the chunk
+            let windows = aggregate_with_gaps(chunk, detector.spec().period, min_fill);
+            if windows.len() != 1 && !skip_gaps {
+                break; // truncated tail of a clean stream: end of usable trace
             }
-            out.push((detector.classify_window(&windows[0]), per));
+            let vote = if windows.len() == 1 {
+                detector.classify_window_checked(&windows[0])
+            } else {
+                None // the chunk's window fell below the fill floor
+            };
+            out.push((vote, per));
             cursor += per;
         }
         out
+    }
+
+    /// Walks a trace and pools every epoch into a [`QuorumVerdict`],
+    /// counting corrupted epochs as abstentions instead of votes. Epochs
+    /// whose window covers less than `min_fill` of the drawn detector's
+    /// period abstain.
+    pub fn quorum_verdict(&mut self, subwindows: &[RawWindow], min_fill: f64) -> QuorumVerdict {
+        let votes: Vec<Option<bool>> = self
+            .walk(subwindows, min_fill, true)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        QuorumVerdict::from_votes(&votes)
     }
 }
 
 impl Detector for ResilientHmd {
     fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
         let mut out = Vec::with_capacity(subwindows.len());
-        for (decision, per) in self.walk(subwindows) {
-            out.extend(std::iter::repeat(decision).take(per));
+        for (vote, per) in self.walk(subwindows, 1.0, false) {
+            if let Some(decision) = vote {
+                out.extend(std::iter::repeat_n(decision, per));
+            }
         }
         out
     }
 
     fn decisions(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
-        self.walk(subwindows).into_iter().map(|(d, _)| d).collect()
+        self.walk(subwindows, 1.0, false)
+            .into_iter()
+            .filter_map(|(d, _)| d)
+            .collect()
     }
 
     fn describe(&self) -> String {
@@ -266,7 +307,10 @@ impl NonStationaryRhmd {
         self.active = indices;
     }
 
-    fn step(&mut self, subwindows: &[RawWindow], cursor: usize) -> Option<(bool, usize)> {
+    /// Advances one epoch. Outer `None` means the stream is exhausted or
+    /// truncated; an inner `None` vote marks an epoch whose features failed
+    /// the sanity check, which is skipped rather than terminating the walk.
+    fn step(&mut self, subwindows: &[RawWindow], cursor: usize) -> Option<(Option<bool>, usize)> {
         if self.epochs_since_redraw >= self.redraw_every {
             self.redraw();
             self.epochs_since_redraw = 0;
@@ -277,12 +321,13 @@ impl NonStationaryRhmd {
         if cursor + per > subwindows.len() {
             return None;
         }
-        let windows = aggregate(&subwindows[cursor..cursor + per], detector.spec().period);
+        let windows =
+            aggregate_with_gaps(&subwindows[cursor..cursor + per], detector.spec().period, 1.0);
         if windows.len() != 1 {
-            return None;
+            return None; // truncated tail of a clean stream
         }
         self.epochs_since_redraw += 1;
-        Some((detector.classify_window(&windows[0]), per))
+        Some((detector.classify_window_checked(&windows[0]), per))
     }
 }
 
@@ -290,8 +335,10 @@ impl Detector for NonStationaryRhmd {
     fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
         let mut out = Vec::with_capacity(subwindows.len());
         let mut cursor = 0usize;
-        while let Some((decision, per)) = self.step(subwindows, cursor) {
-            out.extend(std::iter::repeat(decision).take(per));
+        while let Some((vote, per)) = self.step(subwindows, cursor) {
+            if let Some(decision) = vote {
+                out.extend(std::iter::repeat_n(decision, per));
+            }
             cursor += per;
         }
         out
@@ -300,8 +347,10 @@ impl Detector for NonStationaryRhmd {
     fn decisions(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
         let mut out = Vec::new();
         let mut cursor = 0usize;
-        while let Some((decision, per)) = self.step(subwindows, cursor) {
-            out.push(decision);
+        while let Some((vote, per)) = self.step(subwindows, cursor) {
+            if let Some(decision) = vote {
+                out.push(decision);
+            }
             cursor += per;
         }
         out
@@ -474,6 +523,41 @@ mod tests {
         let replay = pool.label_subwindows(subs);
         pool.reset();
         assert_eq!(pool.label_subwindows(subs), replay);
+    }
+
+    #[test]
+    fn corrupted_epochs_are_skipped_not_fatal() {
+        use rhmd_features::window::apply_faults;
+        use rhmd_uarch::faults::{FaultConfig, FaultModel};
+
+        let (traced, splits) = fixture();
+        let subs = traced.subwindows(0).to_vec();
+        let mut rhmd = two_detector_pool(&traced, &splits.victim_train, 11);
+
+        // Dropped reads coalesce into over-full windows: shorter stream,
+        // but the surviving epochs still vote.
+        let drops = FaultModel::new(FaultConfig::dropping(0.3), 0xfa17);
+        let dropped = apply_faults(&subs, &drops);
+        assert!(dropped.len() < subs.len(), "drops must coalesce reads");
+        let q = rhmd.quorum_verdict(&dropped, 1.0);
+        assert!(q.voted > 0, "walk must vote on coalesced windows");
+
+        // A lost mid-stream window drags its epoch below the fill floor:
+        // that epoch abstains, epochs on either side keep voting.
+        let mut corrupted = subs.clone();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] = rhmd_features::window::RawWindow::default();
+        rhmd.reset();
+        let q = rhmd.quorum_verdict(&corrupted, 1.0);
+        assert!(q.abstained > 0, "garbage windows should force abstentions");
+        assert!(q.voted > 0, "walk must continue past corrupted epochs");
+
+        // A clean stream matches decisions().
+        rhmd.reset();
+        let clean = rhmd.quorum_verdict(&subs, 1.0);
+        rhmd.reset();
+        let plain = rhmd.decisions(&subs);
+        assert_eq!(clean.voted, plain.len());
     }
 
     #[test]

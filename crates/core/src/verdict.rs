@@ -10,9 +10,40 @@
 //! what benign programs produce, so any sustained excess of flagged windows
 //! convicts — the natural operating point for a deployed HMD.
 
-use crate::hmd::{Detector, ProgramVerdict};
+use crate::error::RhmdError;
+use crate::hmd::{Detector, ProgramVerdict, QuorumVerdict};
 use rhmd_data::TracedCorpus;
 use serde::{Deserialize, Serialize};
+
+/// Outcome of judging a program whose window stream may be partially
+/// corrupted: either a decision, or an explicit abstention when too few
+/// windows survived to vote.
+///
+/// Abstention is the graceful-degradation path: a deployment can fall back
+/// to a slower software scan instead of trusting a verdict derived from
+/// almost no evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradedVerdict {
+    /// Enough windows voted; `true` means malware.
+    Decided(bool),
+    /// Coverage fell below the floor — no trustworthy verdict.
+    Abstained,
+}
+
+impl DegradedVerdict {
+    /// `true` only for a positive decision (abstentions are not flags).
+    pub fn is_malware(&self) -> bool {
+        matches!(self, DegradedVerdict::Decided(true))
+    }
+
+    /// Resolves an abstention to a fallback decision.
+    pub fn unwrap_or(self, fallback: bool) -> bool {
+        match self {
+            DegradedVerdict::Decided(d) => d,
+            DegradedVerdict::Abstained => fallback,
+        }
+    }
+}
 
 /// A threshold over a program's window flag rate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,15 +59,17 @@ impl VerdictPolicy {
 
     /// An explicit flag-rate threshold in `[0, 1]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `threshold` is outside `[0, 1]`.
-    pub fn fixed(threshold: f64) -> VerdictPolicy {
-        assert!(
-            (0.0..=1.0).contains(&threshold),
-            "threshold must be in [0, 1]"
-        );
-        VerdictPolicy { threshold }
+    /// Returns [`RhmdError::Config`] if `threshold` is outside `[0, 1]` or
+    /// not finite.
+    pub fn fixed(threshold: f64) -> Result<VerdictPolicy, RhmdError> {
+        if !threshold.is_finite() || !(0.0..=1.0).contains(&threshold) {
+            return Err(RhmdError::config(format!(
+                "verdict threshold must be in [0, 1], got {threshold}"
+            )));
+        }
+        Ok(VerdictPolicy { threshold })
     }
 
     /// Calibrates the threshold on benign programs: the verdict fires when a
@@ -44,18 +77,26 @@ impl VerdictPolicy {
     /// flag rates (plus a small margin), bounding the program-level false
     /// positive rate by `fp_budget` on the calibration set.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `benign_indices` is empty or `fp_budget` is outside
-    /// `(0, 1)`.
+    /// Returns [`RhmdError::Calibration`] if `benign_indices` is empty or
+    /// `fp_budget` is outside `(0, 1)`.
     pub fn calibrated(
         detector: &mut dyn Detector,
         traced: &TracedCorpus,
         benign_indices: &[usize],
         fp_budget: f64,
-    ) -> VerdictPolicy {
-        assert!(!benign_indices.is_empty(), "need benign calibration programs");
-        assert!((0.0..1.0).contains(&fp_budget) && fp_budget > 0.0, "fp budget in (0,1)");
+    ) -> Result<VerdictPolicy, RhmdError> {
+        if benign_indices.is_empty() {
+            return Err(RhmdError::Calibration(
+                "no benign calibration programs given".to_string(),
+            ));
+        }
+        if !fp_budget.is_finite() || fp_budget <= 0.0 || fp_budget >= 1.0 {
+            return Err(RhmdError::Calibration(format!(
+                "false-positive budget must be in (0, 1), got {fp_budget}"
+            )));
+        }
         let mut rates: Vec<f64> = benign_indices
             .iter()
             .map(|&i| {
@@ -65,9 +106,9 @@ impl VerdictPolicy {
             .collect();
         rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let idx = (((1.0 - fp_budget) * rates.len() as f64) as usize).min(rates.len() - 1);
-        VerdictPolicy {
+        Ok(VerdictPolicy {
             threshold: (rates[idx] + 0.02).min(0.99),
-        }
+        })
     }
 
     /// The flag-rate threshold in effect.
@@ -88,6 +129,20 @@ impl VerdictPolicy {
     ) -> bool {
         let stream = detector.label_subwindows(subwindows);
         self.is_malware(&ProgramVerdict::from_decisions(&stream))
+    }
+
+    /// Applies the policy to a quorum verdict with degraded-mode fallback.
+    ///
+    /// The flag rate is computed over *voted* windows only — abstentions
+    /// (corrupted or lost windows) neither convict nor acquit. When no
+    /// windows voted at all, or coverage falls below `min_coverage`, the
+    /// result is [`DegradedVerdict::Abstained`] so callers can escalate
+    /// instead of trusting a verdict built on too little evidence.
+    pub fn judge_quorum(&self, quorum: &QuorumVerdict, min_coverage: f64) -> DegradedVerdict {
+        if quorum.voted == 0 || quorum.coverage() < min_coverage {
+            return DegradedVerdict::Abstained;
+        }
+        DegradedVerdict::Decided(quorum.flag_rate() > self.threshold)
     }
 }
 
@@ -141,7 +196,8 @@ mod tests {
             .filter(|&i| !labels[i])
             .collect();
         let mut detector = hmd.clone();
-        let policy = VerdictPolicy::calibrated(&mut detector, &traced, &benign_train, 0.15);
+        let policy =
+            VerdictPolicy::calibrated(&mut detector, &traced, &benign_train, 0.15).unwrap();
 
         // On held-out benign programs the violation rate stays moderate.
         let benign_test: Vec<usize> = splits
@@ -169,7 +225,8 @@ mod tests {
             .filter(|&i| !labels[i])
             .collect();
         let mut detector = hmd.clone();
-        let policy = VerdictPolicy::calibrated(&mut detector, &traced, &benign_train, 0.1);
+        let policy =
+            VerdictPolicy::calibrated(&mut detector, &traced, &benign_train, 0.1).unwrap();
         // A 40%-flagged program is missed by majority but can be convicted
         // by a calibrated threshold below 0.4.
         let v = ProgramVerdict {
@@ -183,8 +240,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "threshold must be in")]
     fn fixed_validates_range() {
-        let _ = VerdictPolicy::fixed(1.5);
+        assert!(VerdictPolicy::fixed(0.3).is_ok());
+        let err = VerdictPolicy::fixed(1.5).unwrap_err();
+        assert!(matches!(err, RhmdError::Config(_)));
+        assert!(err.to_string().contains("[0, 1]"));
+        assert!(VerdictPolicy::fixed(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn calibration_rejects_bad_inputs() {
+        let (traced, _, hmd) = fixture();
+        let mut detector = hmd.clone();
+        let empty = VerdictPolicy::calibrated(&mut detector, &traced, &[], 0.1);
+        assert!(matches!(empty, Err(RhmdError::Calibration(_))));
+        let bad_budget = VerdictPolicy::calibrated(&mut detector, &traced, &[0], 1.0);
+        assert!(matches!(bad_budget, Err(RhmdError::Calibration(_))));
+    }
+
+    #[test]
+    fn quorum_judgement_abstains_on_thin_coverage() {
+        let policy = VerdictPolicy::majority();
+        // 3 of 4 surviving windows flagged: decided malware.
+        let healthy = QuorumVerdict::from_votes(&[Some(true), Some(true), Some(true), Some(false)]);
+        assert_eq!(
+            policy.judge_quorum(&healthy, 0.5),
+            DegradedVerdict::Decided(true)
+        );
+        // Only 1 of 4 windows voted: coverage 0.25 < 0.5 floor → abstain.
+        let thin = QuorumVerdict::from_votes(&[Some(true), None, None, None]);
+        assert_eq!(policy.judge_quorum(&thin, 0.5), DegradedVerdict::Abstained);
+        assert!(!policy.judge_quorum(&thin, 0.5).is_malware());
+        assert!(policy.judge_quorum(&thin, 0.5).unwrap_or(true));
+        // Everything lost: abstain regardless of the floor.
+        let lost = QuorumVerdict::from_votes(&[None, None]);
+        assert_eq!(policy.judge_quorum(&lost, 0.0), DegradedVerdict::Abstained);
     }
 }

@@ -72,14 +72,33 @@ impl CorpusConfig {
         }
     }
 
+    /// Looks up a preset by name (`tiny` | `small` | `standard` | `paper`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names when `name` matches none of
+    /// them, so callers can surface it to users verbatim.
+    pub fn from_scale_name(name: &str) -> Result<CorpusConfig, String> {
+        match name {
+            "tiny" => Ok(CorpusConfig::tiny()),
+            "small" => Ok(CorpusConfig::small()),
+            "standard" => Ok(CorpusConfig::standard()),
+            "paper" => Ok(CorpusConfig::paper()),
+            other => Err(format!(
+                "unknown scale '{other}' (expected tiny|small|standard|paper)"
+            )),
+        }
+    }
+
     /// Reads `RHMD_SCALE` (`tiny` | `small` | `standard` | `paper`) from the
-    /// environment, defaulting to [`CorpusConfig::standard`].
+    /// environment, defaulting to [`CorpusConfig::standard`] when unset or
+    /// unrecognized.
     pub fn from_env() -> CorpusConfig {
-        match std::env::var("RHMD_SCALE").as_deref() {
-            Ok("tiny") => CorpusConfig::tiny(),
-            Ok("small") => CorpusConfig::small(),
-            Ok("paper") => CorpusConfig::paper(),
-            _ => CorpusConfig::standard(),
+        match std::env::var("RHMD_SCALE") {
+            Ok(name) => {
+                CorpusConfig::from_scale_name(&name).unwrap_or_else(|_| CorpusConfig::standard())
+            }
+            Err(_) => CorpusConfig::standard(),
         }
     }
 
@@ -126,6 +145,14 @@ mod tests {
         let p = CorpusConfig::paper();
         assert_eq!(p.malware_per_family * 6, 3_000);
         assert_eq!(p.benign_per_class * 8, 552); // paper: 554
+    }
+
+    #[test]
+    fn scale_names_resolve() {
+        assert_eq!(CorpusConfig::from_scale_name("tiny"), Ok(CorpusConfig::tiny()));
+        assert_eq!(CorpusConfig::from_scale_name("paper"), Ok(CorpusConfig::paper()));
+        let err = CorpusConfig::from_scale_name("galactic").unwrap_err();
+        assert!(err.contains("galactic") && err.contains("tiny|small|standard|paper"));
     }
 
     #[test]

@@ -194,7 +194,7 @@ mod tests {
         let spec = FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]);
         let malware = t.corpus().malware_indices();
         let data = t.window_dataset(&malware[..2.min(malware.len())], &spec);
-        assert!(data.len() > 0);
+        assert!(!data.is_empty());
         assert_eq!(data.positives(), data.len());
     }
 

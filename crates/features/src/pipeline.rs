@@ -44,7 +44,9 @@ pub fn project_windows(subwindows: &[RawWindow], spec: &FeatureSpec) -> Vec<Vec<
 /// let program = ProgramGenerator::new(benign_profile(BenignClass::Browser)).generate(0);
 /// let spec = FeatureSpec::new(FeatureKind::Memory, 10_000, vec![]);
 /// let vectors = extract(&program, &spec, ExecLimits::instructions(50_000), CoreConfig::default());
-/// assert_eq!(vectors.len(), 5);
+/// // At most 50k instructions → at most five 10k-instruction windows;
+/// // the program may retire fewer if it terminates early.
+/// assert!(!vectors.is_empty() && vectors.len() <= 5);
 /// assert_eq!(vectors[0].len(), spec.dims());
 /// ```
 pub fn extract(

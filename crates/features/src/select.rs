@@ -85,8 +85,10 @@ mod tests {
     use super::*;
 
     fn window_with(pairs: &[(Opcode, u64)]) -> RawWindow {
-        let mut w = RawWindow::default();
-        w.instructions = 1_000;
+        let mut w = RawWindow {
+            instructions: 1_000,
+            ..RawWindow::default()
+        };
         for &(op, c) in pairs {
             w.opcode_counts[op.index()] = c;
         }

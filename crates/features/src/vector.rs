@@ -116,6 +116,11 @@ impl FeatureSpec {
     /// Instruction components are opcode *frequencies* (counts normalized by
     /// window instructions); memory components are a normalized delta
     /// histogram; architectural components are per-instruction event rates.
+    ///
+    /// Normalization is by the window's *actual* counts, so short (gap- or
+    /// fault-truncated) windows renormalize instead of skewing low, and any
+    /// non-finite component (possible only on corrupted inputs) is guarded
+    /// to zero so downstream models never see NaN/Inf.
     pub fn project(&self, window: &RawWindow) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.dims());
         for kind in &self.kinds {
@@ -135,6 +140,11 @@ impl FeatureSpec {
                 FeatureKind::Architectural => {
                     out.extend(window.counters.to_rates());
                 }
+            }
+        }
+        for v in &mut out {
+            if !v.is_finite() {
+                *v = 0.0;
             }
         }
         out
@@ -168,8 +178,10 @@ mod tests {
     }
 
     fn window() -> RawWindow {
-        let mut w = RawWindow::default();
-        w.instructions = 100;
+        let mut w = RawWindow {
+            instructions: 100,
+            ..RawWindow::default()
+        };
         w.opcode_counts[Opcode::Add.index()] = 30;
         w.opcode_counts[Opcode::Xor.index()] = 10;
         w.opcode_counts[Opcode::Load.index()] = 20;

@@ -7,7 +7,8 @@
 
 use rhmd_trace::exec::{ExecEvent, Sink};
 use rhmd_trace::isa::OPCODE_COUNT;
-use rhmd_uarch::events::CounterSet;
+use rhmd_uarch::events::{CounterSet, COUNTER_DIMS};
+use rhmd_uarch::faults::FaultModel;
 use rhmd_uarch::CoreModel;
 use serde::{Deserialize, Serialize};
 
@@ -154,7 +155,7 @@ impl Sink for WindowAccumulator {
 /// Panics if `period` is zero or not a multiple of [`SUBWINDOW`].
 pub fn aggregate(subwindows: &[RawWindow], period: u32) -> Vec<RawWindow> {
     assert!(
-        period > 0 && period % SUBWINDOW == 0,
+        period > 0 && period.is_multiple_of(SUBWINDOW),
         "period {period} must be a positive multiple of {SUBWINDOW}"
     );
     let per = (period / SUBWINDOW) as usize;
@@ -173,11 +174,90 @@ pub fn aggregate(subwindows: &[RawWindow], period: u32) -> Vec<RawWindow> {
         .collect()
 }
 
+/// Like [`aggregate`], but tolerant of gaps: chunks whose subwindows were
+/// dropped or coalesced by fault injection are kept as long as they carry at
+/// least `min_fill` of the period's instructions. Feature projection
+/// normalizes by the window's *actual* counts, so short windows renormalize
+/// instead of skewing low.
+///
+/// With `min_fill = 1.0` and a clean stream this matches [`aggregate`]
+/// exactly (coalesced reads can exceed the period; they are kept too).
+///
+/// # Panics
+///
+/// Panics if `period` is zero or not a multiple of [`SUBWINDOW`].
+pub fn aggregate_with_gaps(subwindows: &[RawWindow], period: u32, min_fill: f64) -> Vec<RawWindow> {
+    assert!(
+        period > 0 && period.is_multiple_of(SUBWINDOW),
+        "period {period} must be a positive multiple of {SUBWINDOW}"
+    );
+    let per = (period / SUBWINDOW) as usize;
+    subwindows
+        .chunks(per)
+        .filter_map(|chunk| {
+            let mut merged = RawWindow::default();
+            for w in chunk {
+                merged.merge(w);
+            }
+            let fill = merged.instructions as f64 / f64::from(period);
+            (merged.instructions > 0 && fill >= min_fill).then_some(merged)
+        })
+        .collect()
+}
+
+/// Runs a subwindow stream through a counter [`FaultModel`].
+///
+/// Every observable channel of a [`RawWindow`] is treated as a hardware
+/// counter: the [`CounterSet`] channels first, then the opcode counts, then
+/// the memory-delta histogram bins. The `instructions` field is the
+/// ground-truth committed count of the read interval and is *not*
+/// corrupted — faults disturb observation, not execution — but reads lost
+/// to interrupt coalescing merge whole subwindows, so downstream
+/// aggregation sees over-full and missing windows exactly as a real sampler
+/// would.
+///
+/// A zero-intensity model returns a bit-exact copy of the input.
+pub fn apply_faults(subwindows: &[RawWindow], model: &FaultModel) -> Vec<RawWindow> {
+    if model.is_identity() {
+        return subwindows.to_vec();
+    }
+    let mut out: Vec<RawWindow> = Vec::with_capacity(subwindows.len());
+    let mut pending: Option<RawWindow> = None;
+    let mut prev: Option<RawWindow> = None;
+    for (idx, clean) in subwindows.iter().enumerate() {
+        let window = idx as u64;
+        let mut merged = pending.take().unwrap_or_default();
+        merged.merge(clean);
+        if model.drops_window(window) {
+            pending = Some(merged);
+            continue;
+        }
+        let mut read = merged;
+        model.corrupt_counters(
+            window,
+            &mut read.counters,
+            prev.as_ref().map(|p: &RawWindow| &p.counters),
+        );
+        for (i, v) in read.opcode_counts.iter_mut().enumerate() {
+            let ch = (COUNTER_DIMS + i) as u64;
+            *v = model.corrupt_value(window, ch, *v, prev.as_ref().map(|p| p.opcode_counts[i]));
+        }
+        for (i, v) in read.mem_delta_hist.iter_mut().enumerate() {
+            let ch = (COUNTER_DIMS + OPCODE_COUNT + i) as u64;
+            *v = model.corrupt_value(window, ch, *v, prev.as_ref().map(|p| p.mem_delta_hist[i]));
+        }
+        prev = Some(read.clone());
+        out.push(read);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rhmd_trace::exec::ExecLimits;
     use rhmd_trace::generate::{benign_profile, BenignClass, ProgramGenerator};
+    use rhmd_uarch::faults::FaultConfig;
     use rhmd_uarch::CoreConfig;
 
     fn subwindows(n_instr: u64) -> Vec<RawWindow> {
@@ -249,6 +329,60 @@ mod tests {
             })
             .sum();
         assert_eq!(total, mem_instrs - 1);
+    }
+
+    #[test]
+    fn apply_faults_identity_is_bit_exact() {
+        let subs = subwindows(8_000);
+        let model = FaultModel::new(FaultConfig::none(), 3);
+        assert_eq!(apply_faults(&subs, &model), subs);
+    }
+
+    #[test]
+    fn apply_faults_preserves_ground_truth_instructions() {
+        let subs = subwindows(8_000);
+        let model = FaultModel::new(FaultConfig::noise(0.3), 3);
+        let faulted = apply_faults(&subs, &model);
+        assert_eq!(faulted.len(), subs.len());
+        for (f, c) in faulted.iter().zip(&subs) {
+            assert_eq!(f.instructions, c.instructions);
+        }
+        assert_ne!(faulted, subs);
+    }
+
+    #[test]
+    fn dropped_subwindows_coalesce() {
+        let subs = subwindows(20_000);
+        let model = FaultModel::new(FaultConfig::dropping(0.4), 5);
+        let faulted = apply_faults(&subs, &model);
+        assert!(faulted.len() < subs.len());
+        // Coalesced reads carry the merged instruction count.
+        assert!(faulted.iter().any(|w| w.instructions >= 2_000));
+    }
+
+    #[test]
+    fn gap_tolerant_aggregation_keeps_short_windows() {
+        let subs = subwindows(20_000);
+        let model = FaultModel::new(FaultConfig::dropping(0.4), 5);
+        let faulted = apply_faults(&subs, &model);
+        // Strict aggregation discards windows whose chunks were disturbed …
+        let strict = aggregate(&faulted, 5_000);
+        // … while the gap-tolerant variant keeps anything half-full.
+        let tolerant = aggregate_with_gaps(&faulted, 5_000, 0.5);
+        assert!(tolerant.len() >= strict.len());
+        assert!(!tolerant.is_empty());
+        for w in &tolerant {
+            assert!(w.instructions >= 2_500);
+        }
+    }
+
+    #[test]
+    fn gap_tolerant_matches_strict_on_clean_streams() {
+        let subs = subwindows(20_000);
+        assert_eq!(
+            aggregate_with_gaps(&subs, 5_000, 1.0),
+            aggregate(&subs, 5_000)
+        );
     }
 
     #[test]

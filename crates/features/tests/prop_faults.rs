@@ -1,0 +1,133 @@
+//! Property-based tests: fault injection composed with the feature
+//! pipeline never poisons downstream consumers.
+
+use proptest::prelude::*;
+use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_features::window::{aggregate_with_gaps, apply_faults, RawWindow, SUBWINDOW};
+use rhmd_trace::isa::{Opcode, OPCODE_COUNT};
+use rhmd_uarch::faults::{FaultConfig, FaultModel};
+
+/// A full subwindow with plausible opcode / memory / counter content.
+fn any_subwindow() -> impl Strategy<Value = RawWindow> {
+    (
+        prop::collection::vec(0u64..200, OPCODE_COUNT),
+        prop::collection::vec(0u64..200, 16),
+        0u64..500,
+    )
+        .prop_map(|(ops, hist, misses)| {
+            let mut w = RawWindow::default();
+            for (slot, v) in w.opcode_counts.iter_mut().zip(&ops) {
+                *slot = *v;
+            }
+            for (slot, v) in w.mem_delta_hist.iter_mut().zip(&hist) {
+                *slot = *v;
+            }
+            w.instructions = u64::from(SUBWINDOW);
+            w.counters.instructions = u64::from(SUBWINDOW);
+            w.counters.loads = hist.iter().sum();
+            w.counters.l2_misses = misses;
+            w
+        })
+}
+
+fn any_stream() -> impl Strategy<Value = Vec<RawWindow>> {
+    prop::collection::vec(any_subwindow(), 5..30)
+}
+
+fn any_fault() -> impl Strategy<Value = FaultConfig> {
+    (0usize..6, 0.05f64..0.5, 8u32..24).prop_map(|(kind, rate, bits)| match kind {
+        0 => FaultConfig::noise(rate),
+        1 => FaultConfig::dropping(rate),
+        2 => FaultConfig::multiplexed(rate),
+        3 => FaultConfig::bursty(rate / 2.0, 4),
+        4 => FaultConfig::saturating(bits),
+        _ => FaultConfig::wrapping(bits),
+    })
+}
+
+fn all_specs() -> Vec<FeatureSpec> {
+    let opcodes: Vec<Opcode> = Opcode::ALL[..8].to_vec();
+    FeatureKind::ALL
+        .iter()
+        .map(|&k| FeatureSpec::new(k, 10_000, opcodes.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zero-intensity fault injection leaves the subwindow stream AND every
+    /// extracted feature vector bit-identical.
+    #[test]
+    fn zero_intensity_pipeline_is_bit_exact(
+        stream in any_stream(),
+        seed in any::<u64>(),
+    ) {
+        let model = FaultModel::new(FaultConfig::none(), seed);
+        let faulted = apply_faults(&stream, &model);
+        prop_assert_eq!(&faulted, &stream);
+        for spec in all_specs() {
+            for (a, b) in stream.iter().zip(&faulted) {
+                let va = spec.project(a);
+                let vb = spec.project(b);
+                prop_assert!(
+                    va.iter().zip(&vb).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "feature vectors must be bit-identical under {}",
+                    spec.label()
+                );
+            }
+        }
+    }
+
+    /// Faulted pipelines never emit NaN/Inf features, for any fault kind,
+    /// intensity, and seed — corrupted windows renormalize or zero out.
+    #[test]
+    fn faulted_features_are_always_finite(
+        stream in any_stream(),
+        config in any_fault(),
+        seed in any::<u64>(),
+    ) {
+        let model = FaultModel::new(config, seed);
+        let faulted = apply_faults(&stream, &model);
+        for spec in all_specs() {
+            for window in aggregate_with_gaps(&faulted, 10_000, 0.0) {
+                let v = spec.project(&window);
+                prop_assert!(
+                    v.iter().all(|x| x.is_finite()),
+                    "non-finite feature under {} with {config:?}",
+                    spec.label()
+                );
+            }
+        }
+    }
+
+    /// Dropped reads coalesce instead of vanishing: ground-truth committed
+    /// instructions are conserved up to the truncated trailing run, and the
+    /// surviving count matches the configured drop rate within tolerance.
+    #[test]
+    fn drops_coalesce_and_match_rate(
+        stream in prop::collection::vec(any_subwindow(), 40..120),
+        rate in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let model = FaultModel::new(FaultConfig::dropping(rate), seed);
+        let faulted = apply_faults(&stream, &model);
+        let original: u64 = stream.iter().map(|w| w.instructions).sum();
+        let surviving: u64 = faulted.iter().map(|w| w.instructions).sum();
+        prop_assert!(surviving <= original);
+        // Any shortfall is exactly a trailing run of dropped reads.
+        let tail = (original - surviving) / u64::from(SUBWINDOW);
+        prop_assert!(
+            (0..tail).all(|k| model.drops_window(stream.len() as u64 - 1 - k)),
+            "missing instructions must come from a dropped trailing run"
+        );
+        // Surviving read count tracks (1 - rate) within a loose tolerance.
+        let expected = (1.0 - rate) * stream.len() as f64;
+        prop_assert!(
+            (faulted.len() as f64 - expected).abs() < 0.25 * stream.len() as f64,
+            "{} surviving of {}, expected ~{expected:.0}",
+            faulted.len(),
+            stream.len()
+        );
+    }
+}

@@ -69,7 +69,17 @@ impl Standardizer {
         &self.std
     }
 
+    /// Bound on standardized magnitudes: out-of-distribution inputs (e.g.
+    /// from corrupted counters) clamp here instead of propagating huge or
+    /// non-finite values into model scores. In-distribution data sits within
+    /// a few units of zero, so the clamp never alters healthy inputs.
+    pub const CLAMP: f64 = 1e12;
+
     /// Standardizes one row into `out`.
+    ///
+    /// Non-finite inputs map to zero (the feature's training mean) and the
+    /// result is clamped to ±[`Standardizer::CLAMP`], so models downstream
+    /// always score finite vectors.
     ///
     /// # Panics
     ///
@@ -78,12 +88,13 @@ impl Standardizer {
     pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
         out.clear();
-        out.extend(
-            x.iter()
-                .zip(&self.mean)
-                .zip(&self.std)
-                .map(|((&v, &m), &s)| (v - m) / s),
-        );
+        out.extend(x.iter().zip(&self.mean).zip(&self.std).map(|((&v, &m), &s)| {
+            if v.is_finite() {
+                ((v - m) / s).clamp(-Standardizer::CLAMP, Standardizer::CLAMP)
+            } else {
+                0.0
+            }
+        }));
     }
 
     /// Standardizes one row, allocating.
@@ -148,5 +159,20 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn fit_requires_rows() {
         let _ = Standardizer::fit(&Dataset::new(2));
+    }
+
+    #[test]
+    fn non_finite_inputs_map_to_training_mean() {
+        let s = Standardizer::fit(&toy());
+        let t = s.transform(&[f64::NAN, f64::INFINITY]);
+        assert_eq!(t, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_distribution_inputs_clamp() {
+        let s = Standardizer::fit(&toy());
+        let t = s.transform(&[1e300, -1e300]);
+        assert!(t.iter().all(|v| v.is_finite()));
+        assert!(t.iter().all(|v| v.abs() <= Standardizer::CLAMP));
     }
 }

@@ -52,7 +52,7 @@ impl fmt::Display for Algorithm {
 }
 
 /// Bundled hyperparameters for every family, with a single seed knob.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainerConfig {
     /// Logistic-regression settings.
     pub lr: LrConfig,
@@ -76,18 +76,6 @@ impl TrainerConfig {
         c.mlp.seed = seed ^ 0x77;
         c.forest.seed = seed ^ 0xf0;
         c
-    }
-}
-
-impl Default for TrainerConfig {
-    fn default() -> TrainerConfig {
-        TrainerConfig {
-            lr: LrConfig::default(),
-            tree: TreeConfig::default(),
-            svm: SvmConfig::default(),
-            mlp: MlpConfig::default(),
-            forest: ForestConfig::default(),
-        }
     }
 }
 

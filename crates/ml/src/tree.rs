@@ -147,7 +147,7 @@ fn grow(
             let right_pos = pos - left_pos;
             let weighted =
                 (left_n * gini(left_pos, left_n) + right_n * gini(right_pos, right_n)) / total;
-            if best.map_or(true, |(bi, _, _)| weighted < bi) {
+            if best.is_none_or(|(bi, _, _)| weighted < bi) {
                 best = Some((weighted, feature, (lo + hi) / 2.0));
             }
         }

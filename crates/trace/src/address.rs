@@ -203,7 +203,7 @@ mod tests {
         let mut s = AddressStream::new(AddrPattern::Strided { stride: 1 << 20 }, 0);
         for _ in 0..100 {
             let a = s.next_addr();
-            assert!(a >= HEAP_BASE && a < HEAP_BASE + REGION_BYTES);
+            assert!((HEAP_BASE..HEAP_BASE + REGION_BYTES).contains(&a));
         }
     }
 

@@ -32,7 +32,7 @@ impl MemAccess {
     /// Whether the access is unaligned with respect to its size.
     #[inline]
     pub fn is_unaligned(&self) -> bool {
-        self.size > 1 && self.addr % u64::from(self.size) != 0
+        self.size > 1 && !self.addr.is_multiple_of(u64::from(self.size))
     }
 }
 

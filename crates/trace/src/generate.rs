@@ -15,6 +15,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Per-class knobs: (opcode overrides, pattern mix, strides, syscall rate,
+/// block length, taken bias, call rate).
+type ProfileKnobs<'a> = (&'a [(Opcode, f64)], PatternMix, Vec<u32>, f64, Span, f64, f64);
+
 /// The eight benign application classes in the corpus (paper §3: browsers,
 /// text editors, system programs, SPEC 2006, Acrobat Reader, Notepad++,
 /// WinRAR, …).
@@ -238,15 +242,7 @@ fn weights(overrides: &[(Opcode, f64)]) -> [f64; OPCODE_COUNT] {
 
 /// The generative profile for a benign application class.
 pub fn benign_profile(class: BenignClass) -> ProfileSpec {
-    let (ovr, pattern, strides, syscall, block_len, taken, calls): (
-        &[(Opcode, f64)],
-        PatternMix,
-        Vec<u32>,
-        f64,
-        Span,
-        f64,
-        f64,
-    ) = match class {
+    let (ovr, pattern, strides, syscall, block_len, taken, calls): ProfileKnobs = match class {
         BenignClass::Browser => (
             &[(Opcode::Load, 14.0), (Opcode::Cmp, 7.0), (Opcode::Test, 4.0)],
             PatternMix::new(0.28, 0.10, 0.37, 0.25),
@@ -350,7 +346,7 @@ pub fn benign_profile(class: BenignClass) -> ProfileSpec {
         num_streams: Span::new(6, 12),
         functions: Span::new(4, 10),
         blocks_per_function: Span::new(8, 20),
-        block_len: block_len,
+        block_len,
         taken_bias: taken,
         persistence: 0.82,
         syscall_prob: syscall,
@@ -362,15 +358,7 @@ pub fn benign_profile(class: BenignClass) -> ProfileSpec {
 
 /// The generative profile for a malware family.
 pub fn malware_profile(family: MalwareFamily) -> ProfileSpec {
-    let (ovr, pattern, strides, syscall, block_len, taken, calls): (
-        &[(Opcode, f64)],
-        PatternMix,
-        Vec<u32>,
-        f64,
-        Span,
-        f64,
-        f64,
-    ) = match family {
+    let (ovr, pattern, strides, syscall, block_len, taken, calls): ProfileKnobs = match family {
         MalwareFamily::Spambot => (
             &[
                 (Opcode::StringOp, 4.5),
@@ -470,7 +458,7 @@ pub fn malware_profile(family: MalwareFamily) -> ProfileSpec {
         num_streams: Span::new(5, 10),
         functions: Span::new(3, 8),
         blocks_per_function: Span::new(6, 16),
-        block_len: block_len,
+        block_len,
         taken_bias: taken,
         persistence: 0.70,
         syscall_prob: syscall,

@@ -43,7 +43,7 @@ impl GsharePredictor {
     /// Creates a predictor with `2^ghr_bits` counters, initialized weakly
     /// not-taken.
     pub fn new(ghr_bits: u32) -> GsharePredictor {
-        assert!(ghr_bits >= 4 && ghr_bits <= 24, "ghr_bits out of range");
+        assert!((4..=24).contains(&ghr_bits), "ghr_bits out of range");
         let size = 1usize << ghr_bits;
         GsharePredictor {
             table: vec![1; size],

@@ -37,7 +37,7 @@ impl CacheConfig {
         assert!(self.ways > 0, "associativity must be positive");
         let lines = self.size_bytes / self.line_bytes;
         assert!(
-            lines % self.ways == 0 && lines > 0,
+            lines.is_multiple_of(self.ways) && lines > 0,
             "capacity must divide into an integral number of sets"
         );
         let sets = lines / self.ways;

@@ -89,6 +89,29 @@ impl CounterSet {
         ]
     }
 
+    /// Rebuilds a counter set from a fixed-order array (inverse of
+    /// [`CounterSet::to_array`]).
+    pub fn from_array(a: [u64; COUNTER_DIMS]) -> CounterSet {
+        CounterSet {
+            instructions: a[0],
+            loads: a[1],
+            stores: a[2],
+            unaligned: a[3],
+            cond_branches: a[4],
+            taken_branches: a[5],
+            mispredicts: a[6],
+            btb_misses: a[7],
+            icache_misses: a[8],
+            dcache_misses: a[9],
+            l2_misses: a[10],
+            itlb_misses: a[11],
+            dtlb_misses: a[12],
+            calls: a[13],
+            returns: a[14],
+            syscalls: a[15],
+        }
+    }
+
     /// Normalizes every channel by the committed-instruction count, yielding
     /// per-instruction rates suitable as detector features.
     pub fn to_rates(&self) -> [f64; COUNTER_DIMS] {

@@ -1,0 +1,575 @@
+//! Counter fault injection: a deterministic, seeded model of the ways real
+//! performance-monitoring hardware corrupts the event stream an HMD reads.
+//!
+//! Real HPC-based detectors never see the bit-perfect counters the rest of
+//! this crate simulates. Counters are narrow and saturate or wrap, reads are
+//! lost to interrupt coalescing, a limited number of physical counters is
+//! multiplexed across more logical events (so a channel reads stale or zero
+//! for some windows), and electrical or firmware glitches corrupt whole
+//! bursts of reads. [`FaultModel`] reproduces each of those effects on a
+//! committed counter stream, keyed only on `(seed, window index, channel)`
+//! so corruption is reproducible and independent of evaluation order.
+//!
+//! A zero-intensity model (the default config) is a bit-exact identity and
+//! never touches a floating-point path, so fault-free runs stay
+//! bit-identical to runs that never constructed a model at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use rhmd_uarch::events::CounterSet;
+//! use rhmd_uarch::faults::{FaultConfig, FaultModel};
+//!
+//! let model = FaultModel::new(FaultConfig::noise(0.1), 7);
+//! let clean = CounterSet { instructions: 1_000, loads: 240, ..CounterSet::default() };
+//! let mut stream = vec![clean; 4];
+//! model.corrupt_stream(&mut stream);
+//! assert_eq!(stream.len(), 4); // noise never drops windows
+//! ```
+
+use crate::core::CoreModel;
+use crate::events::{CounterSet, COUNTER_DIMS};
+use rhmd_trace::exec::{ExecEvent, Sink};
+use serde::{Deserialize, Serialize};
+
+/// How a width-limited counter handles overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Overflow {
+    /// The counter sticks at its maximum value.
+    Saturate,
+    /// The counter wraps modulo its width.
+    Wrap,
+}
+
+/// Fault intensities, serde-configurable. The default is the identity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Relative standard deviation of per-channel multiplicative Gaussian
+    /// noise (`0.1` ≈ ±10% read jitter).
+    pub noise: f64,
+    /// Standard deviation of additive Gaussian noise, in raw counts.
+    pub additive: f64,
+    /// Counter width in bits; `0` means unlimited (no overflow).
+    pub counter_bits: u32,
+    /// Overflow behaviour when `counter_bits > 0`.
+    pub overflow: Overflow,
+    /// Probability that a window's read is lost to interrupt coalescing and
+    /// merged into the next surviving read.
+    pub drop_rate: f64,
+    /// Probability that a channel is multiplexed out for a window and reads
+    /// stale (previous window's value, or zero for the first window).
+    pub multiplex_rate: f64,
+    /// Probability that a corruption burst *starts* at any given window.
+    pub burst_rate: f64,
+    /// Length of a corruption burst, in windows.
+    pub burst_len: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig::none()
+    }
+}
+
+impl FaultConfig {
+    /// The identity: no faults of any kind.
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            noise: 0.0,
+            additive: 0.0,
+            counter_bits: 0,
+            overflow: Overflow::Saturate,
+            drop_rate: 0.0,
+            multiplex_rate: 0.0,
+            burst_rate: 0.0,
+            burst_len: 4,
+        }
+    }
+
+    /// Multiplicative Gaussian read noise with relative std-dev `sigma`.
+    pub fn noise(sigma: f64) -> FaultConfig {
+        FaultConfig {
+            noise: sigma,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Saturating counters of `bits` width.
+    pub fn saturating(bits: u32) -> FaultConfig {
+        FaultConfig {
+            counter_bits: bits,
+            overflow: Overflow::Saturate,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Wrapping counters of `bits` width.
+    pub fn wrapping(bits: u32) -> FaultConfig {
+        FaultConfig {
+            counter_bits: bits,
+            overflow: Overflow::Wrap,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Interrupt-coalescing window drops at the given rate.
+    pub fn dropping(rate: f64) -> FaultConfig {
+        FaultConfig {
+            drop_rate: rate,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Channel multiplexing: each channel reads stale with probability
+    /// `rate` in each window.
+    pub fn multiplexed(rate: f64) -> FaultConfig {
+        FaultConfig {
+            multiplex_rate: rate,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Burst corruption: bursts of `len` garbage windows start with
+    /// probability `rate` per window.
+    pub fn bursty(rate: f64, len: u32) -> FaultConfig {
+        FaultConfig {
+            burst_rate: rate,
+            burst_len: len.max(1),
+            ..FaultConfig::none()
+        }
+    }
+
+    /// True when this config can never alter a value — the guarantee the
+    /// zero-intensity identity property rests on.
+    pub fn is_identity(&self) -> bool {
+        self.noise == 0.0
+            && self.additive == 0.0
+            && self.counter_bits == 0
+            && self.drop_rate == 0.0
+            && self.multiplex_rate == 0.0
+            && self.burst_rate == 0.0
+    }
+}
+
+// Stream-separation tags so the drop, multiplex, burst, and noise decisions
+// at one (window, channel) are independent of each other.
+const TAG_DROP: u64 = 0x1;
+const TAG_MUX: u64 = 0x2;
+const TAG_BURST: u64 = 0x3;
+const TAG_NOISE_A: u64 = 0x4;
+const TAG_NOISE_B: u64 = 0x5;
+const TAG_GARBAGE: u64 = 0x6;
+
+/// SplitMix64 finalizer — a full-avalanche 64-bit mix.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash (53-bit resolution).
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seeded fault model over a committed counter stream.
+///
+/// Every decision is a pure function of `(seed, window index, channel)`:
+/// corrupting window 17 gives the same answer whether or not windows 0–16
+/// were corrupted first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    config: FaultConfig,
+    seed: u64,
+}
+
+impl FaultModel {
+    /// Creates a model applying `config` with the given seed.
+    pub fn new(config: FaultConfig, seed: u64) -> FaultModel {
+        FaultModel { config, seed }
+    }
+
+    /// The configured intensities.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The seed in effect.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when this model is a bit-exact identity.
+    pub fn is_identity(&self) -> bool {
+        self.config.is_identity()
+    }
+
+    #[inline]
+    fn hash(&self, tag: u64, window: u64, channel: u64) -> u64 {
+        mix(self
+            .seed
+            .wrapping_add(mix(tag.wrapping_mul(0x9e3779b97f4a7c15)))
+            .wrapping_add(mix(window.wrapping_mul(0xd1b54a32d192ed03)))
+            .wrapping_add(mix(channel.wrapping_mul(0x8cb92ba72f3d8dd7))))
+    }
+
+    /// Standard normal deviate for `(tag-pair, window, channel)` via
+    /// Box–Muller. Only called on non-zero noise intensities.
+    #[inline]
+    fn gauss(&self, window: u64, channel: u64) -> f64 {
+        // u1 in (0, 1] so the log is finite.
+        let u1 = 1.0 - unit(self.hash(TAG_NOISE_A, window, channel));
+        let u2 = unit(self.hash(TAG_NOISE_B, window, channel));
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// True when the read of `window` is lost to interrupt coalescing.
+    pub fn drops_window(&self, window: u64) -> bool {
+        self.config.drop_rate > 0.0 && unit(self.hash(TAG_DROP, window, 0)) < self.config.drop_rate
+    }
+
+    /// True when `window` falls inside a corruption burst.
+    pub fn in_burst(&self, window: u64) -> bool {
+        if self.config.burst_rate <= 0.0 {
+            return false;
+        }
+        let len = u64::from(self.config.burst_len.max(1));
+        let first = window.saturating_sub(len - 1);
+        (first..=window).any(|start| unit(self.hash(TAG_BURST, start, 0)) < self.config.burst_rate)
+    }
+
+    /// True when `channel` is multiplexed out (reads stale) in `window`.
+    pub fn multiplexed_out(&self, window: u64, channel: u64) -> bool {
+        self.config.multiplex_rate > 0.0
+            && unit(self.hash(TAG_MUX, window, channel)) < self.config.multiplex_rate
+    }
+
+    /// Corrupts one counter value. `prev` is the channel's previous
+    /// *observed* value, served when the channel is multiplexed out (zero at
+    /// the start of the stream).
+    ///
+    /// Zero-intensity configs return `value` unchanged without touching any
+    /// floating-point path.
+    pub fn corrupt_value(&self, window: u64, channel: u64, value: u64, prev: Option<u64>) -> u64 {
+        let c = &self.config;
+        if c.is_identity() {
+            return value;
+        }
+        let mask = if c.counter_bits == 0 || c.counter_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << c.counter_bits) - 1
+        };
+        if self.in_burst(window) {
+            // Electrical garbage: a random value within the counter width
+            // (or a plausible 32-bit range for unlimited counters).
+            let garbage_mask = if c.counter_bits == 0 { u32::MAX as u64 } else { mask };
+            return self.hash(TAG_GARBAGE, window, channel) & garbage_mask;
+        }
+        if self.multiplexed_out(window, channel) {
+            return prev.unwrap_or(0);
+        }
+        let mut v = value;
+        if c.noise > 0.0 || c.additive > 0.0 {
+            let mut f = v as f64;
+            if c.noise > 0.0 {
+                f *= 1.0 + c.noise * self.gauss(window, channel);
+            }
+            if c.additive > 0.0 {
+                f += c.additive * self.gauss(window, channel ^ (1 << 32));
+            }
+            v = if f <= 0.0 { 0 } else { f.round() as u64 };
+        }
+        if c.counter_bits > 0 {
+            v = match c.overflow {
+                Overflow::Saturate => v.min(mask),
+                Overflow::Wrap => v & mask,
+            };
+        }
+        v
+    }
+
+    /// Corrupts one [`CounterSet`] in place. `window` is the read's index in
+    /// the committed stream; `prev` is the previously *observed* (possibly
+    /// corrupted) set, used for stale multiplexed reads.
+    pub fn corrupt_counters(&self, window: u64, counters: &mut CounterSet, prev: Option<&CounterSet>) {
+        if self.is_identity() {
+            return;
+        }
+        let raw = counters.to_array();
+        let stale = prev.map(CounterSet::to_array);
+        let mut out = [0u64; COUNTER_DIMS];
+        for (ch, (o, &v)) in out.iter_mut().zip(&raw).enumerate() {
+            *o = self.corrupt_value(window, ch as u64, v, stale.map(|s| s[ch]));
+        }
+        *counters = CounterSet::from_array(out);
+    }
+
+    /// Corrupts a whole counter stream: applies per-channel corruption to
+    /// every window and merges dropped reads into the next surviving window
+    /// (interrupt coalescing), truncating any trailing run of dropped reads.
+    ///
+    /// Window indices are positions in the *original* stream, so per-window
+    /// decisions match [`FaultModel::drops_window`] /
+    /// [`FaultModel::corrupt_counters`] applied individually.
+    pub fn corrupt_stream(&self, stream: &mut Vec<CounterSet>) {
+        if self.is_identity() {
+            return;
+        }
+        let mut out: Vec<CounterSet> = Vec::with_capacity(stream.len());
+        let mut pending = CounterSet::default();
+        let mut prev: Option<CounterSet> = None;
+        for (window, &clean) in stream.iter().enumerate() {
+            let merged = pending + clean;
+            if self.drops_window(window as u64) {
+                pending = merged;
+                continue;
+            }
+            pending = CounterSet::default();
+            let mut read = merged;
+            self.corrupt_counters(window as u64, &mut read, prev.as_ref());
+            prev = Some(read);
+            out.push(read);
+        }
+        *stream = out;
+    }
+}
+
+/// A [`CoreModel`] wrapped with fault injection on its counter reads: the
+/// events flow through unchanged, but every [`FaultedCore::drain_counters`]
+/// read passes through the [`FaultModel`].
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_trace::exec::ExecLimits;
+/// use rhmd_trace::generate::{benign_profile, BenignClass, ProgramGenerator};
+/// use rhmd_uarch::faults::{FaultConfig, FaultModel, FaultedCore};
+/// use rhmd_uarch::{CoreConfig, CoreModel};
+///
+/// let program = ProgramGenerator::new(benign_profile(BenignClass::Browser)).generate(0);
+/// let mut core = FaultedCore::new(
+///     CoreModel::new(CoreConfig::default()),
+///     FaultModel::new(FaultConfig::noise(0.05), 3),
+/// );
+/// program.execute(ExecLimits::instructions(10_000), &mut core);
+/// let read = core.drain_counters().expect("noise never drops reads");
+/// assert!(read.instructions > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultedCore {
+    core: CoreModel,
+    model: FaultModel,
+    window: u64,
+    pending: CounterSet,
+    prev: Option<CounterSet>,
+}
+
+impl FaultedCore {
+    /// Wraps `core` with `model`.
+    pub fn new(core: CoreModel, model: FaultModel) -> FaultedCore {
+        FaultedCore {
+            core,
+            model,
+            window: 0,
+            pending: CounterSet::default(),
+            prev: None,
+        }
+    }
+
+    /// The wrapped core.
+    pub fn core(&self) -> &CoreModel {
+        &self.core
+    }
+
+    /// The fault model in effect.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Unwraps the inner core, discarding fault state.
+    pub fn into_inner(self) -> CoreModel {
+        self.core
+    }
+
+    /// Reads and resets the accumulated counters through the fault model.
+    ///
+    /// Returns `None` when the read was lost to interrupt coalescing; the
+    /// lost counts are merged into the next successful read, as on hardware
+    /// where the accumulation continues even if the sampling interrupt is
+    /// missed.
+    pub fn drain_counters(&mut self) -> Option<CounterSet> {
+        let window = self.window;
+        self.window += 1;
+        let merged = self.pending + self.core.drain_counters();
+        if self.model.drops_window(window) {
+            self.pending = merged;
+            return None;
+        }
+        self.pending = CounterSet::default();
+        let mut read = merged;
+        self.model.corrupt_counters(window, &mut read, self.prev.as_ref());
+        self.prev = Some(read);
+        Some(read)
+    }
+}
+
+impl Sink for FaultedCore {
+    #[inline]
+    fn event(&mut self, ev: &ExecEvent) {
+        self.core.event(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream(n: usize) -> Vec<CounterSet> {
+        (0..n)
+            .map(|i| CounterSet {
+                instructions: 1_000,
+                loads: 200 + i as u64,
+                stores: 90,
+                mispredicts: 12,
+                dcache_misses: 40 + (i as u64 % 7),
+                syscalls: i as u64 % 3,
+                ..CounterSet::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_intensity_is_bit_exact_identity() {
+        let model = FaultModel::new(FaultConfig::none(), 99);
+        assert!(model.is_identity());
+        let clean = sample_stream(16);
+        let mut faulted = clean.clone();
+        model.corrupt_stream(&mut faulted);
+        assert_eq!(clean, faulted);
+        assert_eq!(model.corrupt_value(3, 5, 123_456, Some(7)), 123_456);
+    }
+
+    #[test]
+    fn corruption_is_order_independent() {
+        let model = FaultModel::new(FaultConfig::noise(0.2), 5);
+        let clean = sample_stream(8);
+        // Whole-stream corruption equals window-at-a-time corruption.
+        let mut streamed = clean.clone();
+        model.corrupt_stream(&mut streamed);
+        let mut individual = Vec::new();
+        let mut prev = None;
+        for (i, &w) in clean.iter().enumerate() {
+            let mut c = w;
+            model.corrupt_counters(i as u64, &mut c, prev.as_ref());
+            prev = Some(c);
+            individual.push(c);
+        }
+        assert_eq!(streamed, individual);
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let model = FaultModel::new(FaultConfig::noise(0.1), 11);
+        let mut stream = sample_stream(32);
+        model.corrupt_stream(&mut stream);
+        let clean = sample_stream(32);
+        assert_ne!(stream, clean);
+        for (f, c) in stream.iter().zip(&clean) {
+            // ±10% noise stays within ±60% with overwhelming probability.
+            assert!((f.instructions as f64) > 0.4 * c.instructions as f64);
+            assert!((f.instructions as f64) < 1.6 * c.instructions as f64);
+        }
+    }
+
+    #[test]
+    fn saturation_caps_at_width() {
+        let model = FaultModel::new(FaultConfig::saturating(8), 0);
+        let v = model.corrupt_value(0, 0, 100_000, None);
+        assert_eq!(v, 255);
+        let small = model.corrupt_value(0, 1, 37, None);
+        assert_eq!(small, 37);
+    }
+
+    #[test]
+    fn wraparound_is_modular() {
+        let model = FaultModel::new(FaultConfig::wrapping(8), 0);
+        assert_eq!(model.corrupt_value(0, 0, 256 + 37, None), 37);
+    }
+
+    #[test]
+    fn drops_coalesce_into_next_read() {
+        let model = FaultModel::new(FaultConfig::dropping(0.5), 21);
+        let clean = sample_stream(64);
+        let total: u64 = clean.iter().map(|c| c.instructions).sum();
+        let mut stream = clean;
+        model.corrupt_stream(&mut stream);
+        assert!(stream.len() < 64, "a 50% drop rate must lose some reads");
+        let observed: u64 = stream.iter().map(|c| c.instructions).sum();
+        // Coalescing preserves all counts except a trailing dropped run.
+        assert!(observed <= total);
+        assert!(observed >= total - 64 * 1_000 / 2);
+        assert!(stream.iter().any(|c| c.instructions >= 2_000));
+    }
+
+    #[test]
+    fn multiplexed_channels_read_stale() {
+        let model = FaultModel::new(FaultConfig::multiplexed(0.5), 4);
+        let clean = sample_stream(40);
+        let mut stream = clean.clone();
+        model.corrupt_stream(&mut stream);
+        assert_eq!(stream.len(), 40);
+        // Some loads reads must repeat the previous observation.
+        let stale_hits = stream
+            .windows(2)
+            .filter(|w| w[1].loads == w[0].loads)
+            .count();
+        assert!(stale_hits > 0, "expected stale multiplexed reads");
+    }
+
+    #[test]
+    fn bursts_cover_consecutive_windows() {
+        let config = FaultConfig::bursty(0.05, 4);
+        let model = FaultModel::new(config, 9);
+        let in_burst: Vec<bool> = (0..400).map(|w| model.in_burst(w)).collect();
+        let hits = in_burst.iter().filter(|&&b| b).count();
+        assert!(hits > 0, "a 5% burst rate over 400 windows should fire");
+        // Every burst window belongs to a run whose start window hashes hot,
+        // so runs of length >= 2 exist.
+        assert!(in_burst.windows(2).any(|w| w[0] && w[1]));
+    }
+
+    #[test]
+    fn faulted_core_matches_plain_core_at_zero_intensity() {
+        use crate::{CoreConfig, CoreModel};
+        use rhmd_trace::exec::ExecLimits;
+        use rhmd_trace::generate::{benign_profile, BenignClass, ProgramGenerator};
+
+        let p = ProgramGenerator::new(benign_profile(BenignClass::Archiver)).generate(2);
+        let mut plain = CoreModel::new(CoreConfig::default());
+        p.execute(ExecLimits::instructions(8_000), &mut plain);
+        let mut faulted = FaultedCore::new(
+            CoreModel::new(CoreConfig::default()),
+            FaultModel::new(FaultConfig::none(), 1),
+        );
+        p.execute(ExecLimits::instructions(8_000), &mut faulted);
+        assert_eq!(faulted.drain_counters(), Some(plain.drain_counters()));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = FaultConfig {
+            noise: 0.1,
+            counter_bits: 16,
+            overflow: Overflow::Wrap,
+            drop_rate: 0.2,
+            ..FaultConfig::none()
+        };
+        let json = serde_json::to_string(&FaultModel::new(config, 17)).unwrap();
+        let back: FaultModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.config(), &config);
+        assert_eq!(back.seed(), 17);
+    }
+}

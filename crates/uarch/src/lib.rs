@@ -11,7 +11,9 @@
 //! * [`timing`] — approximate cycle/IPC accounting over the counters;
 //! * [`events`] — the counter architecture ([`events::CounterSet`]);
 //! * [`core`] — the commit-stage model tying them together as a
-//!   [`rhmd_trace::exec::Sink`].
+//!   [`rhmd_trace::exec::Sink`];
+//! * [`faults`] — seeded counter fault injection (noise, saturation,
+//!   wraparound, dropped reads, multiplexing, burst corruption).
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@ pub mod branch;
 pub mod cache;
 pub mod core;
 pub mod events;
+pub mod faults;
 pub mod timing;
 pub mod tlb;
 
@@ -40,5 +43,6 @@ pub use crate::core::{CoreConfig, CoreModel};
 pub use branch::{BranchConfig, Btb, GsharePredictor};
 pub use cache::{Cache, CacheConfig};
 pub use events::{CounterSet, COUNTER_DIMS, COUNTER_NAMES};
+pub use faults::{FaultConfig, FaultModel, FaultedCore, Overflow};
 pub use timing::TimingModel;
 pub use tlb::{Tlb, TlbConfig};

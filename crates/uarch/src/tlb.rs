@@ -109,12 +109,13 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut tlb = Tlb::new(TlbConfig { entries: 2 });
-        tlb.access(0 * PAGE_BYTES); // A
-        tlb.access(1 * PAGE_BYTES); // B
-        tlb.access(0 * PAGE_BYTES); // A hit → B is LRU
-        tlb.access(2 * PAGE_BYTES); // C evicts B
-        assert!(tlb.access(0 * PAGE_BYTES));
-        assert!(!tlb.access(1 * PAGE_BYTES));
+        let (a, b, c) = (0, PAGE_BYTES, 2 * PAGE_BYTES);
+        tlb.access(a);
+        tlb.access(b);
+        tlb.access(a); // A hit → B is LRU
+        tlb.access(c); // C evicts B
+        assert!(tlb.access(a));
+        assert!(!tlb.access(b));
     }
 
     #[test]

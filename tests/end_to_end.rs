@@ -13,7 +13,7 @@ fn fixture() -> (TracedCorpus, Splits, Vec<Opcode>) {
     (traced, splits, opcodes)
 }
 
-fn malware_of<'a>(traced: &TracedCorpus, indices: &'a [usize]) -> Vec<usize> {
+fn malware_of(traced: &TracedCorpus, indices: &[usize]) -> Vec<usize> {
     let labels = traced.corpus().labels();
     indices.iter().copied().filter(|&i| labels[i]).collect()
 }

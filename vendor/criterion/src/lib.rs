@@ -1,0 +1,204 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the bench-definition surface this workspace uses
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, `Throughput`, `BatchSize`)
+//! with a simple wall-clock harness. When invoked without `--bench` (as
+//! `cargo test` does for `harness = false` bench targets) each benchmark
+//! body runs once as a smoke test; with `--bench` it runs a short timed
+//! loop and prints mean time per iteration.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units on display).
+    BytesDecimal(u64),
+}
+
+/// How batched setup output is sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Opaque hint preventing the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    timed: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Real bench runs (`cargo bench`) pass `--bench`; `cargo test`
+        // does not, and then we only smoke-test each body once.
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion { timed }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmark a function outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.timed, &id, None, &mut body);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the sample count (accepted for API compatibility; the stub's
+    /// iteration count is fixed).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a function within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.timed, &id, self.throughput, &mut body);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(timed: bool, id: &str, throughput: Option<Throughput>, body: &mut F) {
+    let mut bencher = Bencher { timed, iters_done: 0, elapsed: std::time::Duration::ZERO };
+    body(&mut bencher);
+    if timed && bencher.iters_done > 0 {
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters_done as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.0} elem/s)", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                format!("  ({:.0} B/s)", n as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!("{:<48} {:>12.3} µs/iter{}", id, per_iter * 1e6, rate);
+    }
+}
+
+/// Passed to each benchmark body; runs the measured routine.
+pub struct Bencher {
+    timed: bool,
+    iters_done: u64,
+    elapsed: std::time::Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly (once in smoke-test mode) and record timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = if self.timed { self.pick_iters(&mut routine) } else { 1 };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += iters;
+    }
+
+    /// Run `routine` over fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = if self.timed { 10 } else { 1 };
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+        }
+    }
+
+    /// Pick an iteration count targeting roughly 100ms of measurement.
+    fn pick_iters<O, R: FnMut() -> O>(&mut self, routine: &mut R) -> u64 {
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        self.elapsed += once;
+        self.iters_done += 1;
+        let target = std::time::Duration::from_millis(100);
+        if once.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u64
+        }
+    }
+}
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

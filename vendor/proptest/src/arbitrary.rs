@@ -1,0 +1,33 @@
+//! `any::<T>()` — sampling from the type's full "standard" distribution.
+
+use crate::strategy::Strategy;
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Strategy over the full range of `T` (via rand's `Standard`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Build a strategy covering all of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+    T: Debug,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+    T: Debug,
+{
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling from explicit value lists (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Strategy that picks uniformly from a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// Build a strategy choosing uniformly among `items`.
+pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "cannot select from an empty list");
+    Select { items }
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut SmallRng) -> T {
+        let idx = rng.gen_range(0..self.items.len());
+        self.items[idx].clone()
+    }
+}

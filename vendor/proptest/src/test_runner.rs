@@ -1,0 +1,103 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on rejected cases (failed `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases with default reject limits.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases, ..Config::default() }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256, max_global_rejects: 4096 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A precondition (`prop_assume!`) did not hold; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {}", m),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {}", m),
+        }
+    }
+}
+
+/// FNV-1a, used to give each test its own deterministic RNG stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Run `config.cases` sampled cases of `test` against `strategy`.
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case,
+/// with the generated input included in the message.
+pub fn run_cases<S, F>(name: &str, config: Config, strategy: S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = SmallRng::seed_from_u64(fnv1a(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let value = strategy.sample_value(&mut rng);
+        let rendered = format!("{:?}", value);
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{}`: too many rejected cases ({}) before reaching {} passes",
+                        name, rejected, config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest `{}` failed after {} passing case(s): {}\n  input: {}",
+                    name, passed, message, rendered
+                );
+            }
+        }
+    }
+}

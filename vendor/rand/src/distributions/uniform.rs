@@ -1,0 +1,204 @@
+//! Uniform range sampling (`gen_range` support).
+//!
+//! Algorithms match rand 0.8's `UniformInt`/`UniformFloat` samplers so
+//! seeded streams are bit-identical to the upstream crate: widening
+//! multiply with rejection zone at the type's "large" width (u32 for
+//! types up to 32 bits, u64 above), and the `[1, 2)` mantissa method for
+//! floats.
+
+use super::Distribution;
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with built-in uniform range sampling.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[low, high)`.
+    fn sample_exclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample uniformly from `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+/// Widening-multiply rejection sampling over a 64-bit span.
+/// `span == 0` means the full 2^64 range.
+fn sample_span64<R: Rng + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let ints_to_reject = (u64::MAX - span + 1) % span;
+    let zone = u64::MAX - ints_to_reject;
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (span as u128);
+        let (hi, lo) = ((m >> 64) as u64, m as u64);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// Widening-multiply rejection sampling over a 32-bit span, matching
+/// rand 0.8's sampler for integer types up to 32 bits.
+fn sample_span32<R: Rng + ?Sized>(span: u32, rng: &mut R) -> u32 {
+    if span == 0 {
+        return rng.next_u32();
+    }
+    let ints_to_reject = (u32::MAX - span + 1) % span;
+    let zone = u32::MAX - ints_to_reject;
+    loop {
+        let v = rng.next_u32();
+        let m = (v as u64) * (span as u64);
+        let (hi, lo) = ((m >> 32) as u32, m as u32);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! uniform_int_32 {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_exclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = high.wrapping_sub(low) as $unsigned as u32;
+                low.wrapping_add(sample_span32(span, rng) as $ty)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high.wrapping_sub(low) as $unsigned as u32).wrapping_add(1);
+                low.wrapping_add(sample_span32(span, rng) as $ty)
+            }
+        }
+    };
+}
+
+macro_rules! uniform_int_64 {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_exclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = high.wrapping_sub(low) as $unsigned as u64;
+                low.wrapping_add(sample_span64(span, rng) as $ty)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high.wrapping_sub(low) as $unsigned as u64).wrapping_add(1);
+                low.wrapping_add(sample_span64(span, rng) as $ty)
+            }
+        }
+    };
+}
+
+uniform_int_32!(u8, u8);
+uniform_int_32!(u16, u16);
+uniform_int_32!(u32, u32);
+uniform_int_32!(i8, u8);
+uniform_int_32!(i16, u16);
+uniform_int_32!(i32, u32);
+uniform_int_64!(u64, u64);
+uniform_int_64!(usize, usize);
+uniform_int_64!(i64, u64);
+uniform_int_64!(isize, usize);
+
+/// `[0, 1)` from the high mantissa bits via the `[1, 2) - 1` trick,
+/// exactly as rand 0.8's `UniformFloat` does (52-bit resolution for f64).
+fn unit_f64_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+    value1_2 - 1.0
+}
+
+fn unit_f32_open<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+    value1_2 - 1.0
+}
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $unit:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_exclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let scale = high - low;
+                loop {
+                    let value0_1 = $unit(rng);
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let scale = high - low;
+                let value0_1 = $unit(rng);
+                value0_1 * scale + low
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f32, unit_f32_open);
+uniform_float_impl!(f64, unit_f64_open);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u64..=5);
+            assert!(w <= 5);
+            let x = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&x));
+            let y = rng.gen_range(0u32..7);
+            assert!(y < 7);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn small_ranges_cover_all_values() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    // Keep the Distribution import exercised (Standard lives in the
+    // parent module and is part of this module's public sampling story).
+    #[test]
+    fn standard_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let x: f64 = crate::Standard.sample(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,5 @@
+//! Random number generator implementations.
+
+mod small;
+
+pub use small::SmallRng;

@@ -1,0 +1,71 @@
+//! Sequence-related helpers (`shuffle`, `choose`).
+
+use crate::Rng;
+
+/// Extension trait on slices for random operations.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffle the slice in place (Fisher–Yates, matching rand 0.8's
+    /// iteration order so seeded shuffles are reproducible).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// Return a uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+/// Uniform index sampling, matching rand 0.8's `gen_index`: bounds that
+/// fit in `u32` use the 32-bit sampler so streams match upstream.
+fn gen_index<R: Rng>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= (u32::MAX as usize) {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(gen_index(rng, self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let v: Vec<u32> = vec![];
+        assert!(v.choose(&mut rng).is_none());
+        assert!([7u32].choose(&mut rng) == Some(&7));
+    }
+}

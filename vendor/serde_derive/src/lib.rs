@@ -1,0 +1,438 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`) generating impls of the
+//! vendored `serde::Serialize`/`serde::Deserialize` traits. Supports
+//! plain (non-generic) structs and enums without `#[serde(...)]`
+//! attributes — the full shape of every derive in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum with the given variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip leading attributes (`#[...]`, including doc comments) and
+/// visibility modifiers (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn next_ident(iter: &mut TokenIter, context: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier ({}), found {:?}", context, other),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = next_ident(&mut iter, "struct/enum keyword");
+    if keyword != "struct" && keyword != "enum" {
+        panic!("serde_derive: only structs and enums are supported, found `{}`", keyword);
+    }
+    let name = next_ident(&mut iter, "type name");
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{}` is not supported by the vendored stub", name);
+        }
+    }
+    let kind = if keyword == "enum" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {:?}", other),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde_derive: expected struct body, found {:?}", other),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names. Types
+/// are skipped with angle-bracket depth tracking so commas inside
+/// generics don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {:?}", other),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{}`, found {:?}", name, other),
+        }
+        let mut depth: i32 = 0;
+        for token in iter.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut arity = 0;
+    let mut in_segment = false;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    in_segment = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    in_segment = true;
+                }
+                ',' if depth == 0 => {
+                    if in_segment {
+                        arity += 1;
+                    }
+                    in_segment = false;
+                }
+                _ => in_segment = true,
+            },
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {:?}", other),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume up to and including the variant separator; this also
+        // skips explicit discriminants (`= expr`).
+        for token in iter.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))",
+                        f = f
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{})", i))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), ::serde::Serialize::serialize(__f0))]),"
+                        ),
+                        Shape::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{}", i)).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({})", b))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binders}) => ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), ::serde::Value::Seq(::std::vec![{items}]))]),",
+                                binders = binders.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))",
+                                        f = f
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), ::serde::Value::Map(::std::vec![{entries}]))]),",
+                                binders = binders,
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        name = name,
+        body = body
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(__value.field(\"{f}\")?)?",
+                        f = f
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {inits} }})",
+                name = name,
+                inits = inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__value)?))",
+            name = name
+        ),
+        Kind::Tuple(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{}])?", i))
+                .collect();
+            format!(
+                "let __items = __value.seq()?;\n\
+                 if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::msg(format!(\n\
+                         \"expected tuple of length {arity} for `{name}`, found {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))",
+                arity = arity,
+                name = name,
+                inits = inits.join(", ")
+            )
+        }
+        Kind::Unit => format!(
+            "match __value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\n\
+                     \"expected null for unit struct `{name}`, found {{}}\", __other.kind()))),\n\
+             }}",
+            name = name
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        name = name,
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__inner)?)),"
+                        )),
+                        Shape::Tuple(arity) => {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&__items[{}])?", i)
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __items = __inner.seq()?;\n\
+                                     if __items.len() != {arity} {{\n\
+                                         return ::std::result::Result::Err(::serde::Error::msg(\n\
+                                             format!(\"expected {arity} fields for variant `{vname}`, found {{}}\", __items.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({inits}))\n\
+                                 }}",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(__inner.field(\"{f}\")?)?",
+                                        f = f
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(format!(\n\
+                             \"unknown variant `{{}}` of enum `{name}`\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(format!(\n\
+                                 \"unknown variant `{{}}` of enum `{name}`\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::msg(format!(\n\
+                         \"invalid representation of enum `{name}`: {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+                name = name
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        name = name,
+        body = body
+    )
+}
