@@ -1,0 +1,204 @@
+//! Throughput benchmark of the parallel corpus-evaluation engine.
+//!
+//! Trains one grid of detectors (5 algorithms × 6 feature specs — shared,
+//! untimed), then scores every detector over the held-out corpus twice:
+//! once the way the pre-engine code did it (serial loop, every detector
+//! re-projecting its own datasets), once on the [`Evaluator`] (work fans
+//! out over the pool, projections land in the feature-vector cache and the
+//! 4 other algorithms on each spec hit instead of recomputing). Verifies
+//! the two paths are bit-identical and writes the measured speedup to
+//! `BENCH_par.json`.
+//!
+//! Run with `RHMD_SCALE=tiny cargo run --release -p rhmd-bench --bin
+//! bench_par` for a quick pass.
+
+use rhmd_bench::par::{CacheStats, Evaluator, Pool};
+use rhmd_bench::Experiment;
+use rhmd_core::hmd::Hmd;
+use rhmd_core::retrain::detection_quality;
+use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_ml::metrics::auc;
+use rhmd_ml::model::score_all;
+use rhmd_ml::trainer::Algorithm;
+use serde::Serialize;
+use std::time::Instant;
+
+// Linear/shallow models: their inference is a dot product or a short tree
+// walk, so evaluation cost is dominated by window aggregation + projection
+// — the part the cache elides. (NN/RF inference would dominate either
+// path equally and only dilute the comparison.)
+const ALGOS: [Algorithm; 3] = [Algorithm::Lr, Algorithm::Dt, Algorithm::Svm];
+const PERIODS: [u32; 2] = [10_000, 5_000];
+
+/// One detector's evaluation result — compared bit-for-bit between paths.
+#[derive(Debug, PartialEq)]
+struct Cell {
+    label: String,
+    auc: f64,
+    sensitivity: f64,
+    specificity: f64,
+}
+
+/// The `BENCH_par.json` document (vendored serde_json has no `json!`
+/// macro, so the report is a plain derive).
+#[derive(Debug, Serialize)]
+struct Report {
+    workload: Workload,
+    threads: usize,
+    available_parallelism: usize,
+    serial_seconds: f64,
+    serial_program_evals_per_second: f64,
+    parallel_cached_seconds: f64,
+    parallel_cached_program_evals_per_second: f64,
+    speedup: f64,
+    cache_hit_rate: f64,
+    cache: CacheStats,
+    results_bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Workload {
+    cells: usize,
+    algorithms: usize,
+    specs: usize,
+    programs: usize,
+    program_evaluations: usize,
+}
+
+fn specs(exp: &Experiment) -> Vec<FeatureSpec> {
+    PERIODS
+        .iter()
+        .flat_map(|&p| FeatureKind::ALL.iter().map(move |&k| (k, p)))
+        .map(|(k, p)| exp.spec(k, p))
+        .collect()
+}
+
+/// Trains the detector grid once; both measured paths evaluate the *same*
+/// detectors, so any timing difference is purely the evaluation engine.
+fn train_grid(exp: &Experiment) -> Vec<Hmd> {
+    specs(exp)
+        .into_iter()
+        .flat_map(|spec| {
+            ALGOS.map(|algorithm| {
+                Hmd::train(
+                    algorithm,
+                    spec.clone(),
+                    &exp.trainer,
+                    &exp.traced,
+                    &exp.splits.victim_train,
+                )
+            })
+        })
+        .collect()
+}
+
+/// The pre-engine path: every detector re-projects its own evaluation
+/// datasets from scratch, one program at a time.
+fn run_serial(exp: &Experiment, grid: &mut [Hmd]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for hmd in grid {
+        let test = exp.traced.window_dataset(&exp.splits.attacker_test, hmd.spec());
+        let roc_auc = auc(&score_all(hmd.model(), &test), test.labels());
+        let q = detection_quality(hmd, &exp.traced, &exp.splits.attacker_test);
+        cells.push(Cell {
+            label: format!("{}/{}", hmd.algorithm(), hmd.spec().label()),
+            auc: roc_auc,
+            sensitivity: q.sensitivity_unmodified,
+            specificity: q.specificity,
+        });
+    }
+    cells
+}
+
+/// The engine path: projections fan out over the pool and land in the
+/// cache, so the four other algorithms on each spec hit instead of
+/// recomputing.
+fn run_engine(exp: &Experiment, engine: &Evaluator<'_>, grid: &[Hmd]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for hmd in grid {
+        let test = engine.window_dataset(&exp.splits.attacker_test, hmd.spec());
+        let roc_auc = auc(&score_all(hmd.model(), &test), test.labels());
+        let q = engine.quality_hmd(hmd, &exp.splits.attacker_test);
+        cells.push(Cell {
+            label: format!("{}/{}", hmd.algorithm(), hmd.spec().label()),
+            auc: roc_auc,
+            sensitivity: q.sensitivity_unmodified,
+            specificity: q.specificity,
+        });
+    }
+    cells
+}
+
+fn main() {
+    let exp = Experiment::load();
+    let pool = Pool::available();
+    let programs = exp.splits.attacker_test.len();
+    let cells = specs(&exp).len() * ALGOS.len();
+    // Each detector walks the test split twice: window dataset for AUC,
+    // program verdicts for sensitivity/specificity.
+    let program_evals = cells * 2 * programs;
+
+    eprintln!("[bench_par] training the {cells}-detector grid (shared, untimed) ...");
+    let mut grid = train_grid(&exp);
+
+    // Best of three trials per path; every engine trial starts with a cold
+    // cache, so no state leaks between repetitions.
+    const TRIALS: usize = 3;
+    eprintln!("[bench_par] serial baseline ({cells} detectors x {programs} programs) ...");
+    let mut serial = Vec::new();
+    let mut serial_seconds = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        serial = run_serial(&exp, &mut grid);
+        serial_seconds = serial_seconds.min(start.elapsed().as_secs_f64());
+    }
+
+    eprintln!("[bench_par] engine ({} threads + cache) ...", pool.threads());
+    let mut engine = Evaluator::new(&exp.traced, pool, exp.config.seed);
+    let mut parallel = Vec::new();
+    let mut parallel_seconds = f64::INFINITY;
+    for trial in 0..TRIALS {
+        if trial > 0 {
+            engine = Evaluator::new(&exp.traced, pool, exp.config.seed);
+        }
+        let start = Instant::now();
+        parallel = run_engine(&exp, &engine, &grid);
+        parallel_seconds = parallel_seconds.min(start.elapsed().as_secs_f64());
+    }
+
+    // The engine must be an optimization, not a semantic change.
+    assert_eq!(serial, parallel, "engine results diverged from serial path");
+
+    let stats = engine.cache().stats();
+    let speedup = serial_seconds / parallel_seconds.max(1e-9);
+    let report = Report {
+        workload: Workload {
+            cells,
+            algorithms: ALGOS.len(),
+            specs: specs(&exp).len(),
+            programs,
+            program_evaluations: program_evals,
+        },
+        threads: pool.threads(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        serial_seconds,
+        serial_program_evals_per_second: program_evals as f64 / serial_seconds.max(1e-9),
+        parallel_cached_seconds: parallel_seconds,
+        parallel_cached_program_evals_per_second: program_evals as f64
+            / parallel_seconds.max(1e-9),
+        speedup,
+        cache_hit_rate: stats.hit_rate(),
+        cache: stats,
+        results_bit_identical: true,
+    };
+    let path = "BENCH_par.json";
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, json + "\n").expect("write BENCH_par.json");
+    println!(
+        "serial {serial_seconds:.2}s -> engine {parallel_seconds:.2}s \
+         ({speedup:.2}x, cache hit rate {:.0}%); report in {path}",
+        100.0 * stats.hit_rate()
+    );
+}

@@ -10,15 +10,16 @@
 //! Run with `RHMD_SCALE=tiny cargo run --release -p rhmd-bench --bin
 //! robustness_sweep` for a quick pass.
 
+use rhmd_bench::par::{DegradedQuality, Evaluator, Pool};
 use rhmd_bench::{Experiment, Table};
 use rhmd_core::ensemble::{Combiner, EnsembleHmd};
 use rhmd_core::hmd::{Hmd, QuorumVerdict};
 use rhmd_core::rhmd::{build_pool, pool_specs, ResilientHmd};
-use rhmd_core::verdict::{DegradedVerdict, VerdictPolicy};
+use rhmd_core::verdict::VerdictPolicy;
 use rhmd_features::vector::FeatureKind;
-use rhmd_features::window::apply_faults;
+use rhmd_features::window::RawWindow;
 use rhmd_ml::trainer::Algorithm;
-use rhmd_uarch::faults::{FaultConfig, FaultModel};
+use rhmd_uarch::faults::FaultConfig;
 
 /// Windows must be at least half-full to vote.
 const MIN_FILL: f64 = 0.5;
@@ -42,46 +43,27 @@ fn fault_grid() -> Vec<(&'static str, FaultConfig)> {
     ]
 }
 
-/// Sensitivity / specificity / abstention of one detector over the test
-/// split, with every program's counter stream passed through `config`.
-struct Quality {
-    sensitivity: f64,
-    specificity: f64,
-    abstain_rate: f64,
-}
-
+/// Measures one detector over the fault-corrupted test split on the
+/// parallel engine. Per-program fault seeds stay the historical
+/// `FAULT_SEED ^ i` derivation, so the table is bit-compatible with the
+/// serial sweep this replaced.
 fn measure(
-    exp: &Experiment,
+    engine: &Evaluator<'_>,
+    test: &[usize],
     config: FaultConfig,
-    mut quorum_of: impl FnMut(&[rhmd_features::RawWindow]) -> QuorumVerdict,
-) -> Quality {
-    let policy = VerdictPolicy::majority();
-    let labels = exp.traced.corpus().labels();
-    let (mut tp, mut malware, mut tn, mut benign, mut abstained) = (0u32, 0u32, 0u32, 0u32, 0u32);
-    for &i in &exp.splits.attacker_test {
-        let model = FaultModel::new(config, FAULT_SEED ^ i as u64);
-        let subs = apply_faults(exp.traced.subwindows(i), &model);
-        match policy.judge_quorum(&quorum_of(&subs), MIN_COVERAGE) {
-            DegradedVerdict::Abstained => abstained += 1,
-            DegradedVerdict::Decided(flag) => {
-                if labels[i] {
-                    malware += 1;
-                    tp += u32::from(flag);
-                } else {
-                    benign += 1;
-                    tn += u32::from(!flag);
-                }
-            }
-        }
-    }
-    Quality {
-        sensitivity: f64::from(tp) / f64::from(malware.max(1)),
-        specificity: f64::from(tn) / f64::from(benign.max(1)),
-        abstain_rate: f64::from(abstained) / exp.splits.attacker_test.len().max(1) as f64,
-    }
+    quorum_of: impl Fn(usize, &[RawWindow]) -> QuorumVerdict + Sync,
+) -> DegradedQuality {
+    engine.degraded_quality(
+        test,
+        config,
+        &VerdictPolicy::majority(),
+        MIN_COVERAGE,
+        |i| FAULT_SEED ^ i as u64,
+        quorum_of,
+    )
 }
 
-fn cell(q: &Quality) -> String {
+fn cell(q: &DegradedQuality) -> String {
     if q.abstain_rate > 0.0 {
         format!(
             "{} / {} ({}% abst)",
@@ -128,7 +110,7 @@ fn main() {
             .collect(),
         Combiner::Majority,
     );
-    let mut rhmd: ResilientHmd = build_pool(
+    let rhmd: ResilientHmd = build_pool(
         Algorithm::Lr,
         pool_specs(&FeatureKind::ALL, &[10_000, 5_000], &exp.opcodes),
         &exp.trainer,
@@ -144,15 +126,21 @@ fn main() {
          (majority verdict over voting windows; abstentions excluded from the vote)",
         &["fault", "LR", "NN", "Ensemble(3)", "RHMD(6)"],
     );
-    let mut sweep: Vec<[Quality; 4]> = Vec::new();
+    let engine = Evaluator::new(&exp.traced, Pool::available(), FAULT_SEED);
+    let test = &exp.splits.attacker_test;
+    let mut sweep: Vec<[DegradedQuality; 4]> = Vec::new();
     for (name, config) in fault_grid() {
         eprintln!("[robustness] fault: {name}");
-        let q_lr = measure(&exp, config, |subs| lr.quorum_verdict(subs, MIN_FILL));
-        let q_nn = measure(&exp, config, |subs| nn.quorum_verdict(subs, MIN_FILL));
-        let q_en = measure(&exp, config, |subs| ensemble.quorum_verdict(subs, MIN_FILL));
-        let q_rh = measure(&exp, config, |subs| {
-            rhmd.reset();
-            rhmd.quorum_verdict(subs, MIN_FILL)
+        let q_lr = measure(&engine, test, config, |_, subs| lr.quorum_verdict(subs, MIN_FILL));
+        let q_nn = measure(&engine, test, config, |_, subs| nn.quorum_verdict(subs, MIN_FILL));
+        let q_en = measure(&engine, test, config, |_, subs| {
+            ensemble.quorum_verdict(subs, MIN_FILL)
+        });
+        // The serial sweep reset the pool before every program, i.e. each
+        // program saw the switching stream from the construction seed — the
+        // seeded walk replays exactly that, without shared state.
+        let q_rh = measure(&engine, test, config, |_, subs| {
+            rhmd.quorum_verdict_seeded(subs, MIN_FILL, rhmd.seed())
         });
         table.push_row(vec![
             name.to_owned(),

@@ -12,7 +12,9 @@
 
 pub mod context;
 pub mod figures;
+pub mod par;
 pub mod report;
 
 pub use context::Experiment;
+pub use par::{Evaluator, FeatureCache, Pool};
 pub use report::Table;

@@ -1,0 +1,683 @@
+//! Parallel corpus-evaluation engine: a dependency-free work-stealing
+//! thread pool, a feature-vector cache, and the per-program evaluation
+//! loops every experiment shares.
+//!
+//! Three design rules make parallel runs **bit-exact** with serial ones at
+//! any thread count:
+//!
+//! 1. **Per-program work is pure.** A program's verdict depends only on its
+//!    own subwindows and a seed derived from `(run seed, program id)` via
+//!    [`rhmd_trace::seed::derive_seed`] — never on shared RNG state or on
+//!    which other programs were evaluated before it.
+//! 2. **Results are keyed by index.** Workers race over *which item to
+//!    compute next*, not over where results land; output order is always
+//!    corpus order, so reductions (datasets, tallies) fold identically.
+//! 3. **The cache stores finished values.** A [`FeatureCache`] hit returns
+//!    the same immutable vectors a miss would compute, so interleaving of
+//!    hits and misses cannot change any result, only the wall-clock.
+//!
+//! The pool itself is a scoped-thread work-stealing scheduler: items are
+//! pre-split into one contiguous block per worker, a worker drains its own
+//! block from the front, and an idle worker steals the back half of the
+//! fullest remaining block. No allocation or locking happens per item
+//! beyond one short mutex acquisition, and the whole scheduler is ~100
+//! lines of std — the approved dependency set has no rayon.
+
+use rhmd_core::hmd::{Hmd, QuorumVerdict};
+use rhmd_core::retrain::DetectionQuality;
+use rhmd_core::rhmd::ResilientHmd;
+use rhmd_core::verdict::{DegradedVerdict, VerdictPolicy};
+use rhmd_data::TracedCorpus;
+use rhmd_features::pipeline::project_windows;
+use rhmd_features::vector::FeatureSpec;
+use rhmd_features::window::{apply_faults, RawWindow};
+use rhmd_ml::model::Dataset;
+use rhmd_trace::seed::derive_seed;
+use rhmd_uarch::faults::{FaultConfig, FaultModel};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Work-stealing pool
+// ---------------------------------------------------------------------------
+
+/// One worker's claim on a contiguous index range `[next, end)`.
+///
+/// The owner pops from the front; thieves halve from the back. A mutex per
+/// block keeps the claim/steal race trivially correct — critical sections
+/// are a handful of integer ops, invisible next to per-item costs of
+/// microseconds to milliseconds (simulation, training, classification).
+struct Block {
+    range: Mutex<(usize, usize)>,
+}
+
+impl Block {
+    fn new(start: usize, end: usize) -> Block {
+        Block {
+            range: Mutex::new((start, end)),
+        }
+    }
+
+    /// Claims the next index of this block, if any.
+    fn pop_front(&self) -> Option<usize> {
+        let mut r = self.range.lock().expect("pool mutex poisoned");
+        if r.0 < r.1 {
+            let i = r.0;
+            r.0 += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Steals the back half of this block (at least one item, only if two
+    /// or more remain so the owner keeps making progress).
+    fn steal_back(&self) -> Option<(usize, usize)> {
+        let mut r = self.range.lock().expect("pool mutex poisoned");
+        let remaining = r.1.saturating_sub(r.0);
+        if remaining < 2 {
+            return None;
+        }
+        let take = remaining / 2;
+        let stolen = (r.1 - take, r.1);
+        r.1 -= take;
+        Some(stolen)
+    }
+
+    fn remaining(&self) -> usize {
+        let r = self.range.lock().expect("pool mutex poisoned");
+        r.1.saturating_sub(r.0)
+    }
+}
+
+/// A fixed-width scoped-thread work-stealing pool.
+///
+/// # Examples
+///
+/// ```
+/// use rhmd_bench::par::Pool;
+///
+/// let items: Vec<u64> = (0..100).collect();
+/// let doubled = Pool::new(4).map(&items, |_, &x| x * 2);
+/// assert_eq!(doubled, Pool::new(1).map(&items, |_, &x| x * 2));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn available() -> Pool {
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on the pool, preserving input order exactly.
+    ///
+    /// `f` receives `(index, &item)` so callers can derive per-item seeds.
+    /// The result is bit-identical to `items.iter().enumerate().map(...)`
+    /// at any thread count, provided `f` is a pure function of its
+    /// arguments — which every evaluation closure in this crate is.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 || n < 2 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Static split: worker w starts on [w*chunk, ...); stealing
+        // rebalances whatever the split got wrong.
+        let chunk = n.div_ceil(workers);
+        let blocks: Vec<Block> = (0..workers)
+            .map(|w| Block::new((w * chunk).min(n), ((w + 1) * chunk).min(n)))
+            .collect();
+
+        let mut harvested: Vec<Vec<(usize, R)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let blocks = &blocks;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::with_capacity(chunk);
+                    loop {
+                        // Drain the block we own.
+                        while let Some(i) = blocks[w].pop_front() {
+                            out.push((i, f(i, &items[i])));
+                        }
+                        // Steal the back half of the fullest victim.
+                        let victim = (0..blocks.len())
+                            .filter(|&v| v != w)
+                            .max_by_key(|&v| blocks[v].remaining());
+                        let stolen = victim.and_then(|v| blocks[v].steal_back());
+                        match stolen {
+                            Some((lo, hi)) => {
+                                // Install the loot as our own block so it can
+                                // itself be re-stolen if we stall.
+                                *blocks[w].range.lock().expect("pool mutex poisoned") = (lo, hi);
+                            }
+                            None => break, // nothing left anywhere
+                        }
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                harvested.push(h.join().expect("pool worker panicked"));
+            }
+        });
+
+        // Reassemble in input order: every index was claimed exactly once.
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for (i, r) in harvested.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("index never claimed"))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feature-vector cache
+// ---------------------------------------------------------------------------
+
+/// Cache key: one projected window set is identified by the program, the
+/// fault seed, the collection period, the feature definition, and the fault
+/// configuration (hashed stably, so keys survive process boundaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    program: usize,
+    seed: u64,
+    period: u32,
+    spec_hash: u64,
+    fault_hash: u64,
+}
+
+const SHARDS: usize = 16;
+
+/// Statistics of a [`FeatureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe cache of projected feature vectors.
+///
+/// Multi-detector ensembles, RHMD pools, and sweep grids repeatedly project
+/// the same `(program, spec, fault)` combination — every detector sharing a
+/// spec, every algorithm trained at the same sweep point, every metric pass
+/// over the same split. The cache computes each combination once and hands
+/// out `Arc`s to the immutable result.
+///
+/// Correctness: a hit returns exactly the vectors a miss would compute
+/// (both call [`project_windows`] on the same inputs), so caching can never
+/// change a result — only skip recomputation. The equivalence suite
+/// asserts this against the uncached path.
+#[derive(Debug)]
+pub struct FeatureCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// One lock-striped slice of the cache (a row of vectors per key).
+type Shard = Mutex<HashMap<CacheKey, Arc<Vec<Vec<f64>>>>>;
+
+impl Default for FeatureCache {
+    fn default() -> FeatureCache {
+        FeatureCache::new()
+    }
+}
+
+impl FeatureCache {
+    /// An empty cache.
+    pub fn new() -> FeatureCache {
+        FeatureCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<Vec<Vec<f64>>>>> {
+        // Program index spreads entries; the shard count is a power of two.
+        &self.shards[(key.program ^ key.spec_hash as usize) % SHARDS]
+    }
+
+    /// Projected vectors of program `program` under `spec`, optionally
+    /// through a fault model `(config, seed)` — computed on first use,
+    /// served from the cache afterwards.
+    pub fn vectors(
+        &self,
+        traced: &TracedCorpus,
+        program: usize,
+        spec: &FeatureSpec,
+        fault: Option<(&FaultConfig, u64)>,
+    ) -> Arc<Vec<Vec<f64>>> {
+        let key = CacheKey {
+            program,
+            seed: fault.map_or(0, |(_, s)| s),
+            period: spec.period,
+            spec_hash: spec.stable_hash(),
+            fault_hash: fault.map_or(0, |(c, _)| c.stable_hash()),
+        };
+        if let Some(found) = self.shard(&key).lock().expect("cache mutex poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        // Compute outside the lock: projections are pure, so two racing
+        // computations of the same key produce identical vectors and either
+        // may win the insert.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let subs = traced.subwindows(program);
+        let projected = match fault {
+            None => project_windows(subs, spec),
+            Some((config, seed)) => {
+                let model = FaultModel::new(*config, seed);
+                project_windows(&apply_faults(subs, &model), spec)
+            }
+        };
+        let value = Arc::new(projected);
+        let mut shard = self.shard(&key).lock().expect("cache mutex poisoned");
+        Arc::clone(shard.entry(key).or_insert(value))
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache mutex poisoned").len())
+                .sum(),
+        }
+    }
+
+    /// Drops every entry (statistics keep accumulating).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache mutex poisoned").clear();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus evaluator
+// ---------------------------------------------------------------------------
+
+/// Sensitivity / specificity / abstention over a degraded (fault-injected)
+/// evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct DegradedQuality {
+    /// Fraction of decided malware programs flagged.
+    pub sensitivity: f64,
+    /// Fraction of decided benign programs passed.
+    pub specificity: f64,
+    /// Fraction of programs abstained on.
+    pub abstain_rate: f64,
+}
+
+/// The parallel corpus-evaluation engine: a [`Pool`], a [`FeatureCache`],
+/// and a run seed from which every per-program seed is derived.
+///
+/// Every loop is bit-exact with its serial counterpart at any thread count;
+/// the equivalence suite (`tests/equivalence.rs`) enforces this for thread
+/// counts {1, 2, 8} across seeds and fault configs.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    traced: &'a TracedCorpus,
+    pool: Pool,
+    cache: FeatureCache,
+    run_seed: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// An engine over `traced` with `pool` workers and the given run seed.
+    pub fn new(traced: &'a TracedCorpus, pool: Pool, run_seed: u64) -> Evaluator<'a> {
+        Evaluator {
+            traced,
+            pool,
+            cache: FeatureCache::new(),
+            run_seed,
+        }
+    }
+
+    /// The traced corpus under evaluation.
+    pub fn traced(&self) -> &TracedCorpus {
+        self.traced
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> Pool {
+        self.pool
+    }
+
+    /// The feature-vector cache.
+    pub fn cache(&self) -> &FeatureCache {
+        &self.cache
+    }
+
+    /// The run seed.
+    pub fn run_seed(&self) -> u64 {
+        self.run_seed
+    }
+
+    /// The derived seed of program `index` — stable across runs, thread
+    /// counts, and evaluation order.
+    pub fn program_seed(&self, index: usize) -> u64 {
+        derive_seed(self.run_seed, index as u64)
+    }
+
+    /// Runs `f` over the given program indices on the pool; results come
+    /// back in `indices` order. `f` receives `(program index, derived
+    /// program seed)`.
+    pub fn map_programs<R, F>(&self, indices: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, u64) -> R + Sync,
+    {
+        self.pool
+            .map(indices, |_, &i| f(i, self.program_seed(i)))
+    }
+
+    /// Cached projected vectors of one program (clean stream).
+    pub fn vectors(&self, program: usize, spec: &FeatureSpec) -> Arc<Vec<Vec<f64>>> {
+        self.cache.vectors(self.traced, program, spec, None)
+    }
+
+    /// Cached projected vectors of one program through a fault model seeded
+    /// with the program's derived seed.
+    pub fn vectors_faulted(
+        &self,
+        program: usize,
+        spec: &FeatureSpec,
+        config: &FaultConfig,
+    ) -> Arc<Vec<Vec<f64>>> {
+        self.cache
+            .vectors(self.traced, program, spec, Some((config, self.program_seed(program))))
+    }
+
+    /// Window-level dataset over `indices` — the parallel, cached
+    /// equivalent of [`TracedCorpus::window_dataset`]: projections fan out
+    /// over the pool (or come from the cache), assembly is sequential in
+    /// `indices` order, so rows are bit-identical to the serial path.
+    pub fn window_dataset(&self, indices: &[usize], spec: &FeatureSpec) -> Dataset {
+        let labels = self.traced.corpus().labels();
+        let per_program = self
+            .pool
+            .map(indices, |_, &i| self.vectors(i, spec));
+        let mut data = Dataset::new(spec.dims());
+        for (&i, vectors) in indices.iter().zip(&per_program) {
+            for v in vectors.iter() {
+                data.push(v.clone(), labels[i]);
+            }
+        }
+        data
+    }
+
+    /// Program-level detection quality of a deterministic [`Hmd`] over
+    /// `indices`, evaluated on the pool. Matches
+    /// [`rhmd_core::retrain::detection_quality`] exactly — an `Hmd` holds no
+    /// evaluation state, so order cannot matter. Window projections come
+    /// from the cache ([`Hmd::decide_windows`] is precisely "predict each
+    /// row of [`project_windows`]"), so detectors sharing a spec classify
+    /// without re-projecting.
+    pub fn quality_hmd(&self, hmd: &Hmd, indices: &[usize]) -> DetectionQuality {
+        let verdicts = self.pool.map(indices, |_, &i| {
+            let vectors = self.vectors(i, hmd.spec());
+            let decisions: Vec<bool> = vectors.iter().map(|v| hmd.model().predict(v)).collect();
+            rhmd_core::hmd::ProgramVerdict::from_decisions(&decisions).is_malware()
+        });
+        self.tally(indices, &verdicts)
+    }
+
+    /// Program-level detection quality of an RHMD pool over `indices`,
+    /// using per-program switching streams seeded from the *detector's*
+    /// construction seed mixed with each program id — order-independent by
+    /// construction, unlike the shared-RNG serial walk.
+    pub fn quality_rhmd(&self, rhmd: &ResilientHmd, indices: &[usize]) -> DetectionQuality {
+        let verdicts = self.pool.map(indices, |_, &i| {
+            let stream = rhmd
+                .label_subwindows_seeded(self.traced.subwindows(i), derive_seed(rhmd.seed(), i as u64));
+            rhmd_core::hmd::ProgramVerdict::from_decisions(&stream).is_malware()
+        });
+        self.tally(indices, &verdicts)
+    }
+
+    fn tally(&self, indices: &[usize], verdicts: &[bool]) -> DetectionQuality {
+        let labels = self.traced.corpus().labels();
+        let (mut tp, mut mal, mut tn, mut ben) = (0usize, 0usize, 0usize, 0usize);
+        for (&i, &flagged) in indices.iter().zip(verdicts) {
+            if labels[i] {
+                mal += 1;
+                if flagged {
+                    tp += 1;
+                }
+            } else {
+                ben += 1;
+                if !flagged {
+                    tn += 1;
+                }
+            }
+        }
+        DetectionQuality {
+            sensitivity_unmodified: if mal == 0 { 0.0 } else { tp as f64 / mal as f64 },
+            specificity: if ben == 0 { 0.0 } else { tn as f64 / ben as f64 },
+        }
+    }
+
+    /// Degraded (fault-injected) program-level quality: `quorum_of`
+    /// receives each program's index and its fault-corrupted subwindows and
+    /// returns a quorum verdict; `policy` then decides or abstains at
+    /// `min_coverage`. `seed_of` derives each program's fault seed —
+    /// callers preserving historical sweeps pass their legacy derivation,
+    /// new callers pass [`Evaluator::program_seed`].
+    pub fn degraded_quality<Q, S>(
+        &self,
+        indices: &[usize],
+        config: FaultConfig,
+        policy: &VerdictPolicy,
+        min_coverage: f64,
+        seed_of: S,
+        quorum_of: Q,
+    ) -> DegradedQuality
+    where
+        Q: Fn(usize, &[RawWindow]) -> QuorumVerdict + Sync,
+        S: Fn(usize) -> u64 + Sync,
+    {
+        let labels = self.traced.corpus().labels();
+        let judged: Vec<DegradedVerdict> = self.pool.map(indices, |_, &i| {
+            let model = FaultModel::new(config, seed_of(i));
+            let subs = apply_faults(self.traced.subwindows(i), &model);
+            policy.judge_quorum(&quorum_of(i, &subs), min_coverage)
+        });
+        let (mut tp, mut malware, mut tn, mut benign, mut abstained) =
+            (0u32, 0u32, 0u32, 0u32, 0u32);
+        for (&i, verdict) in indices.iter().zip(&judged) {
+            match verdict {
+                DegradedVerdict::Abstained => abstained += 1,
+                DegradedVerdict::Decided(flag) => {
+                    if labels[i] {
+                        malware += 1;
+                        tp += u32::from(*flag);
+                    } else {
+                        benign += 1;
+                        tn += u32::from(!*flag);
+                    }
+                }
+            }
+        }
+        DegradedQuality {
+            sensitivity: f64::from(tp) / f64::from(malware.max(1)),
+            specificity: f64::from(tn) / f64::from(benign.max(1)),
+            abstain_rate: f64::from(abstained) / indices.len().max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhmd_data::{Corpus, CorpusConfig};
+    use rhmd_features::vector::FeatureKind;
+    use rhmd_uarch::CoreConfig;
+
+    fn traced() -> TracedCorpus {
+        let cfg = CorpusConfig::tiny();
+        TracedCorpus::trace(Corpus::build(&cfg), cfg.limits(), CoreConfig::default())
+    }
+
+    #[test]
+    fn pool_map_matches_serial_at_any_width() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 17).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = Pool::new(threads).map(&items, |_, &x| x.wrapping_mul(x) ^ 17);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_map_passes_true_indices() {
+        let items = vec!["a"; 100];
+        let indices = Pool::new(4).map(&items, |i, _| i);
+        assert_eq!(indices, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_handles_tiny_inputs() {
+        assert_eq!(Pool::new(8).map::<u8, u8, _>(&[], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(Pool::new(8).map(&[3u8], |_, &x| x + 1), vec![4]);
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn steal_rebalances_skewed_work() {
+        // Front-loaded cost: worker 0's static block is ~100x the others'.
+        // The test only asserts correctness — order preserved despite
+        // stealing — since wall-clock is not observable deterministically.
+        let items: Vec<u64> = (0..64).collect();
+        let out = Pool::new(4).map(&items, |i, &x| {
+            if i < 16 {
+                // Busy work standing in for an expensive item.
+                (0..20_000u64).fold(x, |a, b| a ^ b.wrapping_mul(31))
+            } else {
+                x
+            }
+        });
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if i < 16 {
+                    (0..20_000u64).fold(x, |a, b| a ^ b.wrapping_mul(31))
+                } else {
+                    x
+                }
+            })
+            .collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn cache_hits_return_identical_vectors() {
+        let t = traced();
+        let cache = FeatureCache::new();
+        let spec = FeatureSpec::new(FeatureKind::Architectural, 5_000, vec![]);
+        let first = cache.vectors(&t, 0, &spec, None);
+        let again = cache.vectors(&t, 0, &spec, None);
+        assert!(Arc::ptr_eq(&first, &again), "second lookup must hit");
+        assert_eq!(*first, project_windows(t.subwindows(0), &spec));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_keys_separate_fault_configs_and_seeds() {
+        let t = traced();
+        let cache = FeatureCache::new();
+        let spec = FeatureSpec::new(FeatureKind::Architectural, 5_000, vec![]);
+        let clean = cache.vectors(&t, 0, &spec, None);
+        let noisy = cache.vectors(&t, 0, &spec, Some((&FaultConfig::noise(0.2), 7)));
+        let noisy_other_seed = cache.vectors(&t, 0, &spec, Some((&FaultConfig::noise(0.2), 8)));
+        assert_ne!(*clean, *noisy);
+        assert_ne!(*noisy, *noisy_other_seed);
+        assert_eq!(cache.stats().entries, 3);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn evaluator_dataset_matches_traced_corpus() {
+        let t = traced();
+        let spec = FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]);
+        let indices: Vec<usize> = (0..t.corpus().len()).step_by(3).collect();
+        let serial = t.window_dataset(&indices, &spec);
+        for threads in [1, 4] {
+            let eval = Evaluator::new(&t, Pool::new(threads), 0xabc);
+            let par = eval.window_dataset(&indices, &spec);
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(par.rows(), serial.rows(), "threads={threads}");
+            assert_eq!(par.labels(), serial.labels());
+        }
+    }
+
+    #[test]
+    fn program_seeds_are_order_free_and_distinct() {
+        let t = traced();
+        let eval = Evaluator::new(&t, Pool::new(2), 99);
+        let a: Vec<u64> = (0..10).map(|i| eval.program_seed(i)).collect();
+        let b: Vec<u64> = (0..10).rev().map(|i| eval.program_seed(i)).collect();
+        assert_eq!(a, b.into_iter().rev().collect::<Vec<_>>());
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len());
+    }
+}

@@ -2,22 +2,22 @@
 
 use crate::args::Args;
 use crate::persist::{load_hmd, save_hmd};
+use rhmd_bench::par::{Evaluator, Pool};
 use rhmd_core::evasion::{evade_corpus, plan_evasion, EvasionConfig, Strategy};
 use rhmd_core::hmd::Hmd;
 use rhmd_core::retrain::detection_quality;
 use rhmd_core::reveng;
 use rhmd_core::rhmd::{build_pool, pool_specs};
-use rhmd_core::verdict::{DegradedVerdict, VerdictPolicy};
+use rhmd_core::verdict::VerdictPolicy;
 use rhmd_core::RhmdError;
 use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
 use rhmd_features::select::select_top_delta_opcodes;
 use rhmd_features::vector::{FeatureKind, FeatureSpec};
-use rhmd_features::window::apply_faults;
 use rhmd_ml::metrics::{auc, best_accuracy_threshold};
 use rhmd_ml::model::score_all;
 use rhmd_ml::trainer::{Algorithm, TrainerConfig};
 use rhmd_trace::inject::Placement;
-use rhmd_uarch::faults::{FaultConfig, FaultModel};
+use rhmd_uarch::faults::FaultConfig;
 use rhmd_uarch::CoreConfig;
 use std::path::PathBuf;
 
@@ -95,22 +95,55 @@ fn parse_fault(value: &str) -> Result<FaultConfig, RhmdError> {
     }
 }
 
+/// Parses `--threads N` (default: the machine's available parallelism).
+/// Results are bit-identical at any value; threads only change wall-clock.
+fn parse_pool(args: &Args) -> Result<Pool, RhmdError> {
+    match args.get("threads") {
+        None => Ok(Pool::available()),
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| {
+                RhmdError::parse("--threads", format!("invalid value '{v}' (want a positive integer)"))
+            })?;
+            if n == 0 {
+                return Err(RhmdError::parse("--threads", "must be at least 1"));
+            }
+            Ok(Pool::new(n))
+        }
+    }
+}
+
 struct Workbench {
     traced: TracedCorpus,
     splits: Splits,
     opcodes: Vec<rhmd_trace::Opcode>,
     trainer: TrainerConfig,
+    pool: Pool,
+    seed: u64,
+}
+
+impl Workbench {
+    /// A parallel evaluation engine over this workbench's traced corpus.
+    fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::new(&self.traced, self.pool, self.seed)
+    }
 }
 
 fn workbench(args: &Args) -> Result<Workbench, RhmdError> {
     let config = scale_config(&args.str_or("scale", "small"))?;
+    let pool = parse_pool(args)?;
     eprintln!(
-        "[rhmd] building + tracing {} programs ...",
-        config.total_programs()
+        "[rhmd] building + tracing {} programs ({} threads) ...",
+        config.total_programs(),
+        pool.threads()
     );
     let corpus = Corpus::build(&config);
     let splits = Splits::new(&corpus, config.seed);
-    let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
+    let traced = TracedCorpus::trace_threads(
+        corpus,
+        config.limits(),
+        CoreConfig::default(),
+        pool.threads(),
+    );
     let labels = traced.corpus().labels();
     let collect = |want: bool| -> Vec<_> {
         splits
@@ -126,6 +159,8 @@ fn workbench(args: &Args) -> Result<Workbench, RhmdError> {
         splits,
         opcodes,
         trainer: TrainerConfig::with_seed(config.seed),
+        pool,
+        seed: config.seed,
     })
 }
 
@@ -179,24 +214,21 @@ pub fn dump(args: &Args) -> Result<(), RhmdError> {
     Ok(())
 }
 
-/// `rhmd train [--scale s] [--feature f] [--algo a] [--period n] [--out path]`
+/// `rhmd train [--scale s] [--feature f] [--algo a] [--period n]
+/// [--threads n] [--out path]`
 pub fn train(args: &Args) -> Result<(), RhmdError> {
     let kind = parse_kind(&args.str_or("feature", "instructions"))?;
     let algorithm = parse_algorithm(&args.str_or("algo", "lr"))?;
     let period: u32 = args.parse_or("period", 10_000)?;
     let bench = workbench(args)?;
+    let engine = bench.evaluator();
     let spec = FeatureSpec::new(kind, period, bench.opcodes.clone());
-    let hmd = Hmd::train(
-        algorithm,
-        spec.clone(),
-        &bench.trainer,
-        &bench.traced,
-        &bench.splits.victim_train,
-    );
+    // Dataset assembly fans out over the pool; rows are bit-identical to
+    // the serial path, so the trained model is too.
+    let train_data = engine.window_dataset(&bench.splits.victim_train, &spec);
+    let hmd = Hmd::train_on_dataset(algorithm, spec.clone(), &bench.trainer, &train_data);
 
-    let test = bench
-        .traced
-        .window_dataset(&bench.splits.attacker_test, &spec);
+    let test = engine.window_dataset(&bench.splits.attacker_test, &spec);
     let scores = score_all(hmd.model(), &test);
     let roc_auc = auc(&scores, test.labels());
     let (_, acc) = best_accuracy_threshold(&scores, test.labels());
@@ -213,17 +245,23 @@ pub fn train(args: &Args) -> Result<(), RhmdError> {
     Ok(())
 }
 
-/// `rhmd evaluate --model path [--scale s] [--fault kind:x] [--fault-seed n]`
-/// — reload a saved detector and score the held-out programs, optionally
-/// through a fault-injected counter stream (e.g. `--fault noise:0.1`).
+/// `rhmd evaluate --model path [--scale s] [--threads n] [--fault kind:x]
+/// [--fault-seed n]` — reload a saved detector and score the held-out
+/// programs on the parallel engine, optionally through a fault-injected
+/// counter stream (e.g. `--fault noise:0.1`).
 pub fn evaluate(args: &Args) -> Result<(), RhmdError> {
     let path = args
         .get("model")
         .ok_or_else(|| RhmdError::config("evaluate needs --model <path>"))?
         .to_owned();
-    let mut hmd = load_hmd(&PathBuf::from(&path))?;
+    // Validate every flag before the corpus trace so a typo fails in
+    // milliseconds, not after minutes of simulation.
+    let fault = args.get("fault").map(parse_fault).transpose()?;
+    let fault_seed: u64 = args.parse_or("fault-seed", 0xfa17)?;
+    let hmd = load_hmd(&PathBuf::from(&path))?;
     let bench = workbench(args)?;
-    let quality = detection_quality(&mut hmd, &bench.traced, &bench.splits.attacker_test);
+    let engine = bench.evaluator();
+    let quality = engine.quality_hmd(&hmd, &bench.splits.attacker_test);
     println!(
         "{}: program-level sensitivity {:.1}%, specificity {:.1}%",
         hmd.describe_public(),
@@ -231,37 +269,143 @@ pub fn evaluate(args: &Args) -> Result<(), RhmdError> {
         100.0 * quality.specificity
     );
 
-    if let Some(spec) = args.get("fault") {
-        let config = parse_fault(spec)?;
-        let seed: u64 = args.parse_or("fault-seed", 0xfa17)?;
-        let policy = VerdictPolicy::majority();
-        let labels = bench.traced.corpus().labels();
-        let (mut tp, mut malware, mut tn, mut benign, mut abstained) = (0u32, 0u32, 0u32, 0u32, 0u32);
-        for &i in &bench.splits.attacker_test {
-            let model = FaultModel::new(config, seed ^ i as u64);
-            let subs = apply_faults(bench.traced.subwindows(i), &model);
-            let quorum = hmd.quorum_verdict(&subs, 0.5);
-            match policy.judge_quorum(&quorum, 0.25) {
-                DegradedVerdict::Abstained => abstained += 1,
-                DegradedVerdict::Decided(flag) => {
-                    if labels[i] {
-                        malware += 1;
-                        tp += u32::from(flag);
-                    } else {
-                        benign += 1;
-                        tn += u32::from(!flag);
-                    }
-                }
-            }
-        }
+    if let Some(config) = fault {
+        let spec = args.get("fault").unwrap_or_default();
+        // Per-program fault seeds stay `seed ^ i` (the published derivation
+        // of EXPERIMENTS.md) — passed as a closure so the engine does not
+        // impose its own.
+        let degraded = engine.degraded_quality(
+            &bench.splits.attacker_test,
+            config,
+            &VerdictPolicy::majority(),
+            0.25,
+            |i| fault_seed ^ i as u64,
+            |_, subs| hmd.quorum_verdict(subs, 0.5),
+        );
         let total = bench.splits.attacker_test.len();
+        let abstained = (degraded.abstain_rate * total as f64).round() as usize;
         println!(
             "under --fault {spec}: sensitivity {:.1}%, specificity {:.1}%, abstained {abstained}/{total}",
-            100.0 * f64::from(tp) / f64::from(malware.max(1)),
-            100.0 * f64::from(tn) / f64::from(benign.max(1)),
+            100.0 * degraded.sensitivity,
+            100.0 * degraded.specificity,
         );
     }
     Ok(())
+}
+
+/// `rhmd sweep [--scale s] [--algos lr,dt,...] [--features f,g]
+/// [--periods 10000,5000] [--threads n] [--out bench.json]` — train and
+/// score every algorithm × feature × period combination on the parallel
+/// engine. Detectors sharing a feature spec reuse cached feature vectors,
+/// so the grid costs far less than `cells × (project + train + score)`.
+pub fn sweep(args: &Args) -> Result<(), RhmdError> {
+    let algos: Vec<Algorithm> = args
+        .str_or("algos", "lr,dt,svm,nn,rf")
+        .split(',')
+        .map(|a| parse_algorithm(a.trim()))
+        .collect::<Result<_, _>>()?;
+    let kinds: Vec<FeatureKind> = args
+        .str_or("features", "instructions,memory,architectural")
+        .split(',')
+        .map(|k| parse_kind(k.trim()))
+        .collect::<Result<_, _>>()?;
+    let periods: Vec<u32> = args
+        .str_or("periods", "10000")
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| RhmdError::parse("--periods", format!("bad period '{p}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    let bench = workbench(args)?;
+    let engine = bench.evaluator();
+    let started = std::time::Instant::now();
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<6} {:<22} {:>10} {:>12} {:>12}",
+        "algo", "feature", "AUC", "sensitivity", "specificity"
+    );
+    for &period in &periods {
+        for &kind in &kinds {
+            let spec = FeatureSpec::new(kind, period, bench.opcodes.clone());
+            for &algorithm in &algos {
+                let train_data = engine.window_dataset(&bench.splits.victim_train, &spec);
+                let hmd =
+                    Hmd::train_on_dataset(algorithm, spec.clone(), &bench.trainer, &train_data);
+                let test = engine.window_dataset(&bench.splits.attacker_test, &spec);
+                let roc_auc = auc(&score_all(hmd.model(), &test), test.labels());
+                let quality = engine.quality_hmd(&hmd, &bench.splits.attacker_test);
+                println!(
+                    "{:<6} {:<22} {:>10.3} {:>11.1}% {:>11.1}%",
+                    format!("{algorithm}"),
+                    spec.label(),
+                    roc_auc,
+                    100.0 * quality.sensitivity_unmodified,
+                    100.0 * quality.specificity
+                );
+                rows.push(SweepCell {
+                    algorithm: format!("{algorithm}"),
+                    feature: spec.label(),
+                    auc: roc_auc,
+                    sensitivity: quality.sensitivity_unmodified,
+                    specificity: quality.specificity,
+                });
+            }
+        }
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = engine.cache().stats();
+    let cells = rows.len();
+    let evaluations = cells * bench.splits.attacker_test.len();
+    println!(
+        "{cells} detectors in {elapsed:.2}s ({:.1} program evaluations/sec) | \
+         cache: {} hits / {} misses ({:.0}% hit rate, {} entries)",
+        evaluations as f64 / elapsed.max(1e-9),
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate(),
+        stats.entries
+    );
+    if let Some(out) = args.get("out") {
+        let report = SweepReport {
+            threads: engine.pool().threads(),
+            elapsed_seconds: elapsed,
+            evaluations_per_second: evaluations as f64 / elapsed.max(1e-9),
+            cache_hit_rate: stats.hit_rate(),
+            cache: stats,
+            cells: rows,
+        };
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| RhmdError::config(format!("cannot serialize report: {e}")))?;
+        std::fs::write(out, json + "\n")
+            .map_err(|e| RhmdError::config(format!("cannot write {out}: {e}")))?;
+        println!("report saved to {out}");
+    }
+    Ok(())
+}
+
+/// One `rhmd sweep` grid cell, as serialized to `--out`.
+#[derive(Debug, serde::Serialize)]
+struct SweepCell {
+    algorithm: String,
+    feature: String,
+    auc: f64,
+    sensitivity: f64,
+    specificity: f64,
+}
+
+/// The `rhmd sweep --out` document.
+#[derive(Debug, serde::Serialize)]
+struct SweepReport {
+    threads: usize,
+    elapsed_seconds: f64,
+    evaluations_per_second: f64,
+    cache_hit_rate: f64,
+    cache: rhmd_bench::par::CacheStats,
+    cells: Vec<SweepCell>,
 }
 
 /// `rhmd attack [--scale s] [--feature f] [--algo a] [--surrogate a]

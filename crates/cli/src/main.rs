@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! rhmd corpus   [--scale tiny|small|standard|paper]
-//! rhmd train    [--scale s] [--feature f] [--algo a] [--period n] [--out model.json]
-//! rhmd evaluate --model model.json [--scale s] [--fault noise:0.1]
+//! rhmd train    [--scale s] [--feature f] [--algo a] [--period n] [--threads n]
+//!               [--out model.json]
+//! rhmd evaluate --model model.json [--scale s] [--threads n] [--fault noise:0.1]
+//! rhmd sweep    [--scale s] [--algos lr,dt] [--features f,g] [--periods 10000,5000]
+//!               [--threads n] [--out bench.json]
 //! rhmd attack   [--scale s] [--feature f] [--algo a] [--surrogate a]
 //!               [--strategy random|least-weight|weighted] [--count n]
 //! rhmd defend   [--scale s] [--periods 10000,5000] [--count n]
@@ -28,6 +31,8 @@ COMMANDS:
   evaluate   score a saved detector on held-out programs (--model path);
              optionally through faulted counters (--fault noise:0.1,
              also drop:P | multiplex:P | burst:P | saturate:BITS | wrap:BITS)
+  sweep      train + score every algorithm x feature x period combination
+             in parallel with feature-vector caching (--out bench.json)
   attack     reverse-engineer a victim detector and evade it
   defend     deploy an RHMD pool and measure its resilience
 
@@ -35,6 +40,8 @@ COMMON FLAGS:
   --scale tiny|small|standard|paper     corpus size (default: small)
   --feature instructions|memory|architectural
   --algo lr|dt|svm|nn|rf
+  --threads N                           worker threads (default: all cores);
+                                        results are identical at any N
 ";
 
 fn main() {
@@ -57,6 +64,7 @@ fn run(raw: Vec<String>) -> Result<(), RhmdError> {
         Some("dump") => commands::dump(&args),
         Some("train") => commands::train(&args),
         Some("evaluate") => commands::evaluate(&args),
+        Some("sweep") => commands::sweep(&args),
         Some("attack") => commands::attack(&args),
         Some("defend") => commands::defend(&args),
         Some(other) => Err(RhmdError::config(format!("unknown command '{other}'"))),

@@ -87,20 +87,25 @@ impl ResilientHmd {
         &self.probabilities
     }
 
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Restarts the switching RNG so a fresh query sequence is reproducible.
     pub fn reset(&mut self) {
         self.rng = SmallRng::seed_from_u64(self.seed);
     }
 
-    fn draw_detector(&mut self) -> usize {
-        let mut u = self.rng.gen::<f64>();
-        for (i, &p) in self.probabilities.iter().enumerate() {
+    fn draw_from(probabilities: &[f64], rng: &mut SmallRng) -> usize {
+        let mut u = rng.gen::<f64>();
+        for (i, &p) in probabilities.iter().enumerate() {
             if u < p {
                 return i;
             }
             u -= p;
         }
-        self.probabilities.len() - 1
+        probabilities.len() - 1
     }
 }
 
@@ -125,11 +130,33 @@ impl ResilientHmd {
         min_fill: f64,
         skip_gaps: bool,
     ) -> Vec<(Option<bool>, usize)> {
+        Self::walk_with(
+            &self.detectors,
+            &self.probabilities,
+            &mut self.rng,
+            subwindows,
+            min_fill,
+            skip_gaps,
+        )
+    }
+
+    /// The walk body, parameterized over an explicit RNG so per-program
+    /// switching streams can be derived without mutating shared state (the
+    /// requirement for order-independent — and therefore parallel —
+    /// evaluation).
+    fn walk_with(
+        detectors: &[Hmd],
+        probabilities: &[f64],
+        rng: &mut SmallRng,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+        skip_gaps: bool,
+    ) -> Vec<(Option<bool>, usize)> {
         let mut out = Vec::new();
         let mut cursor = 0usize;
         loop {
-            let idx = self.draw_detector();
-            let detector = &self.detectors[idx];
+            let idx = Self::draw_from(probabilities, rng);
+            let detector = &detectors[idx];
             let per = (detector.spec().period / SUBWINDOW) as usize;
             if cursor + per > subwindows.len() {
                 break;
@@ -161,6 +188,75 @@ impl ResilientHmd {
             .map(|(v, _)| v)
             .collect();
         QuorumVerdict::from_votes(&votes)
+    }
+
+    /// Like [`ResilientHmd::quorum_verdict`], but drawing the switching
+    /// stream from an explicit `stream_seed` instead of the pool's shared
+    /// RNG. `&self` only: two threads can judge different programs
+    /// concurrently, and the verdict for a program depends only on its
+    /// subwindows and seed — never on which other programs were judged
+    /// before it. A fresh pool walked serially after `reset()` produces the
+    /// same verdict as this method with `stream_seed == self.seed()`.
+    pub fn quorum_verdict_seeded(
+        &self,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+        stream_seed: u64,
+    ) -> QuorumVerdict {
+        let mut rng = SmallRng::seed_from_u64(stream_seed);
+        let votes: Vec<Option<bool>> = Self::walk_with(
+            &self.detectors,
+            &self.probabilities,
+            &mut rng,
+            subwindows,
+            min_fill,
+            true,
+        )
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+        QuorumVerdict::from_votes(&votes)
+    }
+
+    /// Seeded, shared-state-free counterpart of
+    /// [`Detector::label_subwindows`] (same expansion to subwindow
+    /// granularity), for order-independent parallel evaluation.
+    pub fn label_subwindows_seeded(
+        &self,
+        subwindows: &[RawWindow],
+        stream_seed: u64,
+    ) -> Vec<bool> {
+        let mut rng = SmallRng::seed_from_u64(stream_seed);
+        let mut out = Vec::with_capacity(subwindows.len());
+        for (vote, per) in Self::walk_with(
+            &self.detectors,
+            &self.probabilities,
+            &mut rng,
+            subwindows,
+            1.0,
+            false,
+        ) {
+            if let Some(decision) = vote {
+                out.extend(std::iter::repeat_n(decision, per));
+            }
+        }
+        out
+    }
+
+    /// Seeded, shared-state-free counterpart of [`Detector::decisions`].
+    pub fn decisions_seeded(&self, subwindows: &[RawWindow], stream_seed: u64) -> Vec<bool> {
+        let mut rng = SmallRng::seed_from_u64(stream_seed);
+        Self::walk_with(
+            &self.detectors,
+            &self.probabilities,
+            &mut rng,
+            subwindows,
+            1.0,
+            false,
+        )
+        .into_iter()
+        .filter_map(|(d, _)| d)
+        .collect()
     }
 }
 
@@ -443,6 +539,33 @@ mod tests {
         };
         a.reset();
         assert_eq!(a.label_subwindows(subs), first);
+    }
+
+    #[test]
+    fn seeded_walks_match_fresh_serial_walks() {
+        let (traced, splits) = fixture();
+        let mut rhmd = two_detector_pool(&traced, &splits.victim_train, 0x5eed);
+        let subs = traced.subwindows(0);
+        // Seeded with the construction seed, the immutable variants replay
+        // exactly what a freshly reset pool produces.
+        rhmd.reset();
+        let serial_labels = rhmd.label_subwindows(subs);
+        assert_eq!(rhmd.label_subwindows_seeded(subs, 0x5eed), serial_labels);
+        rhmd.reset();
+        let serial_decisions = rhmd.decisions(subs);
+        assert_eq!(rhmd.decisions_seeded(subs, 0x5eed), serial_decisions);
+        rhmd.reset();
+        let serial_quorum = rhmd.quorum_verdict(subs, 1.0);
+        assert_eq!(rhmd.quorum_verdict_seeded(subs, 1.0, 0x5eed), serial_quorum);
+        // And they are order-free: judging another program first changes
+        // nothing, unlike the shared-RNG path.
+        let _ = rhmd.quorum_verdict_seeded(traced.subwindows(1), 1.0, 7);
+        assert_eq!(rhmd.quorum_verdict_seeded(subs, 1.0, 0x5eed), serial_quorum);
+        // Repeated seeded calls are pure functions of (subwindows, seed).
+        assert_eq!(
+            rhmd.label_subwindows_seeded(subs, 1),
+            rhmd.label_subwindows_seeded(subs, 1)
+        );
     }
 
     #[test]

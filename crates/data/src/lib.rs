@@ -40,4 +40,4 @@ pub mod traced;
 pub use config::CorpusConfig;
 pub use corpus::Corpus;
 pub use splits::Splits;
-pub use traced::{parallel_map, TracedCorpus};
+pub use traced::{parallel_map, parallel_map_threads, TracedCorpus};

@@ -28,8 +28,21 @@ where
 {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
+        .unwrap_or(1);
+    parallel_map_threads(threads, items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (the CLI's `--threads`).
+///
+/// Output is identical at any `threads` value, including 1: parallelism
+/// only changes which worker computes each slot, never the result.
+pub fn parallel_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
     if threads <= 1 || items.len() < 2 {
         return items.iter().map(&f).collect();
     }
@@ -61,7 +74,22 @@ pub struct TracedCorpus {
 impl TracedCorpus {
     /// Traces every program in `corpus` (in parallel across cores).
     pub fn trace(corpus: Corpus, limits: ExecLimits, core_config: CoreConfig) -> TracedCorpus {
-        let subwindows = parallel_map(corpus.programs(), |p| {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        TracedCorpus::trace_threads(corpus, limits, core_config, threads)
+    }
+
+    /// Like [`TracedCorpus::trace`] with an explicit worker count. Traces
+    /// are bit-identical at any `threads` value — each program's simulation
+    /// is self-contained.
+    pub fn trace_threads(
+        corpus: Corpus,
+        limits: ExecLimits,
+        core_config: CoreConfig,
+        threads: usize,
+    ) -> TracedCorpus {
+        let subwindows = parallel_map_threads(threads, corpus.programs(), |p| {
             trace_subwindows(p, limits, core_config)
         });
         TracedCorpus {

@@ -150,6 +150,31 @@ impl FeatureSpec {
         out
     }
 
+    /// A stable 64-bit digest of everything that determines this spec's
+    /// projection: kinds (in order), collection period, and the opcode
+    /// subset (in order). Two specs that project every window identically
+    /// hash identically across processes, which is what lets cached feature
+    /// vectors be keyed by spec instead of recomputed per detector.
+    pub fn stable_hash(&self) -> u64 {
+        use rhmd_trace::seed::mix_seed;
+        let mut h = 0x6665_6174_7370_6563; // b"featspec"
+        for kind in &self.kinds {
+            h = mix_seed(
+                h,
+                match kind {
+                    FeatureKind::Instructions => 1,
+                    FeatureKind::Memory => 2,
+                    FeatureKind::Architectural => 3,
+                },
+            );
+        }
+        h = mix_seed(h, u64::from(self.period));
+        for op in &self.opcodes {
+            h = mix_seed(h, op.index() as u64);
+        }
+        h
+    }
+
     /// Short label such as `"Instructions@10k"` or
     /// `"Instructions+Memory@5k"`.
     pub fn label(&self) -> String {
@@ -238,5 +263,30 @@ mod tests {
     #[test]
     fn labels_are_readable() {
         assert_eq!(spec(FeatureKind::Memory).label(), "Memory@10k");
+    }
+
+    #[test]
+    fn stable_hash_tracks_projection_identity() {
+        let a = spec(FeatureKind::Instructions);
+        assert_eq!(a.stable_hash(), spec(FeatureKind::Instructions).stable_hash());
+        // Any field that changes the projection changes the hash.
+        assert_ne!(a.stable_hash(), spec(FeatureKind::Memory).stable_hash());
+        let other_period = FeatureSpec::new(FeatureKind::Instructions, 5_000, a.opcodes.clone());
+        assert_ne!(a.stable_hash(), other_period.stable_hash());
+        let other_opcodes =
+            FeatureSpec::new(FeatureKind::Instructions, 10_000, vec![Opcode::Add, Opcode::Xor]);
+        assert_ne!(a.stable_hash(), other_opcodes.stable_hash());
+        // Kind order matters for combined specs (the vector layout differs).
+        let ab = FeatureSpec::combined(
+            vec![FeatureKind::Instructions, FeatureKind::Memory],
+            10_000,
+            vec![],
+        );
+        let ba = FeatureSpec::combined(
+            vec![FeatureKind::Memory, FeatureKind::Instructions],
+            10_000,
+            vec![],
+        );
+        assert_ne!(ab.stable_hash(), ba.stable_hash());
     }
 }

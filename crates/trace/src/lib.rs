@@ -45,6 +45,7 @@ pub mod inject;
 pub mod isa;
 pub mod mix;
 pub mod program;
+pub mod seed;
 
 pub use block::{BasicBlock, BlockId, FuncId, Function, Terminator};
 pub use exec::{ExecEvent, ExecLimits, ExecSummary, Executor, Sink};

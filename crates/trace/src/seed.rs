@@ -1,0 +1,95 @@
+//! Deterministic seed derivation for parallel evaluation.
+//!
+//! Every randomized stage of the pipeline (fault models, RHMD switching,
+//! evasion planning) must produce the same stream for a given program no
+//! matter which worker thread evaluates it or in which order programs are
+//! visited. The rule: never share RNG state across programs — derive one
+//! seed per `(run seed, stream id)` pair with a strong mixer and build a
+//! fresh generator from it.
+//!
+//! The mixer is `splitmix64` (Steele, Lea & Flood, "Fast Splittable
+//! Pseudorandom Number Generators", OOPSLA 2014) — a bijective finalizer
+//! whose output passes PractRand/BigCrush, so adjacent program ids map to
+//! statistically independent seeds.
+//!
+//! # Examples
+//!
+//! ```
+//! use rhmd_trace::seed::derive_seed;
+//!
+//! let run = 0xfa17;
+//! // Per-program seeds are order-free: evaluating program 7 first or last
+//! // yields the same seed, which is what makes parallel evaluation
+//! // bit-exact with the serial path.
+//! assert_eq!(derive_seed(run, 7), derive_seed(run, 7));
+//! assert_ne!(derive_seed(run, 7), derive_seed(run, 8));
+//! ```
+
+/// The splitmix64 finalizer: a bijective 64-bit mixer.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives the seed for stream `stream_id` of a run seeded with `run_seed`.
+///
+/// The two inputs pass through separate mixing rounds (not a plain XOR), so
+/// `(run, id)` and `(run ^ k, id ^ k)` do not collide and low-entropy
+/// program indices still spread over the whole 64-bit space.
+#[inline]
+#[must_use]
+pub fn derive_seed(run_seed: u64, stream_id: u64) -> u64 {
+    splitmix64(splitmix64(run_seed).wrapping_add(stream_id))
+}
+
+/// Folds another component into an already-derived seed (e.g. a sweep-point
+/// index on top of a per-program seed).
+#[inline]
+#[must_use]
+pub fn mix_seed(seed: u64, component: u64) -> u64 {
+    splitmix64(seed.wrapping_add(splitmix64(component)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_bijective_on_samples() {
+        // A bijection cannot collide; spot-check a dense low range where a
+        // weak mixer would.
+        let mut seen: Vec<u64> = (0..10_000).map(splitmix64).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn derive_is_stable_and_spreads() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        // Related (run, id) pairs must not collide the way `run ^ id` does:
+        // 1^3 == 2^0 under XOR folding.
+        assert_ne!(derive_seed(1, 3), derive_seed(2, 0));
+        // Adjacent ids land far apart.
+        let a = derive_seed(0, 0);
+        let b = derive_seed(0, 1);
+        assert!((a ^ b).count_ones() > 16, "weak diffusion: {a:x} vs {b:x}");
+    }
+
+    #[test]
+    fn mix_adds_a_distinct_dimension() {
+        let base = derive_seed(7, 42);
+        assert_ne!(mix_seed(base, 0), mix_seed(base, 1));
+        assert_ne!(mix_seed(base, 1), derive_seed(7, 43));
+    }
+
+    #[test]
+    fn zero_inputs_are_not_fixed_points() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(derive_seed(0, 0), 0);
+    }
+}

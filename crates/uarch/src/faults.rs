@@ -149,6 +149,31 @@ impl FaultConfig {
             && self.multiplex_rate == 0.0
             && self.burst_rate == 0.0
     }
+
+    /// A stable 64-bit digest of every intensity field, suitable as a cache
+    /// key component: configs with identical effect hash identically across
+    /// processes and runs (unlike `std::hash`, which is not guaranteed
+    /// stable), and any field change reaches the digest.
+    pub fn stable_hash(&self) -> u64 {
+        use rhmd_trace::seed::mix_seed;
+        let mut h = 0x6661_756c_7463_6667; // b"faultcfg"
+        for bits in [
+            self.noise.to_bits(),
+            self.additive.to_bits(),
+            u64::from(self.counter_bits),
+            match self.overflow {
+                Overflow::Saturate => 0,
+                Overflow::Wrap => 1,
+            },
+            self.drop_rate.to_bits(),
+            self.multiplex_rate.to_bits(),
+            self.burst_rate.to_bits(),
+            u64::from(self.burst_len),
+        ] {
+            h = mix_seed(h, bits);
+        }
+        h
+    }
 }
 
 // Stream-separation tags so the drop, multiplex, burst, and noise decisions
@@ -439,6 +464,28 @@ mod tests {
                 ..CounterSet::default()
             })
             .collect()
+    }
+
+    #[test]
+    fn stable_hash_separates_configs() {
+        let configs = [
+            FaultConfig::none(),
+            FaultConfig::noise(0.1),
+            FaultConfig::noise(0.2),
+            FaultConfig::dropping(0.1),
+            FaultConfig::multiplexed(0.1),
+            FaultConfig::bursty(0.1, 4),
+            FaultConfig::saturating(12),
+            FaultConfig::wrapping(12),
+        ];
+        let mut hashes: Vec<u64> = configs.iter().map(FaultConfig::stable_hash).collect();
+        // Stable across calls …
+        assert_eq!(hashes[1], FaultConfig::noise(0.1).stable_hash());
+        // … and distinct across distinct configs (saturate vs wrap at the
+        // same width differ only in the overflow field).
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), configs.len());
     }
 
     #[test]
