@@ -130,6 +130,13 @@ fn run_engine(exp: &Experiment, engine: &Evaluator<'_>, grid: &[Hmd]) -> Vec<Cel
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), rhmd_core::RhmdError> {
     let exp = Experiment::load();
     let pool = Pool::available();
     let programs = exp.splits.attacker_test.len();
@@ -194,11 +201,14 @@ fn main() {
         results_bit_identical: true,
     };
     let path = "BENCH_par.json";
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(path, json + "\n").expect("write BENCH_par.json");
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| rhmd_core::RhmdError::config(format!("cannot serialize report: {e}")))?;
+    rhmd_bench::durable::Durable::from_env()?
+        .write_atomic(std::path::Path::new(path), (json + "\n").as_bytes())?;
     println!(
         "serial {serial_seconds:.2}s -> engine {parallel_seconds:.2}s \
          ({speedup:.2}x, cache hit rate {:.0}%); report in {path}",
         100.0 * stats.hit_rate()
     );
+    Ok(())
 }

@@ -1,8 +1,21 @@
 //! Regenerates paper Figs 11a/11b (retraining effectiveness).
+//!
+//! Set `RHMD_CKPT=<dir>` to journal each sweep point durably and resume
+//! after a crash.
 
 use rhmd_bench::Experiment;
 
 fn main() {
     let exp = Experiment::load();
-    for t in rhmd_bench::figures::retraining::fig11(&exp) { println!("{t}"); }
+    match rhmd_bench::figures::retraining::fig11(&exp) {
+        Ok(tables) => {
+            for t in tables {
+                println!("{t}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -1,8 +1,17 @@
 //! Regenerates paper Fig 13 (evade-retrain generations).
+//!
+//! Set `RHMD_CKPT=<dir>` to snapshot the game state after every generation
+//! and resume after a crash.
 
 use rhmd_bench::Experiment;
 
 fn main() {
     let exp = Experiment::load();
-    println!("{}", rhmd_bench::figures::retraining::fig13(&exp));
+    match rhmd_bench::figures::retraining::fig13(&exp) {
+        Ok(table) => println!("{table}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }

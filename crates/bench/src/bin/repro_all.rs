@@ -5,11 +5,19 @@
 //! RHMD_SCALE=standard cargo run --release -p rhmd-bench --bin repro_all
 //! ```
 
+use rhmd_bench::durable::Durable;
 use rhmd_bench::figures;
 use rhmd_bench::{Experiment, Table};
-use std::io::Write;
+use rhmd_core::RhmdError;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), RhmdError> {
     let exp = Experiment::load();
     let mut out = String::new();
     let record = &mut |tables: Vec<Table>| {
@@ -42,9 +50,9 @@ fn main() {
     step("Fig 10: weighted injection");
     record(vec![figures::evasion::fig10(&exp)]);
     step("Fig 11: retraining sweep");
-    record(figures::retraining::fig11(&exp));
+    record(figures::retraining::fig11(&exp)?);
     step("Fig 13: evade-retrain generations");
-    record(vec![figures::retraining::fig13(&exp)]);
+    record(vec![figures::retraining::fig13(&exp)?]);
     step("Fig 14: RHMD reverse-engineering (features)");
     record(figures::resilient::fig14(&exp));
     step("Fig 15: RHMD reverse-engineering (features + periods)");
@@ -58,7 +66,7 @@ fn main() {
     step("done");
 
     let path = "EXPERIMENTS-data.txt";
-    let mut file = std::fs::File::create(path).expect("create report file");
-    file.write_all(out.as_bytes()).expect("write report");
+    Durable::from_env()?.write_atomic(std::path::Path::new(path), out.as_bytes())?;
     eprintln!("[repro] full report written to {path}");
+    Ok(())
 }

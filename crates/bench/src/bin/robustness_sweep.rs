@@ -8,10 +8,13 @@
 //! vote instead of letting them mis-vote.
 //!
 //! Run with `RHMD_SCALE=tiny cargo run --release -p rhmd-bench --bin
-//! robustness_sweep` for a quick pass.
+//! robustness_sweep` for a quick pass. Set `RHMD_CKPT=<dir>` to journal
+//! each fault cell durably and resume after a crash.
 
+use rhmd_bench::ckpt::{journal_from_env, unit_or_compute};
 use rhmd_bench::par::{DegradedQuality, Evaluator, Pool};
 use rhmd_bench::{Experiment, Table};
+use rhmd_core::RhmdError;
 use rhmd_core::ensemble::{Combiner, EnsembleHmd};
 use rhmd_core::hmd::{Hmd, QuorumVerdict};
 use rhmd_core::rhmd::{build_pool, pool_specs, ResilientHmd};
@@ -77,8 +80,23 @@ fn cell(q: &DegradedQuality) -> String {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), RhmdError> {
     let exp = Experiment::load();
     let spec = exp.spec(FeatureKind::Architectural, 10_000);
+    let mut journal = journal_from_env(
+        "robustness",
+        &format!(
+            "programs={};seed={}",
+            exp.config.total_programs(),
+            exp.config.seed
+        ),
+    )?;
 
     eprintln!("[robustness] training detectors ...");
     let lr = Hmd::train(
@@ -131,17 +149,27 @@ fn main() {
     let mut sweep: Vec<[DegradedQuality; 4]> = Vec::new();
     for (name, config) in fault_grid() {
         eprintln!("[robustness] fault: {name}");
-        let q_lr = measure(&engine, test, config, |_, subs| lr.quorum_verdict(subs, MIN_FILL));
-        let q_nn = measure(&engine, test, config, |_, subs| nn.quorum_verdict(subs, MIN_FILL));
-        let q_en = measure(&engine, test, config, |_, subs| {
-            ensemble.quorum_verdict(subs, MIN_FILL)
-        });
+        // Each (fault, detector) cell is one independent, journaled work
+        // unit: a resumed run skips the finished measurements entirely.
+        let q_lr = unit_or_compute(&mut journal, &format!("{name}/lr"), || {
+            measure(&engine, test, config, |_, subs| lr.quorum_verdict(subs, MIN_FILL))
+        })?;
+        let q_nn = unit_or_compute(&mut journal, &format!("{name}/nn"), || {
+            measure(&engine, test, config, |_, subs| nn.quorum_verdict(subs, MIN_FILL))
+        })?;
+        let q_en = unit_or_compute(&mut journal, &format!("{name}/ensemble"), || {
+            measure(&engine, test, config, |_, subs| {
+                ensemble.quorum_verdict(subs, MIN_FILL)
+            })
+        })?;
         // The serial sweep reset the pool before every program, i.e. each
         // program saw the switching stream from the construction seed — the
         // seeded walk replays exactly that, without shared state.
-        let q_rh = measure(&engine, test, config, |_, subs| {
-            rhmd.quorum_verdict_seeded(subs, MIN_FILL, rhmd.seed())
-        });
+        let q_rh = unit_or_compute(&mut journal, &format!("{name}/rhmd"), || {
+            measure(&engine, test, config, |_, subs| {
+                rhmd.quorum_verdict_seeded(subs, MIN_FILL, rhmd.seed())
+            })
+        })?;
         table.push_row(vec![
             name.to_owned(),
             cell(&q_lr),
@@ -150,6 +178,9 @@ fn main() {
             cell(&q_rh),
         ]);
         sweep.push([q_lr, q_nn, q_en, q_rh]);
+    }
+    if let Some(journal) = journal.as_mut() {
+        journal.sync()?;
     }
     println!("{table}");
 
@@ -173,4 +204,5 @@ fn main() {
         ]);
     }
     println!("{degradation}");
+    Ok(())
 }

@@ -1,21 +1,42 @@
 //! Figs 11, 13 — retraining on evasive malware.
+//!
+//! Both figures are long multi-stage campaigns, so both are checkpointable:
+//! set `RHMD_CKPT=<dir>` and each completed sweep point (Fig 11) or played
+//! generation (Fig 13) is journaled durably; a rerun after a crash skips
+//! finished work and produces bit-identical tables.
 
+use crate::ckpt::{journal_from_env, unit_or_compute};
 use crate::context::Experiment;
 use crate::report::Table;
 use rhmd_core::evasion::{plan_evasion, EvasionConfig, Strategy};
 use rhmd_core::hmd::Hmd;
 use rhmd_core::retrain::{
-    evade_retrain_game, retrain_sweep, trace_evasive_variants, GameConfig,
+    evade_retrain_game_resumable, retrain_point, trace_evasive_variants, GameConfig, GameState,
 };
 use rhmd_core::reveng::reverse_engineer;
+use rhmd_core::RhmdError;
 use rhmd_features::vector::FeatureKind;
 use rhmd_ml::trainer::{Algorithm, TrainerConfig};
 use rhmd_trace::inject::Placement;
 
+/// The corpus fingerprint experiments put in their checkpoint manifests.
+fn corpus_summary(exp: &Experiment) -> String {
+    format!(
+        "programs={};seed={}",
+        exp.config.total_programs(),
+        exp.config.seed
+    )
+}
+
 /// Figs 11a/11b: retraining LR and NN with a growing share of evasive
 /// malware in the training set.
-pub fn fig11(exp: &Experiment) -> Vec<Table> {
+///
+/// # Errors
+///
+/// Checkpoint I/O failures when `RHMD_CKPT` is set (see [`journal_from_env`]).
+pub fn fig11(exp: &Experiment) -> Result<Vec<Table>, RhmdError> {
     let spec = exp.spec(FeatureKind::Instructions, 10_000);
+    let mut journal = journal_from_env("fig11", &corpus_summary(exp))?;
 
     // The evasive malware is built against the *original* LR detector via
     // its reverse-engineered surrogate, with the weighted strategy (paper
@@ -48,49 +69,60 @@ pub fn fig11(exp: &Experiment) -> Vec<Table> {
     let evasive_test = trace_evasive_variants(&exp.traced, &exp.test_malware(), &plan);
 
     let fractions = [0.0, 0.05, 0.07, 0.10, 0.14, 0.17, 0.20, 0.22, 0.25];
-    [(Algorithm::Lr, "Fig 11a"), (Algorithm::Nn, "Fig 11b")]
-        .into_iter()
-        .map(|(algo, id)| {
-            let mut table = Table::new(
-                id,
-                format!(
-                    "retraining {} with evasive malware (paper: LR trades unmodified \
-                     sensitivity for evasive sensitivity; NN gains both)",
-                    algo
-                ),
-                &[
-                    "evasive fraction",
-                    "sens (evasive)",
-                    "sens (unmodified)",
-                    "specificity",
-                ],
-            );
-            let points = retrain_sweep(
-                algo,
-                &spec,
-                &exp.trainer,
-                &exp.traced,
-                &exp.splits.victim_train,
-                &exp.splits.attacker_test,
-                &evasive_train,
-                &evasive_test,
-                &fractions,
-            );
-            for p in points {
-                table.push_row(vec![
-                    Table::pct(p.fraction),
-                    Table::pct(p.sensitivity_evasive),
-                    Table::pct(p.sensitivity_unmodified),
-                    Table::pct(p.specificity),
-                ]);
-            }
-            table
-        })
-        .collect()
+    let mut tables = Vec::new();
+    for (algo, id) in [(Algorithm::Lr, "Fig 11a"), (Algorithm::Nn, "Fig 11b")] {
+        let mut table = Table::new(
+            id,
+            format!(
+                "retraining {} with evasive malware (paper: LR trades unmodified \
+                 sensitivity for evasive sensitivity; NN gains both)",
+                algo
+            ),
+            &[
+                "evasive fraction",
+                "sens (evasive)",
+                "sens (unmodified)",
+                "specificity",
+            ],
+        );
+        for &fraction in &fractions {
+            // Each sweep point is one independent, journaled work unit.
+            let p = unit_or_compute(&mut journal, &format!("{algo}/{fraction}"), || {
+                retrain_point(
+                    algo,
+                    &spec,
+                    &exp.trainer,
+                    &exp.traced,
+                    &exp.splits.victim_train,
+                    &exp.splits.attacker_test,
+                    &evasive_train,
+                    &evasive_test,
+                    fraction,
+                )
+            })?;
+            table.push_row(vec![
+                Table::pct(p.fraction),
+                Table::pct(p.sensitivity_evasive),
+                Table::pct(p.sensitivity_unmodified),
+                Table::pct(p.specificity),
+            ]);
+        }
+        tables.push(table);
+    }
+    if let Some(journal) = journal.as_mut() {
+        journal.sync()?;
+    }
+    Ok(tables)
 }
 
 /// Fig 13: the NN evade–retrain game over seven generations.
-pub fn fig13(exp: &Experiment) -> Table {
+///
+/// # Errors
+///
+/// Checkpoint I/O failures when `RHMD_CKPT` is set, and
+/// [`RhmdError::Config`] when the saved game state belongs to a different
+/// configuration.
+pub fn fig13(exp: &Experiment) -> Result<Table, RhmdError> {
     let mut table = Table::new(
         "Fig 13",
         "NN detector across evade-retrain generations (paper: previous-gen evasive caught, \
@@ -112,13 +144,37 @@ pub fn fig13(exp: &Experiment) -> Table {
         trainer: exp.trainer,
         seed: 0x13,
     };
-    let records = evade_retrain_game(
+    let summary = format!(
+        "{};game={:016x}",
+        corpus_summary(exp),
+        config.stable_hash()
+    );
+    let journal = journal_from_env("fig13", &summary)?;
+    let resume = match &journal {
+        Some(journal) => {
+            let state = journal.load_state::<GameState>()?;
+            if let Some(state) = &state {
+                eprintln!(
+                    "[fig13] resuming after generation {}",
+                    state.completed_generations
+                );
+            }
+            state
+        }
+        None => None,
+    };
+    let records = evade_retrain_game_resumable(
         &config,
         &exp.traced,
         &exp.splits.victim_train,
         &exp.splits.attacker_train,
         &exp.splits.attacker_test,
-    );
+        resume,
+        &mut |state| match &journal {
+            Some(journal) => journal.save_state(state),
+            None => Ok(()),
+        },
+    )?;
     for r in records {
         table.push_row(vec![
             r.generation.to_string(),
@@ -128,5 +184,5 @@ pub fn fig13(exp: &Experiment) -> Table {
             Table::pct(r.sensitivity_previous_evasive),
         ]);
     }
-    table
+    Ok(table)
 }

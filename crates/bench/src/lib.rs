@@ -10,7 +10,9 @@
 //! Scale is selected with `RHMD_SCALE` (`tiny` | `small` | `standard` |
 //! `paper`); experiments default to `standard`.
 
+pub mod ckpt;
 pub mod context;
+pub mod durable;
 pub mod figures;
 pub mod par;
 pub mod report;

@@ -27,6 +27,7 @@ use rhmd_core::hmd::{Hmd, QuorumVerdict};
 use rhmd_core::retrain::DetectionQuality;
 use rhmd_core::rhmd::ResilientHmd;
 use rhmd_core::verdict::{DegradedVerdict, VerdictPolicy};
+use rhmd_core::RhmdError;
 use rhmd_data::TracedCorpus;
 use rhmd_features::pipeline::project_windows;
 use rhmd_features::vector::FeatureSpec;
@@ -35,8 +36,10 @@ use rhmd_ml::model::Dataset;
 use rhmd_trace::seed::derive_seed;
 use rhmd_uarch::faults::{FaultConfig, FaultModel};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Work-stealing pool
@@ -204,6 +207,259 @@ impl Pool {
 }
 
 // ---------------------------------------------------------------------------
+// Per-task deadline watchdog
+// ---------------------------------------------------------------------------
+
+/// Deadline configuration for watchdog-supervised pool runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How long one work unit may run before it is flagged as overdue.
+    pub deadline: Duration,
+}
+
+impl WatchdogConfig {
+    /// A watchdog with the given per-unit deadline.
+    #[must_use]
+    pub fn new(deadline: Duration) -> WatchdogConfig {
+        WatchdogConfig { deadline }
+    }
+
+    /// A watchdog with a deadline in whole seconds (the CLI flag unit).
+    #[must_use]
+    pub fn from_secs(seconds: u64) -> WatchdogConfig {
+        WatchdogConfig::new(Duration::from_secs(seconds))
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig::from_secs(30)
+    }
+}
+
+/// What a watchdog-supervised run observed: how many units ran, which were
+/// flagged past their deadline, and which had to be requeued after their
+/// first attempt was lost. `overdue`/`requeued` indices are per-map; when
+/// reports from several maps are [`RunReport::merge`]d the lists become an
+/// aggregate diagnostic, not unit identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RunReport {
+    /// Total work units supervised.
+    pub items: u64,
+    /// Units observed running past the deadline (they may still have
+    /// completed — overdue means slow or stuck, not necessarily lost).
+    pub overdue: Vec<u64>,
+    /// Units whose first attempt produced no result (worker panic or lost
+    /// unit) and were recomputed serially in ascending index order.
+    pub requeued: Vec<u64>,
+    /// The deadline in force, in milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl RunReport {
+    /// Whether anything went wrong: an overdue or requeued unit.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !self.overdue.is_empty() || !self.requeued.is_empty()
+    }
+
+    /// Folds another map's report into this aggregate.
+    pub fn merge(&mut self, other: &RunReport) {
+        self.items += other.items;
+        self.overdue.extend_from_slice(&other.overdue);
+        self.requeued.extend_from_slice(&other.requeued);
+        self.deadline_ms = self.deadline_ms.max(other.deadline_ms);
+    }
+}
+
+/// Renders a panic payload for error messages.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+impl Pool {
+    /// [`Pool::map`] under a watchdog: a monitor thread flags units that run
+    /// past `watchdog.deadline`, per-unit panics are caught instead of
+    /// tearing the run down, and any unit whose first attempt produced no
+    /// result is **requeued deterministically** — recomputed serially in
+    /// ascending index order, which (since `f` is pure) yields exactly the
+    /// value the first attempt would have. Alongside the results comes a
+    /// [`RunReport`] so callers surface a degraded run instead of silently
+    /// absorbing it.
+    ///
+    /// Scoped threads cannot be cancelled, so a unit that truly never
+    /// returns still blocks the join — the watchdog's job is to *say which
+    /// unit is stuck* (on stderr and in the report) so an operator can act,
+    /// and to recover the recoverable cases (panics, lost results).
+    ///
+    /// # Errors
+    ///
+    /// [`RhmdError::Model`] when a requeued unit fails again — `f` is pure,
+    /// so a second identical failure means the unit can never complete.
+    pub fn map_watchdog<T, R, F>(
+        &self,
+        items: &[T],
+        watchdog: &WatchdogConfig,
+        f: F,
+    ) -> Result<(Vec<R>, RunReport), RhmdError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let deadline_ms = watchdog.deadline.as_millis().min(u128::from(u64::MAX)) as u64;
+        let mut report = RunReport {
+            items: n as u64,
+            deadline_ms,
+            ..RunReport::default()
+        };
+        let workers = self.threads.min(n.max(1));
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        if workers > 1 && n >= 2 {
+            let chunk = n.div_ceil(workers);
+            let blocks: Vec<Block> = (0..workers)
+                .map(|w| Block::new((w * chunk).min(n), ((w + 1) * chunk).min(n)))
+                .collect();
+            // In-flight tracking: per worker, the unit it is computing
+            // (index + 1; 0 = idle) and when it started, in milliseconds
+            // since `epoch`. `busy_since` is written before `busy_index` so
+            // the monitor never pairs a fresh index with a stale start.
+            let busy_index: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+            let busy_since: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+            let stop = AtomicBool::new(false);
+            let overdue = Mutex::new(std::collections::BTreeSet::new());
+            let epoch = Instant::now();
+
+            let mut harvested: Vec<Vec<(usize, R)>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let blocks = &blocks;
+                    let f = &f;
+                    let busy_index = &busy_index;
+                    let busy_since = &busy_since;
+                    handles.push(scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::with_capacity(chunk);
+                        loop {
+                            while let Some(i) = blocks[w].pop_front() {
+                                busy_since[w]
+                                    .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+                                busy_index[w].store(i + 1, Ordering::Release);
+                                // `f` is pure per the pool contract, so
+                                // unwinding out of it cannot leave broken
+                                // shared state behind.
+                                let result =
+                                    std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                                busy_index[w].store(0, Ordering::Release);
+                                if let Ok(r) = result {
+                                    out.push((i, r));
+                                }
+                            }
+                            let victim = (0..blocks.len())
+                                .filter(|&v| v != w)
+                                .max_by_key(|&v| blocks[v].remaining());
+                            match victim.and_then(|v| blocks[v].steal_back()) {
+                                Some((lo, hi)) => {
+                                    *blocks[w].range.lock().expect("pool mutex poisoned") =
+                                        (lo, hi);
+                                }
+                                None => break,
+                            }
+                        }
+                        out
+                    }));
+                }
+                let monitor = scope.spawn(|| {
+                    let tick = (watchdog.deadline / 4)
+                        .max(Duration::from_millis(1))
+                        .min(Duration::from_millis(50));
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        let now = epoch.elapsed().as_millis() as u64;
+                        for w in 0..workers {
+                            let slot = busy_index[w].load(Ordering::Acquire);
+                            if slot == 0 {
+                                continue;
+                            }
+                            let started = busy_since[w].load(Ordering::Relaxed);
+                            if now.saturating_sub(started) >= deadline_ms
+                                && overdue
+                                    .lock()
+                                    .expect("watchdog mutex poisoned")
+                                    .insert(slot - 1)
+                            {
+                                eprintln!(
+                                    "[pool] work unit {} exceeded its {:?} deadline on \
+                                     worker {w}; it will be requeued if its result is lost",
+                                    slot - 1,
+                                    watchdog.deadline
+                                );
+                            }
+                        }
+                    }
+                });
+                for h in handles {
+                    harvested.push(h.join().expect("pool worker panicked"));
+                }
+                stop.store(true, Ordering::Relaxed);
+                monitor.join().expect("watchdog monitor panicked");
+            });
+            for (i, r) in harvested.into_iter().flatten() {
+                debug_assert!(slots[i].is_none(), "index {i} computed twice");
+                slots[i] = Some(r);
+            }
+            report.overdue = overdue
+                .into_inner()
+                .expect("watchdog mutex poisoned")
+                .into_iter()
+                .map(|i| i as u64)
+                .collect();
+        } else {
+            for (i, t) in items.iter().enumerate() {
+                if let Ok(r) = std::panic::catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                    slots[i] = Some(r);
+                }
+            }
+        }
+
+        // Deterministic requeue: every unit without a result is recomputed
+        // serially in ascending index order. `f(i, item)` depends only on
+        // its arguments, so the requeued value is bit-identical to what the
+        // lost first attempt would have produced.
+        for i in 0..n {
+            if slots[i].is_some() {
+                continue;
+            }
+            report.requeued.push(i as u64);
+            match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                Ok(r) => slots[i] = Some(r),
+                Err(payload) => {
+                    return Err(RhmdError::model(format!(
+                        "work unit {i} failed twice ({}); a pure unit failing \
+                         deterministically cannot complete — aborting the run",
+                        panic_message(&*payload)
+                    )));
+                }
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|r| r.expect("requeue filled every slot"))
+            .collect();
+        Ok((results, report))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Feature-vector cache
 // ---------------------------------------------------------------------------
 
@@ -352,7 +608,7 @@ impl FeatureCache {
 
 /// Sensitivity / specificity / abstention over a degraded (fault-injected)
 /// evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DegradedQuality {
     /// Fraction of decided malware programs flagged.
     pub sensitivity: f64,
@@ -374,6 +630,8 @@ pub struct Evaluator<'a> {
     pool: Pool,
     cache: FeatureCache,
     run_seed: u64,
+    watchdog: Option<WatchdogConfig>,
+    report: Mutex<RunReport>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -384,6 +642,53 @@ impl<'a> Evaluator<'a> {
             pool,
             cache: FeatureCache::new(),
             run_seed,
+            watchdog: None,
+            report: Mutex::new(RunReport::default()),
+        }
+    }
+
+    /// Supervises every subsequent evaluation loop with a per-unit deadline
+    /// watchdog; stuck/lost units are flagged, requeued deterministically,
+    /// and accumulated into [`Evaluator::run_report`]. Results stay
+    /// bit-identical to an unsupervised run — the watchdog only recovers
+    /// lost work, it never alters values.
+    #[must_use]
+    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Evaluator<'a> {
+        self.watchdog = Some(config);
+        self
+    }
+
+    /// The accumulated degraded-run report across every supervised loop run
+    /// so far (empty and non-degraded when no watchdog is configured).
+    pub fn run_report(&self) -> RunReport {
+        self.report.lock().expect("report mutex poisoned").clone()
+    }
+
+    /// Dispatches a map through the watchdog when one is configured.
+    ///
+    /// A unit failing twice is deterministic (pool closures are pure), so
+    /// it aborts the run via panic with the typed error's message — the
+    /// same observable behavior `Pool::map` has for any worker panic, minus
+    /// the recoverable cases the watchdog absorbs.
+    fn run_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        match self.watchdog {
+            None => self.pool.map(items, f),
+            Some(config) => {
+                let (out, report) = self
+                    .pool
+                    .map_watchdog(items, &config, f)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                self.report
+                    .lock()
+                    .expect("report mutex poisoned")
+                    .merge(&report);
+                out
+            }
         }
     }
 
@@ -421,8 +726,7 @@ impl<'a> Evaluator<'a> {
         R: Send,
         F: Fn(usize, u64) -> R + Sync,
     {
-        self.pool
-            .map(indices, |_, &i| f(i, self.program_seed(i)))
+        self.run_map(indices, |_, &i| f(i, self.program_seed(i)))
     }
 
     /// Cached projected vectors of one program (clean stream).
@@ -448,9 +752,7 @@ impl<'a> Evaluator<'a> {
     /// `indices` order, so rows are bit-identical to the serial path.
     pub fn window_dataset(&self, indices: &[usize], spec: &FeatureSpec) -> Dataset {
         let labels = self.traced.corpus().labels();
-        let per_program = self
-            .pool
-            .map(indices, |_, &i| self.vectors(i, spec));
+        let per_program = self.run_map(indices, |_, &i| self.vectors(i, spec));
         let mut data = Dataset::new(spec.dims());
         for (&i, vectors) in indices.iter().zip(&per_program) {
             for v in vectors.iter() {
@@ -468,7 +770,7 @@ impl<'a> Evaluator<'a> {
     /// row of [`project_windows`]"), so detectors sharing a spec classify
     /// without re-projecting.
     pub fn quality_hmd(&self, hmd: &Hmd, indices: &[usize]) -> DetectionQuality {
-        let verdicts = self.pool.map(indices, |_, &i| {
+        let verdicts = self.run_map(indices, |_, &i| {
             let vectors = self.vectors(i, hmd.spec());
             let decisions: Vec<bool> = vectors.iter().map(|v| hmd.model().predict(v)).collect();
             rhmd_core::hmd::ProgramVerdict::from_decisions(&decisions).is_malware()
@@ -481,7 +783,7 @@ impl<'a> Evaluator<'a> {
     /// construction seed mixed with each program id — order-independent by
     /// construction, unlike the shared-RNG serial walk.
     pub fn quality_rhmd(&self, rhmd: &ResilientHmd, indices: &[usize]) -> DetectionQuality {
-        let verdicts = self.pool.map(indices, |_, &i| {
+        let verdicts = self.run_map(indices, |_, &i| {
             let stream = rhmd
                 .label_subwindows_seeded(self.traced.subwindows(i), derive_seed(rhmd.seed(), i as u64));
             rhmd_core::hmd::ProgramVerdict::from_decisions(&stream).is_malware()
@@ -531,7 +833,7 @@ impl<'a> Evaluator<'a> {
         S: Fn(usize) -> u64 + Sync,
     {
         let labels = self.traced.corpus().labels();
-        let judged: Vec<DegradedVerdict> = self.pool.map(indices, |_, &i| {
+        let judged: Vec<DegradedVerdict> = self.run_map(indices, |_, &i| {
             let model = FaultModel::new(config, seed_of(i));
             let subs = apply_faults(self.traced.subwindows(i), &model);
             policy.judge_quorum(&quorum_of(i, &subs), min_coverage)
@@ -622,6 +924,94 @@ mod tests {
             })
             .collect();
         assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn watchdog_matches_plain_map_when_clean() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 17).collect();
+        for threads in [1, 4] {
+            let (out, report) = Pool::new(threads)
+                .map_watchdog(&items, &WatchdogConfig::default(), |_, &x| {
+                    x.wrapping_mul(x) ^ 17
+                })
+                .unwrap();
+            assert_eq!(out, serial, "threads={threads}");
+            assert!(!report.degraded(), "{report:?}");
+            assert_eq!(report.items, 257);
+        }
+    }
+
+    #[test]
+    fn watchdog_requeues_panicked_units_deterministically() {
+        use std::sync::atomic::AtomicBool;
+        let items: Vec<u64> = (0..40).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        // Panic on the *first* attempt of units 5 and 17 only, standing in
+        // for a transiently lost worker; the requeue recomputes them.
+        let first: Vec<AtomicBool> = (0..40).map(|_| AtomicBool::new(true)).collect();
+        let (out, report) = Pool::new(4)
+            .map_watchdog(&items, &WatchdogConfig::default(), |i, &x| {
+                if (i == 5 || i == 17) && first[i].swap(false, Ordering::SeqCst) {
+                    panic!("simulated lost unit {i}");
+                }
+                x * 3
+            })
+            .unwrap();
+        assert_eq!(out, serial);
+        assert_eq!(report.requeued, vec![5, 17], "requeue order must be ascending");
+        assert!(report.degraded());
+    }
+
+    #[test]
+    fn watchdog_reports_deterministic_double_failure() {
+        let items: Vec<u64> = (0..8).collect();
+        let err = Pool::new(2)
+            .map_watchdog(&items, &WatchdogConfig::default(), |i, &x| {
+                assert!(i != 3, "unit 3 always fails");
+                x
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("work unit 3") && msg.contains("twice"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_flags_overdue_units() {
+        let items = vec![0u8, 1];
+        let (out, report) = Pool::new(2)
+            .map_watchdog(
+                &items,
+                &WatchdogConfig::new(std::time::Duration::from_millis(5)),
+                |i, &x| {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(120));
+                    }
+                    x + 1
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![1, 2], "slow units still complete correctly");
+        assert!(report.overdue.contains(&0), "{report:?}");
+        assert!(report.requeued.is_empty(), "completed units are not requeued");
+    }
+
+    #[test]
+    fn evaluator_watchdog_keeps_results_and_accumulates_report() {
+        let t = traced();
+        let spec = FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]);
+        let indices: Vec<usize> = (0..t.corpus().len()).collect();
+        let plain = Evaluator::new(&t, Pool::new(4), 0xabc);
+        let supervised =
+            Evaluator::new(&t, Pool::new(4), 0xabc).with_watchdog(WatchdogConfig::default());
+        let a = plain.window_dataset(&indices, &spec);
+        let b = supervised.window_dataset(&indices, &spec);
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.labels(), b.labels());
+        let report = supervised.run_report();
+        assert_eq!(report.items, indices.len() as u64);
+        assert!(!report.degraded());
+        assert!(!plain.run_report().degraded());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use crate::args::Args;
 use crate::persist::{load_hmd, save_hmd};
-use rhmd_bench::par::{Evaluator, Pool};
+use rhmd_bench::ckpt::{Journal, Manifest};
+use rhmd_bench::durable::Durable;
+use rhmd_bench::par::{Evaluator, Pool, WatchdogConfig};
 use rhmd_core::evasion::{evade_corpus, plan_evasion, EvasionConfig, Strategy};
 use rhmd_core::hmd::Hmd;
 use rhmd_core::retrain::detection_quality;
@@ -19,7 +21,7 @@ use rhmd_ml::trainer::{Algorithm, TrainerConfig};
 use rhmd_trace::inject::Placement;
 use rhmd_uarch::faults::FaultConfig;
 use rhmd_uarch::CoreConfig;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn scale_config(name: &str) -> Result<CorpusConfig, RhmdError> {
     CorpusConfig::from_scale_name(name).map_err(RhmdError::Config)
@@ -108,6 +110,77 @@ fn parse_pool(args: &Args) -> Result<Pool, RhmdError> {
                 return Err(RhmdError::parse("--threads", "must be at least 1"));
             }
             Ok(Pool::new(n))
+        }
+    }
+}
+
+/// Parsed `--checkpoint` / `--resume` / `--checkpoint-every` flags.
+struct CheckpointArgs {
+    dir: PathBuf,
+    resume_only: bool,
+    every: usize,
+}
+
+/// Parses the checkpoint flags. `--checkpoint <dir>` creates the directory
+/// (auto-resuming when it already holds a manifest); `--resume <dir>`
+/// insists the directory exists. Validation runs before any tracing so a
+/// bad flag fails in milliseconds.
+fn parse_checkpoint(args: &Args) -> Result<Option<CheckpointArgs>, RhmdError> {
+    let every: usize = args.parse_or("checkpoint-every", 1)?;
+    if every == 0 {
+        return Err(RhmdError::parse("--checkpoint-every", "must be at least 1"));
+    }
+    match (args.get("checkpoint"), args.get("resume")) {
+        (Some(_), Some(_)) => Err(RhmdError::config(
+            "--checkpoint and --resume are mutually exclusive \
+             (--checkpoint auto-resumes when the directory already has a manifest)",
+        )),
+        (Some(d), None) => Ok(Some(CheckpointArgs {
+            dir: PathBuf::from(d),
+            resume_only: false,
+            every,
+        })),
+        (None, Some(d)) => {
+            let dir = PathBuf::from(d);
+            if !dir.is_dir() {
+                return Err(RhmdError::io(
+                    d.to_owned(),
+                    "checkpoint directory does not exist; \
+                     pass the directory a previous --checkpoint run created",
+                ));
+            }
+            Ok(Some(CheckpointArgs {
+                dir,
+                resume_only: true,
+                every,
+            }))
+        }
+        (None, None) => {
+            if args.get("checkpoint-every").is_some() {
+                return Err(RhmdError::config(
+                    "--checkpoint-every requires --checkpoint or --resume",
+                ));
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Parses `--task-deadline <seconds>` into a pool watchdog configuration.
+fn parse_deadline(args: &Args) -> Result<Option<WatchdogConfig>, RhmdError> {
+    match args.get("task-deadline") {
+        None => Ok(None),
+        Some(v) => {
+            let secs: u64 = v.parse().map_err(|_| {
+                RhmdError::parse(
+                    "--task-deadline",
+                    format!("invalid value '{v}' (want seconds, a positive integer)"),
+                )
+            })?;
+            if secs == 0 {
+                return Err(RhmdError::parse("--task-deadline", "must be at least 1 second"));
+            }
+            Ok(Some(WatchdogConfig::from_secs(secs)))
         }
     }
 }
@@ -318,11 +391,52 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
                 .map_err(|_| RhmdError::parse("--periods", format!("bad period '{p}'")))
         })
         .collect::<Result<_, _>>()?;
+    // Checkpoint and watchdog flags are validated here, before the corpus
+    // trace, so a typo fails in milliseconds, not after minutes.
+    let ckpt = parse_checkpoint(args)?;
+    let deadline = parse_deadline(args)?;
+    // The config summary excludes --threads: cells are bit-identical at any
+    // thread count, so a resume may legally change it.
+    let summary = format!(
+        "scale={};algos={};features={};periods={}",
+        args.str_or("scale", "small"),
+        algos.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(","),
+        kinds
+            .iter()
+            .map(|k| format!("{k:?}").to_lowercase())
+            .collect::<Vec<_>>()
+            .join(","),
+        periods.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","),
+    );
+    let mut journal = match &ckpt {
+        None => None,
+        Some(c) => {
+            let manifest = Manifest::new("sweep", &summary);
+            let journal = if c.resume_only {
+                Journal::resume(&c.dir, &manifest, Durable::from_env()?, c.every)?
+            } else {
+                Journal::create(&c.dir, &manifest, Durable::from_env()?, c.every)?
+            };
+            if journal.resumed_units() > 0 {
+                eprintln!(
+                    "[rhmd] resuming from {}: {} completed cell(s) will be skipped",
+                    c.dir.display(),
+                    journal.resumed_units()
+                );
+            }
+            Some(journal)
+        }
+    };
+
     let bench = workbench(args)?;
-    let engine = bench.evaluator();
+    let engine = match deadline {
+        None => bench.evaluator(),
+        Some(watchdog) => bench.evaluator().with_watchdog(watchdog),
+    };
     let started = std::time::Instant::now();
 
     let mut rows = Vec::new();
+    let mut skipped = 0usize;
     println!(
         "{:<6} {:<22} {:>10} {:>12} {:>12}",
         "algo", "feature", "AUC", "sensitivity", "specificity"
@@ -331,29 +445,63 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
         for &kind in &kinds {
             let spec = FeatureSpec::new(kind, period, bench.opcodes.clone());
             for &algorithm in &algos {
-                let train_data = engine.window_dataset(&bench.splits.victim_train, &spec);
-                let hmd =
-                    Hmd::train_on_dataset(algorithm, spec.clone(), &bench.trainer, &train_data);
-                let test = engine.window_dataset(&bench.splits.attacker_test, &spec);
-                let roc_auc = auc(&score_all(hmd.model(), &test), test.labels());
-                let quality = engine.quality_hmd(&hmd, &bench.splits.attacker_test);
+                let compute = || {
+                    let train_data = engine.window_dataset(&bench.splits.victim_train, &spec);
+                    let hmd = Hmd::train_on_dataset(
+                        algorithm,
+                        spec.clone(),
+                        &bench.trainer,
+                        &train_data,
+                    );
+                    let test = engine.window_dataset(&bench.splits.attacker_test, &spec);
+                    let roc_auc = auc(&score_all(hmd.model(), &test), test.labels());
+                    let quality = engine.quality_hmd(&hmd, &bench.splits.attacker_test);
+                    SweepCell {
+                        algorithm: format!("{algorithm}"),
+                        feature: spec.label(),
+                        auc: roc_auc,
+                        sensitivity: quality.sensitivity_unmodified,
+                        specificity: quality.specificity,
+                    }
+                };
+                let key = format!("{algorithm}/{}/{period}", spec.label());
+                let (cell, cached) = match journal.as_mut() {
+                    Some(journal) => journal.unit(&key, compute)?,
+                    None => (compute(), false),
+                };
+                skipped += usize::from(cached);
                 println!(
-                    "{:<6} {:<22} {:>10.3} {:>11.1}% {:>11.1}%",
-                    format!("{algorithm}"),
-                    spec.label(),
-                    roc_auc,
-                    100.0 * quality.sensitivity_unmodified,
-                    100.0 * quality.specificity
+                    "{:<6} {:<22} {:>10.3} {:>11.1}% {:>11.1}%{}",
+                    cell.algorithm,
+                    cell.feature,
+                    cell.auc,
+                    100.0 * cell.sensitivity,
+                    100.0 * cell.specificity,
+                    if cached { "  (resumed)" } else { "" }
                 );
-                rows.push(SweepCell {
-                    algorithm: format!("{algorithm}"),
-                    feature: spec.label(),
-                    auc: roc_auc,
-                    sensitivity: quality.sensitivity_unmodified,
-                    specificity: quality.specificity,
-                });
+                rows.push(cell);
             }
         }
+    }
+    if let Some(journal) = journal.as_mut() {
+        journal.sync()?;
+        if skipped > 0 {
+            eprintln!(
+                "[rhmd] checkpoint: {skipped} of {} cell(s) served from {}",
+                rows.len(),
+                journal.dir().display()
+            );
+        }
+    }
+    let watchdog_report = engine.run_report();
+    if watchdog_report.degraded() {
+        eprintln!(
+            "[rhmd] degraded run: {} overdue and {} requeued work unit(s) \
+             (deadline {} ms); results are still exact",
+            watchdog_report.overdue.len(),
+            watchdog_report.requeued.len(),
+            watchdog_report.deadline_ms
+        );
     }
 
     let elapsed = started.elapsed().as_secs_f64();
@@ -380,15 +528,15 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
         };
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| RhmdError::config(format!("cannot serialize report: {e}")))?;
-        std::fs::write(out, json + "\n")
-            .map_err(|e| RhmdError::config(format!("cannot write {out}: {e}")))?;
+        Durable::from_env()?.write_atomic(Path::new(out), (json + "\n").as_bytes())?;
         println!("report saved to {out}");
     }
     Ok(())
 }
 
-/// One `rhmd sweep` grid cell, as serialized to `--out`.
-#[derive(Debug, serde::Serialize)]
+/// One `rhmd sweep` grid cell, as serialized to `--out` and journaled to
+/// `--checkpoint` directories.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 struct SweepCell {
     algorithm: String,
     feature: String,

@@ -6,7 +6,8 @@
 //!               [--out model.json]
 //! rhmd evaluate --model model.json [--scale s] [--threads n] [--fault noise:0.1]
 //! rhmd sweep    [--scale s] [--algos lr,dt] [--features f,g] [--periods 10000,5000]
-//!               [--threads n] [--out bench.json]
+//!               [--threads n] [--out bench.json] [--checkpoint dir | --resume dir]
+//!               [--checkpoint-every n] [--task-deadline secs]
 //! rhmd attack   [--scale s] [--feature f] [--algo a] [--surrogate a]
 //!               [--strategy random|least-weight|weighted] [--count n]
 //! rhmd defend   [--scale s] [--periods 10000,5000] [--count n]
@@ -32,7 +33,8 @@ COMMANDS:
              optionally through faulted counters (--fault noise:0.1,
              also drop:P | multiplex:P | burst:P | saturate:BITS | wrap:BITS)
   sweep      train + score every algorithm x feature x period combination
-             in parallel with feature-vector caching (--out bench.json)
+             in parallel with feature-vector caching (--out bench.json);
+             crash-tolerant with --checkpoint/--resume (see below)
   attack     reverse-engineer a victim detector and evade it
   defend     deploy an RHMD pool and measure its resilience
 
@@ -42,6 +44,15 @@ COMMON FLAGS:
   --algo lr|dt|svm|nn|rf
   --threads N                           worker threads (default: all cores);
                                         results are identical at any N
+
+CRASH TOLERANCE (sweep):
+  --checkpoint DIR                      journal each finished cell to DIR
+                                        (auto-resumes if DIR has a manifest)
+  --resume DIR                          resume an interrupted run; refuses a
+                                        DIR written by a different config
+  --checkpoint-every N                  fsync the journal every N cells (default 1)
+  --task-deadline SECS                  flag + requeue work units stuck > SECS
+  Resumed runs are bit-identical to uninterrupted ones at any --threads N.
 ";
 
 fn main() {

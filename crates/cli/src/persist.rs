@@ -1,6 +1,7 @@
 //! Model persistence: trained detectors round-trip through JSON so a
 //! detector trained once can be attacked, deployed, or audited later.
 
+use rhmd_bench::durable::Durable;
 use rhmd_core::hmd::Hmd;
 use rhmd_core::RhmdError;
 use rhmd_features::vector::FeatureSpec;
@@ -94,7 +95,11 @@ pub fn restore(saved: SavedHmd) -> Hmd {
     Hmd::from_parts(saved.spec, algorithm, saved.model.into_classifier())
 }
 
-/// Saves an HMD as pretty JSON.
+/// Saves an HMD as pretty JSON, atomically: the bytes land in a temp file
+/// in the same directory, are fsynced, and are renamed over `path`, so a
+/// crash mid-save can never leave a truncated model file behind. Writes go
+/// through the durable layer (retry/backoff on transient errors; the
+/// `RHMD_IO_FAULTS` fault plane applies in tests).
 ///
 /// # Errors
 ///
@@ -104,8 +109,7 @@ pub fn save_hmd(hmd: &Hmd, path: &Path) -> Result<(), RhmdError> {
     let saved = snapshot(hmd)?;
     let json = serde_json::to_string_pretty(&saved)
         .map_err(|e| RhmdError::model(format!("serializing model: {e}")))?;
-    std::fs::write(path, json)
-        .map_err(|e| RhmdError::io(path.display().to_string(), format!("cannot write: {e}")))
+    Durable::from_env()?.write_atomic(path, json.as_bytes())
 }
 
 /// Loads an HMD from JSON.
@@ -231,5 +235,56 @@ mod tests {
         let err = load_hmd(&path).unwrap_err();
         assert!(matches!(err, RhmdError::Parse { .. }));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_model_file_is_parse_error() {
+        // A model file cut off mid-write (the failure atomic saves prevent,
+        // but which a pre-hardening save or a bad disk could leave) must be
+        // a typed parse error naming the file, not a panic.
+        let (traced, splits) = fixture();
+        let hmd = Hmd::train(
+            Algorithm::Lr,
+            FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        let dir = std::env::temp_dir().join("rhmd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        save_hmd(&hmd, &path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_hmd(&path).unwrap_err();
+        assert!(matches!(err, RhmdError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("truncated.json"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let (traced, splits) = fixture();
+        let hmd = Hmd::train(
+            Algorithm::Dt,
+            FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        let dir = std::env::temp_dir().join("rhmd-cli-atomic-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_hmd(&hmd, &path).unwrap();
+        save_hmd(&hmd, &path).unwrap(); // overwrite is atomic too
+        load_hmd(&path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n != "model.json")
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,207 @@
+//! Kill-and-resume integration tests of `rhmd sweep` checkpointing: a run
+//! SIGKILLed mid-sweep and resumed from its checkpoint directory writes a
+//! report whose cells are bit-identical to an uninterrupted run — at a
+//! different `--threads`, and under injected I/O faults.
+//!
+//! These run the real binary via `CARGO_BIN_EXE_rhmd`, like
+//! `cli_errors.rs`, so they cover the whole path a real crash exercises:
+//! journal replay, torn trailing lines, flag validation, exit codes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rhmd-kill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn rhmd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rhmd"))
+        .args(args)
+        .output()
+        .expect("spawn rhmd binary")
+}
+
+fn expect_success(args: &[&str]) -> Output {
+    let out = rhmd(args);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "`rhmd {}` should exit 0; stderr:\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn expect_failure(args: &[&str], env: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rhmd"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn rhmd binary");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "`rhmd {}` should exit 2; stderr:\n{stderr}",
+        args.join(" ")
+    );
+    assert!(stderr.contains("error:"), "{stderr}");
+    stderr
+}
+
+/// The `"cells": [...]` tail of a sweep report — the part that must be
+/// bit-identical between runs (timing and cache stats above it may differ).
+fn cells_section(json: &str) -> &str {
+    let at = json.find("\"cells\"").expect("report has a cells field");
+    &json[at..]
+}
+
+fn read_report(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn sigkill_mid_sweep_then_resume_matches_uninterrupted_run() {
+    let dir = temp_dir("sweep");
+    let ckpt = dir.join("ckpt");
+    let clean_out = dir.join("clean.json");
+    let resumed_out = dir.join("resumed.json");
+    let scale = ["--scale", "tiny"];
+
+    // Golden: one uninterrupted run, 3 threads.
+    expect_success(&[
+        "sweep", scale[0], scale[1], "--threads", "3", "--out",
+        clean_out.to_str().unwrap(),
+    ]);
+
+    // Victim: checkpointed run, SIGKILLed once the journal shows progress
+    // (no graceful shutdown — exactly what the journal must survive).
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rhmd"))
+        .args(["sweep", scale[0], scale[1], "--threads", "2", "--checkpoint"])
+        .arg(&ckpt)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointed sweep");
+    let journal = ckpt.join("journal.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let lines = std::fs::read_to_string(&journal)
+            .map(|s| s.lines().count())
+            .unwrap_or(0);
+        // Enough progress that the resume has real work to skip; kill
+        // before the 15-cell grid finishes when the race allows it.
+        if lines >= 3 || child.try_wait().expect("poll child").is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "sweep never journaled a cell");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().ok();
+    child.wait().expect("reap child");
+
+    // Resume at yet another thread count: must exit 0, skip the journaled
+    // cells, and produce the same cells as the golden run.
+    let out = expect_success(&[
+        "sweep", scale[0], scale[1], "--threads", "1", "--resume",
+        ckpt.to_str().unwrap(), "--out", resumed_out.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resuming"), "resume should say so:\n{stderr}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("(resumed)"),
+        "at least one cell should come from the journal"
+    );
+
+    let clean = read_report(&clean_out);
+    let resumed = read_report(&resumed_out);
+    assert_eq!(
+        cells_section(&clean),
+        cells_section(&resumed),
+        "resumed cells must be bit-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_completes_under_transient_fault_injection() {
+    let dir = temp_dir("faults");
+    let ckpt = dir.join("ckpt");
+    let report = dir.join("report.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_rhmd"))
+        .args([
+            "sweep", "--scale", "tiny", "--algos", "lr,dt", "--features",
+            "instructions", "--checkpoint",
+        ])
+        .arg(&ckpt)
+        .arg("--out")
+        .arg(&report)
+        .env("RHMD_IO_FAULTS", "transient:0.15,short:0.1,seed:3")
+        .output()
+        .expect("spawn rhmd binary");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "retry layer must absorb a 15% transient rate; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(report.is_file(), "report must land despite the fault plane");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn permanently_failing_io_exits_2_with_the_operation_and_path() {
+    let dir = temp_dir("fatal");
+    let ckpt = dir.join("ckpt");
+    let stderr = expect_failure(
+        &[
+            "sweep", "--scale", "tiny", "--algos", "lr", "--features",
+            "instructions", "--checkpoint", ckpt.to_str().unwrap(),
+        ],
+        &[("RHMD_IO_FAULTS", "transient:1.0")],
+    );
+    assert!(
+        stderr.contains("transient I/O error persisted"),
+        "must say the retry budget was exhausted:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_with_mismatched_config_exits_2_quoting_both_configs() {
+    let dir = temp_dir("mismatch");
+    let ckpt = dir.join("ckpt");
+    expect_success(&[
+        "sweep", "--scale", "tiny", "--algos", "lr", "--features",
+        "instructions", "--checkpoint", ckpt.to_str().unwrap(),
+    ]);
+    let stderr = expect_failure(
+        &[
+            "sweep", "--scale", "tiny", "--algos", "dt", "--features",
+            "instructions", "--resume", ckpt.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(stderr.contains("algos=LR"), "must quote the stored config:\n{stderr}");
+    assert!(stderr.contains("algos=DT"), "must quote the requested config:\n{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_and_resume_flags_are_mutually_exclusive() {
+    let stderr = expect_failure(&["sweep", "--checkpoint", "a", "--resume", "b"], &[]);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn resume_of_nonexistent_directory_exits_2_and_names_it() {
+    let stderr = expect_failure(&["sweep", "--resume", "/nonexistent/ckpt"], &[]);
+    assert!(stderr.contains("/nonexistent/ckpt"), "{stderr}");
+    assert!(stderr.contains("does not exist"), "{stderr}");
+}

@@ -9,6 +9,7 @@
 //!   defender retraining, tracking how each generation's detector handles
 //!   current and previous evasive malware.
 
+use crate::error::RhmdError;
 use crate::evasion::{plan_evasion, EvasionConfig};
 use crate::hmd::{Detector, Hmd, ProgramVerdict};
 use crate::reveng;
@@ -145,6 +146,33 @@ pub struct RetrainPoint {
     pub specificity: f64,
 }
 
+/// Computes one point of the Fig 11 sweep: retrains with `fraction` of the
+/// malware windows evasive and measures the retrained detector. Each point
+/// is independent of every other, which is what makes the sweep both
+/// parallelizable and checkpointable unit-by-unit.
+#[allow(clippy::too_many_arguments)]
+pub fn retrain_point(
+    algorithm: Algorithm,
+    spec: &FeatureSpec,
+    trainer: &TrainerConfig,
+    traced: &TracedCorpus,
+    victim_train: &[usize],
+    test_indices: &[usize],
+    evasive_train: &[Vec<RawWindow>],
+    evasive_test: &[Vec<RawWindow>],
+    fraction: f64,
+) -> RetrainPoint {
+    let data = mixed_training_set(traced, victim_train, spec, evasive_train, fraction);
+    let mut retrained = Hmd::train_on_dataset(algorithm, spec.clone(), trainer, &data);
+    let quality = detection_quality(&mut retrained, traced, test_indices);
+    RetrainPoint {
+        fraction,
+        sensitivity_evasive: evasive_sensitivity(&mut retrained, evasive_test),
+        sensitivity_unmodified: quality.sensitivity_unmodified,
+        specificity: quality.specificity,
+    }
+}
+
 /// Runs the Fig 11 sweep for one algorithm.
 ///
 /// `evasive_train` supplies the evasive windows mixed into training;
@@ -164,17 +192,17 @@ pub fn retrain_sweep(
     fractions
         .iter()
         .map(|&fraction| {
-            let data =
-                mixed_training_set(traced, victim_train, spec, evasive_train, fraction);
-            let mut retrained =
-                Hmd::train_on_dataset(algorithm, spec.clone(), trainer, &data);
-            let quality = detection_quality(&mut retrained, traced, test_indices);
-            RetrainPoint {
+            retrain_point(
+                algorithm,
+                spec,
+                trainer,
+                traced,
+                victim_train,
+                test_indices,
+                evasive_train,
+                evasive_test,
                 fraction,
-                sensitivity_evasive: evasive_sensitivity(&mut retrained, evasive_test),
-                sensitivity_unmodified: quality.sensitivity_unmodified,
-                specificity: quality.specificity,
-            }
+            )
         })
         .collect()
 }
@@ -195,7 +223,7 @@ pub struct GenerationRecord {
 }
 
 /// Configuration of the evade–retrain game.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GameConfig {
     /// Defender's algorithm (the paper plays this with NN).
     pub algorithm: Algorithm,
@@ -213,6 +241,94 @@ pub struct GameConfig {
     pub seed: u64,
 }
 
+impl GameConfig {
+    /// A stable hash of the full configuration (FNV-1a over the canonical
+    /// debug rendering), used to refuse resuming a checkpoint written by a
+    /// different game. `generations` is deliberately excluded so a finished
+    /// checkpoint can be extended with more generations.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.generations = 0;
+        fnv1a(format!("{canonical:?}").as_bytes())
+    }
+}
+
+/// FNV-1a over `bytes` — a tiny stable hash for config fingerprints (the
+/// richer durable-I/O layer lives in `rhmd-bench`, which this crate must
+/// not depend on).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Version of the serialized [`GameState`] layout.
+pub const GAME_STATE_VERSION: u32 = 1;
+
+/// The inter-generation state of the evade–retrain game — everything needed
+/// to continue the game after generation `completed_generations` exactly as
+/// an uninterrupted run would.
+///
+/// The victim detector itself is *not* stored: it is always retrained from
+/// the (deterministic) initial window dataset plus `evasive_rows`, so the
+/// resumed detector is bit-identical to the one the interrupted run held.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameState {
+    /// Layout version ([`GAME_STATE_VERSION`]).
+    pub schema_version: u32,
+    /// [`GameConfig::stable_hash`] of the game that wrote this state.
+    pub config_hash: u64,
+    /// Generations fully played (records + retrain applied).
+    pub completed_generations: u32,
+    /// One record per completed generation.
+    pub records: Vec<GenerationRecord>,
+    /// Projected evasive training rows appended so far, in append order.
+    pub evasive_rows: Vec<Vec<f64>>,
+    /// The evasive test variants of the last completed generation.
+    pub previous_evasive_test: Vec<Vec<RawWindow>>,
+}
+
+impl GameState {
+    /// Validates that this state can seed a resume of `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`RhmdError::Version`] on a schema-version mismatch;
+    /// [`RhmdError::Config`] when the state was written by a different game
+    /// configuration, is internally inconsistent, or already covers at
+    /// least `config.generations` generations.
+    pub fn validate_for(&self, config: &GameConfig) -> Result<(), RhmdError> {
+        if self.schema_version != GAME_STATE_VERSION {
+            return Err(RhmdError::Version {
+                found: self.schema_version,
+                expected: GAME_STATE_VERSION,
+            });
+        }
+        if self.config_hash != config.stable_hash() {
+            return Err(RhmdError::config(format!(
+                "game checkpoint was written by a different configuration \
+                 (checkpoint hash {:016x}, this run {:016x}); rerun with the \
+                 original flags or start a fresh checkpoint directory",
+                self.config_hash,
+                config.stable_hash()
+            )));
+        }
+        if self.records.len() != self.completed_generations as usize {
+            return Err(RhmdError::config(format!(
+                "game checkpoint is inconsistent: {} generation record(s) for \
+                 {} completed generation(s)",
+                self.records.len(),
+                self.completed_generations
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Plays the evade–retrain game and records each generation.
 ///
 /// Per generation: the attacker reverse-engineers the current detector and
@@ -227,6 +343,40 @@ pub fn evade_retrain_game(
     attacker_train: &[usize],
     test_indices: &[usize],
 ) -> Vec<GenerationRecord> {
+    evade_retrain_game_resumable(
+        config,
+        traced,
+        victim_train,
+        attacker_train,
+        test_indices,
+        None,
+        &mut |_| Ok(()),
+    )
+    .expect("game without resume state or fallible callback cannot fail")
+}
+
+/// [`evade_retrain_game`] with checkpoint hooks: `resume` (a validated
+/// [`GameState`]) fast-forwards past already-played generations, and
+/// `on_generation` receives the post-retrain state after every generation so
+/// callers can persist it. A resumed game is **bit-identical** to an
+/// uninterrupted one: the per-generation seeds derive from `(config.seed,
+/// generation)` alone, and retraining is a deterministic function of the
+/// initial window dataset plus the recorded evasive rows.
+///
+/// # Errors
+///
+/// Propagates [`GameState::validate_for`] failures and any error the
+/// `on_generation` callback returns.
+#[allow(clippy::too_many_arguments)]
+pub fn evade_retrain_game_resumable(
+    config: &GameConfig,
+    traced: &TracedCorpus,
+    victim_train: &[usize],
+    attacker_train: &[usize],
+    test_indices: &[usize],
+    resume: Option<GameState>,
+    on_generation: &mut dyn FnMut(&GameState) -> Result<(), RhmdError>,
+) -> Result<Vec<GenerationRecord>, RhmdError> {
     let labels = traced.corpus().labels();
     let train_malware: Vec<usize> = victim_train
         .iter()
@@ -244,16 +394,32 @@ pub fn evade_retrain_game(
         d.extend_from(&Dataset::new(config.spec.dims()));
         d
     };
+    let mut previous_evasive_test: Vec<Vec<RawWindow>> = Vec::new();
+    let mut records = Vec::with_capacity(config.generations as usize);
+    let mut evasive_rows: Vec<Vec<f64>> = Vec::new();
+    let mut first_generation = 1u32;
+    if let Some(state) = resume {
+        state.validate_for(config)?;
+        if state.completed_generations >= config.generations {
+            // The checkpoint already covers every requested generation.
+            return Ok(state.records[..config.generations as usize].to_vec());
+        }
+        for row in &state.evasive_rows {
+            training_data.push(row.clone(), true);
+        }
+        first_generation = state.completed_generations + 1;
+        records = state.records;
+        evasive_rows = state.evasive_rows;
+        previous_evasive_test = state.previous_evasive_test;
+    }
     let mut victim = Hmd::train_on_dataset(
         config.algorithm,
         config.spec.clone(),
         &config.trainer,
         &training_data,
     );
-    let mut previous_evasive_test: Vec<Vec<RawWindow>> = Vec::new();
-    let mut records = Vec::with_capacity(config.generations as usize);
 
-    for generation in 1..=config.generations {
+    for generation in first_generation..=config.generations {
         // Attacker: reverse-engineer the current detector and build a plan.
         let surrogate = reveng::reverse_engineer(
             &mut victim,
@@ -293,7 +459,9 @@ pub fn evade_retrain_game(
         // Defender: retrain with the new evasive samples added.
         for subs in &evasive_train {
             for w in rhmd_features::window::aggregate(subs, config.spec.period) {
-                training_data.push(config.spec.project(&w), true);
+                let row = config.spec.project(&w);
+                training_data.push(row.clone(), true);
+                evasive_rows.push(row);
             }
         }
         victim = Hmd::train_on_dataset(
@@ -303,8 +471,18 @@ pub fn evade_retrain_game(
             &training_data,
         );
         previous_evasive_test = evasive_test;
+
+        let state = GameState {
+            schema_version: GAME_STATE_VERSION,
+            config_hash: config.stable_hash(),
+            completed_generations: generation,
+            records: records.clone(),
+            evasive_rows: evasive_rows.clone(),
+            previous_evasive_test: previous_evasive_test.clone(),
+        };
+        on_generation(&state)?;
     }
-    records
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -402,5 +580,129 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.sensitivity_current_evasive));
             assert!((0.0..=1.0).contains(&r.specificity));
         }
+    }
+
+    #[test]
+    fn resumed_game_is_bit_identical_to_uninterrupted() {
+        let (traced, splits, spec) = fixture();
+        let config = GameConfig {
+            algorithm: Algorithm::Nn,
+            spec,
+            surrogate: Algorithm::Lr,
+            payload: 2,
+            generations: 3,
+            trainer: TrainerConfig::default(),
+            seed: 11,
+        };
+        let golden = evade_retrain_game(
+            &config,
+            &traced,
+            &splits.victim_train,
+            &splits.attacker_train,
+            &splits.attacker_test,
+        );
+
+        // Play one generation, snapshot, "crash", resume from the snapshot.
+        let mut snapshots: Vec<GameState> = Vec::new();
+        let mut interrupted = config.clone();
+        interrupted.generations = 1;
+        evade_retrain_game_resumable(
+            &interrupted,
+            &traced,
+            &splits.victim_train,
+            &splits.attacker_train,
+            &splits.attacker_test,
+            None,
+            &mut |state| {
+                snapshots.push(state.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(snapshots.len(), 1);
+
+        let resumed = evade_retrain_game_resumable(
+            &config,
+            &traced,
+            &splits.victim_train,
+            &splits.attacker_train,
+            &splits.attacker_test,
+            Some(snapshots.pop().unwrap()),
+            &mut |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(resumed.len(), golden.len());
+        for (r, g) in resumed.iter().zip(&golden) {
+            assert_eq!(r.generation, g.generation);
+            assert_eq!(r.specificity.to_bits(), g.specificity.to_bits());
+            assert_eq!(
+                r.sensitivity_unmodified.to_bits(),
+                g.sensitivity_unmodified.to_bits()
+            );
+            assert_eq!(
+                r.sensitivity_current_evasive.to_bits(),
+                g.sensitivity_current_evasive.to_bits()
+            );
+            assert_eq!(
+                r.sensitivity_previous_evasive.to_bits(),
+                g.sensitivity_previous_evasive.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_and_bad_schema() {
+        let (traced, splits, spec) = fixture();
+        let config = GameConfig {
+            algorithm: Algorithm::Nn,
+            spec,
+            surrogate: Algorithm::Lr,
+            payload: 2,
+            generations: 2,
+            trainer: TrainerConfig::default(),
+            seed: 11,
+        };
+        let mut other = config.clone();
+        other.seed = 12;
+        assert_ne!(config.stable_hash(), other.stable_hash());
+        // More generations alone is still "the same game".
+        let mut extended = config.clone();
+        extended.generations = 9;
+        assert_eq!(config.stable_hash(), extended.stable_hash());
+
+        let state = GameState {
+            schema_version: GAME_STATE_VERSION,
+            config_hash: other.stable_hash(),
+            completed_generations: 1,
+            records: vec![GenerationRecord {
+                generation: 1,
+                specificity: 1.0,
+                sensitivity_unmodified: 1.0,
+                sensitivity_current_evasive: 0.5,
+                sensitivity_previous_evasive: 1.0,
+            }],
+            evasive_rows: Vec::new(),
+            previous_evasive_test: Vec::new(),
+        };
+        let err = evade_retrain_game_resumable(
+            &config,
+            &traced,
+            &splits.victim_train,
+            &splits.attacker_train,
+            &splits.attacker_test,
+            Some(state.clone()),
+            &mut |_| Ok(()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RhmdError::Config(_)), "{err}");
+        assert!(err.to_string().contains("different configuration"), "{err}");
+
+        let mut stale = state;
+        stale.config_hash = config.stable_hash();
+        stale.schema_version = 99;
+        assert!(matches!(
+            stale.validate_for(&config),
+            Err(RhmdError::Version { found: 99, .. })
+        ));
     }
 }
