@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rhmd_bench::Experiment;
 use rhmd_core::evasion::{plan_evasion, EvasionConfig};
-use rhmd_core::hmd::{Detector, Hmd};
+use rhmd_core::hmd::{BlackBox, Hmd};
 use rhmd_core::reveng::{query_dataset, reverse_engineer};
 use rhmd_data::CorpusConfig;
 use rhmd_features::vector::FeatureKind;

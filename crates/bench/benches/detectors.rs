@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rhmd_bench::Experiment;
-use rhmd_core::hmd::{Detector, Hmd};
+use rhmd_core::hmd::{BlackBox, Hmd};
 use rhmd_core::rhmd::{build_pool, pool_specs};
 use rhmd_data::CorpusConfig;
 use rhmd_features::vector::FeatureKind;

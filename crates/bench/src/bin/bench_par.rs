@@ -1,17 +1,23 @@
-//! Throughput benchmark of the parallel corpus-evaluation engine.
+//! Throughput benchmark of the parallel corpus-evaluation engine — and the
+//! observability overhead gate.
 //!
-//! Trains one grid of detectors (5 algorithms × 6 feature specs — shared,
-//! untimed), then scores every detector over the held-out corpus twice:
-//! once the way the pre-engine code did it (serial loop, every detector
-//! re-projecting its own datasets), once on the [`Evaluator`] (work fans
-//! out over the pool, projections land in the feature-vector cache and the
-//! 4 other algorithms on each spec hit instead of recomputing). Verifies
-//! the two paths are bit-identical and writes the measured speedup to
-//! `BENCH_par.json`.
+//! Trains one grid of detectors (shared, untimed), then scores every
+//! detector over the held-out corpus three times: once the way the
+//! pre-engine code did it (serial loop, every detector re-projecting its
+//! own datasets), once on the [`Evaluator`] with metrics off (work fans
+//! out over the pool, projections land in the feature-vector cache), and
+//! once on the engine with the metrics registry enabled. Verifies all
+//! three paths are bit-identical, measures the disabled-path cost of the
+//! instrumentation (a microbenched counter bump times the number of events
+//! an enabled run actually records), asserts it stays under 3% of the
+//! engine wall-clock, and writes everything to `BENCH_par.json`.
 //!
 //! Run with `RHMD_SCALE=tiny cargo run --release -p rhmd-bench --bin
-//! bench_par` for a quick pass.
+//! bench_par` for a quick pass. `--metrics <path>` / `--metrics-summary`
+//! additionally export the enabled pass's snapshot. See `--help`.
 
+use rhmd_bench::flags::parse_env_args;
+use rhmd_bench::metrics::preregister_standard;
 use rhmd_bench::par::{CacheStats, Evaluator, Pool};
 use rhmd_bench::Experiment;
 use rhmd_core::hmd::Hmd;
@@ -20,6 +26,7 @@ use rhmd_features::vector::{FeatureKind, FeatureSpec};
 use rhmd_ml::metrics::auc;
 use rhmd_ml::model::score_all;
 use rhmd_ml::trainer::Algorithm;
+use rhmd_obs as obs;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -29,6 +36,9 @@ use std::time::Instant;
 // path equally and only dilute the comparison.)
 const ALGOS: [Algorithm; 3] = [Algorithm::Lr, Algorithm::Dt, Algorithm::Svm];
 const PERIODS: [u32; 2] = [10_000, 5_000];
+
+/// The acceptance ceiling on the disabled-path instrumentation cost.
+const MAX_DISABLED_OVERHEAD: f64 = 0.03;
 
 /// One detector's evaluation result — compared bit-for-bit between paths.
 #[derive(Debug, PartialEq)]
@@ -54,15 +64,25 @@ struct Report {
     cache_hit_rate: f64,
     cache: CacheStats,
     results_bit_identical: bool,
+    metrics: MetricsOverhead,
 }
 
+/// The observability overhead gate's evidence, kept in the report so every
+/// run re-documents the disabled-path cost.
 #[derive(Debug, Serialize)]
-struct Workload {
-    cells: usize,
-    algorithms: usize,
-    specs: usize,
-    programs: usize,
-    program_evaluations: usize,
+struct MetricsOverhead {
+    /// Engine wall-clock with the registry enabled (best of trials).
+    enabled_seconds: f64,
+    /// Instrumentation events one enabled engine pass records (counter
+    /// increments + histogram observations).
+    events_per_pass: u64,
+    /// Microbenched cost of one disabled-path counter call.
+    disabled_ns_per_event: f64,
+    /// `events_per_pass x disabled_ns_per_event` as a fraction of the
+    /// metrics-off engine wall-clock — the number gated below 3%.
+    disabled_overhead_fraction: f64,
+    /// Whether the enabled pass reproduced the other two bit-for-bit.
+    enabled_results_bit_identical: bool,
 }
 
 fn specs(exp: &Experiment) -> Vec<FeatureSpec> {
@@ -73,7 +93,7 @@ fn specs(exp: &Experiment) -> Vec<FeatureSpec> {
         .collect()
 }
 
-/// Trains the detector grid once; both measured paths evaluate the *same*
+/// Trains the detector grid once; all measured paths evaluate the *same*
 /// detectors, so any timing difference is purely the evaluation engine.
 fn train_grid(exp: &Experiment) -> Vec<Hmd> {
     specs(exp)
@@ -111,8 +131,7 @@ fn run_serial(exp: &Experiment, grid: &mut [Hmd]) -> Vec<Cell> {
 }
 
 /// The engine path: projections fan out over the pool and land in the
-/// cache, so the four other algorithms on each spec hit instead of
-/// recomputing.
+/// cache, so the other algorithms on each spec hit instead of recomputing.
 fn run_engine(exp: &Experiment, engine: &Evaluator<'_>, grid: &[Hmd]) -> Vec<Cell> {
     let mut cells = Vec::new();
     for hmd in grid {
@@ -129,6 +148,26 @@ fn run_engine(exp: &Experiment, engine: &Evaluator<'_>, grid: &[Hmd]) -> Vec<Cel
     cells
 }
 
+/// Microbenches one disabled-path counter call (the relaxed enabled-check
+/// plus early return every instrumentation site pays when metrics are off).
+fn disabled_ns_per_event() -> f64 {
+    assert!(!obs::enabled(), "microbench must run with metrics off");
+    const OPS: u64 = 4_000_000;
+    let start = Instant::now();
+    for _ in 0..OPS {
+        obs::incr(std::hint::black_box("bench.disabled_probe"));
+    }
+    start.elapsed().as_nanos() as f64 / OPS as f64
+}
+
+/// Instrumentation events recorded in a snapshot: every counter increment
+/// and every histogram observation (gauges are set-once and negligible).
+fn events_in(snapshot: &obs::Snapshot) -> u64 {
+    let counters: u64 = snapshot.counters.values().sum();
+    let observations: u64 = snapshot.histograms.values().map(|h| h.count).sum();
+    counters + observations
+}
+
 fn main() {
     if let Err(e) = run() {
         eprintln!("error: {e}");
@@ -137,6 +176,10 @@ fn main() {
 }
 
 fn run() -> Result<(), rhmd_core::RhmdError> {
+    let opts = parse_env_args("bench_par")?;
+    // NOTE: metrics install is deliberately deferred — the serial and
+    // metrics-off engine passes must run with the registry disabled, or
+    // the overhead gate would be measuring an enabled run.
     let exp = Experiment::load();
     let pool = Pool::available();
     let programs = exp.splits.attacker_test.len();
@@ -160,13 +203,13 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         serial_seconds = serial_seconds.min(start.elapsed().as_secs_f64());
     }
 
-    eprintln!("[bench_par] engine ({} threads + cache) ...", pool.threads());
-    let mut engine = Evaluator::new(&exp.traced, pool, exp.config.seed);
+    eprintln!("[bench_par] engine, metrics off ({} threads + cache) ...", pool.threads());
+    let mut engine = Evaluator::builder(&exp.traced, exp.config.seed).pool(pool).build();
     let mut parallel = Vec::new();
     let mut parallel_seconds = f64::INFINITY;
     for trial in 0..TRIALS {
         if trial > 0 {
-            engine = Evaluator::new(&exp.traced, pool, exp.config.seed);
+            engine = Evaluator::builder(&exp.traced, exp.config.seed).pool(pool).build();
         }
         let start = Instant::now();
         parallel = run_engine(&exp, &engine, &grid);
@@ -175,8 +218,48 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
 
     // The engine must be an optimization, not a semantic change.
     assert_eq!(serial, parallel, "engine results diverged from serial path");
-
     let stats = engine.cache().stats();
+
+    // Price the disabled path while the registry is still off, then turn
+    // metrics on for the third pass.
+    let ns_per_event = disabled_ns_per_event();
+    eprintln!("[bench_par] engine, metrics on ...");
+    obs::set_enabled(true);
+    preregister_standard();
+    let mut enabled = Vec::new();
+    let mut enabled_seconds = f64::INFINITY;
+    let mut events_per_pass = 0;
+    for _ in 0..TRIALS {
+        obs::reset();
+        preregister_standard();
+        let engine = Evaluator::builder(&exp.traced, exp.config.seed).pool(pool).build();
+        let start = Instant::now();
+        enabled = run_engine(&exp, &engine, &grid);
+        enabled_seconds = enabled_seconds.min(start.elapsed().as_secs_f64());
+        events_per_pass = events_in(&obs::snapshot());
+    }
+
+    // Metrics observe; they must never steer. All three passes agree.
+    assert_eq!(
+        parallel, enabled,
+        "metrics-enabled engine results diverged from the metrics-off path"
+    );
+
+    let overhead = ns_per_event * events_per_pass as f64 * 1e-9 / parallel_seconds.max(1e-9);
+    assert!(
+        overhead < MAX_DISABLED_OVERHEAD,
+        "disabled-path instrumentation overhead {:.3}% exceeds the {:.0}% gate \
+         ({events_per_pass} events x {ns_per_event:.2} ns over {parallel_seconds:.3}s)",
+        100.0 * overhead,
+        100.0 * MAX_DISABLED_OVERHEAD,
+    );
+    eprintln!(
+        "[bench_par] overhead gate: {events_per_pass} events x {ns_per_event:.2} ns \
+         = {:.4}% of the metrics-off pass (< {:.0}% required)",
+        100.0 * overhead,
+        100.0 * MAX_DISABLED_OVERHEAD,
+    );
+
     let speedup = serial_seconds / parallel_seconds.max(1e-9);
     let report = Report {
         workload: Workload {
@@ -199,6 +282,13 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         cache_hit_rate: stats.hit_rate(),
         cache: stats,
         results_bit_identical: true,
+        metrics: MetricsOverhead {
+            enabled_seconds,
+            events_per_pass,
+            disabled_ns_per_event: ns_per_event,
+            disabled_overhead_fraction: overhead,
+            enabled_results_bit_identical: true,
+        },
     };
     let path = "BENCH_par.json";
     let json = serde_json::to_string_pretty(&report)
@@ -210,5 +300,14 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
          ({speedup:.2}x, cache hit rate {:.0}%); report in {path}",
         100.0 * stats.hit_rate()
     );
-    Ok(())
+    opts.metrics.finish()
+}
+
+#[derive(Debug, Serialize)]
+struct Workload {
+    cells: usize,
+    algorithms: usize,
+    specs: usize,
+    programs: usize,
+    program_evaluations: usize,
 }

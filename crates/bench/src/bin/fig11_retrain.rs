@@ -1,21 +1,27 @@
 //! Regenerates paper Figs 11a/11b (retraining effectiveness).
 //!
-//! Set `RHMD_CKPT=<dir>` to journal each sweep point durably and resume
-//! after a crash.
+//! `--checkpoint <dir>` (or the `RHMD_CKPT` env-var fallback) journals each
+//! sweep point durably and resumes after a crash; `--metrics <path>` /
+//! `--metrics-summary` export observability counters. See `--help`.
 
+use rhmd_bench::flags::parse_env_args;
 use rhmd_bench::Experiment;
+use rhmd_core::RhmdError;
 
 fn main() {
-    let exp = Experiment::load();
-    match rhmd_bench::figures::retraining::fig11(&exp) {
-        Ok(tables) => {
-            for t in tables {
-                println!("{t}");
-            }
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
+}
+
+fn run() -> Result<(), RhmdError> {
+    let opts = parse_env_args("fig11_retrain")?;
+    opts.metrics.install();
+    let exp = Experiment::load();
+    let tables = rhmd_bench::figures::retraining::fig11(&exp, opts.ckpt.as_ref())?;
+    for t in tables {
+        println!("{t}");
+    }
+    opts.metrics.finish()
 }

@@ -1,17 +1,26 @@
 //! Regenerates paper Fig 13 (evade-retrain generations).
 //!
-//! Set `RHMD_CKPT=<dir>` to snapshot the game state after every generation
-//! and resume after a crash.
+//! `--checkpoint <dir>` (or the `RHMD_CKPT` env-var fallback) snapshots the
+//! game state after every generation and resumes after a crash;
+//! `--metrics <path>` / `--metrics-summary` export observability counters.
+//! See `--help`.
 
+use rhmd_bench::flags::parse_env_args;
 use rhmd_bench::Experiment;
+use rhmd_core::RhmdError;
 
 fn main() {
-    let exp = Experiment::load();
-    match rhmd_bench::figures::retraining::fig13(&exp) {
-        Ok(table) => println!("{table}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
+}
+
+fn run() -> Result<(), RhmdError> {
+    let opts = parse_env_args("fig13_generations")?;
+    opts.metrics.install();
+    let exp = Experiment::load();
+    let table = rhmd_bench::figures::retraining::fig13(&exp, opts.ckpt.as_ref())?;
+    println!("{table}");
+    opts.metrics.finish()
 }

@@ -50,9 +50,9 @@ fn run() -> Result<(), RhmdError> {
     step("Fig 10: weighted injection");
     record(vec![figures::evasion::fig10(&exp)]);
     step("Fig 11: retraining sweep");
-    record(figures::retraining::fig11(&exp)?);
+    record(figures::retraining::fig11(&exp, None)?);
     step("Fig 13: evade-retrain generations");
-    record(vec![figures::retraining::fig13(&exp)?]);
+    record(vec![figures::retraining::fig13(&exp, None)?]);
     step("Fig 14: RHMD reverse-engineering (features)");
     record(figures::resilient::fig14(&exp));
     step("Fig 15: RHMD reverse-engineering (features + periods)");

@@ -8,13 +8,16 @@
 //! vote instead of letting them mis-vote.
 //!
 //! Run with `RHMD_SCALE=tiny cargo run --release -p rhmd-bench --bin
-//! robustness_sweep` for a quick pass. Set `RHMD_CKPT=<dir>` to journal
-//! each fault cell durably and resume after a crash.
+//! robustness_sweep` for a quick pass. `--checkpoint <dir>` (or the
+//! `RHMD_CKPT` env-var fallback) journals each fault cell durably and
+//! resumes after a crash; `--metrics <path>` / `--metrics-summary` export
+//! observability counters. See `--help`.
 
-use rhmd_bench::ckpt::{journal_from_env, unit_or_compute};
+use rhmd_bench::flags::parse_env_args;
 use rhmd_bench::par::{DegradedQuality, Evaluator, Pool};
 use rhmd_bench::{Experiment, Table};
 use rhmd_core::RhmdError;
+use rhmd_core::detector::{Detector, StreamRng};
 use rhmd_core::ensemble::{Combiner, EnsembleHmd};
 use rhmd_core::hmd::{Hmd, QuorumVerdict};
 use rhmd_core::rhmd::{build_pool, pool_specs, ResilientHmd};
@@ -87,9 +90,12 @@ fn main() {
 }
 
 fn run() -> Result<(), RhmdError> {
+    let opts = parse_env_args("robustness_sweep")?;
+    opts.metrics.install();
     let exp = Experiment::load();
     let spec = exp.spec(FeatureKind::Architectural, 10_000);
-    let mut journal = journal_from_env(
+    let journal = rhmd_bench::ckpt::journal_with(
+        opts.ckpt.as_ref(),
         "robustness",
         &format!(
             "programs={};seed={}",
@@ -144,30 +150,37 @@ fn run() -> Result<(), RhmdError> {
          (majority verdict over voting windows; abstentions excluded from the vote)",
         &["fault", "LR", "NN", "Ensemble(3)", "RHMD(6)"],
     );
-    let engine = Evaluator::new(&exp.traced, Pool::available(), FAULT_SEED);
+    let mut builder = Evaluator::builder(&exp.traced, FAULT_SEED)
+        .pool(Pool::available())
+        .recorder(opts.metrics.recorder()?);
+    if let Some(journal) = journal {
+        builder = builder.checkpoint(journal);
+    }
+    let engine = builder.build();
     let test = &exp.splits.attacker_test;
     let mut sweep: Vec<[DegradedQuality; 4]> = Vec::new();
     for (name, config) in fault_grid() {
         eprintln!("[robustness] fault: {name}");
         // Each (fault, detector) cell is one independent, journaled work
         // unit: a resumed run skips the finished measurements entirely.
-        let q_lr = unit_or_compute(&mut journal, &format!("{name}/lr"), || {
+        let (q_lr, _) = engine.unit(&format!("{name}/lr"), || {
             measure(&engine, test, config, |_, subs| lr.quorum_verdict(subs, MIN_FILL))
         })?;
-        let q_nn = unit_or_compute(&mut journal, &format!("{name}/nn"), || {
+        let (q_nn, _) = engine.unit(&format!("{name}/nn"), || {
             measure(&engine, test, config, |_, subs| nn.quorum_verdict(subs, MIN_FILL))
         })?;
-        let q_en = unit_or_compute(&mut journal, &format!("{name}/ensemble"), || {
+        let (q_en, _) = engine.unit(&format!("{name}/ensemble"), || {
             measure(&engine, test, config, |_, subs| {
                 ensemble.quorum_verdict(subs, MIN_FILL)
             })
         })?;
         // The serial sweep reset the pool before every program, i.e. each
         // program saw the switching stream from the construction seed — the
-        // seeded walk replays exactly that, without shared state.
-        let q_rh = unit_or_compute(&mut journal, &format!("{name}/rhmd"), || {
+        // trait-path quorum with a construction-seeded StreamRng replays
+        // exactly that, without shared state.
+        let (q_rh, _) = engine.unit(&format!("{name}/rhmd"), || {
             measure(&engine, test, config, |_, subs| {
-                rhmd.quorum_verdict_seeded(subs, MIN_FILL, rhmd.seed())
+                Detector::quorum(&rhmd, subs, MIN_FILL, &mut StreamRng::from_seed(rhmd.seed()))
             })
         })?;
         table.push_row(vec![
@@ -179,9 +192,7 @@ fn run() -> Result<(), RhmdError> {
         ]);
         sweep.push([q_lr, q_nn, q_en, q_rh]);
     }
-    if let Some(journal) = journal.as_mut() {
-        journal.sync()?;
-    }
+    engine.sync_checkpoint()?;
     println!("{table}");
 
     // Degradation summary relative to the fault-free first row.
@@ -204,5 +215,5 @@ fn run() -> Result<(), RhmdError> {
         ]);
     }
     println!("{degradation}");
-    Ok(())
+    opts.metrics.finish()
 }

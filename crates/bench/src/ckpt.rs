@@ -66,12 +66,81 @@ impl Manifest {
     }
 }
 
-/// The checkpoint directory set by `RHMD_CKPT`, if any — how experiment
-/// binaries (figure regenerators, robustness sweeps) opt into durable runs
-/// without growing argument parsers.
+/// The checkpoint directory set by `RHMD_CKPT`, if any — the documented
+/// fallback for experiment binaries when no `--checkpoint`/`--resume` flag
+/// is given.
 #[must_use]
 pub fn dir_from_env() -> Option<PathBuf> {
     std::env::var_os("RHMD_CKPT").map(PathBuf::from)
+}
+
+/// Checkpointing options an experiment binary parsed from its command line
+/// (`--checkpoint <dir>` / `--resume <dir>`).
+///
+/// Unlike the `RHMD_CKPT` fallback — which nests one subdirectory per
+/// experiment so a single env var serves a whole `repro_all` run — an
+/// explicit flag names the directory for exactly one experiment, so it is
+/// used as given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptOptions {
+    /// The checkpoint directory.
+    pub dir: PathBuf,
+    /// `--resume`: insist the directory already exists with a manifest
+    /// (`--checkpoint` creates it, auto-resuming when it already has one).
+    pub resume_only: bool,
+}
+
+impl CkptOptions {
+    /// Opens the journal these options describe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Journal::create`] / [`Journal::resume`]; additionally
+    /// [`RhmdError::Io`] when `--resume` names a directory that does not
+    /// exist.
+    pub fn journal(&self, experiment: &str, summary: &str) -> Result<Journal, RhmdError> {
+        let manifest = Manifest::new(experiment, summary);
+        let durable = Durable::from_env()?;
+        if self.resume_only {
+            if !self.dir.is_dir() {
+                return Err(RhmdError::io(
+                    self.dir.display().to_string(),
+                    "checkpoint directory does not exist; \
+                     pass the directory a previous --checkpoint run created",
+                ));
+            }
+            Journal::resume(&self.dir, &manifest, durable, 1)
+        } else {
+            Journal::create(&self.dir, &manifest, durable, 1)
+        }
+    }
+}
+
+/// Opens the journal for `experiment`: from explicit `--checkpoint` /
+/// `--resume` options when given, else from the `RHMD_CKPT` env var, else
+/// `Ok(None)` (checkpointing off). Announces a resume on stderr either way.
+///
+/// # Errors
+///
+/// See [`CkptOptions::journal`] and [`journal_from_env`].
+pub fn journal_with(
+    options: Option<&CkptOptions>,
+    experiment: &str,
+    summary: &str,
+) -> Result<Option<Journal>, RhmdError> {
+    match options {
+        None => journal_from_env(experiment, summary),
+        Some(options) => {
+            let journal = options.journal(experiment, summary)?;
+            if journal.resumed_units() > 0 {
+                eprintln!(
+                    "[ckpt] {experiment}: resuming, {} completed unit(s) will be skipped",
+                    journal.resumed_units()
+                );
+            }
+            Ok(Some(journal))
+        }
+    }
 }
 
 /// Opens (create-or-resume) a journal under `$RHMD_CKPT/<experiment>` when
@@ -303,6 +372,7 @@ impl Journal {
                     format!("journaled unit '{key}' is unreadable: {e}"),
                 )
             })?;
+            rhmd_obs::incr("ckpt.units_resumed");
             return Ok((value, true));
         }
         let value = compute();
@@ -324,6 +394,7 @@ impl Journal {
             self.offset,
             line.as_bytes(),
         )?;
+        rhmd_obs::incr("ckpt.journal_appends");
         self.completed.insert(key.to_owned(), value_json.to_owned());
         self.pending += 1;
         if self.pending >= self.checkpoint_every {

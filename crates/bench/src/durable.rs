@@ -299,6 +299,7 @@ impl Durable {
             match f() {
                 Ok(v) => return Ok(v),
                 Err(e) if is_transient(&e) => {
+                    rhmd_obs::incr("durable.retries");
                     if attempt + 1 == attempts {
                         return Err(RhmdError::io(
                             path.display().to_string(),
@@ -367,6 +368,7 @@ impl Durable {
             _ => std::path::PathBuf::from("."),
         };
         let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+        rhmd_obs::incr("durable.atomic_writes");
 
         // Rewriting the temp file from scratch on every attempt keeps retry
         // idempotent even when a short write interrupted the previous try.

@@ -256,7 +256,7 @@ pub fn ablation_minimal_overhead(exp: &Experiment) -> Table {
 /// detectors' specificity: with noisy benign flag rates the calibrated
 /// threshold lands *above* ½ and is stricter than majority.
 pub fn ablation_verdict_policy(exp: &Experiment) -> Table {
-    use rhmd_core::hmd::{Detector, ProgramVerdict};
+    use rhmd_core::hmd::{BlackBox, ProgramVerdict};
     use rhmd_core::verdict::VerdictPolicy;
     let mut table = Table::new(
         "Abl F",

@@ -10,7 +10,7 @@ use crate::context::Experiment;
 use crate::report::Table;
 use rhmd_core::ensemble::{Combiner, EnsembleHmd};
 use rhmd_core::evasion::{evade_corpus, plan_evasion, EvasionConfig};
-use rhmd_core::hmd::{Detector, Hmd, ProgramVerdict};
+use rhmd_core::hmd::{BlackBox, Hmd, ProgramVerdict};
 use rhmd_core::retrain::detection_quality;
 use rhmd_core::reveng;
 use rhmd_core::rhmd::{pool_specs, NonStationaryRhmd, ResilientHmd};
@@ -60,7 +60,7 @@ pub fn ext_ensemble_vs_rhmd(exp: &Experiment) -> Table {
         })
         .collect();
 
-    let mut defenders: Vec<(String, Box<dyn Detector>)> = vec![
+    let mut defenders: Vec<(String, Box<dyn BlackBox>)> = vec![
         (
             "ensemble (majority)".into(),
             Box::new(EnsembleHmd::new(base_detectors.clone(), Combiner::Majority)),
@@ -121,7 +121,7 @@ impl AnomalyHmd {
     }
 }
 
-impl Detector for AnomalyHmd {
+impl BlackBox for AnomalyHmd {
     fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
         let per = (self.spec.period / SUBWINDOW) as usize;
         let mut out = Vec::with_capacity(subwindows.len());
@@ -316,6 +316,6 @@ pub fn ext_dormant_malware(exp: &Experiment) -> Table {
 }
 
 #[allow(dead_code)]
-fn verdict_of(detector: &mut dyn Detector, subs: &[RawWindow]) -> bool {
+fn verdict_of(detector: &mut dyn BlackBox, subs: &[RawWindow]) -> bool {
     ProgramVerdict::from_decisions(&detector.label_subwindows(subs)).is_malware()
 }

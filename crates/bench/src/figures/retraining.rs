@@ -5,7 +5,7 @@
 //! generation (Fig 13) is journaled durably; a rerun after a crash skips
 //! finished work and produces bit-identical tables.
 
-use crate::ckpt::{journal_from_env, unit_or_compute};
+use crate::ckpt::{journal_with, unit_or_compute, CkptOptions};
 use crate::context::Experiment;
 use crate::report::Table;
 use rhmd_core::evasion::{plan_evasion, EvasionConfig, Strategy};
@@ -31,12 +31,15 @@ fn corpus_summary(exp: &Experiment) -> String {
 /// Figs 11a/11b: retraining LR and NN with a growing share of evasive
 /// malware in the training set.
 ///
+/// Checkpointing comes from `ckpt` (the binary's `--checkpoint`/`--resume`
+/// flags) when given, else from the `RHMD_CKPT` env-var fallback.
+///
 /// # Errors
 ///
-/// Checkpoint I/O failures when `RHMD_CKPT` is set (see [`journal_from_env`]).
-pub fn fig11(exp: &Experiment) -> Result<Vec<Table>, RhmdError> {
+/// Checkpoint I/O failures when checkpointing is on (see [`journal_with`]).
+pub fn fig11(exp: &Experiment, ckpt: Option<&CkptOptions>) -> Result<Vec<Table>, RhmdError> {
     let spec = exp.spec(FeatureKind::Instructions, 10_000);
-    let mut journal = journal_from_env("fig11", &corpus_summary(exp))?;
+    let mut journal = journal_with(ckpt, "fig11", &corpus_summary(exp))?;
 
     // The evasive malware is built against the *original* LR detector via
     // its reverse-engineered surrogate, with the weighted strategy (paper
@@ -117,12 +120,15 @@ pub fn fig11(exp: &Experiment) -> Result<Vec<Table>, RhmdError> {
 
 /// Fig 13: the NN evade–retrain game over seven generations.
 ///
+/// Checkpointing comes from `ckpt` (the binary's `--checkpoint`/`--resume`
+/// flags) when given, else from the `RHMD_CKPT` env-var fallback.
+///
 /// # Errors
 ///
-/// Checkpoint I/O failures when `RHMD_CKPT` is set, and
+/// Checkpoint I/O failures when checkpointing is on, and
 /// [`RhmdError::Config`] when the saved game state belongs to a different
 /// configuration.
-pub fn fig13(exp: &Experiment) -> Result<Table, RhmdError> {
+pub fn fig13(exp: &Experiment, ckpt: Option<&CkptOptions>) -> Result<Table, RhmdError> {
     let mut table = Table::new(
         "Fig 13",
         "NN detector across evade-retrain generations (paper: previous-gen evasive caught, \
@@ -149,7 +155,7 @@ pub fn fig13(exp: &Experiment) -> Result<Table, RhmdError> {
         corpus_summary(exp),
         config.stable_hash()
     );
-    let journal = journal_from_env("fig13", &summary)?;
+    let journal = journal_with(ckpt, "fig13", &summary)?;
     let resume = match &journal {
         Some(journal) => {
             let state = journal.load_state::<GameState>()?;

@@ -14,9 +14,11 @@ pub mod ckpt;
 pub mod context;
 pub mod durable;
 pub mod figures;
+pub mod flags;
+pub mod metrics;
 pub mod par;
 pub mod report;
 
 pub use context::Experiment;
-pub use par::{Evaluator, FeatureCache, Pool};
+pub use par::{Evaluator, EvaluatorBuilder, FeatureCache, Pool};
 pub use report::Table;

@@ -23,6 +23,8 @@
 //! beyond one short mutex acquisition, and the whole scheduler is ~100
 //! lines of std — the approved dependency set has no rayon.
 
+use crate::ckpt::Journal;
+use rhmd_core::detector::{Detector, StreamRng};
 use rhmd_core::hmd::{Hmd, QuorumVerdict};
 use rhmd_core::retrain::DetectionQuality;
 use rhmd_core::rhmd::ResilientHmd;
@@ -33,9 +35,11 @@ use rhmd_features::pipeline::project_windows;
 use rhmd_features::vector::FeatureSpec;
 use rhmd_features::window::{apply_faults, RawWindow};
 use rhmd_ml::model::Dataset;
+use rhmd_obs::{self as obs, NoopRecorder, Recorder};
 use rhmd_trace::seed::derive_seed;
 use rhmd_uarch::faults::{FaultConfig, FaultModel};
 use std::collections::HashMap;
+use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -145,6 +149,7 @@ impl Pool {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
+        obs::incr("pool.maps");
         let workers = self.threads.min(n.max(1));
         if workers <= 1 || n < 2 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
@@ -179,6 +184,7 @@ impl Pool {
                             Some((lo, hi)) => {
                                 // Install the loot as our own block so it can
                                 // itself be re-stolen if we stall.
+                                obs::incr("pool.steals");
                                 *blocks[w].range.lock().expect("pool mutex poisoned") = (lo, hi);
                             }
                             None => break, // nothing left anywhere
@@ -314,6 +320,7 @@ impl Pool {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
+        obs::incr("pool.maps");
         let deadline_ms = watchdog.deadline.as_millis().min(u128::from(u64::MAX)) as u64;
         let mut report = RunReport {
             items: n as u64,
@@ -369,6 +376,7 @@ impl Pool {
                                 .max_by_key(|&v| blocks[v].remaining());
                             match victim.and_then(|v| blocks[v].steal_back()) {
                                 Some((lo, hi)) => {
+                                    obs::incr("pool.steals");
                                     *blocks[w].range.lock().expect("pool mutex poisoned") =
                                         (lo, hi);
                                 }
@@ -529,18 +537,25 @@ impl Default for FeatureCache {
 }
 
 impl FeatureCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> FeatureCache {
+        FeatureCache::with_shards(SHARDS)
+    }
+
+    /// An empty cache lock-striped into `shards` slices (clamped to at
+    /// least 1). More shards reduce contention under wide pools; sharding
+    /// never changes results, only which mutex a key lands on.
+    pub fn with_shards(shards: usize) -> FeatureCache {
         FeatureCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<Vec<Vec<f64>>>>> {
-        // Program index spreads entries; the shard count is a power of two.
-        &self.shards[(key.program ^ key.spec_hash as usize) % SHARDS]
+        // Program index spreads entries across however many shards exist.
+        &self.shards[(key.program ^ key.spec_hash as usize) % self.shards.len()]
     }
 
     /// Projected vectors of program `program` under `spec`, optionally
@@ -562,12 +577,14 @@ impl FeatureCache {
         };
         if let Some(found) = self.shard(&key).lock().expect("cache mutex poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::incr("cache.hits");
             return Arc::clone(found);
         }
         // Compute outside the lock: projections are pure, so two racing
         // computations of the same key produce identical vectors and either
         // may win the insert.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::incr("cache.misses");
         let subs = traced.subwindows(program);
         let projected = match fault {
             None => project_windows(subs, spec),
@@ -618,50 +635,235 @@ pub struct DegradedQuality {
     pub abstain_rate: f64,
 }
 
+/// Configures and builds an [`Evaluator`].
+///
+/// Obtained from [`Evaluator::builder`]; every knob has a sensible default
+/// (single-threaded pool, 16 cache shards, no fault model, no watchdog, no
+/// checkpoint, metrics off), so callers name only what they deviate on:
+///
+/// ```
+/// use rhmd_bench::par::Evaluator;
+/// # fn doc(traced: &rhmd_data::TracedCorpus) {
+/// let engine = Evaluator::builder(traced, 0xabc).threads(4).build();
+/// # }
+/// ```
+pub struct EvaluatorBuilder<'a> {
+    traced: &'a TracedCorpus,
+    run_seed: u64,
+    pool: Pool,
+    cache_shards: usize,
+    fault: Option<FaultConfig>,
+    watchdog: Option<WatchdogConfig>,
+    recorder: Arc<dyn Recorder>,
+    checkpoint: Option<Journal>,
+}
+
+impl<'a> EvaluatorBuilder<'a> {
+    /// Sets the worker count (equivalent to `.pool(Pool::new(threads))`).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.pool = Pool::new(threads);
+        self
+    }
+
+    /// Uses an explicit [`Pool`] (e.g. [`Pool::available`]).
+    #[must_use]
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Lock-stripes the feature cache into `shards` slices (default 16).
+    #[must_use]
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Attaches a counter fault model; [`Evaluator::fault_config`] hands it
+    /// back to evaluation loops that inject degradation.
+    #[must_use]
+    pub fn fault(mut self, config: FaultConfig) -> Self {
+        self.fault = Some(config);
+        self
+    }
+
+    /// Supervises every evaluation loop with a per-unit deadline watchdog;
+    /// stuck/lost units are flagged, requeued deterministically, and
+    /// accumulated into [`Evaluator::run_report`]. Results stay
+    /// bit-identical to an unsupervised run — the watchdog only recovers
+    /// lost work, it never alters values.
+    #[must_use]
+    pub fn watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(config);
+        self
+    }
+
+    /// Attaches a metrics [`Recorder`]. An enabled recorder switches the
+    /// global metrics registry on at [`EvaluatorBuilder::build`] time;
+    /// [`Evaluator::export_metrics`] then snapshots and exports through it.
+    /// The default [`NoopRecorder`] leaves metrics off (and every
+    /// instrumentation site on its near-zero disabled path).
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a checkpoint [`Journal`]; [`Evaluator::unit`] then skips
+    /// work units the journal already holds and records fresh ones.
+    #[must_use]
+    pub fn checkpoint(mut self, journal: Journal) -> Self {
+        self.checkpoint = Some(journal);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Evaluator<'a> {
+        if self.recorder.is_enabled() {
+            obs::set_enabled(true);
+        }
+        obs::set_gauge("pool.threads", self.pool.threads() as f64);
+        Evaluator {
+            traced: self.traced,
+            pool: self.pool,
+            cache: FeatureCache::with_shards(self.cache_shards),
+            run_seed: self.run_seed,
+            fault: self.fault,
+            watchdog: self.watchdog,
+            recorder: self.recorder,
+            checkpoint: self.checkpoint.map(Mutex::new),
+            report: Mutex::new(RunReport::default()),
+        }
+    }
+}
+
 /// The parallel corpus-evaluation engine: a [`Pool`], a [`FeatureCache`],
-/// and a run seed from which every per-program seed is derived.
+/// and a run seed from which every per-program seed is derived — plus the
+/// optional run services every experiment shares (fault model, watchdog,
+/// metrics recorder, checkpoint journal), all configured through
+/// [`Evaluator::builder`].
 ///
 /// Every loop is bit-exact with its serial counterpart at any thread count;
 /// the equivalence suite (`tests/equivalence.rs`) enforces this for thread
 /// counts {1, 2, 8} across seeds and fault configs.
-#[derive(Debug)]
 pub struct Evaluator<'a> {
     traced: &'a TracedCorpus,
     pool: Pool,
     cache: FeatureCache,
     run_seed: u64,
+    fault: Option<FaultConfig>,
     watchdog: Option<WatchdogConfig>,
+    recorder: Arc<dyn Recorder>,
+    checkpoint: Option<Mutex<Journal>>,
     report: Mutex<RunReport>,
 }
 
-impl<'a> Evaluator<'a> {
-    /// An engine over `traced` with `pool` workers and the given run seed.
-    pub fn new(traced: &'a TracedCorpus, pool: Pool, run_seed: u64) -> Evaluator<'a> {
-        Evaluator {
-            traced,
-            pool,
-            cache: FeatureCache::new(),
-            run_seed,
-            watchdog: None,
-            report: Mutex::new(RunReport::default()),
-        }
+impl fmt::Debug for Evaluator<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("pool", &self.pool)
+            .field("run_seed", &self.run_seed)
+            .field("fault", &self.fault)
+            .field("watchdog", &self.watchdog)
+            .field("checkpointed", &self.checkpoint.is_some())
+            .finish_non_exhaustive()
     }
+}
 
-    /// Supervises every subsequent evaluation loop with a per-unit deadline
-    /// watchdog; stuck/lost units are flagged, requeued deterministically,
-    /// and accumulated into [`Evaluator::run_report`]. Results stay
-    /// bit-identical to an unsupervised run — the watchdog only recovers
-    /// lost work, it never alters values.
-    #[must_use]
-    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Evaluator<'a> {
-        self.watchdog = Some(config);
-        self
+impl<'a> Evaluator<'a> {
+    /// Starts configuring an engine over `traced` with the given run seed.
+    pub fn builder(traced: &'a TracedCorpus, run_seed: u64) -> EvaluatorBuilder<'a> {
+        EvaluatorBuilder {
+            traced,
+            run_seed,
+            pool: Pool::new(1),
+            cache_shards: SHARDS,
+            fault: None,
+            watchdog: None,
+            recorder: Arc::new(NoopRecorder),
+            checkpoint: None,
+        }
     }
 
     /// The accumulated degraded-run report across every supervised loop run
     /// so far (empty and non-degraded when no watchdog is configured).
     pub fn run_report(&self) -> RunReport {
         self.report.lock().expect("report mutex poisoned").clone()
+    }
+
+    /// The fault model attached at build time, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref()
+    }
+
+    /// The attached metrics recorder ([`NoopRecorder`] by default).
+    pub fn recorder(&self) -> &dyn Recorder {
+        &*self.recorder
+    }
+
+    /// Snapshots the global metrics registry and exports it through the
+    /// attached recorder. A no-op (returning `Ok`) under [`NoopRecorder`].
+    ///
+    /// # Errors
+    ///
+    /// [`RhmdError::Io`] when the recorder cannot write its output.
+    pub fn export_metrics(&self) -> Result<(), RhmdError> {
+        if !self.recorder.is_enabled() {
+            return Ok(());
+        }
+        self.recorder.export(&obs::snapshot()).map_err(|e| {
+            RhmdError::io("metrics export".to_owned(), e.to_string())
+        })
+    }
+
+    /// Runs (or skips) one checkpointed work unit: with a journal attached,
+    /// already-recorded keys return their journaled value (`cached = true`)
+    /// and fresh ones are computed and recorded; without one, `compute`
+    /// simply runs (`cached = false`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Journal::unit`].
+    pub fn unit<T: serde::Serialize + serde::Deserialize>(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> T,
+    ) -> Result<(T, bool), RhmdError> {
+        match &self.checkpoint {
+            None => Ok((compute(), false)),
+            Some(journal) => journal
+                .lock()
+                .expect("journal mutex poisoned")
+                .unit(key, compute),
+        }
+    }
+
+    /// The attached checkpoint directory, if any.
+    pub fn checkpoint_dir(&self) -> Option<std::path::PathBuf> {
+        self.checkpoint.as_ref().map(|journal| {
+            journal.lock().expect("journal mutex poisoned").dir().to_path_buf()
+        })
+    }
+
+    /// Forces pending checkpoint records to disk (no-op without a journal).
+    ///
+    /// # Errors
+    ///
+    /// See [`Journal::sync`].
+    pub fn sync_checkpoint(&self) -> Result<(), RhmdError> {
+        match &self.checkpoint {
+            None => Ok(()),
+            Some(journal) => journal.lock().expect("journal mutex poisoned").sync(),
+        }
+    }
+
+    /// Completed units replayed from the checkpoint at open time (0 without
+    /// a journal).
+    pub fn resumed_units(&self) -> usize {
+        self.checkpoint.as_ref().map_or(0, |journal| {
+            journal.lock().expect("journal mutex poisoned").resumed_units()
+        })
     }
 
     /// Dispatches a map through the watchdog when one is configured.
@@ -784,8 +986,8 @@ impl<'a> Evaluator<'a> {
     /// construction, unlike the shared-RNG serial walk.
     pub fn quality_rhmd(&self, rhmd: &ResilientHmd, indices: &[usize]) -> DetectionQuality {
         let verdicts = self.run_map(indices, |_, &i| {
-            let stream = rhmd
-                .label_subwindows_seeded(self.traced.subwindows(i), derive_seed(rhmd.seed(), i as u64));
+            let mut rng = StreamRng::from_seed(derive_seed(rhmd.seed(), i as u64));
+            let stream = Detector::label_stream(rhmd, self.traced.subwindows(i), &mut rng);
             rhmd_core::hmd::ProgramVerdict::from_decisions(&stream).is_malware()
         });
         self.tally(indices, &verdicts)
@@ -1001,9 +1203,11 @@ mod tests {
         let t = traced();
         let spec = FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]);
         let indices: Vec<usize> = (0..t.corpus().len()).collect();
-        let plain = Evaluator::new(&t, Pool::new(4), 0xabc);
-        let supervised =
-            Evaluator::new(&t, Pool::new(4), 0xabc).with_watchdog(WatchdogConfig::default());
+        let plain = Evaluator::builder(&t, 0xabc).threads(4).build();
+        let supervised = Evaluator::builder(&t, 0xabc)
+            .threads(4)
+            .watchdog(WatchdogConfig::default())
+            .build();
         let a = plain.window_dataset(&indices, &spec);
         let b = supervised.window_dataset(&indices, &spec);
         assert_eq!(a.rows(), b.rows());
@@ -1050,7 +1254,7 @@ mod tests {
         let indices: Vec<usize> = (0..t.corpus().len()).step_by(3).collect();
         let serial = t.window_dataset(&indices, &spec);
         for threads in [1, 4] {
-            let eval = Evaluator::new(&t, Pool::new(threads), 0xabc);
+            let eval = Evaluator::builder(&t, 0xabc).threads(threads).build();
             let par = eval.window_dataset(&indices, &spec);
             assert_eq!(par.len(), serial.len());
             assert_eq!(par.rows(), serial.rows(), "threads={threads}");
@@ -1061,7 +1265,7 @@ mod tests {
     #[test]
     fn program_seeds_are_order_free_and_distinct() {
         let t = traced();
-        let eval = Evaluator::new(&t, Pool::new(2), 99);
+        let eval = Evaluator::builder(&t, 99).threads(2).build();
         let a: Vec<u64> = (0..10).map(|i| eval.program_seed(i)).collect();
         let b: Vec<u64> = (0..10).rev().map(|i| eval.program_seed(i)).collect();
         assert_eq!(a, b.into_iter().rev().collect::<Vec<_>>());

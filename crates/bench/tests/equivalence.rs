@@ -44,7 +44,7 @@ fn feature_vectors_identical_across_thread_counts() {
             .map(|&i| e.traced.program_vectors(i, &spec))
             .collect();
         for threads in THREADS {
-            let engine = Evaluator::new(&e.traced, Pool::new(threads), 0);
+            let engine = Evaluator::builder(&e.traced, 0).pool(Pool::new(threads)).build();
             let parallel: Vec<_> = engine
                 .pool()
                 .map(&indices, |_, &i| engine.vectors(i, &spec));
@@ -62,7 +62,7 @@ fn datasets_identical_across_thread_counts_and_seeds() {
     let serial = e.traced.window_dataset(&e.splits.victim_train, &spec);
     for threads in THREADS {
         for run_seed in SEEDS {
-            let engine = Evaluator::new(&e.traced, Pool::new(threads), run_seed);
+            let engine = Evaluator::builder(&e.traced, run_seed).pool(Pool::new(threads)).build();
             let par = engine.window_dataset(&e.splits.victim_train, &spec);
             assert_eq!(par.rows(), serial.rows(), "threads={threads} seed={run_seed:#x}");
             assert_eq!(par.labels(), serial.labels());
@@ -86,7 +86,7 @@ fn trained_models_and_aucs_identical_across_thread_counts() {
     let ref_auc = auc(&score_all(reference.model(), &ref_test), ref_test.labels());
 
     for threads in THREADS {
-        let engine = Evaluator::new(&e.traced, Pool::new(threads), 7);
+        let engine = Evaluator::builder(&e.traced, 7).pool(Pool::new(threads)).build();
         let train = engine.window_dataset(&e.splits.victim_train, &spec);
         let hmd = Hmd::train_on_dataset(Algorithm::Lr, spec.clone(), &e.trainer, &train);
         let test = engine.window_dataset(&e.splits.attacker_test, &spec);
@@ -107,7 +107,7 @@ fn hmd_verdicts_and_metrics_identical_across_thread_counts() {
     );
     let serial = detection_quality(&mut hmd, &e.traced, &e.splits.attacker_test);
     for threads in THREADS {
-        let engine = Evaluator::new(&e.traced, Pool::new(threads), 0);
+        let engine = Evaluator::builder(&e.traced, 0).pool(Pool::new(threads)).build();
         let par = engine.quality_hmd(&hmd, &e.splits.attacker_test);
         assert_eq!(par.sensitivity_unmodified, serial.sensitivity_unmodified, "threads={threads}");
         assert_eq!(par.specificity, serial.specificity, "threads={threads}");
@@ -126,10 +126,10 @@ fn rhmd_quality_identical_across_thread_counts_and_run_seeds() {
         0x5eed,
     );
     for run_seed in SEEDS {
-        let reference = Evaluator::new(&e.traced, Pool::new(1), run_seed)
+        let reference = Evaluator::builder(&e.traced, run_seed).pool(Pool::new(1)).build()
             .quality_rhmd(&rhmd, &e.splits.attacker_test);
         for threads in &THREADS[1..] {
-            let par = Evaluator::new(&e.traced, Pool::new(*threads), run_seed)
+            let par = Evaluator::builder(&e.traced, run_seed).pool(Pool::new(*threads)).build()
                 .quality_rhmd(&rhmd, &e.splits.attacker_test);
             assert_eq!(
                 (par.sensitivity_unmodified, par.specificity),
@@ -160,7 +160,7 @@ fn degraded_verdicts_identical_across_thread_counts_and_fault_configs() {
     ];
     for config in faults {
         for fault_seed in SEEDS {
-            let serial = Evaluator::new(&e.traced, Pool::new(1), 0).degraded_quality(
+            let serial = Evaluator::builder(&e.traced, 0).pool(Pool::new(1)).build().degraded_quality(
                 &e.splits.attacker_test,
                 config,
                 &policy,
@@ -169,7 +169,7 @@ fn degraded_verdicts_identical_across_thread_counts_and_fault_configs() {
                 |_, subs| hmd.quorum_verdict(subs, 0.5),
             );
             for threads in &THREADS[1..] {
-                let par = Evaluator::new(&e.traced, Pool::new(*threads), 0).degraded_quality(
+                let par = Evaluator::builder(&e.traced, 0).pool(Pool::new(*threads)).build().degraded_quality(
                     &e.splits.attacker_test,
                     config,
                     &policy,
@@ -187,7 +187,7 @@ fn degraded_verdicts_identical_across_thread_counts_and_fault_configs() {
 fn cache_reuse_does_not_change_results() {
     let e = exp();
     let spec = e.spec(FeatureKind::Instructions, 5_000);
-    let engine = Evaluator::new(&e.traced, Pool::new(2), 3);
+    let engine = Evaluator::builder(&e.traced, 3).pool(Pool::new(2)).build();
     // First pass populates the cache, second is served from it entirely.
     let cold = engine.window_dataset(&e.splits.attacker_test, &spec);
     let warm = engine.window_dataset(&e.splits.attacker_test, &spec);

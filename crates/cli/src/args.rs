@@ -4,6 +4,9 @@
 use rhmd_core::RhmdError;
 use std::collections::BTreeMap;
 
+/// Flags that take no value: their presence alone means `true`.
+const BOOLEAN_FLAGS: &[&str] = &["metrics-summary"];
+
 /// Parsed command line: a subcommand plus `--key value` flags.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
@@ -32,12 +35,21 @@ impl Args {
                     "unexpected positional argument '{token}'"
                 )));
             };
+            if BOOLEAN_FLAGS.contains(&key) {
+                args.flags.insert(key.to_owned(), String::new());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| RhmdError::config(format!("flag --{key} needs a value")))?;
             args.flags.insert(key.to_owned(), value);
         }
         Ok(args)
+    }
+
+    /// Whether a boolean flag (one of [`BOOLEAN_FLAGS`]) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// Raw flag lookup.
@@ -92,6 +104,14 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&["train", "--algo"]).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let args = parse(&["sweep", "--metrics-summary", "--algos", "lr"]).unwrap();
+        assert!(args.flag("metrics-summary"));
+        assert_eq!(args.get("algos"), Some("lr"));
+        assert!(!parse(&["sweep"]).unwrap().flag("metrics-summary"));
     }
 
     #[test]

@@ -4,7 +4,8 @@ use crate::args::Args;
 use crate::persist::{load_hmd, save_hmd};
 use rhmd_bench::ckpt::{Journal, Manifest};
 use rhmd_bench::durable::Durable;
-use rhmd_bench::par::{Evaluator, Pool, WatchdogConfig};
+use rhmd_bench::metrics::MetricsOptions;
+use rhmd_bench::par::{Evaluator, EvaluatorBuilder, Pool, WatchdogConfig};
 use rhmd_core::evasion::{evade_corpus, plan_evasion, EvasionConfig, Strategy};
 use rhmd_core::hmd::Hmd;
 use rhmd_core::retrain::detection_quality;
@@ -185,6 +186,23 @@ fn parse_deadline(args: &Args) -> Result<Option<WatchdogConfig>, RhmdError> {
     }
 }
 
+/// Parses `--metrics <path>` / `--metrics-summary` into [`MetricsOptions`].
+fn parse_metrics(args: &Args) -> MetricsOptions {
+    MetricsOptions::new(args.get("metrics").map(PathBuf::from), args.flag("metrics-summary"))
+}
+
+/// Exports the engine's metrics snapshot (`--metrics`) and prints the
+/// stderr summary table (`--metrics-summary`) once a command finishes.
+/// A no-op when neither flag was given.
+fn finish_metrics(metrics: &MetricsOptions, engine: &Evaluator<'_>) -> Result<(), RhmdError> {
+    engine.export_metrics()?;
+    if let Some(path) = metrics.path() {
+        eprintln!("[metrics] snapshot written to {}", path.display());
+    }
+    metrics.print_summary();
+    Ok(())
+}
+
 struct Workbench {
     traced: TracedCorpus,
     splits: Splits,
@@ -195,9 +213,11 @@ struct Workbench {
 }
 
 impl Workbench {
-    /// A parallel evaluation engine over this workbench's traced corpus.
-    fn evaluator(&self) -> Evaluator<'_> {
-        Evaluator::new(&self.traced, self.pool, self.seed)
+    /// A parallel evaluation-engine builder over this workbench's traced
+    /// corpus; commands add a recorder / watchdog / checkpoint journal as
+    /// their flags demand, then `.build()`.
+    fn evaluator(&self) -> EvaluatorBuilder<'_> {
+        Evaluator::builder(&self.traced, self.seed).pool(self.pool)
     }
 }
 
@@ -288,13 +308,15 @@ pub fn dump(args: &Args) -> Result<(), RhmdError> {
 }
 
 /// `rhmd train [--scale s] [--feature f] [--algo a] [--period n]
-/// [--threads n] [--out path]`
+/// [--threads n] [--out path] [--metrics path] [--metrics-summary]`
 pub fn train(args: &Args) -> Result<(), RhmdError> {
     let kind = parse_kind(&args.str_or("feature", "instructions"))?;
     let algorithm = parse_algorithm(&args.str_or("algo", "lr"))?;
     let period: u32 = args.parse_or("period", 10_000)?;
+    let metrics = parse_metrics(args);
+    metrics.install();
     let bench = workbench(args)?;
-    let engine = bench.evaluator();
+    let engine = bench.evaluator().recorder(metrics.recorder()?).build();
     let spec = FeatureSpec::new(kind, period, bench.opcodes.clone());
     // Dataset assembly fans out over the pool; rows are bit-identical to
     // the serial path, so the trained model is too.
@@ -315,13 +337,14 @@ pub fn train(args: &Args) -> Result<(), RhmdError> {
         save_hmd(&hmd, &PathBuf::from(path))?;
         println!("model saved to {path}");
     }
-    Ok(())
+    finish_metrics(&metrics, &engine)
 }
 
 /// `rhmd evaluate --model path [--scale s] [--threads n] [--fault kind:x]
-/// [--fault-seed n]` — reload a saved detector and score the held-out
-/// programs on the parallel engine, optionally through a fault-injected
-/// counter stream (e.g. `--fault noise:0.1`).
+/// [--fault-seed n] [--metrics path] [--metrics-summary]` — reload a saved
+/// detector and score the held-out programs on the parallel engine,
+/// optionally through a fault-injected counter stream (e.g.
+/// `--fault noise:0.1`).
 pub fn evaluate(args: &Args) -> Result<(), RhmdError> {
     let path = args
         .get("model")
@@ -331,9 +354,11 @@ pub fn evaluate(args: &Args) -> Result<(), RhmdError> {
     // milliseconds, not after minutes of simulation.
     let fault = args.get("fault").map(parse_fault).transpose()?;
     let fault_seed: u64 = args.parse_or("fault-seed", 0xfa17)?;
+    let metrics = parse_metrics(args);
+    metrics.install();
     let hmd = load_hmd(&PathBuf::from(&path))?;
     let bench = workbench(args)?;
-    let engine = bench.evaluator();
+    let engine = bench.evaluator().recorder(metrics.recorder()?).build();
     let quality = engine.quality_hmd(&hmd, &bench.splits.attacker_test);
     println!(
         "{}: program-level sensitivity {:.1}%, specificity {:.1}%",
@@ -363,14 +388,17 @@ pub fn evaluate(args: &Args) -> Result<(), RhmdError> {
             100.0 * degraded.specificity,
         );
     }
-    Ok(())
+    finish_metrics(&metrics, &engine)
 }
 
 /// `rhmd sweep [--scale s] [--algos lr,dt,...] [--features f,g]
-/// [--periods 10000,5000] [--threads n] [--out bench.json]` — train and
-/// score every algorithm × feature × period combination on the parallel
-/// engine. Detectors sharing a feature spec reuse cached feature vectors,
-/// so the grid costs far less than `cells × (project + train + score)`.
+/// [--periods 10000,5000] [--threads n] [--out bench.json]
+/// [--checkpoint dir | --resume dir] [--metrics path] [--metrics-summary]`
+/// — train and score every algorithm × feature × period combination on the
+/// parallel engine. Detectors sharing a feature spec reuse cached feature
+/// vectors, so the grid costs far less than `cells × (project + train +
+/// score)`. `--metrics` exports per-stage counters and latency histograms;
+/// cells are byte-identical with metrics on or off, at any thread count.
 pub fn sweep(args: &Args) -> Result<(), RhmdError> {
     let algos: Vec<Algorithm> = args
         .str_or("algos", "lr,dt,svm,nn,rf")
@@ -391,10 +419,12 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
                 .map_err(|_| RhmdError::parse("--periods", format!("bad period '{p}'")))
         })
         .collect::<Result<_, _>>()?;
-    // Checkpoint and watchdog flags are validated here, before the corpus
-    // trace, so a typo fails in milliseconds, not after minutes.
+    // Checkpoint, watchdog, and metrics flags are validated here, before
+    // the corpus trace, so a typo fails in milliseconds, not after minutes.
     let ckpt = parse_checkpoint(args)?;
     let deadline = parse_deadline(args)?;
+    let metrics = parse_metrics(args);
+    metrics.install();
     // The config summary excludes --threads: cells are bit-identical at any
     // thread count, so a resume may legally change it.
     let summary = format!(
@@ -408,7 +438,7 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
             .join(","),
         periods.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","),
     );
-    let mut journal = match &ckpt {
+    let journal = match &ckpt {
         None => None,
         Some(c) => {
             let manifest = Manifest::new("sweep", &summary);
@@ -429,10 +459,14 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
     };
 
     let bench = workbench(args)?;
-    let engine = match deadline {
-        None => bench.evaluator(),
-        Some(watchdog) => bench.evaluator().with_watchdog(watchdog),
-    };
+    let mut builder = bench.evaluator().recorder(metrics.recorder()?);
+    if let Some(watchdog) = deadline {
+        builder = builder.watchdog(watchdog);
+    }
+    if let Some(journal) = journal {
+        builder = builder.checkpoint(journal);
+    }
+    let engine = builder.build();
     let started = std::time::Instant::now();
 
     let mut rows = Vec::new();
@@ -465,10 +499,7 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
                     }
                 };
                 let key = format!("{algorithm}/{}/{period}", spec.label());
-                let (cell, cached) = match journal.as_mut() {
-                    Some(journal) => journal.unit(&key, compute)?,
-                    None => (compute(), false),
-                };
+                let (cell, cached) = engine.unit(&key, compute)?;
                 skipped += usize::from(cached);
                 println!(
                     "{:<6} {:<22} {:>10.3} {:>11.1}% {:>11.1}%{}",
@@ -483,13 +514,13 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
             }
         }
     }
-    if let Some(journal) = journal.as_mut() {
-        journal.sync()?;
-        if skipped > 0 {
+    engine.sync_checkpoint()?;
+    if skipped > 0 {
+        if let Some(dir) = engine.checkpoint_dir() {
             eprintln!(
                 "[rhmd] checkpoint: {skipped} of {} cell(s) served from {}",
                 rows.len(),
-                journal.dir().display()
+                dir.display()
             );
         }
     }
@@ -531,7 +562,7 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
         Durable::from_env()?.write_atomic(Path::new(out), (json + "\n").as_bytes())?;
         println!("report saved to {out}");
     }
-    Ok(())
+    finish_metrics(&metrics, &engine)
 }
 
 /// One `rhmd sweep` grid cell, as serialized to `--out` and journaled to
@@ -689,7 +720,7 @@ pub fn defend(args: &Args) -> Result<(), RhmdError> {
     Ok(())
 }
 
-/// Extension trait so commands can describe HMDs without `Detector`'s
+/// Extension trait so commands can describe HMDs without `BlackBox`'s
 /// `&mut` requirement.
 trait DescribePublic {
     fn describe_public(&self) -> String;

@@ -8,6 +8,7 @@
 //! rhmd sweep    [--scale s] [--algos lr,dt] [--features f,g] [--periods 10000,5000]
 //!               [--threads n] [--out bench.json] [--checkpoint dir | --resume dir]
 //!               [--checkpoint-every n] [--task-deadline secs]
+//!               [--metrics snap.json] [--metrics-summary]
 //! rhmd attack   [--scale s] [--feature f] [--algo a] [--surrogate a]
 //!               [--strategy random|least-weight|weighted] [--count n]
 //! rhmd defend   [--scale s] [--periods 10000,5000] [--count n]
@@ -53,6 +54,12 @@ CRASH TOLERANCE (sweep):
   --checkpoint-every N                  fsync the journal every N cells (default 1)
   --task-deadline SECS                  flag + requeue work units stuck > SECS
   Resumed runs are bit-identical to uninterrupted ones at any --threads N.
+
+OBSERVABILITY (train, evaluate, sweep):
+  --metrics PATH                        export per-stage counters and latency
+                                        histograms as JSON after the run
+  --metrics-summary                     print a metrics table to stderr
+  Metrics are observe-only: results are byte-identical with metrics on or off.
 ";
 
 fn main() {

@@ -7,7 +7,7 @@
 //! deterministic, they can be reverse engineered and evaded." This module
 //! implements that baseline so the claim can be tested head-to-head.
 
-use crate::hmd::{Detector, Hmd, QuorumVerdict};
+use crate::hmd::{BlackBox, Hmd, QuorumVerdict};
 use rhmd_features::window::{aggregate, aggregate_with_gaps, RawWindow, SUBWINDOW};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -129,7 +129,7 @@ impl EnsembleHmd {
     }
 }
 
-impl Detector for EnsembleHmd {
+impl BlackBox for EnsembleHmd {
     fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
         let per = (self.period / SUBWINDOW) as usize;
         let mut out = Vec::with_capacity(subwindows.len());
@@ -146,6 +146,43 @@ impl Detector for EnsembleHmd {
     fn describe(&self) -> String {
         let parts: Vec<String> = self.detectors.iter().map(|d| d.describe()).collect();
         format!("Ensemble<{}>{{{}}}", self.combiner, parts.join(", "))
+    }
+}
+
+impl crate::detector::Detector for EnsembleHmd {
+    fn name(&self) -> String {
+        self.describe()
+    }
+
+    /// Deterministic: the RNG is ignored.
+    fn label_stream(
+        &self,
+        subwindows: &[RawWindow],
+        _rng: &mut crate::detector::StreamRng,
+    ) -> Vec<bool> {
+        let per = (self.period / SUBWINDOW) as usize;
+        let mut out = Vec::with_capacity(subwindows.len());
+        for decision in self.decide_windows(subwindows) {
+            out.extend(std::iter::repeat_n(decision, per));
+        }
+        out
+    }
+
+    fn epoch_decisions(
+        &self,
+        subwindows: &[RawWindow],
+        _rng: &mut crate::detector::StreamRng,
+    ) -> Vec<bool> {
+        self.decide_windows(subwindows)
+    }
+
+    fn quorum(
+        &self,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+        _rng: &mut crate::detector::StreamRng,
+    ) -> QuorumVerdict {
+        self.quorum_verdict(subwindows, min_fill)
     }
 }
 

@@ -2,7 +2,7 @@
 //! detector model into an instruction-injection plan, and measuring how well
 //! the rewritten malware hides.
 
-use crate::hmd::{Detector, Hmd, ProgramVerdict};
+use crate::hmd::{BlackBox, Hmd, ProgramVerdict};
 use rhmd_data::{parallel_map, TracedCorpus};
 use rhmd_features::vector::{FeatureKind, FeatureSpec};
 use rhmd_features::window::MEM_BINS;
@@ -344,7 +344,7 @@ impl EvasionTrial {
 /// plan's static inflation, so the malware still executes (at least) its
 /// original workload.
 pub fn evade_corpus(
-    victim: &mut dyn Detector,
+    victim: &mut dyn BlackBox,
     traced: &TracedCorpus,
     malware_indices: &[usize],
     plan: &InjectionPlan,

@@ -15,7 +15,9 @@ use std::fmt;
 pub const ABSTAIN_BOUND: f64 = 1e3;
 
 /// The black-box interface the attacker can query (paper §2: "the attacker
-/// has access to a machine with a similar detector").
+/// has access to a machine with a similar detector"). Formerly named
+/// `Detector`; that name now refers to the defender-side
+/// [`crate::detector::Detector`] trait.
 ///
 /// A detector consumes a program's trace and emits a stream of binary
 /// decisions, reported at [`SUBWINDOW`] granularity so detectors with
@@ -26,7 +28,7 @@ pub const ABSTAIN_BOUND: f64 = 1e3;
 ///
 /// Decisions are label-only: no confidence is exposed, matching the paper's
 /// threat model (§9.2).
-pub trait Detector {
+pub trait BlackBox {
     /// Per-subwindow decision stream for one traced program.
     ///
     /// Takes `&mut self` because randomized detectors consume RNG state.
@@ -108,6 +110,8 @@ impl QuorumVerdict {
                 None => v.abstained += 1,
             }
         }
+        rhmd_obs::add("core.windows.voted", v.voted as u64);
+        rhmd_obs::add("core.windows.abstained", v.abstained as u64);
         v
     }
 
@@ -307,7 +311,7 @@ impl Hmd {
     }
 }
 
-impl Detector for Hmd {
+impl BlackBox for Hmd {
     fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
         let per = (self.spec.period / SUBWINDOW) as usize;
         let mut out = Vec::with_capacity(subwindows.len());
@@ -323,6 +327,43 @@ impl Detector for Hmd {
 
     fn describe(&self) -> String {
         format!("{}[{}]", self.algorithm, self.spec.label())
+    }
+}
+
+impl crate::detector::Detector for Hmd {
+    fn name(&self) -> String {
+        format!("{}[{}]", self.algorithm, self.spec.label())
+    }
+
+    /// Deterministic: the RNG is ignored.
+    fn label_stream(
+        &self,
+        subwindows: &[RawWindow],
+        _rng: &mut crate::detector::StreamRng,
+    ) -> Vec<bool> {
+        let per = (self.spec.period / SUBWINDOW) as usize;
+        let mut out = Vec::with_capacity(subwindows.len());
+        for decision in self.decide_windows(subwindows) {
+            out.extend(std::iter::repeat_n(decision, per));
+        }
+        out
+    }
+
+    fn epoch_decisions(
+        &self,
+        subwindows: &[RawWindow],
+        _rng: &mut crate::detector::StreamRng,
+    ) -> Vec<bool> {
+        self.decide_windows(subwindows)
+    }
+
+    fn quorum(
+        &self,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+        _rng: &mut crate::detector::StreamRng,
+    ) -> QuorumVerdict {
+        self.quorum_verdict(subwindows, min_fill)
     }
 }
 

@@ -5,8 +5,10 @@
 //! The crate follows the paper's narrative:
 //!
 //! 1. [`hmd`] — baseline hardware malware detectors (feature spec ×
-//!    classifier) and the label-only [`hmd::Detector`] query interface the
-//!    attacker sees;
+//!    classifier) and the label-only [`hmd::BlackBox`] query interface the
+//!    attacker sees; [`detector`] — the unified [`detector::Detector`]
+//!    trait every detector family implements, with explicitly seeded
+//!    switching streams;
 //! 2. [`reveng`] — black-box reverse-engineering: query, relabel, train a
 //!    surrogate, measure agreement (§4, Figs 3–4);
 //! 3. [`evasion`] — reverse-engineering-driven instruction injection:
@@ -56,6 +58,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod detector;
 pub mod ensemble;
 pub mod error;
 pub mod evasion;
@@ -68,9 +71,10 @@ pub mod reveng;
 pub mod rhmd;
 pub mod verdict;
 
+pub use detector::{Detector, StreamRng};
 pub use error::RhmdError;
 pub use evasion::{evade_corpus, plan_evasion, EvasionConfig, EvasionTrial, Strategy};
-pub use hmd::{transfer_labels, Detector, Hmd, ProgramVerdict, QuorumVerdict, ABSTAIN_BOUND};
+pub use hmd::{transfer_labels, BlackBox, Hmd, ProgramVerdict, QuorumVerdict, ABSTAIN_BOUND};
 pub use hw::{overhead as hw_overhead, HwOverhead, UnitCosts};
 pub use optimizer::{minimal_evasion, MinimalEvasion};
 pub use pac::{base_errors, disagreement_matrix, theorem1_band, Theorem1Band};

@@ -13,7 +13,7 @@
 //! corpus so experiments can check that reverse-engineering error lands
 //! inside the predicted band.
 
-use crate::hmd::{Detector, Hmd};
+use crate::hmd::{BlackBox, Hmd};
 use rhmd_data::TracedCorpus;
 use serde::{Deserialize, Serialize};
 

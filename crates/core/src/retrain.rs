@@ -11,7 +11,7 @@
 
 use crate::error::RhmdError;
 use crate::evasion::{plan_evasion, EvasionConfig};
-use crate::hmd::{Detector, Hmd, ProgramVerdict};
+use crate::hmd::{BlackBox, Hmd, ProgramVerdict};
 use crate::reveng;
 use rhmd_data::{parallel_map, TracedCorpus};
 use rhmd_features::vector::FeatureSpec;
@@ -87,7 +87,7 @@ pub struct DetectionQuality {
 
 /// Measures program-level sensitivity/specificity over `indices`.
 pub fn detection_quality(
-    detector: &mut dyn Detector,
+    detector: &mut dyn BlackBox,
     traced: &TracedCorpus,
     indices: &[usize],
 ) -> DetectionQuality {
@@ -117,7 +117,7 @@ pub fn detection_quality(
 /// Fraction of evasive variants (given as per-program subwindow traces)
 /// flagged as malware.
 pub fn evasive_sensitivity(
-    detector: &mut dyn Detector,
+    detector: &mut dyn BlackBox,
     evasive_subwindows: &[Vec<RawWindow>],
 ) -> f64 {
     if evasive_subwindows.is_empty() {

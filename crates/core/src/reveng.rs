@@ -5,7 +5,7 @@
 //! surrogate, and (4) measures success as the fraction of decisions on held-
 //! out programs where surrogate and victim agree (Fig 1).
 
-use crate::hmd::{Detector, Hmd};
+use crate::hmd::{BlackBox, Hmd};
 use rhmd_data::TracedCorpus;
 use rhmd_features::vector::FeatureSpec;
 use rhmd_ml::model::Dataset;
@@ -34,7 +34,7 @@ pub struct RevengReport {
 /// increasingly misaligned (noisy) labels. This is exactly the mechanism
 /// behind the paper's Fig 3a period-recovery experiment.
 pub fn query_dataset(
-    victim: &mut dyn Detector,
+    victim: &mut dyn BlackBox,
     traced: &TracedCorpus,
     indices: &[usize],
     spec: &FeatureSpec,
@@ -54,7 +54,7 @@ pub fn query_dataset(
 /// Trains a surrogate of `victim` with the given hypothesis (feature spec +
 /// algorithm) on the attacker-training programs.
 pub fn reverse_engineer(
-    victim: &mut dyn Detector,
+    victim: &mut dyn BlackBox,
     traced: &TracedCorpus,
     attacker_train: &[usize],
     spec: FeatureSpec,
@@ -69,7 +69,7 @@ pub fn reverse_engineer(
 /// `surrogate` matches `victim` (paper Fig 1b). Decision sequences are
 /// paired index-by-index, mirroring how the attacker observes them.
 pub fn agreement(
-    victim: &mut dyn Detector,
+    victim: &mut dyn BlackBox,
     surrogate: &Hmd,
     traced: &TracedCorpus,
     attacker_test: &[usize],
@@ -103,7 +103,7 @@ pub fn agreement(
 ///
 /// Panics if `tries` is zero.
 pub fn reverse_engineer_validated(
-    victim: &mut dyn Detector,
+    victim: &mut dyn BlackBox,
     traced: &TracedCorpus,
     attacker_train: &[usize],
     spec: FeatureSpec,
@@ -135,7 +135,7 @@ pub fn reverse_engineer_validated(
 
 /// Runs the full attack for one hypothesis and reports agreement.
 pub fn attack(
-    victim: &mut dyn Detector,
+    victim: &mut dyn BlackBox,
     traced: &TracedCorpus,
     attacker_train: &[usize],
     attacker_test: &[usize],

@@ -1,7 +1,8 @@
 //! Resilient HMDs (paper §7): a pool of diverse base detectors with
 //! stochastic, unpredictable switching between them.
 
-use crate::hmd::{Detector, Hmd, QuorumVerdict};
+use crate::detector::{Detector, StreamRng};
+use crate::hmd::{BlackBox, Hmd, QuorumVerdict};
 use rhmd_data::TracedCorpus;
 use rhmd_features::vector::{FeatureKind, FeatureSpec};
 use rhmd_features::window::{aggregate_with_gaps, RawWindow, SUBWINDOW};
@@ -22,7 +23,7 @@ use std::fmt;
 /// # Examples
 ///
 /// ```no_run
-/// use rhmd_core::hmd::Detector;
+/// use rhmd_core::hmd::BlackBox;
 /// use rhmd_core::rhmd::ResilientHmd;
 /// # fn doc(detectors: Vec<rhmd_core::hmd::Hmd>, subs: &[rhmd_features::RawWindow]) {
 /// let mut rhmd = ResilientHmd::new(detectors, 42);
@@ -192,46 +193,61 @@ impl ResilientHmd {
 
     /// Like [`ResilientHmd::quorum_verdict`], but drawing the switching
     /// stream from an explicit `stream_seed` instead of the pool's shared
-    /// RNG. `&self` only: two threads can judge different programs
-    /// concurrently, and the verdict for a program depends only on its
-    /// subwindows and seed — never on which other programs were judged
-    /// before it. A fresh pool walked serially after `reset()` produces the
-    /// same verdict as this method with `stream_seed == self.seed()`.
+    /// RNG. A fresh pool walked serially after `reset()` produces the same
+    /// verdict as this method with `stream_seed == self.seed()`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Detector::quorum` with an explicit `StreamRng` instead"
+    )]
     pub fn quorum_verdict_seeded(
         &self,
         subwindows: &[RawWindow],
         min_fill: f64,
         stream_seed: u64,
     ) -> QuorumVerdict {
-        let mut rng = SmallRng::seed_from_u64(stream_seed);
-        let votes: Vec<Option<bool>> = Self::walk_with(
-            &self.detectors,
-            &self.probabilities,
-            &mut rng,
-            subwindows,
-            min_fill,
-            true,
-        )
-        .into_iter()
-        .map(|(v, _)| v)
-        .collect();
-        QuorumVerdict::from_votes(&votes)
+        Detector::quorum(self, subwindows, min_fill, &mut StreamRng::from_seed(stream_seed))
     }
 
     /// Seeded, shared-state-free counterpart of
-    /// [`Detector::label_subwindows`] (same expansion to subwindow
+    /// [`BlackBox::label_subwindows`] (same expansion to subwindow
     /// granularity), for order-independent parallel evaluation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Detector::label_stream` with an explicit `StreamRng` instead"
+    )]
     pub fn label_subwindows_seeded(
         &self,
         subwindows: &[RawWindow],
         stream_seed: u64,
     ) -> Vec<bool> {
-        let mut rng = SmallRng::seed_from_u64(stream_seed);
+        Detector::label_stream(self, subwindows, &mut StreamRng::from_seed(stream_seed))
+    }
+
+    /// Seeded, shared-state-free counterpart of [`BlackBox::decisions`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Detector::epoch_decisions` with an explicit `StreamRng` instead"
+    )]
+    pub fn decisions_seeded(&self, subwindows: &[RawWindow], stream_seed: u64) -> Vec<bool> {
+        Detector::epoch_decisions(self, subwindows, &mut StreamRng::from_seed(stream_seed))
+    }
+}
+
+impl Detector for ResilientHmd {
+    fn name(&self) -> String {
+        self.describe()
+    }
+
+    /// Draws the switching stream from the caller's `rng`: `&self` only,
+    /// so two threads can judge different programs concurrently, and the
+    /// result for a program depends only on its subwindows and seed —
+    /// never on which other programs were judged before it.
+    fn label_stream(&self, subwindows: &[RawWindow], rng: &mut StreamRng) -> Vec<bool> {
         let mut out = Vec::with_capacity(subwindows.len());
         for (vote, per) in Self::walk_with(
             &self.detectors,
             &self.probabilities,
-            &mut rng,
+            rng.small(),
             subwindows,
             1.0,
             false,
@@ -243,13 +259,11 @@ impl ResilientHmd {
         out
     }
 
-    /// Seeded, shared-state-free counterpart of [`Detector::decisions`].
-    pub fn decisions_seeded(&self, subwindows: &[RawWindow], stream_seed: u64) -> Vec<bool> {
-        let mut rng = SmallRng::seed_from_u64(stream_seed);
+    fn epoch_decisions(&self, subwindows: &[RawWindow], rng: &mut StreamRng) -> Vec<bool> {
         Self::walk_with(
             &self.detectors,
             &self.probabilities,
-            &mut rng,
+            rng.small(),
             subwindows,
             1.0,
             false,
@@ -258,9 +272,29 @@ impl ResilientHmd {
         .filter_map(|(d, _)| d)
         .collect()
     }
+
+    fn quorum(
+        &self,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+        rng: &mut StreamRng,
+    ) -> QuorumVerdict {
+        let votes: Vec<Option<bool>> = Self::walk_with(
+            &self.detectors,
+            &self.probabilities,
+            rng.small(),
+            subwindows,
+            min_fill,
+            true,
+        )
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+        QuorumVerdict::from_votes(&votes)
+    }
 }
 
-impl Detector for ResilientHmd {
+impl BlackBox for ResilientHmd {
     fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
         let mut out = Vec::with_capacity(subwindows.len());
         for (vote, per) in self.walk(subwindows, 1.0, false) {
@@ -393,14 +427,58 @@ impl NonStationaryRhmd {
     }
 
     fn redraw(&mut self) {
-        // Partial Fisher-Yates over candidate indices.
-        let mut indices: Vec<usize> = (0..self.candidates.len()).collect();
-        for i in 0..self.active_size {
-            let j = self.rng.gen_range(i..indices.len());
-            indices.swap(i, j);
+        self.active = draw_active(&mut self.rng, self.candidates.len(), self.active_size);
+    }
+
+    /// The walk body, parameterized over an explicit RNG: replays exactly
+    /// what a freshly constructed pool with the same seed produces (the
+    /// constructor's initial subset draw included), without mutating shared
+    /// state — the requirement for order-independent parallel evaluation.
+    ///
+    /// With `skip_gaps`, epochs whose window falls below the fill floor
+    /// abstain and the cursor advances; such epochs do not advance the
+    /// redraw clock (only voted-on epochs age the active subset, matching
+    /// the stateful walk on clean streams).
+    fn walk_seeded(
+        &self,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+        skip_gaps: bool,
+        rng: &mut SmallRng,
+    ) -> Vec<(Option<bool>, usize)> {
+        let mut active = draw_active(rng, self.candidates.len(), self.active_size);
+        let mut epochs_since_redraw = 0u32;
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        loop {
+            if epochs_since_redraw >= self.redraw_every {
+                active = draw_active(rng, self.candidates.len(), self.active_size);
+                epochs_since_redraw = 0;
+            }
+            let pick = active[rng.gen_range(0..active.len())];
+            let detector = &self.candidates[pick];
+            let per = (detector.spec().period / SUBWINDOW) as usize;
+            if cursor + per > subwindows.len() {
+                break;
+            }
+            let windows = aggregate_with_gaps(
+                &subwindows[cursor..cursor + per],
+                detector.spec().period,
+                min_fill,
+            );
+            if windows.len() != 1 {
+                if !skip_gaps {
+                    break; // truncated tail of a clean stream
+                }
+                out.push((None, per));
+                cursor += per;
+                continue;
+            }
+            epochs_since_redraw += 1;
+            out.push((detector.classify_window_checked(&windows[0]), per));
+            cursor += per;
         }
-        indices.truncate(self.active_size);
-        self.active = indices;
+        out
     }
 
     /// Advances one epoch. Outer `None` means the stream is exhausted or
@@ -427,7 +505,7 @@ impl NonStationaryRhmd {
     }
 }
 
-impl Detector for NonStationaryRhmd {
+impl BlackBox for NonStationaryRhmd {
     fn label_subwindows(&mut self, subwindows: &[RawWindow]) -> Vec<bool> {
         let mut out = Vec::with_capacity(subwindows.len());
         let mut cursor = 0usize;
@@ -460,6 +538,57 @@ impl Detector for NonStationaryRhmd {
             self.redraw_every
         )
     }
+}
+
+impl Detector for NonStationaryRhmd {
+    fn name(&self) -> String {
+        self.describe()
+    }
+
+    /// Seeded replay of the full walk, re-drawing the active subset from
+    /// the caller's `rng` exactly as a freshly constructed pool would.
+    fn label_stream(&self, subwindows: &[RawWindow], rng: &mut StreamRng) -> Vec<bool> {
+        let mut out = Vec::with_capacity(subwindows.len());
+        for (vote, per) in self.walk_seeded(subwindows, 1.0, false, rng.small()) {
+            if let Some(decision) = vote {
+                out.extend(std::iter::repeat_n(decision, per));
+            }
+        }
+        out
+    }
+
+    fn epoch_decisions(&self, subwindows: &[RawWindow], rng: &mut StreamRng) -> Vec<bool> {
+        self.walk_seeded(subwindows, 1.0, false, rng.small())
+            .into_iter()
+            .filter_map(|(d, _)| d)
+            .collect()
+    }
+
+    fn quorum(
+        &self,
+        subwindows: &[RawWindow],
+        min_fill: f64,
+        rng: &mut StreamRng,
+    ) -> QuorumVerdict {
+        let votes: Vec<Option<bool>> = self
+            .walk_seeded(subwindows, min_fill, true, rng.small())
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        QuorumVerdict::from_votes(&votes)
+    }
+}
+
+/// Partial Fisher-Yates over candidate indices: the subset-draw primitive
+/// shared by the stateful pool and the seeded walk.
+fn draw_active(rng: &mut SmallRng, candidates: usize, active_size: usize) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..candidates).collect();
+    for i in 0..active_size {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices.truncate(active_size);
+    indices
 }
 
 impl fmt::Debug for NonStationaryRhmd {
@@ -542,6 +671,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the `*_seeded` forwarders stay bit-compatible for one release
     fn seeded_walks_match_fresh_serial_walks() {
         let (traced, splits) = fixture();
         let mut rhmd = two_detector_pool(&traced, &splits.victim_train, 0x5eed);
@@ -557,6 +687,19 @@ mod tests {
         rhmd.reset();
         let serial_quorum = rhmd.quorum_verdict(subs, 1.0);
         assert_eq!(rhmd.quorum_verdict_seeded(subs, 1.0, 0x5eed), serial_quorum);
+        // The trait path is the same walk: bit-identical to the forwarders.
+        assert_eq!(
+            rhmd.label_stream(subs, &mut StreamRng::from_seed(0x5eed)),
+            serial_labels
+        );
+        assert_eq!(
+            rhmd.epoch_decisions(subs, &mut StreamRng::from_seed(0x5eed)),
+            serial_decisions
+        );
+        assert_eq!(
+            rhmd.quorum(subs, 1.0, &mut StreamRng::from_seed(0x5eed)),
+            serial_quorum
+        );
         // And they are order-free: judging another program first changes
         // nothing, unlike the shared-RNG path.
         let _ = rhmd.quorum_verdict_seeded(traced.subwindows(1), 1.0, 7);
@@ -566,6 +709,40 @@ mod tests {
             rhmd.label_subwindows_seeded(subs, 1),
             rhmd.label_subwindows_seeded(subs, 1)
         );
+    }
+
+    #[test]
+    fn non_stationary_seeded_walk_matches_fresh_pool() {
+        let (traced, splits) = fixture();
+        let kinds = [FeatureKind::Memory, FeatureKind::Architectural];
+        let candidates: Vec<Hmd> = pool_specs(&kinds, &[5_000, 10_000], &[])
+            .into_iter()
+            .map(|spec| {
+                Hmd::train(
+                    Algorithm::Lr,
+                    spec,
+                    &TrainerConfig::default(),
+                    &traced,
+                    &splits.victim_train,
+                )
+            })
+            .collect();
+        let subs = traced.subwindows(0);
+        for seed in [0u64, 42, 0x5eed] {
+            let mut pool = NonStationaryRhmd::new(candidates.clone(), 2, 2, seed);
+            let stateful = pool.label_subwindows(subs);
+            assert_eq!(
+                pool.label_stream(subs, &mut StreamRng::from_seed(seed)),
+                stateful,
+                "seed {seed}: trait walk diverged from fresh stateful walk"
+            );
+            pool.reset();
+            let decisions = pool.decisions(subs);
+            assert_eq!(
+                pool.epoch_decisions(subs, &mut StreamRng::from_seed(seed)),
+                decisions
+            );
+        }
     }
 
     #[test]

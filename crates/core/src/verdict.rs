@@ -11,7 +11,7 @@
 //! convicts — the natural operating point for a deployed HMD.
 
 use crate::error::RhmdError;
-use crate::hmd::{Detector, ProgramVerdict, QuorumVerdict};
+use crate::hmd::{BlackBox, ProgramVerdict, QuorumVerdict};
 use rhmd_data::TracedCorpus;
 use serde::{Deserialize, Serialize};
 
@@ -82,7 +82,7 @@ impl VerdictPolicy {
     /// Returns [`RhmdError::Calibration`] if `benign_indices` is empty or
     /// `fp_budget` is outside `(0, 1)`.
     pub fn calibrated(
-        detector: &mut dyn Detector,
+        detector: &mut dyn BlackBox,
         traced: &TracedCorpus,
         benign_indices: &[usize],
         fp_budget: f64,
@@ -124,7 +124,7 @@ impl VerdictPolicy {
     /// Convenience: runs `detector` over a trace and applies the policy.
     pub fn judge(
         &self,
-        detector: &mut dyn Detector,
+        detector: &mut dyn BlackBox,
         subwindows: &[rhmd_features::window::RawWindow],
     ) -> bool {
         let stream = detector.label_subwindows(subwindows);
@@ -140,8 +140,10 @@ impl VerdictPolicy {
     /// instead of trusting a verdict built on too little evidence.
     pub fn judge_quorum(&self, quorum: &QuorumVerdict, min_coverage: f64) -> DegradedVerdict {
         if quorum.voted == 0 || quorum.coverage() < min_coverage {
+            rhmd_obs::incr("core.verdict.abstained");
             return DegradedVerdict::Abstained;
         }
+        rhmd_obs::incr("core.verdict.decided");
         DegradedVerdict::Decided(quorum.flag_rate() > self.threshold)
     }
 }

@@ -92,6 +92,7 @@ impl TracedCorpus {
         let subwindows = parallel_map_threads(threads, corpus.programs(), |p| {
             trace_subwindows(p, limits, core_config)
         });
+        rhmd_obs::add("data.programs_traced", subwindows.len() as u64);
         TracedCorpus {
             corpus,
             limits,

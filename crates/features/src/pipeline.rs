@@ -16,6 +16,7 @@ pub fn trace_subwindows(
     limits: ExecLimits,
     config: CoreConfig,
 ) -> Vec<RawWindow> {
+    let _span = rhmd_obs::span("features.trace");
     let mut acc = WindowAccumulator::new(CoreModel::new(config));
     program.execute(limits, &mut acc);
     acc.finish()
@@ -24,6 +25,7 @@ pub fn trace_subwindows(
 /// Projects pre-traced subwindows onto a spec's vectors at the spec's
 /// period.
 pub fn project_windows(subwindows: &[RawWindow], spec: &FeatureSpec) -> Vec<Vec<f64>> {
+    let _span = rhmd_obs::span("features.project");
     aggregate(subwindows, spec.period)
         .iter()
         .map(|w| spec.project(w))

@@ -193,6 +193,7 @@ impl Clone for Box<dyn Classifier> {
 
 /// Scores every row of a dataset.
 pub fn score_all(model: &dyn Classifier, data: &Dataset) -> Vec<f64> {
+    let _span = rhmd_obs::span("ml.score");
     data.rows().iter().map(|r| model.score(r)).collect()
 }
 

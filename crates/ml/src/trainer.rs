@@ -101,6 +101,8 @@ impl TrainerConfig {
 /// }
 /// ```
 pub fn train(algorithm: Algorithm, config: &TrainerConfig, data: &Dataset) -> Box<dyn Classifier> {
+    let _span = rhmd_obs::span("ml.train");
+    rhmd_obs::incr("ml.models_trained");
     match algorithm {
         Algorithm::Lr => Box::new(LogisticRegression::fit(&config.lr, data)),
         Algorithm::Dt => Box::new(DecisionTree::fit(&config.tree, data)),

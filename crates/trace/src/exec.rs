@@ -402,6 +402,7 @@ impl Program {
     /// assert_eq!(summary.instructions, count);
     /// ```
     pub fn execute<S: Sink + ?Sized>(&self, limits: ExecLimits, sink: &mut S) -> ExecSummary {
+        rhmd_obs::incr("trace.programs_executed");
         Executor::new(self, limits).run(sink)
     }
 }

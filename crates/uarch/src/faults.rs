@@ -346,10 +346,12 @@ impl FaultModel {
         let mut out: Vec<CounterSet> = Vec::with_capacity(stream.len());
         let mut pending = CounterSet::default();
         let mut prev: Option<CounterSet> = None;
+        let mut dropped = 0u64;
         for (window, &clean) in stream.iter().enumerate() {
             let merged = pending + clean;
             if self.drops_window(window as u64) {
                 pending = merged;
+                dropped += 1;
                 continue;
             }
             pending = CounterSet::default();
@@ -358,6 +360,8 @@ impl FaultModel {
             prev = Some(read);
             out.push(read);
         }
+        rhmd_obs::add("uarch.windows_dropped", dropped);
+        rhmd_obs::add("uarch.windows_corrupted", out.len() as u64);
         *stream = out;
     }
 }

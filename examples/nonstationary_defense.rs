@@ -37,7 +37,7 @@ fn main() {
         .cloned()
         .collect();
 
-    let mut defenders: Vec<(&str, Box<dyn Detector>)> = vec![
+    let mut defenders: Vec<(&str, Box<dyn BlackBox>)> = vec![
         (
             "deterministic ensemble",
             Box::new(EnsembleHmd::new(same_period.clone(), Combiner::Majority)),

@@ -37,6 +37,7 @@
 
 pub use rhmd_core as core;
 pub use rhmd_data as data;
+pub use rhmd_obs as obs;
 pub use rhmd_features as features;
 pub use rhmd_ml as ml;
 pub use rhmd_trace as trace;
@@ -45,7 +46,8 @@ pub use rhmd_uarch as uarch;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use rhmd_core::evasion::{evade_corpus, plan_evasion, EvasionConfig, Strategy};
-    pub use rhmd_core::hmd::{Detector, Hmd, ProgramVerdict};
+    pub use rhmd_core::detector::{Detector, StreamRng};
+    pub use rhmd_core::hmd::{BlackBox, Hmd, ProgramVerdict};
     pub use rhmd_core::retrain::{evade_retrain_game, GameConfig};
     pub use rhmd_core::reveng;
     pub use rhmd_core::rhmd::{build_pool, pool_specs, ResilientHmd};

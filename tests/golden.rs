@@ -16,6 +16,7 @@
 
 use rhmd_bench::par::{Evaluator, Pool};
 use rhmd_bench::Experiment;
+use rhmd_core::detector::{Detector, StreamRng};
 use rhmd_core::hmd::Hmd;
 use rhmd_core::rhmd::{build_pool, pool_specs};
 use rhmd_core::verdict::VerdictPolicy;
@@ -62,7 +63,9 @@ fn fault_grid() -> Vec<FaultConfig> {
 
 fn compute() -> Golden {
     let exp = Experiment::with_config(CorpusConfig::tiny());
-    let engine = Evaluator::new(&exp.traced, Pool::available(), exp.config.seed);
+    let engine = Evaluator::builder(&exp.traced, exp.config.seed)
+        .pool(Pool::available())
+        .build();
 
     // Detector AUC grid: every base algorithm on every feature kind.
     let mut detector_aucs = Vec::new();
@@ -96,7 +99,9 @@ fn compute() -> Golden {
                 &policy,
                 MIN_COVERAGE,
                 |i| FAULT_SEED ^ i as u64,
-                |_, subs| rhmd.quorum_verdict_seeded(subs, MIN_FILL, rhmd.seed()),
+                |_, subs| {
+                    Detector::quorum(&rhmd, subs, MIN_FILL, &mut StreamRng::from_seed(rhmd.seed()))
+                },
             )
             .sensitivity
     };
