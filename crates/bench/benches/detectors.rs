@@ -31,7 +31,7 @@ fn bench_inference(c: &mut Criterion) {
     let exp = Experiment::with_config(CorpusConfig::tiny());
     let spec = exp.spec(FeatureKind::Instructions, 5_000);
     let data = exp.traced.window_dataset(&exp.splits.victim_train, &spec);
-    let row = data.rows()[0].clone();
+    let row = data.row(0).to_vec();
 
     let mut group = c.benchmark_group("inference_per_window");
     group.throughput(Throughput::Elements(1));

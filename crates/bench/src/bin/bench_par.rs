@@ -64,7 +64,81 @@ struct Report {
     cache_hit_rate: f64,
     cache: CacheStats,
     results_bit_identical: bool,
+    kernels: Vec<KernelBench>,
     metrics: MetricsOverhead,
+}
+
+/// One model family's kernel throughput: the same held-out feature matrix
+/// scored row-by-row through [`rhmd_ml::model::Classifier::score`] and in
+/// one [`rhmd_ml::model::Classifier::score_batch`] sweep, best of trials.
+#[derive(Debug, Serialize)]
+struct KernelBench {
+    family: &'static str,
+    rows: usize,
+    dims: usize,
+    per_row_rows_per_sec: f64,
+    batch_rows_per_sec: f64,
+    speedup: f64,
+    /// Whether the two paths produced bit-identical scores (they share the
+    /// same kernels, so anything else is a bug).
+    bit_identical: bool,
+}
+
+/// The four batched model families (DT has no batched kernel of its own —
+/// RF covers the tree path).
+const KERNEL_FAMILIES: [Algorithm; 4] =
+    [Algorithm::Lr, Algorithm::Nn, Algorithm::Rf, Algorithm::Svm];
+
+/// Measures per-row vs batched scoring throughput per model family over the
+/// held-out windows, and checks the two paths agree to the last bit.
+fn kernel_benches(exp: &Experiment) -> Vec<KernelBench> {
+    let spec = exp.spec(FeatureKind::Memory, 5_000);
+    let train = exp.traced.window_dataset(&exp.splits.victim_train, &spec);
+    let test = exp.traced.window_dataset(&exp.splits.attacker_test, &spec);
+    let xs = test.matrix();
+    let rows = xs.len();
+    // Enough repetitions that even the linear kernels run for a measurable
+    // stretch at tiny scale.
+    let reps = (200_000 / rows.max(1)).max(1);
+    const TRIALS: usize = 3;
+    KERNEL_FAMILIES
+        .iter()
+        .map(|&algorithm| {
+            let model = rhmd_ml::trainer::train(algorithm, &exp.trainer, &train);
+            let mut per_row = vec![0.0; rows];
+            let mut batch = vec![0.0; rows];
+            let mut per_row_seconds = f64::INFINITY;
+            let mut batch_seconds = f64::INFINITY;
+            for _ in 0..TRIALS {
+                let start = Instant::now();
+                for _ in 0..reps {
+                    for (slot, row) in per_row.iter_mut().zip(xs.rows()) {
+                        *slot = model.score(std::hint::black_box(row));
+                    }
+                }
+                per_row_seconds = per_row_seconds.min(start.elapsed().as_secs_f64());
+                let start = Instant::now();
+                for _ in 0..reps {
+                    model.score_batch(std::hint::black_box(xs), &mut batch);
+                }
+                batch_seconds = batch_seconds.min(start.elapsed().as_secs_f64());
+            }
+            let scored = (rows * reps) as f64;
+            let bit_identical = per_row
+                .iter()
+                .zip(&batch)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            KernelBench {
+                family: algorithm.name(),
+                rows,
+                dims: xs.dims(),
+                per_row_rows_per_sec: scored / per_row_seconds.max(1e-12),
+                batch_rows_per_sec: scored / batch_seconds.max(1e-12),
+                speedup: per_row_seconds / batch_seconds.max(1e-12),
+                bit_identical,
+            }
+        })
+        .collect()
 }
 
 /// The observability overhead gate's evidence, kept in the report so every
@@ -220,6 +294,20 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
     assert_eq!(serial, parallel, "engine results diverged from serial path");
     let stats = engine.cache().stats();
 
+    eprintln!("[bench_par] kernel microbench (per-row vs batch, per family) ...");
+    let kernels = kernel_benches(&exp);
+    for k in &kernels {
+        eprintln!(
+            "[bench_par]   {:>3}: per-row {:.3e} rows/s, batch {:.3e} rows/s \
+             ({:.2}x, bit_identical={})",
+            k.family, k.per_row_rows_per_sec, k.batch_rows_per_sec, k.speedup, k.bit_identical
+        );
+    }
+    assert!(
+        kernels.iter().all(|k| k.bit_identical),
+        "batched kernels diverged from per-row scoring"
+    );
+
     // Price the disabled path while the registry is still off, then turn
     // metrics on for the third pass.
     let ns_per_event = disabled_ns_per_event();
@@ -282,6 +370,7 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         cache_hit_rate: stats.hit_rate(),
         cache: stats,
         results_bit_identical: true,
+        kernels,
         metrics: MetricsOverhead {
             enabled_seconds,
             events_per_pass,

@@ -52,10 +52,7 @@ fn main() {
                 ..rhmd_ml::MlpConfig::default()
             };
             let model = rhmd_ml::Mlp::fit(&cfg, &train_data);
-            let scores: Vec<f64> = test_data.rows().iter().map(|r| {
-                use rhmd_ml::Classifier;
-                model.score(r)
-            }).collect();
+            let scores = rhmd_ml::model::score_all(&model, &test_data);
             let a = auc(&scores, test_data.labels());
             let (_, acc) = best_accuracy_threshold(&scores, test_data.labels());
             println!(

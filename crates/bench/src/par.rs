@@ -31,9 +31,10 @@ use rhmd_core::rhmd::ResilientHmd;
 use rhmd_core::verdict::{DegradedVerdict, VerdictPolicy};
 use rhmd_core::RhmdError;
 use rhmd_data::TracedCorpus;
-use rhmd_features::pipeline::project_windows;
+use rhmd_features::pipeline::project_windows_into;
 use rhmd_features::vector::FeatureSpec;
 use rhmd_features::window::{apply_faults, RawWindow};
+use rhmd_ml::matrix::FeatureMatrix;
 use rhmd_ml::model::Dataset;
 use rhmd_obs::{self as obs, NoopRecorder, Recorder};
 use rhmd_trace::seed::derive_seed;
@@ -508,16 +509,17 @@ impl CacheStats {
     }
 }
 
-/// A sharded, thread-safe cache of projected feature vectors.
+/// A sharded, thread-safe cache of projected feature matrices.
 ///
 /// Multi-detector ensembles, RHMD pools, and sweep grids repeatedly project
 /// the same `(program, spec, fault)` combination — every detector sharing a
 /// spec, every algorithm trained at the same sweep point, every metric pass
-/// over the same split. The cache computes each combination once and hands
+/// over the same split. The cache computes each combination once — one flat
+/// row-major [`FeatureMatrix`] per program, a single allocation — and hands
 /// out `Arc`s to the immutable result.
 ///
-/// Correctness: a hit returns exactly the vectors a miss would compute
-/// (both call [`project_windows`] on the same inputs), so caching can never
+/// Correctness: a hit returns exactly the matrix a miss would compute (both
+/// call [`project_windows_into`] on the same inputs), so caching can never
 /// change a result — only skip recomputation. The equivalence suite
 /// asserts this against the uncached path.
 #[derive(Debug)]
@@ -527,8 +529,8 @@ pub struct FeatureCache {
     misses: AtomicU64,
 }
 
-/// One lock-striped slice of the cache (a row of vectors per key).
-type Shard = Mutex<HashMap<CacheKey, Arc<Vec<Vec<f64>>>>>;
+/// One lock-striped slice of the cache (a flat matrix per key).
+type Shard = Mutex<HashMap<CacheKey, Arc<FeatureMatrix>>>;
 
 impl Default for FeatureCache {
     fn default() -> FeatureCache {
@@ -553,21 +555,21 @@ impl FeatureCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<Vec<Vec<f64>>>>> {
+    fn shard(&self, key: &CacheKey) -> &Shard {
         // Program index spreads entries across however many shards exist.
         &self.shards[(key.program ^ key.spec_hash as usize) % self.shards.len()]
     }
 
-    /// Projected vectors of program `program` under `spec`, optionally
-    /// through a fault model `(config, seed)` — computed on first use,
-    /// served from the cache afterwards.
+    /// Projected feature matrix of program `program` under `spec` (one row
+    /// per window), optionally through a fault model `(config, seed)` —
+    /// computed on first use, served from the cache afterwards.
     pub fn vectors(
         &self,
         traced: &TracedCorpus,
         program: usize,
         spec: &FeatureSpec,
         fault: Option<(&FaultConfig, u64)>,
-    ) -> Arc<Vec<Vec<f64>>> {
+    ) -> Arc<FeatureMatrix> {
         let key = CacheKey {
             program,
             seed: fault.map_or(0, |(_, s)| s),
@@ -581,17 +583,29 @@ impl FeatureCache {
             return Arc::clone(found);
         }
         // Compute outside the lock: projections are pure, so two racing
-        // computations of the same key produce identical vectors and either
+        // computations of the same key produce identical matrices and either
         // may win the insert.
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::incr("cache.misses");
         let subs = traced.subwindows(program);
-        let projected = match fault {
-            None => project_windows(subs, spec),
+        let mut flat = Vec::new();
+        let windows = match fault {
+            None => project_windows_into(subs, spec, &mut flat),
             Some((config, seed)) => {
                 let model = FaultModel::new(*config, seed);
-                project_windows(&apply_faults(subs, &model), spec)
+                project_windows_into(&apply_faults(subs, &model), spec, &mut flat)
             }
+        };
+        let projected = if spec.dims() == 0 {
+            // Flat storage cannot infer a row count at zero dims; keep the
+            // window count by pushing empty rows.
+            let mut m = FeatureMatrix::new(0);
+            for _ in 0..windows {
+                m.push_row(&[]);
+            }
+            m
+        } else {
+            FeatureMatrix::from_flat(spec.dims(), flat)
         };
         let value = Arc::new(projected);
         let mut shard = self.shard(&key).lock().expect("cache mutex poisoned");
@@ -931,19 +945,19 @@ impl<'a> Evaluator<'a> {
         self.run_map(indices, |_, &i| f(i, self.program_seed(i)))
     }
 
-    /// Cached projected vectors of one program (clean stream).
-    pub fn vectors(&self, program: usize, spec: &FeatureSpec) -> Arc<Vec<Vec<f64>>> {
+    /// Cached projected feature matrix of one program (clean stream).
+    pub fn vectors(&self, program: usize, spec: &FeatureSpec) -> Arc<FeatureMatrix> {
         self.cache.vectors(self.traced, program, spec, None)
     }
 
-    /// Cached projected vectors of one program through a fault model seeded
-    /// with the program's derived seed.
+    /// Cached projected feature matrix of one program through a fault model
+    /// seeded with the program's derived seed.
     pub fn vectors_faulted(
         &self,
         program: usize,
         spec: &FeatureSpec,
         config: &FaultConfig,
-    ) -> Arc<Vec<Vec<f64>>> {
+    ) -> Arc<FeatureMatrix> {
         self.cache
             .vectors(self.traced, program, spec, Some((config, self.program_seed(program))))
     }
@@ -956,10 +970,9 @@ impl<'a> Evaluator<'a> {
         let labels = self.traced.corpus().labels();
         let per_program = self.run_map(indices, |_, &i| self.vectors(i, spec));
         let mut data = Dataset::new(spec.dims());
-        for (&i, vectors) in indices.iter().zip(&per_program) {
-            for v in vectors.iter() {
-                data.push(v.clone(), labels[i]);
-            }
+        data.reserve_rows(per_program.iter().map(|m| m.len()).sum());
+        for (&i, matrix) in indices.iter().zip(&per_program) {
+            data.extend_from_flat(matrix.as_slice(), labels[i]);
         }
         data
     }
@@ -969,12 +982,16 @@ impl<'a> Evaluator<'a> {
     /// [`rhmd_core::retrain::detection_quality`] exactly — an `Hmd` holds no
     /// evaluation state, so order cannot matter. Window projections come
     /// from the cache ([`Hmd::decide_windows`] is precisely "predict each
-    /// row of [`project_windows`]"), so detectors sharing a spec classify
-    /// without re-projecting.
+    /// row of the projected matrix"), so detectors sharing a spec classify
+    /// without re-projecting, and each program's windows score through one
+    /// [`rhmd_ml::model::Classifier::score_batch`] sweep.
     pub fn quality_hmd(&self, hmd: &Hmd, indices: &[usize]) -> DetectionQuality {
+        let threshold = hmd.model().threshold();
         let verdicts = self.run_map(indices, |_, &i| {
-            let vectors = self.vectors(i, hmd.spec());
-            let decisions: Vec<bool> = vectors.iter().map(|v| hmd.model().predict(v)).collect();
+            let matrix = self.vectors(i, hmd.spec());
+            let mut scores = vec![0.0; matrix.len()];
+            hmd.model().score_batch(&matrix, &mut scores);
+            let decisions: Vec<bool> = scores.into_iter().map(|s| s >= threshold).collect();
             rhmd_core::hmd::ProgramVerdict::from_decisions(&decisions).is_malware()
         });
         self.tally(indices, &verdicts)
@@ -1226,7 +1243,9 @@ mod tests {
         let first = cache.vectors(&t, 0, &spec, None);
         let again = cache.vectors(&t, 0, &spec, None);
         assert!(Arc::ptr_eq(&first, &again), "second lookup must hit");
-        assert_eq!(*first, project_windows(t.subwindows(0), &spec));
+        let direct = rhmd_features::pipeline::project_windows(t.subwindows(0), &spec);
+        assert_eq!(first.len(), direct.len());
+        assert!(first.iter().eq(direct.iter().map(|v| v.as_slice())));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);

@@ -87,16 +87,18 @@ impl EnsembleHmd {
         self.combiner
     }
 
-    /// Per-epoch combined decisions.
+    /// Per-epoch combined decisions. Windows are aggregated once and each
+    /// base detector scores the whole epoch stream through its batch path.
     pub fn decide_windows(&self, subwindows: &[RawWindow]) -> Vec<bool> {
-        aggregate(subwindows, self.period)
+        let windows = aggregate(subwindows, self.period);
+        let per_detector: Vec<Vec<bool>> = self
+            .detectors
             .iter()
-            .map(|w| {
-                let votes = self
-                    .detectors
-                    .iter()
-                    .filter(|d| d.classify_window(w))
-                    .count();
+            .map(|d| d.classify_windows(&windows))
+            .collect();
+        (0..windows.len())
+            .map(|i| {
+                let votes = per_detector.iter().filter(|flags| flags[i]).count();
                 self.combiner.combine(votes, self.detectors.len())
             })
             .collect()
@@ -109,14 +111,15 @@ impl EnsembleHmd {
     /// detector does — so one corrupted counter channel degrades the vote
     /// instead of poisoning it.
     pub fn quorum_verdict(&self, subwindows: &[RawWindow], min_fill: f64) -> QuorumVerdict {
-        let votes: Vec<Option<bool>> = aggregate_with_gaps(subwindows, self.period, min_fill)
+        let windows = aggregate_with_gaps(subwindows, self.period, min_fill);
+        let per_detector: Vec<Vec<Option<bool>>> = self
+            .detectors
             .iter()
-            .map(|w| {
-                let cast: Vec<bool> = self
-                    .detectors
-                    .iter()
-                    .filter_map(|d| d.classify_window_checked(w))
-                    .collect();
+            .map(|d| d.classify_windows_checked(&windows))
+            .collect();
+        let votes: Vec<Option<bool>> = (0..windows.len())
+            .map(|i| {
+                let cast: Vec<bool> = per_detector.iter().filter_map(|v| v[i]).collect();
                 if cast.is_empty() {
                     None
                 } else {

@@ -4,6 +4,7 @@
 use rhmd_data::TracedCorpus;
 use rhmd_features::vector::FeatureSpec;
 use rhmd_features::window::{aggregate, aggregate_with_gaps, RawWindow, SUBWINDOW};
+use rhmd_ml::matrix::FeatureMatrix;
 use rhmd_ml::model::{Classifier, Dataset};
 use rhmd_ml::trainer::{train, Algorithm, TrainerConfig};
 use std::fmt;
@@ -278,6 +279,63 @@ impl Hmd {
         Some(self.model.predict(&v))
     }
 
+    /// Batch decisions for a slice of already-aggregated collection
+    /// windows: all windows are projected into one flat [`FeatureMatrix`]
+    /// and scored through [`Classifier::score_batch`], bit-identically to
+    /// calling [`Hmd::classify_window`] per window.
+    pub fn classify_windows(&self, windows: &[RawWindow]) -> Vec<bool> {
+        let dims = self.spec.dims();
+        if dims == 0 {
+            return windows.iter().map(|w| self.classify_window(w)).collect();
+        }
+        let mut flat = Vec::with_capacity(windows.len() * dims);
+        for w in windows {
+            self.spec.project_into(w, &mut flat);
+        }
+        let xs = FeatureMatrix::from_flat(dims, flat);
+        let mut scores = vec![0.0; xs.len()];
+        self.model.score_batch(&xs, &mut scores);
+        let threshold = self.model.threshold();
+        scores.into_iter().map(|s| s >= threshold).collect()
+    }
+
+    /// Batch counterpart of [`Hmd::classify_window_checked`]: abstaining
+    /// windows are filtered out first, the rest score through one flat
+    /// matrix, and votes are scattered back in window order.
+    pub fn classify_windows_checked(&self, windows: &[RawWindow]) -> Vec<Option<bool>> {
+        let dims = self.spec.dims();
+        let mut votes: Vec<Option<bool>> = vec![None; windows.len()];
+        if dims == 0 {
+            for (vote, w) in votes.iter_mut().zip(windows) {
+                *vote = self.classify_window_checked(w);
+            }
+            return votes;
+        }
+        let mut flat = Vec::with_capacity(windows.len() * dims);
+        let mut voters = Vec::with_capacity(windows.len());
+        let mut row = Vec::with_capacity(dims);
+        for (i, w) in windows.iter().enumerate() {
+            if w.instructions == 0 {
+                continue;
+            }
+            row.clear();
+            self.spec.project_into(w, &mut row);
+            if row.iter().any(|x| !x.is_finite() || x.abs() > ABSTAIN_BOUND) {
+                continue;
+            }
+            flat.extend_from_slice(&row);
+            voters.push(i);
+        }
+        let xs = FeatureMatrix::from_flat(dims, flat);
+        let mut scores = vec![0.0; xs.len()];
+        self.model.score_batch(&xs, &mut scores);
+        let threshold = self.model.threshold();
+        for (&i, s) in voters.iter().zip(scores) {
+            votes[i] = Some(s >= threshold);
+        }
+        votes
+    }
+
     /// Per-collection-window votes over a possibly degraded trace:
     /// aggregation tolerates dropped/coalesced subwindows down to
     /// `min_fill` of the period, and corrupted windows abstain.
@@ -286,10 +344,8 @@ impl Hmd {
         subwindows: &[RawWindow],
         min_fill: f64,
     ) -> Vec<Option<bool>> {
-        aggregate_with_gaps(subwindows, self.spec.period, min_fill)
-            .iter()
-            .map(|w| self.classify_window_checked(w))
-            .collect()
+        let windows = aggregate_with_gaps(subwindows, self.spec.period, min_fill);
+        self.classify_windows_checked(&windows)
     }
 
     /// Program-level quorum verdict over a possibly degraded trace.
@@ -297,12 +353,11 @@ impl Hmd {
         QuorumVerdict::from_votes(&self.decide_windows_checked(subwindows, min_fill))
     }
 
-    /// Per-collection-window decisions for a program trace.
+    /// Per-collection-window decisions for a program trace, scored through
+    /// the batch path.
     pub fn decide_windows(&self, subwindows: &[RawWindow]) -> Vec<bool> {
-        aggregate(subwindows, self.spec.period)
-            .iter()
-            .map(|w| self.classify_window(w))
-            .collect()
+        let windows = aggregate(subwindows, self.spec.period);
+        self.classify_windows(&windows)
     }
 
     /// Program-level verdict by majority vote over collection windows.

@@ -404,8 +404,9 @@ pub fn evade_retrain_game_resumable(
             // The checkpoint already covers every requested generation.
             return Ok(state.records[..config.generations as usize].to_vec());
         }
+        training_data.reserve_rows(state.evasive_rows.len());
         for row in &state.evasive_rows {
-            training_data.push(row.clone(), true);
+            training_data.push_row(row, true);
         }
         first_generation = state.completed_generations + 1;
         records = state.records;

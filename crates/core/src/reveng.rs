@@ -123,7 +123,7 @@ pub fn reverse_engineer_validated(
         let candidate = Hmd::train_on_dataset(algorithm, spec.clone(), &trainer, &data);
         // Validate against the victim's labels on the training queries.
         let fit = {
-            let predictions: Vec<bool> = data.rows().iter().map(|r| candidate.model().predict(r)).collect();
+            let predictions = rhmd_ml::model::predict_all(candidate.model(), &data);
             rhmd_ml::metrics::agreement(&predictions, data.labels())
         };
         if best.as_ref().is_none_or(|(score, _)| fit > *score) {

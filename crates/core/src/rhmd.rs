@@ -153,7 +153,12 @@ impl ResilientHmd {
         min_fill: f64,
         skip_gaps: bool,
     ) -> Vec<(Option<bool>, usize)> {
-        let mut out = Vec::new();
+        // Pass 1: draw the switching stream and aggregate each epoch's
+        // window. Detector draws, the cursor, and every break condition
+        // depend only on the RNG and window fill — never on scores — so
+        // scoring can be deferred and batched per detector.
+        let mut meta: Vec<(usize, bool, usize)> = Vec::new();
+        let mut pending: Vec<Vec<RawWindow>> = vec![Vec::new(); detectors.len()];
         let mut cursor = 0usize;
         loop {
             let idx = Self::draw_from(probabilities, rng);
@@ -163,19 +168,21 @@ impl ResilientHmd {
                 break;
             }
             let chunk = &subwindows[cursor..cursor + per];
-            let windows = aggregate_with_gaps(chunk, detector.spec().period, min_fill);
+            let mut windows = aggregate_with_gaps(chunk, detector.spec().period, min_fill);
             if windows.len() != 1 && !skip_gaps {
                 break; // truncated tail of a clean stream: end of usable trace
             }
-            let vote = if windows.len() == 1 {
-                detector.classify_window_checked(&windows[0])
+            if windows.len() == 1 {
+                pending[idx].push(windows.pop().expect("exactly one window"));
+                meta.push((idx, true, per));
             } else {
-                None // the chunk's window fell below the fill floor
-            };
-            out.push((vote, per));
+                meta.push((idx, false, per)); // below the fill floor: abstain
+            }
             cursor += per;
         }
-        out
+        // Pass 2: each detector scores its epochs through the flat batch
+        // path; votes are reassembled in epoch order.
+        batch_walk_votes(detectors, &meta, &pending)
     }
 
     /// Walks a trace and pools every epoch into a [`QuorumVerdict`],
@@ -446,9 +453,14 @@ impl NonStationaryRhmd {
         skip_gaps: bool,
         rng: &mut SmallRng,
     ) -> Vec<(Option<bool>, usize)> {
+        // Pass 1: replay the draw/redraw stream and collect each epoch's
+        // window. The redraw clock advances only on epochs whose window
+        // aggregated cleanly — a fact known before scoring — so draws never
+        // depend on scores and scoring can be batched per candidate.
         let mut active = draw_active(rng, self.candidates.len(), self.active_size);
         let mut epochs_since_redraw = 0u32;
-        let mut out = Vec::new();
+        let mut meta: Vec<(usize, bool, usize)> = Vec::new();
+        let mut pending: Vec<Vec<RawWindow>> = vec![Vec::new(); self.candidates.len()];
         let mut cursor = 0usize;
         loop {
             if epochs_since_redraw >= self.redraw_every {
@@ -461,7 +473,7 @@ impl NonStationaryRhmd {
             if cursor + per > subwindows.len() {
                 break;
             }
-            let windows = aggregate_with_gaps(
+            let mut windows = aggregate_with_gaps(
                 &subwindows[cursor..cursor + per],
                 detector.spec().period,
                 min_fill,
@@ -470,15 +482,17 @@ impl NonStationaryRhmd {
                 if !skip_gaps {
                     break; // truncated tail of a clean stream
                 }
-                out.push((None, per));
+                meta.push((pick, false, per));
                 cursor += per;
                 continue;
             }
             epochs_since_redraw += 1;
-            out.push((detector.classify_window_checked(&windows[0]), per));
+            pending[pick].push(windows.pop().expect("exactly one window"));
+            meta.push((pick, true, per));
             cursor += per;
         }
-        out
+        // Pass 2: batch-score per candidate, reassemble in epoch order.
+        batch_walk_votes(&self.candidates, &meta, &pending)
     }
 
     /// Advances one epoch. Outer `None` means the stream is exhausted or
@@ -577,6 +591,36 @@ impl Detector for NonStationaryRhmd {
             .collect();
         QuorumVerdict::from_votes(&votes)
     }
+}
+
+/// Scores a drawn epoch stream through each detector's flat batch path and
+/// reassembles `(vote, subwindows_consumed)` pairs in epoch order.
+///
+/// `meta` carries one `(detector index, has_window, subwindows_consumed)`
+/// triple per epoch; `pending[d]` holds detector `d`'s windows in epoch
+/// order. Epochs without a window abstain. Votes are bit-identical to
+/// scoring each epoch inline because the batch path shares the per-row
+/// kernels.
+fn batch_walk_votes(
+    detectors: &[Hmd],
+    meta: &[(usize, bool, usize)],
+    pending: &[Vec<RawWindow>],
+) -> Vec<(Option<bool>, usize)> {
+    let mut votes: Vec<std::vec::IntoIter<Option<bool>>> = pending
+        .iter()
+        .zip(detectors)
+        .map(|(windows, d)| d.classify_windows_checked(windows).into_iter())
+        .collect();
+    meta.iter()
+        .map(|&(idx, has_window, per)| {
+            let vote = if has_window {
+                votes[idx].next().expect("one vote per batched window")
+            } else {
+                None
+            };
+            (vote, per)
+        })
+        .collect()
 }
 
 /// Partial Fisher-Yates over candidate indices: the subset-draw primitive

@@ -7,7 +7,7 @@
 //! derived from the stored traces.
 
 use crate::corpus::Corpus;
-use rhmd_features::pipeline::trace_subwindows;
+use rhmd_features::pipeline::{project_windows_into, trace_subwindows};
 use rhmd_features::vector::FeatureSpec;
 use rhmd_features::window::RawWindow;
 use rhmd_ml::model::Dataset;
@@ -132,13 +132,18 @@ impl TracedCorpus {
 
     /// Builds a window-level dataset over the given program indices,
     /// labelling every window with its program's ground truth.
+    ///
+    /// Each program is projected into one reused flat buffer and appended
+    /// to the dataset's backing matrix in a single extend — no per-window
+    /// allocation.
     pub fn window_dataset(&self, indices: &[usize], spec: &FeatureSpec) -> Dataset {
         let mut data = Dataset::new(spec.dims());
+        let mut buf = Vec::new();
         for &i in indices {
             let label = self.corpus.program(i).class.label();
-            for v in self.program_vectors(i, spec) {
-                data.push(v, label);
-            }
+            buf.clear();
+            project_windows_into(&self.subwindows[i], spec, &mut buf);
+            data.extend_from_flat(&buf, label);
         }
         data
     }
@@ -153,12 +158,13 @@ impl TracedCorpus {
     ) -> (Dataset, Vec<usize>) {
         let mut data = Dataset::new(spec.dims());
         let mut owners = Vec::new();
+        let mut buf = Vec::new();
         for &i in indices {
             let label = self.corpus.program(i).class.label();
-            for v in self.program_vectors(i, spec) {
-                data.push(v, label);
-                owners.push(i);
-            }
+            buf.clear();
+            let windows = project_windows_into(&self.subwindows[i], spec, &mut buf);
+            data.extend_from_flat(&buf, label);
+            owners.extend(std::iter::repeat_n(i, windows));
         }
         (data, owners)
     }

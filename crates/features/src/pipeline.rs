@@ -32,6 +32,24 @@ pub fn project_windows(subwindows: &[RawWindow], spec: &FeatureSpec) -> Vec<Vec<
         .collect()
 }
 
+/// [`project_windows`] writing flat row-major values into a caller-owned
+/// buffer (appending `windows × spec.dims()` doubles) and returning the
+/// number of windows projected — one allocation per program instead of one
+/// per window.
+pub fn project_windows_into(
+    subwindows: &[RawWindow],
+    spec: &FeatureSpec,
+    out: &mut Vec<f64>,
+) -> usize {
+    let _span = rhmd_obs::span("features.project");
+    let windows = aggregate(subwindows, spec.period);
+    out.reserve(windows.len() * spec.dims());
+    for w in &windows {
+        spec.project_into(w, out);
+    }
+    windows.len()
+}
+
 /// Convenience: trace and project in one call.
 ///
 /// # Examples
@@ -58,6 +76,18 @@ pub fn extract(
     config: CoreConfig,
 ) -> Vec<Vec<f64>> {
     project_windows(&trace_subwindows(program, limits, config), spec)
+}
+
+/// [`extract`] writing flat row-major values into a caller-owned buffer via
+/// [`project_windows_into`]; returns the number of windows appended.
+pub fn extract_into(
+    program: &Program,
+    spec: &FeatureSpec,
+    limits: ExecLimits,
+    config: CoreConfig,
+    out: &mut Vec<f64>,
+) -> usize {
+    project_windows_into(&trace_subwindows(program, limits, config), spec, out)
 }
 
 #[cfg(test)]
@@ -90,6 +120,20 @@ mod tests {
         let a = extract(&p, &spec, ExecLimits::instructions(20_000), CoreConfig::default());
         let b = extract(&p, &spec, ExecLimits::instructions(20_000), CoreConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_projection_matches_per_window_projection() {
+        let p = ProgramGenerator::new(malware_profile(MalwareFamily::Keylogger)).generate(7);
+        let subs = trace_subwindows(&p, ExecLimits::instructions(30_000), CoreConfig::default());
+        let spec = FeatureSpec::new(FeatureKind::Instructions, 5_000, vec![Opcode::Xor, Opcode::Add]);
+        let nested = project_windows(&subs, &spec);
+        let mut flat = vec![42.0]; // pre-existing contents must survive
+        let n = project_windows_into(&subs, &spec, &mut flat);
+        assert_eq!(n, nested.len());
+        assert_eq!(flat[0], 42.0);
+        let expected: Vec<f64> = nested.iter().flatten().copied().collect();
+        assert_eq!(&flat[1..], expected.as_slice());
     }
 
     #[test]

@@ -123,6 +123,16 @@ impl FeatureSpec {
     /// to zero so downstream models never see NaN/Inf.
     pub fn project(&self, window: &RawWindow) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.dims());
+        self.project_into(window, &mut out);
+        out
+    }
+
+    /// [`FeatureSpec::project`] appending into a caller-owned buffer: the
+    /// flat-matrix hot path. Exactly [`FeatureSpec::dims`] values are
+    /// appended (prior contents are untouched) and the non-finite guard
+    /// applies only to the appended region.
+    pub fn project_into(&self, window: &RawWindow, out: &mut Vec<f64>) {
+        let start = out.len();
         for kind in &self.kinds {
             match kind {
                 FeatureKind::Instructions => {
@@ -142,12 +152,11 @@ impl FeatureSpec {
                 }
             }
         }
-        for v in &mut out {
+        for v in &mut out[start..] {
             if !v.is_finite() {
                 *v = 0.0;
             }
         }
-        out
     }
 
     /// A stable 64-bit digest of everything that determines this spec's

@@ -98,7 +98,8 @@ impl GaussianAnomaly {
     /// Re-thresholds the detector on labelled validation scores, matching
     /// the supervised detectors' accuracy-maximizing operating point.
     pub fn calibrate(&mut self, validation: &Dataset) {
-        let scores: Vec<f64> = validation.rows().iter().map(|r| self.score(r)).collect();
+        let mut scores = vec![0.0; validation.len()];
+        self.score_batch(validation.matrix(), &mut scores);
         let (threshold, _) = best_accuracy_threshold(&scores, validation.labels());
         if threshold.is_finite() {
             self.threshold = threshold;

@@ -1,6 +1,7 @@
 //! Random forest — the "high-complexity, high-accuracy" classifier the
 //! paper's §8.2 discussion contrasts with pools of weak detectors.
 
+use crate::matrix::FeatureMatrix;
 use crate::metrics::best_accuracy_threshold;
 use crate::model::{Classifier, Dataset};
 use crate::tree::{DecisionTree, TreeConfig};
@@ -73,9 +74,10 @@ impl RandomForest {
         let trees = (0..config.trees)
             .map(|_| {
                 let mut sample = Dataset::new(data.dims());
+                sample.reserve_rows(n);
                 for _ in 0..n {
                     let i = rng.gen_range(0..n);
-                    sample.push(data.rows()[i].clone(), data.labels()[i]);
+                    sample.push_row(data.row(i), data.labels()[i]);
                 }
                 DecisionTree::fit(&config.tree, &sample)
             })
@@ -84,7 +86,8 @@ impl RandomForest {
             trees,
             threshold: 0.5,
         };
-        let scores: Vec<f64> = data.rows().iter().map(|r| model.score(r)).collect();
+        let mut scores = vec![0.0; data.len()];
+        model.score_batch(data.matrix(), &mut scores);
         let (threshold, _) = best_accuracy_threshold(&scores, data.labels());
         model.threshold = if threshold.is_finite() { threshold } else { 0.5 };
         model
@@ -105,6 +108,20 @@ impl Classifier for RandomForest {
     fn score(&self, x: &[f64]) -> f64 {
         let total: f64 = self.trees.iter().map(|t| t.score(x)).sum();
         total / self.trees.len() as f64
+    }
+
+    fn score_batch(&self, xs: &FeatureMatrix, out: &mut [f64]) {
+        // Rows-outer with the same left-to-right tree sum as `score`, so
+        // the two paths are bit-identical. Trees-outer would re-stream
+        // `out` once per tree for no cache benefit — each tree walk is
+        // data-dependent random access either way; batching here saves the
+        // per-row virtual dispatch, not the walks.
+        assert_eq!(xs.len(), out.len(), "output length must match row count");
+        let n = self.trees.len() as f64;
+        for (slot, row) in out.iter_mut().zip(xs.rows()) {
+            let total: f64 = self.trees.iter().map(|t| t.score(row)).sum();
+            *slot = total / n;
+        }
     }
 
     fn threshold(&self) -> f64 {

@@ -1,0 +1,114 @@
+//! Shared scoring kernels: one canonical summation order used by *both*
+//! the per-row `score` path and the batched `score_batch` path, so the two
+//! are bit-identical by construction.
+//!
+//! The dot products are unrolled over four independent accumulators
+//! (combined as `((a0 + a1) + (a2 + a3)) + tail`) so the compiler can
+//! vectorize the sweep; every caller — single row or whole matrix — goes
+//! through the same functions and therefore reassociates identically.
+
+use crate::scale::Standardizer;
+
+/// Standardizes one value exactly as [`Standardizer::transform_into`] does:
+/// non-finite inputs map to the training mean (zero) and the result clamps
+/// to ±[`Standardizer::CLAMP`].
+#[inline]
+pub(crate) fn standardize_one(v: f64, mean: f64, std: f64) -> f64 {
+    if v.is_finite() {
+        ((v - mean) / std).clamp(-Standardizer::CLAMP, Standardizer::CLAMP)
+    } else {
+        0.0
+    }
+}
+
+/// Dot product with four independent accumulators.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub(crate) fn dot(w: &[f64], x: &[f64]) -> f64 {
+    assert_eq!(w.len(), x.len(), "dot operand length mismatch");
+    let split = w.len() - w.len() % 4;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < split {
+        a0 += w[i] * x[i];
+        a1 += w[i + 1] * x[i + 1];
+        a2 += w[i + 2] * x[i + 2];
+        a3 += w[i + 3] * x[i + 3];
+        i += 4;
+    }
+    let mut tail = 0.0f64;
+    while i < w.len() {
+        tail += w[i] * x[i];
+        i += 1;
+    }
+    ((a0 + a1) + (a2 + a3)) + tail
+}
+
+/// Fused standardize-and-dot: `w · standardize(x)` in one sweep, with the
+/// same four-accumulator order as [`dot`] and no intermediate buffer.
+///
+/// # Panics
+///
+/// Panics if any operand length differs.
+#[inline]
+pub(crate) fn dot_standardized(w: &[f64], x: &[f64], mean: &[f64], std: &[f64]) -> f64 {
+    assert_eq!(w.len(), x.len(), "dot operand length mismatch");
+    assert_eq!(w.len(), mean.len(), "standardizer length mismatch");
+    assert_eq!(w.len(), std.len(), "standardizer length mismatch");
+    let split = w.len() - w.len() % 4;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < split {
+        a0 += w[i] * standardize_one(x[i], mean[i], std[i]);
+        a1 += w[i + 1] * standardize_one(x[i + 1], mean[i + 1], std[i + 1]);
+        a2 += w[i + 2] * standardize_one(x[i + 2], mean[i + 2], std[i + 2]);
+        a3 += w[i + 3] * standardize_one(x[i + 3], mean[i + 3], std[i + 3]);
+        i += 4;
+    }
+    let mut tail = 0.0f64;
+    while i < w.len() {
+        tail += w[i] * standardize_one(x[i], mean[i], std[i]);
+        i += 1;
+    }
+    ((a0 + a1) + (a2 + a3)) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_reference_on_awkward_lengths() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 13] {
+            let w: Vec<f64> = (0..n).map(|i| 0.5 + i as f64).collect();
+            let x: Vec<f64> = (0..n).map(|i| 1.0 - 0.25 * i as f64).collect();
+            let reference: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert!((dot(&w, &x) - reference).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fused_matches_standardize_then_dot() {
+        let w = [0.3, -1.2, 4.0, 0.0, 2.5];
+        let x = [10.0, f64::NAN, -3.0, 1e300, 0.5];
+        let mean = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let std = [1.0, 2.0, 0.5, 1.0, 4.0];
+        let z: Vec<f64> = x
+            .iter()
+            .zip(&mean)
+            .zip(&std)
+            .map(|((&v, &m), &s)| standardize_one(v, m, s))
+            .collect();
+        assert_eq!(dot_standardized(&w, &x, &mean, &std), dot(&w, &z));
+    }
+
+    #[test]
+    fn dot_is_deterministic_bitwise() {
+        let w: Vec<f64> = (0..17).map(|i| (i as f64).sin()).collect();
+        let x: Vec<f64> = (0..17).map(|i| (i as f64).cos()).collect();
+        assert_eq!(dot(&w, &x).to_bits(), dot(&w, &x).to_bits());
+    }
+}

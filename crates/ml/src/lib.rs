@@ -23,7 +23,9 @@
 
 pub mod anomaly;
 pub mod forest;
+mod kernel;
 pub mod linear;
+pub mod matrix;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
@@ -36,6 +38,7 @@ pub mod tree;
 pub use anomaly::{AnomalyConfig, GaussianAnomaly};
 pub use forest::{ForestConfig, RandomForest};
 pub use linear::{LogisticRegression, LrConfig};
+pub use matrix::FeatureMatrix;
 pub use metrics::{agreement, auc, best_accuracy_threshold, roc_curve, Confusion, RocPoint};
 pub use mlp::{Mlp, MlpConfig};
 pub use model::{predict_all, score_all, Classifier, Dataset};

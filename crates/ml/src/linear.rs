@@ -1,6 +1,8 @@
 //! Logistic regression — the paper's low-complexity, hardware-friendly
 //! baseline detector (§4).
 
+use crate::kernel;
+use crate::matrix::FeatureMatrix;
 use crate::metrics::best_accuracy_threshold;
 use crate::model::{Classifier, Dataset};
 use crate::scale::Standardizer;
@@ -101,7 +103,7 @@ impl LogisticRegression {
             order.shuffle(&mut rng);
             let lr = config.learning_rate / (1.0 + 0.05 * f64::from(epoch));
             for &i in &order {
-                let row = &scaled.rows()[i];
+                let row = scaled.row(i);
                 let y = f64::from(u8::from(scaled.labels()[i]));
                 let sample_weight = if scaled.labels()[i] { w_pos } else { w_neg };
                 let z: f64 = bias + weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>();
@@ -119,7 +121,8 @@ impl LogisticRegression {
             bias,
             threshold: 0.5,
         };
-        let scores: Vec<f64> = data.rows().iter().map(|r| model.score(r)).collect();
+        let mut scores = vec![0.0; data.len()];
+        model.score_batch(data.matrix(), &mut scores);
         let (threshold, _) = best_accuracy_threshold(&scores, data.labels());
         model.threshold = if threshold.is_finite() { threshold } else { 0.5 };
         model
@@ -149,15 +152,19 @@ impl LogisticRegression {
 
 impl Classifier for LogisticRegression {
     fn score(&self, x: &[f64]) -> f64 {
-        let z = self.scaler.transform(x);
-        let logit: f64 = self.bias
-            + self
-                .weights
-                .iter()
-                .zip(&z)
-                .map(|(w, v)| w * v)
-                .sum::<f64>();
-        sigmoid(logit)
+        let dot = kernel::dot_standardized(&self.weights, x, self.scaler.mean(), self.scaler.std());
+        sigmoid(self.bias + dot)
+    }
+
+    fn score_batch(&self, xs: &FeatureMatrix, out: &mut [f64]) {
+        // One fused standardize-and-dot sweep per row over the flat matrix:
+        // no scratch vector, no per-row virtual dispatch. Same kernel as
+        // `score`, so the two paths are bit-identical.
+        assert_eq!(xs.len(), out.len(), "output length must match row count");
+        let (mean, std) = (self.scaler.mean(), self.scaler.std());
+        for (slot, row) in out.iter_mut().zip(xs.rows()) {
+            *slot = sigmoid(self.bias + kernel::dot_standardized(&self.weights, row, mean, std));
+        }
     }
 
     fn threshold(&self) -> f64 {

@@ -1,0 +1,392 @@
+//! Contiguous row-major feature-matrix storage — the flat memory layout
+//! behind the scoring hot path.
+//!
+//! Every layer that used to shuttle `Vec<Vec<f64>>` around (feature
+//! projection, dataset storage, the feature cache, batch scoring) now moves
+//! one [`FeatureMatrix`]: a single `Vec<f64>` plus a row width. Rows are
+//! exposed as borrowed slices via [`FeatureMatrix::row`] and the
+//! [`Rows`] view (backed by `chunks_exact`), so per-row access costs no
+//! allocation and batch kernels can sweep the whole backing slice.
+//!
+//! # Examples
+//!
+//! ```
+//! use rhmd_ml::matrix::FeatureMatrix;
+//!
+//! let mut m = FeatureMatrix::new(2);
+//! m.push_row(&[1.0, 2.0]);
+//! m.push_row(&[3.0, 4.0]);
+//! assert_eq!(m.row(1), &[3.0, 4.0]);
+//! assert_eq!(m.rows().iter().count(), 2);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A dense row-major matrix of feature values: `rows × dims` doubles in one
+/// contiguous allocation.
+///
+/// Unlike a `Vec<Vec<f64>>`, appending a row never re-boxes and iterating
+/// rows never chases pointers; the backing slice is available via
+/// [`FeatureMatrix::as_slice`] for kernels that want to sweep it flat.
+/// `dims == 0` matrices are supported (every row is the empty slice) so the
+/// container composes with degenerate feature specs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    dims: usize,
+    rows: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix of `dims`-wide rows.
+    pub fn new(dims: usize) -> FeatureMatrix {
+        FeatureMatrix {
+            dims,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// An empty matrix with backing storage reserved for `rows` rows.
+    pub fn with_capacity(dims: usize, rows: usize) -> FeatureMatrix {
+        FeatureMatrix {
+            dims,
+            rows: 0,
+            data: Vec::with_capacity(dims.saturating_mul(rows)),
+        }
+    }
+
+    /// Wraps an already-flat buffer as a matrix without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of `dims`-wide rows (including
+    /// a non-empty buffer with `dims == 0`).
+    pub fn from_flat(dims: usize, data: Vec<f64>) -> FeatureMatrix {
+        let rows = if dims == 0 {
+            assert!(
+                data.is_empty(),
+                "a dims == 0 matrix cannot carry flat data"
+            );
+            0
+        } else {
+            assert_eq!(
+                data.len() % dims,
+                0,
+                "flat length must be a multiple of dims"
+            );
+            data.len() / dims
+        };
+        FeatureMatrix { dims, rows, data }
+    }
+
+    /// Appends one row, adopting its width if the matrix is still untyped
+    /// (empty with `dims == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong dimensionality.
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.dims == 0 {
+            self.dims = row.len();
+        }
+        assert_eq!(row.len(), self.dims, "row has wrong dimensionality");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Appends a flat run of whole rows, returning how many were appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is not a whole number of rows.
+    pub fn extend_flat(&mut self, flat: &[f64]) -> usize {
+        if self.dims == 0 {
+            assert!(
+                flat.is_empty(),
+                "a dims == 0 matrix cannot carry flat data"
+            );
+            return 0;
+        }
+        assert_eq!(
+            flat.len() % self.dims,
+            0,
+            "flat length must be a multiple of dims"
+        );
+        let appended = flat.len() / self.dims;
+        self.data.extend_from_slice(flat);
+        self.rows += appended;
+        appended
+    }
+
+    /// Reserves backing storage for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional.saturating_mul(self.dims));
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of range ({})", self.rows);
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// A lightweight view over all rows.
+    #[inline]
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            data: &self.data,
+            dims: self.dims,
+            len: self.rows,
+        }
+    }
+
+    /// Iterates rows as slices.
+    pub fn iter(&self) -> RowsIter<'_> {
+        self.rows().iter()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row width.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The flat row-major backing slice (`len() * dims()` doubles).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the flat backing slice, for in-place transforms.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl<'a> IntoIterator for &'a FeatureMatrix {
+    type Item = &'a [f64];
+    type IntoIter = RowsIter<'a>;
+
+    fn into_iter(self) -> RowsIter<'a> {
+        self.iter()
+    }
+}
+
+/// A borrowed view of a [`FeatureMatrix`]'s rows.
+///
+/// Copyable and cheap: three words. Supports indexing, iteration, and
+/// equality against other row views, so call sites written against the old
+/// `&[Vec<f64>]` shape keep reading naturally.
+#[derive(Clone, Copy)]
+pub struct Rows<'a> {
+    data: &'a [f64],
+    dims: usize,
+    len: usize,
+}
+
+impl<'a> Rows<'a> {
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row `i`, or `None` when out of range. The returned slice borrows the
+    /// underlying matrix, not this view.
+    pub fn get(&self, i: usize) -> Option<&'a [f64]> {
+        if i >= self.len {
+            return None;
+        }
+        Some(&self.data[i * self.dims..(i + 1) * self.dims])
+    }
+
+    /// Iterates rows as slices borrowing the underlying matrix.
+    pub fn iter(&self) -> RowsIter<'a> {
+        RowsIter {
+            chunks: if self.dims == 0 {
+                [].chunks_exact(1)
+            } else {
+                self.data.chunks_exact(self.dims)
+            },
+            empties: if self.dims == 0 { self.len } else { 0 },
+        }
+    }
+}
+
+impl Index<usize> for Rows<'_> {
+    type Output = [f64];
+
+    fn index(&self, i: usize) -> &[f64] {
+        self.get(i).expect("row index out of range")
+    }
+}
+
+impl<'a> IntoIterator for Rows<'a> {
+    type Item = &'a [f64];
+    type IntoIter = RowsIter<'a>;
+
+    fn into_iter(self) -> RowsIter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq for Rows<'_> {
+    fn eq(&self, other: &Rows<'_>) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl fmt::Debug for Rows<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the rows of a [`FeatureMatrix`], yielding `&[f64]` slices.
+#[derive(Debug, Clone)]
+pub struct RowsIter<'a> {
+    chunks: std::slice::ChunksExact<'a, f64>,
+    /// Rows still to yield for `dims == 0` matrices (each the empty slice).
+    empties: usize,
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = &'a [f64];
+
+    fn next(&mut self) -> Option<&'a [f64]> {
+        if self.empties > 0 {
+            self.empties -= 1;
+            return Some(&[]);
+        }
+        self.chunks.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.chunks.len() + self.empties;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RowsIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_no_rows() {
+        let m = FeatureMatrix::new(3);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.dims(), 3);
+        assert_eq!(m.iter().count(), 0);
+        assert!(m.as_slice().is_empty());
+    }
+
+    #[test]
+    fn single_row_round_trips() {
+        let mut m = FeatureMatrix::new(0);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.dims(), 3, "first push adopts the row width");
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.rows()[0], [1.0, 2.0, 3.0]);
+        assert_eq!(m.iter().next(), Some(&[1.0, 2.0, 3.0][..]));
+    }
+
+    #[test]
+    fn from_flat_splits_rows() {
+        let m = FeatureMatrix::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dims")]
+    fn from_flat_rejects_partial_rows() {
+        let _ = FeatureMatrix::from_flat(2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims == 0")]
+    fn from_flat_rejects_data_without_width() {
+        let _ = FeatureMatrix::from_flat(0, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn push_row_rejects_width_mismatch() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn extend_flat_appends_whole_rows() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row(&[1.0, 2.0]);
+        assert_eq!(m.extend_flat(&[3.0, 4.0, 5.0, 6.0]), 2);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn zero_dims_rows_are_empty_slices() {
+        let mut m = FeatureMatrix::new(0);
+        m.push_row(&[]);
+        m.push_row(&[]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.row(1), &[] as &[f64]);
+        assert_eq!(m.iter().count(), 2);
+        assert!(m.iter().all(<[f64]>::is_empty));
+    }
+
+    #[test]
+    fn rows_view_compares_and_indexes() {
+        let a = FeatureMatrix::from_flat(1, vec![1.0, 2.0]);
+        let b = FeatureMatrix::from_flat(1, vec![1.0, 2.0]);
+        let c = FeatureMatrix::from_flat(1, vec![1.0, 3.0]);
+        assert_eq!(a.rows(), b.rows());
+        assert_ne!(a.rows(), c.rows());
+        assert_eq!(&a.rows()[1], &[2.0]);
+        assert_eq!(a.rows().get(2), None);
+        assert_eq!(format!("{:?}", a.rows()), "[[1.0], [2.0]]");
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let m = FeatureMatrix::from_flat(2, vec![0.0; 8]);
+        let mut it = m.iter();
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn reserve_rows_does_not_change_contents() {
+        let mut m = FeatureMatrix::from_flat(2, vec![1.0, 2.0]);
+        m.reserve_rows(100);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+}

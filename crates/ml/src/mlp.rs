@@ -2,6 +2,8 @@
 //! layer with as many neurons as input features, `tanh` activations, sigmoid
 //! output.
 
+use crate::kernel;
+use crate::matrix::FeatureMatrix;
 use crate::metrics::best_accuracy_threshold;
 use crate::model::{Classifier, Dataset};
 use crate::scale::Standardizer;
@@ -125,7 +127,7 @@ impl Mlp {
             order.shuffle(&mut rng);
             let lr = config.learning_rate / (1.0 + 0.02 * f64::from(epoch));
             for &i in &order {
-                let row = &scaled.rows()[i];
+                let row = scaled.row(i);
                 let y = f64::from(u8::from(scaled.labels()[i]));
                 let sample_weight = if scaled.labels()[i] { wt_pos } else { wt_neg };
 
@@ -164,7 +166,8 @@ impl Mlp {
             b2,
             threshold: 0.5,
         };
-        let scores: Vec<f64> = data.rows().iter().map(|r| model.score(r)).collect();
+        let mut scores = vec![0.0; data.len()];
+        model.score_batch(data.matrix(), &mut scores);
         let (threshold, _) = best_accuracy_threshold(&scores, data.labels());
         model.threshold = if threshold.is_finite() { threshold } else { 0.5 };
         model
@@ -219,17 +222,36 @@ impl Mlp {
         }
         w
     }
+
+    /// Forward pass on an already-standardized row: hidden `tanh` layer
+    /// then sigmoid output. Both `score` and `score_batch` funnel through
+    /// here, so the two are bit-identical.
+    fn score_standardized(&self, z: &[f64]) -> f64 {
+        let mut sum = self.b2;
+        for ((w, b), &wout) in self.w1.iter().zip(&self.b1).zip(&self.w2) {
+            let a = b + kernel::dot(w, z);
+            sum += wout * a.tanh();
+        }
+        sigmoid(sum)
+    }
 }
 
 impl Classifier for Mlp {
     fn score(&self, x: &[f64]) -> f64 {
-        let z = self.scaler.transform(x);
-        let mut sum = self.b2;
-        for ((w, b), &wout) in self.w1.iter().zip(&self.b1).zip(&self.w2) {
-            let a: f64 = b + w.iter().zip(&z).map(|(wi, xi)| wi * xi).sum::<f64>();
-            sum += wout * a.tanh();
+        let mut z = Vec::with_capacity(x.len());
+        self.scaler.transform_into(x, &mut z);
+        self.score_standardized(&z)
+    }
+
+    fn score_batch(&self, xs: &FeatureMatrix, out: &mut [f64]) {
+        // Batched hidden-layer GEMV: one scratch standardization buffer
+        // reused across every row instead of an allocation per row.
+        assert_eq!(xs.len(), out.len(), "output length must match row count");
+        let mut z = Vec::with_capacity(xs.dims());
+        for (slot, row) in out.iter_mut().zip(xs.rows()) {
+            self.scaler.transform_into(row, &mut z);
+            *slot = self.score_standardized(&z);
         }
-        sigmoid(sum)
     }
 
     fn threshold(&self) -> f64 {

@@ -1,10 +1,14 @@
 //! Dataset container and the classifier abstraction shared by all models.
 
+use crate::matrix::{FeatureMatrix, Rows};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A labelled feature-vector dataset (label `true` = malware, as in the
 /// paper's 0/1 convention).
+///
+/// Rows live in one contiguous [`FeatureMatrix`]; appending is an
+/// amortized-growth extend of the flat buffer, never a per-row box.
 ///
 /// # Examples
 ///
@@ -19,8 +23,7 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Dataset {
-    dims: usize,
-    rows: Vec<Vec<f64>>,
+    x: FeatureMatrix,
     labels: Vec<bool>,
 }
 
@@ -28,8 +31,7 @@ impl Dataset {
     /// Creates an empty dataset of `dims`-dimensional rows.
     pub fn new(dims: usize) -> Dataset {
         Dataset {
-            dims,
-            rows: Vec::new(),
+            x: FeatureMatrix::new(dims),
             labels: Vec::new(),
         }
     }
@@ -44,10 +46,25 @@ impl Dataset {
         assert_eq!(rows.len(), labels.len(), "rows and labels must align");
         let dims = rows.first().map_or(0, Vec::len);
         let mut d = Dataset::new(dims);
-        for (row, label) in rows.into_iter().zip(labels) {
-            d.push(row, label);
+        d.reserve_rows(rows.len());
+        for (row, label) in rows.iter().zip(labels) {
+            d.push_row(row, label);
         }
         d
+    }
+
+    /// Builds a dataset directly from a matrix and parallel labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any value is non-finite.
+    pub fn from_matrix(x: FeatureMatrix, labels: Vec<bool>) -> Dataset {
+        assert_eq!(x.len(), labels.len(), "rows and labels must align");
+        assert!(
+            x.as_slice().iter().all(|v| v.is_finite()),
+            "feature values must be finite"
+        );
+        Dataset { x, labels }
     }
 
     /// Appends one labelled row.
@@ -57,47 +74,98 @@ impl Dataset {
     /// Panics if the row's dimensionality mismatches or contains non-finite
     /// values.
     pub fn push(&mut self, row: Vec<f64>, label: bool) {
-        if self.rows.is_empty() && self.dims == 0 {
-            self.dims = row.len();
-        }
-        assert_eq!(row.len(), self.dims, "row has wrong dimensionality");
+        self.push_row(&row, label);
+    }
+
+    /// Appends one labelled row from a borrowed slice (no ownership
+    /// transfer, no per-row allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's dimensionality mismatches or contains non-finite
+    /// values.
+    pub fn push_row(&mut self, row: &[f64], label: bool) {
         assert!(
             row.iter().all(|v| v.is_finite()),
             "feature values must be finite"
         );
-        self.rows.push(row);
+        self.x.push_row(row);
         self.labels.push(label);
     }
 
-    /// Appends every row of `other`.
+    /// Appends every row of `other` in one flat extend.
     ///
     /// # Panics
     ///
     /// Panics on dimensionality mismatch.
     pub fn extend_from(&mut self, other: &Dataset) {
-        for (row, &label) in other.rows.iter().zip(&other.labels) {
-            self.push(row.clone(), label);
+        if other.is_empty() {
+            return;
         }
+        if self.is_empty() && self.dims() == 0 {
+            self.x = FeatureMatrix::new(other.dims());
+        }
+        assert_eq!(self.dims(), other.dims(), "row has wrong dimensionality");
+        self.x.extend_flat(other.x.as_slice());
+        self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Appends a flat run of whole rows, all sharing one label — the
+    /// zero-copy append used when a projected window matrix joins a
+    /// training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is not a whole number of rows or contains
+    /// non-finite values.
+    pub fn extend_from_flat(&mut self, flat: &[f64], label: bool) {
+        assert!(
+            flat.iter().all(|v| v.is_finite()),
+            "feature values must be finite"
+        );
+        let appended = self.x.extend_flat(flat);
+        self.labels.resize(self.labels.len() + appended, label);
+    }
+
+    /// Reserves storage for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.x.reserve_rows(additional);
+        self.labels.reserve(additional);
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.labels.len()
     }
 
     /// Whether the dataset has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.labels.is_empty()
     }
 
     /// Row dimensionality.
     pub fn dims(&self) -> usize {
-        self.dims
+        self.x.dims()
     }
 
-    /// The feature rows.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// A view of the feature rows.
+    pub fn rows(&self) -> Rows<'_> {
+        self.x.rows()
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.x.row(i)
+    }
+
+    /// The backing feature matrix.
+    pub fn matrix(&self) -> &FeatureMatrix {
+        &self.x
     }
 
     /// The labels, parallel to [`Dataset::rows`].
@@ -117,10 +185,7 @@ impl Dataset {
 
     /// Iterates `(row, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool)> + '_ {
-        self.rows
-            .iter()
-            .map(Vec::as_slice)
-            .zip(self.labels.iter().copied())
+        self.x.iter().zip(self.labels.iter().copied())
     }
 
     /// Returns a dataset with the same rows but labels replaced by
@@ -134,8 +199,7 @@ impl Dataset {
     pub fn with_labels(&self, new_labels: Vec<bool>) -> Dataset {
         assert_eq!(new_labels.len(), self.len(), "label count must match rows");
         Dataset {
-            dims: self.dims,
-            rows: self.rows.clone(),
+            x: self.x.clone(),
             labels: new_labels,
         }
     }
@@ -147,7 +211,7 @@ impl fmt::Display for Dataset {
             f,
             "Dataset({} rows x {} dims, {} malware / {} benign)",
             self.len(),
-            self.dims,
+            self.dims(),
             self.positives(),
             self.negatives()
         )
@@ -161,10 +225,27 @@ impl fmt::Display for Dataset {
 /// maximizing training accuracy — the paper's "point on the ROC which
 /// maximizes the accuracy".
 ///
+/// Per-row `score` and batched `score_batch` share one set of summation
+/// kernels, so for every model family the two paths are bit-identical.
+///
 /// This trait is object-safe: RHMD pools store `Box<dyn Classifier>`.
 pub trait Classifier: fmt::Debug + Send + Sync {
     /// Malware-likeness score for a feature vector.
     fn score(&self, x: &[f64]) -> f64;
+
+    /// Scores every row of `xs` into `out`, bit-identically to calling
+    /// [`Classifier::score`] per row. Models override this to amortize
+    /// scratch buffers and sweep the flat matrix without per-row dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != xs.len()`.
+    fn score_batch(&self, xs: &FeatureMatrix, out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "output length must match row count");
+        for (slot, row) in out.iter_mut().zip(xs.rows()) {
+            *slot = self.score(row);
+        }
+    }
 
     /// The operating threshold applied by [`Classifier::predict`].
     fn threshold(&self) -> f64;
@@ -191,15 +272,20 @@ impl Clone for Box<dyn Classifier> {
     }
 }
 
-/// Scores every row of a dataset.
+/// Scores every row of a dataset through the batch path.
 pub fn score_all(model: &dyn Classifier, data: &Dataset) -> Vec<f64> {
     let _span = rhmd_obs::span("ml.score");
-    data.rows().iter().map(|r| model.score(r)).collect()
+    let mut out = vec![0.0; data.len()];
+    model.score_batch(data.matrix(), &mut out);
+    out
 }
 
-/// Predicts every row of a dataset.
+/// Predicts every row of a dataset through the batch path.
 pub fn predict_all(model: &dyn Classifier, data: &Dataset) -> Vec<bool> {
-    data.rows().iter().map(|r| model.predict(r)).collect()
+    let threshold = model.threshold();
+    let mut scores = vec![0.0; data.len()];
+    model.score_batch(data.matrix(), &mut scores);
+    scores.into_iter().map(|s| s >= threshold).collect()
 }
 
 #[cfg(test)]
@@ -246,6 +332,30 @@ mod tests {
         a.extend_from(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.labels(), &[true, false]);
+    }
+
+    #[test]
+    fn extend_from_empty_is_noop() {
+        let mut a = Dataset::from_rows(vec![vec![1.0]], vec![true]);
+        a.extend_from(&Dataset::new(3));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.dims(), 1);
+    }
+
+    #[test]
+    fn extend_from_flat_shares_one_label() {
+        let mut d = Dataset::new(2);
+        d.extend_from_flat(&[1.0, 2.0, 3.0, 4.0], true);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), &[true, true]);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn extend_from_flat_rejects_nan() {
+        let mut d = Dataset::new(1);
+        d.extend_from_flat(&[f64::NAN], true);
     }
 
     #[test]

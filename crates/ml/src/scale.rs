@@ -2,6 +2,8 @@
 //! data and baked into every model so callers always work in raw feature
 //! space.
 
+use crate::kernel::standardize_one;
+use crate::matrix::FeatureMatrix;
 use crate::model::Dataset;
 use serde::{Deserialize, Serialize};
 
@@ -88,13 +90,12 @@ impl Standardizer {
     pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
         out.clear();
-        out.extend(x.iter().zip(&self.mean).zip(&self.std).map(|((&v, &m), &s)| {
-            if v.is_finite() {
-                ((v - m) / s).clamp(-Standardizer::CLAMP, Standardizer::CLAMP)
-            } else {
-                0.0
-            }
-        }));
+        out.extend(
+            x.iter()
+                .zip(&self.mean)
+                .zip(&self.std)
+                .map(|((&v, &m), &s)| standardize_one(v, m, s)),
+        );
     }
 
     /// Standardizes one row, allocating.
@@ -104,12 +105,31 @@ impl Standardizer {
         out
     }
 
-    /// Standardizes a whole dataset (labels preserved).
+    /// Standardizes every row of a matrix in place — one flat sweep, no
+    /// per-row allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix's row width differs from this standardizer's.
+    pub fn transform_matrix(&self, m: &mut FeatureMatrix) {
+        assert_eq!(m.dims(), self.dims(), "dimensionality mismatch");
+        let dims = self.dims();
+        if dims == 0 {
+            return;
+        }
+        for row in m.as_mut_slice().chunks_exact_mut(dims) {
+            for ((v, &mn), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = standardize_one(*v, mn, s);
+            }
+        }
+    }
+
+    /// Standardizes a whole dataset (labels preserved) via
+    /// [`Standardizer::transform_matrix`].
     pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
-        Dataset::from_rows(
-            data.rows().iter().map(|r| self.transform(r)).collect(),
-            data.labels().to_vec(),
-        )
+        let mut m = data.matrix().clone();
+        self.transform_matrix(&mut m);
+        Dataset::from_matrix(m, data.labels().to_vec())
     }
 }
 
@@ -166,6 +186,17 @@ mod tests {
         let s = Standardizer::fit(&toy());
         let t = s.transform(&[f64::NAN, f64::INFINITY]);
         assert_eq!(t, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn transform_matrix_matches_per_row_transform() {
+        let data = toy();
+        let s = Standardizer::fit(&data);
+        let mut m = data.matrix().clone();
+        s.transform_matrix(&mut m);
+        for (flat_row, row) in m.iter().zip(data.rows()) {
+            assert_eq!(flat_row, s.transform(row).as_slice());
+        }
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! subgradient descent on the hinge loss — the third surrogate family the
 //! paper's attacker uses (§4).
 
+use crate::kernel;
+use crate::matrix::FeatureMatrix;
 use crate::metrics::best_accuracy_threshold;
 use crate::model::{Classifier, Dataset};
 use crate::scale::Standardizer;
@@ -90,7 +92,7 @@ impl LinearSvm {
             for &i in &order {
                 t += 1;
                 let eta = 1.0 / (config.lambda * t as f64);
-                let row = &scaled.rows()[i];
+                let row = scaled.row(i);
                 let y = if scaled.labels()[i] { 1.0 } else { -1.0 };
                 let sample_weight = if scaled.labels()[i] { wt_pos } else { wt_neg };
                 let margin: f64 =
@@ -116,7 +118,8 @@ impl LinearSvm {
             bias,
             threshold: 0.0,
         };
-        let scores: Vec<f64> = data.rows().iter().map(|r| model.score(r)).collect();
+        let mut scores = vec![0.0; data.len()];
+        model.score_batch(data.matrix(), &mut scores);
         let (threshold, _) = best_accuracy_threshold(&scores, data.labels());
         model.threshold = if threshold.is_finite() { threshold } else { 0.0 };
         model
@@ -142,8 +145,16 @@ impl LinearSvm {
 
 impl Classifier for LinearSvm {
     fn score(&self, x: &[f64]) -> f64 {
-        let z = self.scaler.transform(x);
-        self.bias + self.weights.iter().zip(&z).map(|(w, v)| w * v).sum::<f64>()
+        self.bias + kernel::dot_standardized(&self.weights, x, self.scaler.mean(), self.scaler.std())
+    }
+
+    fn score_batch(&self, xs: &FeatureMatrix, out: &mut [f64]) {
+        // Fused standardize-and-margin sweep, same kernel as `score`.
+        assert_eq!(xs.len(), out.len(), "output length must match row count");
+        let (mean, std) = (self.scaler.mean(), self.scaler.std());
+        for (slot, row) in out.iter_mut().zip(xs.rows()) {
+            *slot = self.bias + kernel::dot_standardized(&self.weights, row, mean, std);
+        }
     }
 
     fn threshold(&self) -> f64 {

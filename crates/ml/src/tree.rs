@@ -128,8 +128,8 @@ fn grow(
     let mut sorted = indices.to_vec();
     for feature in 0..data.dims() {
         sorted.sort_by(|&a, &b| {
-            data.rows()[a][feature]
-                .partial_cmp(&data.rows()[b][feature])
+            data.row(a)[feature]
+                .partial_cmp(&data.row(b)[feature])
                 .unwrap()
         });
         let mut left_pos = 0.0;
@@ -139,8 +139,8 @@ fn grow(
             }
             let left_n = (k + 1) as f64;
             let right_n = total - left_n;
-            let lo = data.rows()[window[0]][feature];
-            let hi = data.rows()[window[1]][feature];
+            let lo = data.row(window[0])[feature];
+            let hi = data.row(window[1])[feature];
             if lo == hi || (k + 1) < config.min_leaf || (right_n as usize) < config.min_leaf {
                 continue;
             }
@@ -157,7 +157,7 @@ fn grow(
         Some((impurity, feature, threshold)) if impurity < node_gini - 1e-12 => {
             let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
                 .iter()
-                .partition(|&&i| data.rows()[i][feature] <= threshold);
+                .partition(|&&i| data.row(i)[feature] <= threshold);
             Node::Split {
                 feature,
                 threshold,

@@ -1,0 +1,120 @@
+//! Property-based proof of the batch-scoring contract: for every model
+//! family, [`Classifier::score_batch`] over a flat [`FeatureMatrix`] is
+//! **bit-identical** to calling [`Classifier::score`] row by row — the
+//! invariant that lets the whole pipeline switch to batched kernels without
+//! moving a single golden number.
+
+use proptest::prelude::*;
+use rhmd_ml::matrix::FeatureMatrix;
+use rhmd_ml::model::Dataset;
+use rhmd_ml::trainer::{train, Algorithm, TrainerConfig};
+
+/// A random training set (both classes present) plus extra query rows of
+/// the same dimensionality, covering degenerate shapes: one dim, no query
+/// rows, values far outside the training range. Rows are sampled at a
+/// fixed maximum width and truncated to the sampled `dims` (the vendored
+/// proptest has no `prop_flat_map` for dims-dependent shapes).
+fn dataset_and_queries() -> impl Strategy<Value = (Dataset, Vec<Vec<f64>>)> {
+    const MAX_DIMS: usize = 6;
+    (
+        1usize..=MAX_DIMS,
+        prop::collection::vec(prop::collection::vec(-1e3f64..1e3, MAX_DIMS), 4..24),
+        prop::collection::vec(prop::collection::vec(-1e6f64..1e6, MAX_DIMS), 0..16),
+    )
+        .prop_map(|(dims, mut rows, mut queries)| {
+            for r in rows.iter_mut().chain(queries.iter_mut()) {
+                r.truncate(dims);
+            }
+            let n = rows.len();
+            // Alternate labels so every trainer sees both classes.
+            let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            (Dataset::from_rows(rows, labels), queries)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch and per-row scoring agree to the last bit for every family,
+    /// on training rows and on out-of-distribution query rows alike.
+    #[test]
+    fn score_batch_is_bit_identical_to_per_row((data, queries) in dataset_and_queries()) {
+        let mut xs = FeatureMatrix::new(data.dims());
+        xs.reserve_rows(queries.len());
+        for q in &queries {
+            xs.push_row(q);
+        }
+        let trainer = TrainerConfig::default();
+        for algorithm in Algorithm::ALL {
+            let model = train(algorithm, &trainer, &data);
+
+            let mut batch = vec![0.0; xs.len()];
+            model.score_batch(&xs, &mut batch);
+            for (i, (q, b)) in queries.iter().zip(&batch).enumerate() {
+                let one = model.score(q);
+                prop_assert_eq!(
+                    one.to_bits(),
+                    b.to_bits(),
+                    "{} query row {i}: per-row {one} vs batch {b}",
+                    algorithm.name()
+                );
+            }
+
+            // The training matrix exercises the dims-aligned fast path too.
+            let mut on_train = vec![0.0; data.len()];
+            model.score_batch(data.matrix(), &mut on_train);
+            for (i, (row, b)) in data.rows().iter().zip(&on_train).enumerate() {
+                let one = model.score(row);
+                prop_assert_eq!(
+                    one.to_bits(),
+                    b.to_bits(),
+                    "{} train row {i}: per-row {one} vs batch {b}",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+
+    /// Scoring the same matrix twice is deterministic: the batch path holds
+    /// no hidden state (the MLP's scratch buffer resets per row).
+    #[test]
+    fn score_batch_is_stateless((data, queries) in dataset_and_queries()) {
+        prop_assume!(!queries.is_empty());
+        let mut xs = FeatureMatrix::new(data.dims());
+        for q in &queries {
+            xs.push_row(q);
+        }
+        let trainer = TrainerConfig::default();
+        for algorithm in Algorithm::ALL {
+            let model = train(algorithm, &trainer, &data);
+            let mut a = vec![0.0; xs.len()];
+            let mut b = vec![0.0; xs.len()];
+            model.score_batch(&xs, &mut a);
+            model.score_batch(&xs, &mut b);
+            let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a_bits, b_bits, "{} rescoring drifted", algorithm.name());
+        }
+    }
+}
+
+/// `predict_all`/`score_all` ride on the batch path; they must match the
+/// per-row trait methods exactly.
+#[test]
+fn score_all_and_predict_all_match_per_row() {
+    let rows: Vec<Vec<f64>> = (0..30)
+        .map(|i| vec![f64::from(i) * 0.1, f64::from(i % 7) - 3.0, f64::from(i % 3)])
+        .collect();
+    let labels: Vec<bool> = (0..30).map(|i| i % 2 == 0).collect();
+    let data = Dataset::from_rows(rows, labels);
+    let trainer = TrainerConfig::default();
+    for algorithm in Algorithm::ALL {
+        let model = train(algorithm, &trainer, &data);
+        let scores = rhmd_ml::model::score_all(model.as_ref(), &data);
+        let predictions = rhmd_ml::model::predict_all(model.as_ref(), &data);
+        for ((row, _), (s, p)) in data.iter().zip(scores.iter().zip(&predictions)) {
+            assert_eq!(model.score(row).to_bits(), s.to_bits(), "{algorithm}");
+            assert_eq!(model.predict(row), *p, "{algorithm}");
+        }
+    }
+}
