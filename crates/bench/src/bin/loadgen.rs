@@ -1,0 +1,667 @@
+//! Load generator for `rhmd serve`: replays synthetic corpora as session
+//! streams at a target offered load and records the service's latency and
+//! degradation envelope into `BENCH_serve.json`.
+//!
+//! Default mode drives an in-process engine directly (no transport cost):
+//!
+//! 1. **Replay identity** — every held-out test program streamed as one
+//!    session, at one shard and at all shards; verdicts must match
+//!    `rhmd evaluate`'s batch path bit for bit.
+//! 2. **Saturation probe** — an unpaced flood measures the sustained
+//!    service rate in sessions/second.
+//! 3. **Load sweep** — offered load at 0.5x / 1x / 2x saturation with
+//!    bounded queues, recording p50/p99 verdict latency, abstention rate,
+//!    and shed rate. Past saturation the service must degrade loudly
+//!    (nonzero shed, every session accounted) with bounded p99 — never by
+//!    losing verdicts.
+//!
+//! `--connect <socket>` instead streams NDJSON to a running
+//! `rhmd serve --listen` daemon and records a single point, tolerating a
+//! mid-stream server drain (SIGTERM smoke tests).
+//!
+//! Run `RHMD_SCALE=tiny cargo run --release -p rhmd-bench --bin loadgen`
+//! for a quick pass; see `--help`.
+
+use rhmd_bench::durable::Durable;
+use rhmd_bench::Experiment;
+use rhmd_core::hmd::Hmd;
+use rhmd_core::RhmdError;
+use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_ml::trainer::Algorithm;
+use rhmd_serve::engine::{Engine, OutEvent};
+use rhmd_serve::proto::{Response, StatsMsg, VerdictMsg};
+use rhmd_serve::queue::Watermarks;
+use rhmd_serve::ServeConfig;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: loadgen [options]
+
+options:
+  --out <path>        output report path (default: BENCH_serve.json)
+  --connect <socket>  drive a running `rhmd serve --listen <socket>` daemon
+                      over NDJSON instead of an in-process engine
+  --sessions <n>      sessions per point in --connect mode (default: 32)
+  --qps <f>           offered sessions/second in --connect mode (0 = unpaced)
+  --help              show this message
+
+env fallbacks: RHMD_SCALE (tiny|small|standard|paper) selects the corpus.";
+
+/// One measured operating point of the service.
+#[derive(Debug, Clone, Serialize)]
+struct Point {
+    /// Human label (`"0.5x"`, `"1x"`, `"2x"`, `"saturation"`, `"connect"`).
+    label: String,
+    /// Offered load as a multiple of measured saturation (0 = unpaced).
+    multiplier: f64,
+    /// Offered load in sessions/second (0 = unpaced).
+    offered_sps: f64,
+    /// Serviced (decided + abstained) sessions/second over the point.
+    achieved_sps: f64,
+    /// Sessions offered to the service.
+    offered: u64,
+    /// Sessions that got a decision.
+    decided: u64,
+    /// Sessions that ended abstained.
+    abstained: u64,
+    /// Sessions degraded by load-shedding (explicit shed verdicts).
+    shed: u64,
+    /// Median end-to-verdict latency in milliseconds.
+    p50_ms: f64,
+    /// 99th-percentile end-to-verdict latency in milliseconds.
+    p99_ms: f64,
+    /// Fraction of offered sessions that ended abstained.
+    abstain_rate: f64,
+    /// Fraction of offered sessions that were shed.
+    shed_rate: f64,
+    /// Offered sessions with no verdict line (must be 0: no silent drops).
+    lost: u64,
+    /// Whether `offered == decided + abstained + shed` held.
+    accounted: bool,
+}
+
+/// The full report written to `BENCH_serve.json`.
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Corpus scale in effect (`RHMD_SCALE`).
+    scale: String,
+    /// Measured saturation throughput, sessions/second.
+    saturation_sps: f64,
+    /// Mean subwindow events per replayed session.
+    events_per_session: f64,
+    /// Whether streamed verdicts matched the batch evaluation path at
+    /// every shard count tried (`null` in `--connect` mode).
+    replay_bit_identical: Option<bool>,
+    /// The measured operating points.
+    points: Vec<Point>,
+}
+
+struct Options {
+    out: PathBuf,
+    connect: Option<PathBuf>,
+    sessions: usize,
+    qps: f64,
+}
+
+fn parse_args() -> Result<Options, RhmdError> {
+    let mut opts = Options {
+        out: PathBuf::from("BENCH_serve.json"),
+        connect: None,
+        sessions: 32,
+        qps: 0.0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(token) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| RhmdError::config(format!("flag {flag} needs a value")))
+        };
+        match token.as_str() {
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            "--connect" => opts.connect = Some(PathBuf::from(value("--connect")?)),
+            "--sessions" => {
+                let v = value("--sessions")?;
+                opts.sessions = v.parse().map_err(|_| {
+                    RhmdError::parse("--sessions", format!("invalid value '{v}'"))
+                })?;
+            }
+            "--qps" => {
+                let v = value("--qps")?;
+                opts.qps = v
+                    .parse()
+                    .map_err(|_| RhmdError::parse("--qps", format!("invalid value '{v}'")))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                return Err(RhmdError::config(format!(
+                    "unknown argument '{other}' (try --help)"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), RhmdError> {
+    let opts = parse_args()?;
+    let exp = Experiment::load();
+    let report = match &opts.connect {
+        Some(sock) => connect_mode(&exp, sock, opts.sessions, opts.qps)?,
+        None => in_process(&exp)?,
+    };
+    let json = serde_json::to_string(&report)
+        .map_err(|e| RhmdError::model(format!("serialize report: {e}")))?;
+    Durable::from_env()?.write_atomic(&opts.out, json.as_bytes())?;
+    eprintln!("[loadgen] report written to {}", opts.out.display());
+    for p in &report.points {
+        eprintln!(
+            "[loadgen] {:>10}: offered {} decided {} abstained {} shed {} \
+             p50 {:.2}ms p99 {:.2}ms lost {}",
+            p.label, p.offered, p.decided, p.abstained, p.shed, p.p50_ms, p.p99_ms, p.lost
+        );
+    }
+    if report.points.iter().any(|p| p.lost > 0 || !p.accounted) {
+        return Err(RhmdError::model(
+            "verdicts were lost or unaccounted under load — the no-silent-drops \
+             contract is broken",
+        ));
+    }
+    if report.replay_bit_identical == Some(false) {
+        return Err(RhmdError::model(
+            "streamed replay diverged from the batch evaluation path",
+        ));
+    }
+    Ok(())
+}
+
+/// Trains the served detector: the standard LR / architectural baseline at
+/// a 5k period (small, fast, and deterministic at this scale).
+fn train(exp: &Experiment) -> Hmd {
+    Hmd::train(
+        Algorithm::Lr,
+        FeatureSpec::new(FeatureKind::Architectural, 5_000, exp.opcodes.clone()),
+        &exp.trainer,
+        &exp.traced,
+        &exp.splits.victim_train,
+    )
+}
+
+fn scale_name() -> String {
+    std::env::var("RHMD_SCALE").unwrap_or_else(|_| "standard".to_owned())
+}
+
+fn shards() -> usize {
+    std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+}
+
+/// Mean subwindow count over the replayed (test-split) sessions.
+fn mean_events(exp: &Experiment) -> f64 {
+    let test = &exp.splits.attacker_test;
+    let total: usize = test.iter().map(|&i| exp.traced.subwindows(i).len()).sum();
+    total as f64 / test.len().max(1) as f64
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn point_from(
+    label: &str,
+    multiplier: f64,
+    offered_sps: f64,
+    stats: &StatsMsg,
+    verdict_lines: u64,
+    mut latencies_ms: Vec<f64>,
+    elapsed: Duration,
+) -> Point {
+    latencies_ms.sort_by(f64::total_cmp);
+    let offered = stats.offered_sessions;
+    let serviced = stats.decided + stats.abstained;
+    Point {
+        label: label.to_owned(),
+        multiplier,
+        offered_sps,
+        achieved_sps: serviced as f64 / elapsed.as_secs_f64().max(1e-9),
+        offered,
+        decided: stats.decided,
+        abstained: stats.abstained,
+        shed: stats.shed_sessions,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        abstain_rate: stats.abstained as f64 / offered.max(1) as f64,
+        shed_rate: stats.shed_sessions as f64 / offered.max(1) as f64,
+        lost: offered.saturating_sub(verdict_lines),
+        accounted: stats.accounted(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process mode
+// ---------------------------------------------------------------------------
+
+/// Shared collector state: verdict lines and end-to-verdict latencies.
+#[derive(Default)]
+struct Collected {
+    verdicts: Mutex<Vec<VerdictMsg>>,
+    latencies_ms: Mutex<Vec<f64>>,
+    /// `session id -> End submission time`, filled by senders.
+    ends: Mutex<std::collections::HashMap<String, Instant>>,
+}
+
+impl Collected {
+    fn on_verdict(&self, v: VerdictMsg) {
+        let end = self.ends.lock().unwrap().remove(&v.session);
+        if let Some(at) = end {
+            self.latencies_ms
+                .lock()
+                .unwrap()
+                .push(at.elapsed().as_secs_f64() * 1e3);
+        }
+        self.verdicts.lock().unwrap().push(v);
+    }
+
+    fn verdict_count(&self) -> usize {
+        self.verdicts.lock().unwrap().len()
+    }
+}
+
+/// Pops the engine's output until `Closed`, feeding verdicts into `col`.
+fn collect(out: &rhmd_serve::queue::BoundedQueue<OutEvent>, col: &Collected) {
+    while let Some(ev) = out.pop() {
+        match ev {
+            OutEvent::Response {
+                response: Response::Verdict(v),
+                ..
+            } => col.on_verdict(v),
+            OutEvent::Response { .. } => {}
+            OutEvent::Closed => break,
+        }
+    }
+}
+
+/// Streams session `k` (a replay of program `prog`) into the engine.
+fn send_session(engine: &Engine, exp: &Experiment, col: &Collected, k: usize, prog: usize) {
+    let tenant = if k.is_multiple_of(2) { "t0" } else { "t1" };
+    let session = format!("s{k}");
+    for (seq, sub) in exp.traced.subwindows(prog).iter().enumerate() {
+        engine.submit_event(0, tenant, &session, seq as u64, Box::new(sub.clone()));
+    }
+    col.ends
+        .lock()
+        .unwrap()
+        .insert(session.clone(), Instant::now());
+    engine.submit_end(0, tenant, &session);
+}
+
+/// Runs one operating point: `sessions` replayed sessions at `offered_sps`
+/// sessions/second (0 = unpaced) across `senders` threads, against an
+/// engine with the given ingest watermarks.
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    exp: &Experiment,
+    hmd: &Hmd,
+    n_shards: usize,
+    queue: Watermarks,
+    sessions: usize,
+    offered_sps: f64,
+    senders: usize,
+    label: &str,
+    multiplier: f64,
+) -> Result<(Point, Vec<VerdictMsg>), RhmdError> {
+    let config = ServeConfig {
+        shards: n_shards,
+        queue,
+        output: Watermarks {
+            capacity: 1 << 16,
+            high: 1 << 16,
+            low: 0,
+        },
+        session_deadline: None,
+        tenant_deadline: None,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::start(hmd.clone(), config)?;
+    let out = engine.output();
+    let col = Collected::default();
+    let test = &exp.splits.attacker_test;
+    let next = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let stats = std::thread::scope(|scope| {
+        let collector = scope.spawn(|| collect(&out, &col));
+        let mut handles = Vec::new();
+        for _ in 0..senders {
+            handles.push(scope.spawn(|| {
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if k >= sessions {
+                        break;
+                    }
+                    if offered_sps > 0.0 {
+                        let target = Duration::from_secs_f64(k as f64 / offered_sps);
+                        while t0.elapsed() < target {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    send_session(&engine, exp, &col, k, test[k % test.len()]);
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let stats = engine.drain();
+        let _ = collector.join();
+        stats
+    });
+    let elapsed = t0.elapsed();
+    let point = point_from(
+        label,
+        multiplier,
+        offered_sps,
+        &stats,
+        col.verdict_count() as u64,
+        std::mem::take(&mut col.latencies_ms.lock().unwrap()),
+        elapsed,
+    );
+    Ok((point, col.verdicts.into_inner().unwrap()))
+}
+
+/// Replays every test program as one session at `n_shards` shards (one
+/// session in flight at a time, so nothing sheds) and checks each verdict
+/// against the batch evaluation path.
+fn replay_identity(exp: &Experiment, hmd: &Hmd, n_shards: usize) -> Result<bool, RhmdError> {
+    let per_session = mean_events(exp).ceil() as usize;
+    let config = ServeConfig {
+        shards: n_shards,
+        queue: Watermarks {
+            capacity: 4 * per_session + 256,
+            high: 4 * per_session + 256,
+            low: 0,
+        },
+        session_deadline: None,
+        tenant_deadline: None,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::start(hmd.clone(), config)?;
+    let out = engine.output();
+    let col = Collected::default();
+    let test = exp.splits.attacker_test.clone();
+    std::thread::scope(|scope| {
+        let collector = scope.spawn(|| collect(&out, &col));
+        for (k, &prog) in test.iter().enumerate() {
+            send_session(&engine, exp, &col, k, prog);
+            // One session in flight keeps the ingest queue under its
+            // watermark, so the identity pass never sheds.
+            while col.verdict_count() <= k {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let stats = engine.drain();
+        let _ = collector.join();
+        assert!(stats.accounted());
+    });
+    let verdicts = col.verdicts.into_inner().unwrap();
+    let mut identical = verdicts.len() == test.len();
+    for v in &verdicts {
+        let k: usize = v.session[1..].parse().expect("session ids are s<k>");
+        let expected = hmd.verdict(exp.traced.subwindows(test[k]));
+        let want = if expected.total == 0 {
+            "abstain" // zero scorable windows: the service abstains loudly
+        } else if expected.is_malware() {
+            "malware"
+        } else {
+            "benign"
+        };
+        if v.verdict != want || v.voted != expected.total || v.flag_rate != expected.flag_rate() {
+            eprintln!(
+                "[loadgen] DIVERGENCE at {} shards, session {}: streamed {} \
+                 (voted {}, flag_rate {}), batch wants {} (voted {}, flag_rate {})",
+                n_shards,
+                v.session,
+                v.verdict,
+                v.voted,
+                v.flag_rate,
+                want,
+                expected.total,
+                expected.flag_rate()
+            );
+            identical = false;
+        }
+    }
+    Ok(identical)
+}
+
+fn in_process(exp: &Experiment) -> Result<Report, RhmdError> {
+    let hmd = train(exp);
+    let per_session = mean_events(exp);
+    let n_shards = shards();
+
+    eprintln!("[loadgen] replay identity at 1 and {n_shards} shards ...");
+    let identical = replay_identity(exp, &hmd, 1)? && replay_identity(exp, &hmd, n_shards)?;
+
+    eprintln!("[loadgen] probing saturation (unpaced flood) ...");
+    let flood = Watermarks {
+        capacity: 1 << 15,
+        high: (1 << 15) * 3 / 4,
+        low: (1 << 15) / 4,
+    };
+    let sat_sessions = (exp.splits.attacker_test.len() * 8).clamp(64, 512);
+    let (sat, _) = run_point(
+        exp,
+        &hmd,
+        n_shards,
+        flood,
+        sat_sessions,
+        0.0,
+        4,
+        "saturation",
+        0.0,
+    )?;
+    let saturation_sps = sat.achieved_sps.max(1.0);
+    eprintln!("[loadgen] saturation ~{saturation_sps:.1} sessions/s");
+
+    // Sweep queues sized to absorb sender bursts (whole sessions) without
+    // shedding below saturation, while staying bounded enough that 2x
+    // offered load visibly sheds.
+    let cap = ((8.0 * per_session) as usize).clamp(512, 1 << 15);
+    let sweep_queue = Watermarks {
+        capacity: cap,
+        high: cap * 3 / 4,
+        low: cap / 4,
+    };
+    let mut points = vec![sat];
+    for multiplier in [0.5, 1.0, 2.0] {
+        let sps = multiplier * saturation_sps;
+        let sessions = ((sps * 3.0) as usize).clamp(24, 512);
+        eprintln!("[loadgen] sweep {multiplier}x saturation ({sps:.1} sessions/s) ...");
+        let (point, _) = run_point(
+            exp,
+            &hmd,
+            n_shards,
+            sweep_queue,
+            sessions,
+            sps,
+            4,
+            &format!("{multiplier}x"),
+            multiplier,
+        )?;
+        points.push(point);
+    }
+
+    Ok(Report {
+        scale: scale_name(),
+        saturation_sps,
+        events_per_session: per_session,
+        replay_bit_identical: Some(identical),
+        points,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Connect mode (NDJSON over a Unix socket)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+fn connect_mode(
+    exp: &Experiment,
+    sock: &std::path::Path,
+    sessions: usize,
+    qps: f64,
+) -> Result<Report, RhmdError> {
+    use rhmd_serve::proto::Request;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let stream = UnixStream::connect(sock)
+        .map_err(|e| RhmdError::io(sock.display().to_string(), e.to_string()))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| RhmdError::io(sock.display().to_string(), e.to_string()))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| RhmdError::io(sock.display().to_string(), e.to_string()))?;
+
+    let col = Collected::default();
+    let test = &exp.splits.attacker_test;
+    let t0 = Instant::now();
+    let mut sent = 0u64;
+    let mut server_stats: Option<StatsMsg> = None;
+
+    std::thread::scope(|scope| -> Result<(), RhmdError> {
+        let reader = scope.spawn(|| -> Option<StatsMsg> {
+            let mut last: Option<StatsMsg> = None;
+            for line in BufReader::new(&stream).lines() {
+                let Ok(line) = line else { break };
+                match serde_json::from_str::<Response>(&line) {
+                    Ok(Response::Verdict(v)) => col.on_verdict(v),
+                    Ok(Response::Stats(s)) => last = Some(s),
+                    Ok(Response::Drained(s)) => return Some(s),
+                    _ => {}
+                }
+            }
+            last
+        });
+        'send: for k in 0..sessions {
+            if qps > 0.0 {
+                let target = Duration::from_secs_f64(k as f64 / qps);
+                while t0.elapsed() < target {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            let tenant = if k.is_multiple_of(2) { "t0" } else { "t1" };
+            let session = format!("s{k}");
+            for (seq, sub) in exp.traced.subwindows(test[k % test.len()]).iter().enumerate() {
+                let req = Request::Event {
+                    tenant: tenant.to_owned(),
+                    session: session.clone(),
+                    seq: seq as u64,
+                    window: Box::new(sub.clone()),
+                };
+                let line = serde_json::to_string(&req).expect("requests serialize");
+                // A write error means the server went away mid-stream
+                // (e.g. a SIGTERM drain): stop offering and settle with
+                // whatever verdicts the drain flushed.
+                if writeln!(writer, "{line}").is_err() {
+                    break 'send;
+                }
+            }
+            col.ends
+                .lock()
+                .unwrap()
+                .insert(session.clone(), Instant::now());
+            if writeln!(
+                writer,
+                "{}",
+                serde_json::to_string(&Request::End {
+                    tenant: tenant.to_owned(),
+                    session,
+                })
+                .expect("requests serialize")
+            )
+            .is_err()
+            {
+                break 'send;
+            }
+            sent += 1;
+        }
+        let _ = writeln!(
+            writer,
+            "{}",
+            serde_json::to_string(&Request::Stats {}).expect("requests serialize")
+        );
+        let _ = writer.flush();
+        // Give the reader a beat to drain replies, then close our write
+        // half so a lines() iterator parked on the socket unblocks.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline && (col.verdict_count() as u64) < sent {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        server_stats = reader.join().unwrap_or(None);
+        Ok(())
+    })?;
+
+    let elapsed = t0.elapsed();
+    let stats = server_stats.unwrap_or_else(|| {
+        // The server never answered the stats request (killed hard);
+        // account from the client's own view so the report stays usable.
+        let decided = col
+            .verdicts
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|v| v.is_decided())
+            .count() as u64;
+        let total = col.verdict_count() as u64;
+        StatsMsg {
+            offered_sessions: total,
+            decided,
+            abstained: total - decided,
+            ..StatsMsg::default()
+        }
+    });
+    let point = point_from(
+        "connect",
+        0.0,
+        qps,
+        &stats,
+        col.verdict_count() as u64,
+        std::mem::take(&mut col.latencies_ms.lock().unwrap()),
+        elapsed,
+    );
+    Ok(Report {
+        scale: scale_name(),
+        saturation_sps: 0.0,
+        events_per_session: mean_events(exp),
+        replay_bit_identical: None,
+        points: vec![point],
+    })
+}
+
+#[cfg(not(unix))]
+fn connect_mode(
+    _exp: &Experiment,
+    _sock: &std::path::Path,
+    _sessions: usize,
+    _qps: f64,
+) -> Result<Report, RhmdError> {
+    Err(RhmdError::config("--connect is only supported on Unix"))
+}

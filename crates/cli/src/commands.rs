@@ -720,6 +720,104 @@ pub fn defend(args: &Args) -> Result<(), RhmdError> {
     Ok(())
 }
 
+/// `rhmd serve`: a resident detection service. Loads a saved model, spawns
+/// the sharded engine, and speaks the NDJSON protocol over stdin/stdout —
+/// or over a Unix socket with `--listen <path>`. Exits after a graceful
+/// drain (stdin EOF, a `{"Drain":{}}` request, or SIGTERM/SIGINT),
+/// flushing the `--metrics` snapshot last.
+///
+/// The session watchdog reuses the sweep's `--task-deadline` flag: a
+/// session idle past the deadline is finalized as an explicit abstention
+/// rather than held open forever; `--tenant-deadline` does the same for a
+/// whole tenant.
+pub fn serve(args: &Args) -> Result<(), RhmdError> {
+    let model_path = args.get("model").ok_or_else(|| {
+        RhmdError::config("serve needs --model <path> (train one with: rhmd train --out model.json)")
+    })?;
+    let metrics = parse_metrics(args);
+    metrics.install();
+    let hmd = load_hmd(Path::new(model_path))?;
+    let pool = parse_pool(args)?;
+    let capacity: usize = args.parse_or("queue-cap", 4096)?;
+    let config = rhmd_serve::ServeConfig {
+        shards: pool.threads(),
+        queue: rhmd_serve::queue::Watermarks {
+            capacity,
+            high: args.parse_or("high-watermark", capacity.saturating_mul(3) / 4)?,
+            low: args.parse_or("low-watermark", capacity / 4)?,
+        },
+        output: rhmd_serve::queue::Watermarks {
+            capacity,
+            high: capacity,
+            low: 0,
+        },
+        batch_max: args.parse_or("batch-max", 64)?,
+        batch_deadline: std::time::Duration::from_millis(args.parse_or("batch-deadline-ms", 5)?),
+        session_deadline: Some(
+            parse_deadline(args)?
+                .unwrap_or(WatchdogConfig::from_secs(30))
+                .deadline,
+        ),
+        tenant_deadline: Some(std::time::Duration::from_secs(
+            args.parse_or("tenant-deadline", 120u64)?.max(1),
+        )),
+        min_fill: args.parse_or("min-fill", 1.0)?,
+        min_coverage: args.parse_or("min-coverage", 0.0)?,
+    };
+    let engine = rhmd_serve::engine::Engine::start(hmd, config)?;
+    eprintln!(
+        "[serve] model {} (config hash {:016x}), {} shards, queue {}/{}/{} (cap/high/low)",
+        model_path,
+        engine.config_hash(),
+        engine.config().shards,
+        engine.config().queue.capacity,
+        engine.config().queue.high,
+        engine.config().queue.low,
+    );
+    let stats = serve_transport(engine, args.get("listen"))?;
+    eprintln!(
+        "[serve] drained: {} offered = {} decided + {} abstained + {} shed ({} events offered, {} shed)",
+        stats.offered_sessions,
+        stats.decided,
+        stats.abstained,
+        stats.shed_sessions,
+        stats.offered_events,
+        stats.shed_events,
+    );
+    if !stats.accounted() {
+        return Err(RhmdError::model(format!(
+            "serve accounting identity violated: {stats:?}"
+        )));
+    }
+    metrics.finish()?;
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_transport(
+    engine: rhmd_serve::engine::Engine,
+    listen: Option<&str>,
+) -> Result<rhmd_serve::proto::StatsMsg, RhmdError> {
+    match listen {
+        Some(sock) => {
+            eprintln!("[serve] listening on {sock}");
+            rhmd_serve::server::serve_listener(engine, Path::new(sock))
+        }
+        None => rhmd_serve::server::serve_stdio(engine),
+    }
+}
+
+#[cfg(not(unix))]
+fn serve_transport(
+    engine: rhmd_serve::engine::Engine,
+    listen: Option<&str>,
+) -> Result<rhmd_serve::proto::StatsMsg, RhmdError> {
+    if listen.is_some() {
+        return Err(RhmdError::config("--listen is only supported on Unix"));
+    }
+    rhmd_serve::server::serve_stdio(engine)
+}
+
 /// Extension trait so commands can describe HMDs without `BlackBox`'s
 /// `&mut` requirement.
 trait DescribePublic {

@@ -12,6 +12,11 @@
 //! rhmd attack   [--scale s] [--feature f] [--algo a] [--surrogate a]
 //!               [--strategy random|least-weight|weighted] [--count n]
 //! rhmd defend   [--scale s] [--periods 10000,5000] [--count n]
+//! rhmd serve    --model model.json [--listen path.sock] [--threads n]
+//!               [--queue-cap n] [--high-watermark n] [--low-watermark n]
+//!               [--batch-max n] [--batch-deadline-ms n] [--task-deadline secs]
+//!               [--tenant-deadline secs] [--min-fill f] [--min-coverage f]
+//!               [--metrics snap.json] [--metrics-summary]
 //! ```
 
 mod args;
@@ -38,6 +43,11 @@ COMMANDS:
              crash-tolerant with --checkpoint/--resume (see below)
   attack     reverse-engineer a victim detector and evade it
   defend     deploy an RHMD pool and measure its resilience
+  serve      resident detection service (--model path): stream sessions as
+             NDJSON over stdin/stdout or --listen <socket>, with bounded
+             queues, load-shedding past --high-watermark (explicit shed
+             verdicts, never silent drops), watchdog deadlines, hot model
+             reload, and graceful drain on EOF / SIGTERM / {\"Drain\":{}}
 
 COMMON FLAGS:
   --scale tiny|small|standard|paper     corpus size (default: small)
@@ -85,6 +95,7 @@ fn run(raw: Vec<String>) -> Result<(), RhmdError> {
         Some("sweep") => commands::sweep(&args),
         Some("attack") => commands::attack(&args),
         Some("defend") => commands::defend(&args),
+        Some("serve") => commands::serve(&args),
         Some(other) => Err(RhmdError::config(format!("unknown command '{other}'"))),
         None => Err(RhmdError::config("no command given")),
     }

@@ -1,144 +1,36 @@
-//! Model persistence: trained detectors round-trip through JSON so a
-//! detector trained once can be attacked, deployed, or audited later.
+//! Model persistence for the CLI: the shared JSON format lives in
+//! [`rhmd_core::persist`] (so the `rhmd serve` daemon and the bench
+//! binaries load the same files); this module wires its writes through the
+//! durable layer (retry/backoff on transient errors, fsynced atomic
+//! rename; the `RHMD_IO_FAULTS` fault plane applies in tests).
 
 use rhmd_bench::durable::Durable;
 use rhmd_core::hmd::Hmd;
 use rhmd_core::RhmdError;
-use rhmd_features::vector::FeatureSpec;
-use rhmd_ml::model::Classifier;
-use rhmd_ml::trainer::Algorithm;
-use rhmd_ml::{DecisionTree, LinearSvm, LogisticRegression, Mlp, RandomForest};
-use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// A concrete, serializable snapshot of any trained model family.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub enum SavedModel {
-    /// Logistic regression.
-    Lr(LogisticRegression),
-    /// Decision tree.
-    Dt(DecisionTree),
-    /// Linear SVM.
-    Svm(LinearSvm),
-    /// One-hidden-layer perceptron.
-    Nn(Mlp),
-    /// Random forest.
-    Rf(RandomForest),
-}
-
-impl SavedModel {
-    fn from_classifier(algorithm: Algorithm, model: &dyn Classifier) -> Option<SavedModel> {
-        let any = model.as_any();
-        Some(match algorithm {
-            Algorithm::Lr => SavedModel::Lr(any.downcast_ref::<LogisticRegression>()?.clone()),
-            Algorithm::Dt => SavedModel::Dt(any.downcast_ref::<DecisionTree>()?.clone()),
-            Algorithm::Svm => SavedModel::Svm(any.downcast_ref::<LinearSvm>()?.clone()),
-            Algorithm::Nn => SavedModel::Nn(any.downcast_ref::<Mlp>()?.clone()),
-            Algorithm::Rf => SavedModel::Rf(any.downcast_ref::<RandomForest>()?.clone()),
-        })
-    }
-
-    fn into_classifier(self) -> Box<dyn Classifier> {
-        match self {
-            SavedModel::Lr(m) => Box::new(m),
-            SavedModel::Dt(m) => Box::new(m),
-            SavedModel::Svm(m) => Box::new(m),
-            SavedModel::Nn(m) => Box::new(m),
-            SavedModel::Rf(m) => Box::new(m),
-        }
-    }
-
-    fn algorithm(&self) -> Algorithm {
-        match self {
-            SavedModel::Lr(_) => Algorithm::Lr,
-            SavedModel::Dt(_) => Algorithm::Dt,
-            SavedModel::Svm(_) => Algorithm::Svm,
-            SavedModel::Nn(_) => Algorithm::Nn,
-            SavedModel::Rf(_) => Algorithm::Rf,
-        }
-    }
-}
-
-/// A persisted HMD: feature definition + trained model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SavedHmd {
-    /// Format version, for forward compatibility.
-    pub version: u32,
-    /// The feature spec the model observes.
-    pub spec: FeatureSpec,
-    /// The trained model.
-    pub model: SavedModel,
-}
-
-/// Current persistence format version.
-pub const FORMAT_VERSION: u32 = 1;
-
-/// Snapshots an HMD.
-///
-/// # Errors
-///
-/// Returns [`RhmdError::Model`] if the model's concrete type does not match
-/// its declared algorithm (never the case for `Hmd`s trained by this crate).
-pub fn snapshot(hmd: &Hmd) -> Result<SavedHmd, RhmdError> {
-    let model = SavedModel::from_classifier(hmd.algorithm(), hmd.model())
-        .ok_or_else(|| RhmdError::model(format!("cannot snapshot a {} model", hmd.algorithm())))?;
-    Ok(SavedHmd {
-        version: FORMAT_VERSION,
-        spec: hmd.spec().clone(),
-        model,
-    })
-}
-
-/// Reconstructs an HMD from a snapshot.
-pub fn restore(saved: SavedHmd) -> Hmd {
-    let algorithm = saved.model.algorithm();
-    Hmd::from_parts(saved.spec, algorithm, saved.model.into_classifier())
-}
+pub use rhmd_core::persist::load_hmd;
 
 /// Saves an HMD as pretty JSON, atomically: the bytes land in a temp file
 /// in the same directory, are fsynced, and are renamed over `path`, so a
-/// crash mid-save can never leave a truncated model file behind. Writes go
-/// through the durable layer (retry/backoff on transient errors; the
-/// `RHMD_IO_FAULTS` fault plane applies in tests).
+/// crash mid-save can never leave a truncated model file behind.
 ///
 /// # Errors
 ///
 /// Returns [`RhmdError::Model`] on snapshot or serialization failure and
 /// [`RhmdError::Io`] when the file cannot be written.
 pub fn save_hmd(hmd: &Hmd, path: &Path) -> Result<(), RhmdError> {
-    let saved = snapshot(hmd)?;
-    let json = serde_json::to_string_pretty(&saved)
-        .map_err(|e| RhmdError::model(format!("serializing model: {e}")))?;
-    Durable::from_env()?.write_atomic(path, json.as_bytes())
-}
-
-/// Loads an HMD from JSON.
-///
-/// # Errors
-///
-/// Returns [`RhmdError::Io`] when the file cannot be read (e.g. a missing
-/// model file), [`RhmdError::Parse`] on malformed JSON, and
-/// [`RhmdError::Version`] on a format-version mismatch.
-pub fn load_hmd(path: &Path) -> Result<Hmd, RhmdError> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| RhmdError::io(path.display().to_string(), format!("cannot read: {e}")))?;
-    let saved: SavedHmd = serde_json::from_str(&json)
-        .map_err(|e| RhmdError::parse(path.display().to_string(), e.to_string()))?;
-    if saved.version != FORMAT_VERSION {
-        return Err(RhmdError::Version {
-            found: saved.version,
-            expected: FORMAT_VERSION,
-        });
-    }
-    Ok(restore(saved))
+    let durable = Durable::from_env()?;
+    rhmd_core::persist::save_hmd_with(hmd, path, |path, bytes| durable.write_atomic(path, bytes))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rhmd_core::persist::{snapshot, FORMAT_VERSION};
     use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
-    use rhmd_features::vector::FeatureKind;
-    use rhmd_ml::trainer::TrainerConfig;
+    use rhmd_features::vector::{FeatureKind, FeatureSpec};
+    use rhmd_ml::trainer::{Algorithm, TrainerConfig};
     use rhmd_uarch::CoreConfig;
 
     fn fixture() -> (TracedCorpus, Splits) {
@@ -147,29 +39,6 @@ mod tests {
         let splits = Splits::new(&corpus, config.seed);
         let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
         (traced, splits)
-    }
-
-    #[test]
-    fn round_trip_preserves_decisions() {
-        let (traced, splits) = fixture();
-        for algorithm in Algorithm::ALL {
-            let hmd = Hmd::train(
-                algorithm,
-                FeatureSpec::new(FeatureKind::Architectural, 5_000, vec![]),
-                &TrainerConfig::default(),
-                &traced,
-                &splits.victim_train,
-            );
-            let restored = restore(snapshot(&hmd).unwrap());
-            for i in 0..5 {
-                let subs = traced.subwindows(i);
-                assert_eq!(
-                    hmd.decide_windows(subs),
-                    restored.decide_windows(subs),
-                    "{algorithm} decisions changed across round-trip"
-                );
-            }
-        }
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! End-to-end tests of the `rhmd serve` subcommand: the real binary, the
+//! real NDJSON protocol, a real model file — over stdin/stdout and over a
+//! Unix socket with a SIGTERM mid-stream.
+
+use rhmd_data::{Corpus, CorpusConfig, TracedCorpus};
+use rhmd_serve::proto::{Request, Response};
+use rhmd_uarch::CoreConfig;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn rhmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rhmd"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rhmd-serve-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Trains a tiny model with the real CLI and returns its path.
+fn train_model(dir: &std::path::Path) -> PathBuf {
+    let model = dir.join("model.json");
+    let status = rhmd()
+        .args(["train", "--scale", "tiny", "--out"])
+        .arg(&model)
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "rhmd train failed");
+    assert!(model.is_file());
+    model
+}
+
+/// The NDJSON lines replaying `program` as session `(tenant, session)`.
+fn session_lines(traced: &TracedCorpus, program: usize, tenant: &str, session: &str) -> Vec<String> {
+    let mut lines: Vec<String> = traced
+        .subwindows(program)
+        .iter()
+        .enumerate()
+        .map(|(seq, sub)| {
+            serde_json::to_string(&Request::Event {
+                tenant: tenant.to_owned(),
+                session: session.to_owned(),
+                seq: seq as u64,
+                window: Box::new(sub.clone()),
+            })
+            .unwrap()
+        })
+        .collect();
+    lines.push(
+        serde_json::to_string(&Request::End {
+            tenant: tenant.to_owned(),
+            session: session.to_owned(),
+        })
+        .unwrap(),
+    );
+    lines
+}
+
+fn tiny_traced() -> TracedCorpus {
+    let config = CorpusConfig::tiny();
+    let corpus = Corpus::build(&config);
+    TracedCorpus::trace(corpus, config.limits(), CoreConfig::default())
+}
+
+#[test]
+fn stdio_session_gets_verdict_and_clean_drain_on_eof() {
+    let dir = scratch("stdio");
+    let model = train_model(&dir);
+    let metrics = dir.join("metrics.json");
+    let traced = tiny_traced();
+
+    let mut child = rhmd()
+        .args(["serve", "--model"])
+        .arg(&model)
+        .args(["--threads", "2", "--metrics"])
+        .arg(&metrics)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        for line in session_lines(&traced, 0, "t0", "s0") {
+            writeln!(stdin, "{line}").unwrap();
+        }
+        writeln!(stdin, "this is not json").unwrap();
+    }
+    drop(child.stdin.take()); // EOF requests the drain
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success(), "serve must exit 0 on a clean drain");
+
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let mut verdicts = 0;
+    let mut errors = 0;
+    let mut drained = false;
+    for line in stdout.lines() {
+        match serde_json::from_str::<Response>(line).unwrap() {
+            Response::Verdict(v) => {
+                verdicts += 1;
+                assert_eq!(v.session, "s0");
+                assert!(["malware", "benign", "abstain"].contains(&v.verdict.as_str()));
+            }
+            Response::Error { .. } => errors += 1,
+            Response::Drained(stats) => {
+                drained = true;
+                assert!(stats.accounted());
+                assert_eq!(stats.offered_sessions, 1);
+                assert_eq!(stats.shed_sessions, 0);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(verdicts, 1, "exactly one verdict line per offered session");
+    assert_eq!(errors, 1, "the bad line gets a typed error, not a dead stream");
+    assert!(drained, "the drained notice must be flushed before exit");
+    assert!(metrics.is_file(), "the metrics snapshot is written on drain");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_mid_stream_drains_gracefully_over_the_socket() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    let dir = scratch("sigterm");
+    let model = train_model(&dir);
+    let metrics = dir.join("metrics.json");
+    let sock = dir.join("serve.sock");
+    let traced = tiny_traced();
+
+    let mut child = rhmd()
+        .args(["serve", "--model"])
+        .arg(&model)
+        .args(["--listen"])
+        .arg(&sock)
+        .args(["--metrics"])
+        .arg(&metrics)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stream = {
+        let mut tries = 0;
+        loop {
+            match UnixStream::connect(&sock) {
+                Ok(s) => break s,
+                Err(_) if tries < 200 => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => panic!("serve never bound {}: {e}", sock.display()),
+            }
+        }
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // One complete session, then a second session left mid-stream when the
+    // SIGTERM lands: the drain must finalize it explicitly, not drop it.
+    for line in session_lines(&traced, 0, "t0", "done") {
+        writeln!(stream, "{line}").unwrap();
+    }
+    let partial = session_lines(&traced, 1, "t0", "cut");
+    for line in &partial[..partial.len() / 2] {
+        writeln!(stream, "{line}").unwrap();
+    }
+    // A stats request doubles as a read barrier: its reply proves the
+    // server has ingested every line written above, so the SIGTERM really
+    // does land mid-session for "cut".
+    writeln!(stream, "{}", serde_json::to_string(&Request::Stats {}).unwrap()).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut verdicts: Vec<(String, String)> = Vec::new();
+    let mut drained_stats = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up early");
+        match serde_json::from_str::<Response>(&line).unwrap() {
+            Response::Verdict(v) => verdicts.push((v.session, v.verdict)),
+            Response::Stats(_) => break,
+            _ => {}
+        }
+    }
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        match serde_json::from_str::<Response>(&line).unwrap() {
+            Response::Verdict(v) => verdicts.push((v.session, v.verdict)),
+            Response::Drained(stats) => {
+                drained_stats = Some(stats);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let status = child.wait().unwrap();
+    assert!(status.success(), "SIGTERM must produce a clean (exit 0) drain");
+
+    let stats = drained_stats.expect("drained notice reaches the client");
+    assert!(stats.accounted(), "identity after SIGTERM: {stats:?}");
+    assert_eq!(stats.offered_sessions, 2);
+    assert_eq!(verdicts.len(), 2, "both sessions got verdict lines: {verdicts:?}");
+    let cut = verdicts.iter().find(|(s, _)| s == "cut").unwrap();
+    assert_eq!(cut.1, "abstain", "the mid-stream session abstains loudly");
+    assert!(metrics.is_file(), "metrics snapshot flushed during shutdown");
+    assert!(!sock.exists(), "socket file removed on exit");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -201,7 +201,7 @@ pub fn plan_evasion_at(
             if let Some(bins) = view.memory_bin_weights() {
                 if let Some(&(bin, w)) = bins
                     .iter()
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
                 {
                     if w < 0.0 {
                         mem_delta = if bin == 0 { 0 } else { 1u32 << (bin - 1).min(30) };
@@ -223,7 +223,7 @@ pub fn plan_evasion_at(
                             let (op, _) = negatives
                                 .iter()
                                 .copied()
-                                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                                .min_by(|a, b| a.1.total_cmp(&b.1))
                                 .expect("non-empty");
                             payload.extend(std::iter::repeat_n(op, config.count));
                         }

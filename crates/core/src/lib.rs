@@ -66,6 +66,7 @@ pub mod hmd;
 pub mod hw;
 pub mod optimizer;
 pub mod pac;
+pub mod persist;
 pub mod retrain;
 pub mod reveng;
 pub mod rhmd;
@@ -78,6 +79,7 @@ pub use hmd::{transfer_labels, BlackBox, Hmd, ProgramVerdict, QuorumVerdict, ABS
 pub use hw::{overhead as hw_overhead, HwOverhead, UnitCosts};
 pub use optimizer::{minimal_evasion, MinimalEvasion};
 pub use pac::{base_errors, disagreement_matrix, theorem1_band, Theorem1Band};
+pub use persist::{load_hmd, restore, save_hmd, snapshot, SavedHmd, SavedModel};
 pub use retrain::{evade_retrain_game, retrain_sweep, GameConfig, GenerationRecord, RetrainPoint};
 pub use reveng::{reverse_engineer, RevengReport};
 pub use ensemble::{Combiner, EnsembleHmd};

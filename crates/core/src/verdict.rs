@@ -104,7 +104,7 @@ impl VerdictPolicy {
                 ProgramVerdict::from_decisions(&stream).flag_rate()
             })
             .collect();
-        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rates.sort_by(|a, b| a.total_cmp(b));
         let idx = (((1.0 - fp_budget) * rates.len() as f64) as usize).min(rates.len() - 1);
         Ok(VerdictPolicy {
             threshold: (rates[idx] + 0.02).min(0.99),
@@ -138,6 +138,20 @@ impl VerdictPolicy {
     /// windows voted at all, or coverage falls below `min_coverage`, the
     /// result is [`DegradedVerdict::Abstained`] so callers can escalate
     /// instead of trusting a verdict built on too little evidence.
+    ///
+    /// Boundary behavior, pinned by tests:
+    ///
+    /// * **The coverage floor is inclusive.** The abstain check is strict
+    ///   `coverage() < min_coverage`, so a quorum at *exactly* the floor
+    ///   (e.g. 2 voted of 4 windows with `min_coverage = 0.5`) still
+    ///   decides. `min_coverage = 0.0` therefore only abstains on
+    ///   zero-voter quorums.
+    /// * **Ties acquit.** The decision is strict `flag_rate() >
+    ///   threshold`: a flag rate exactly at the threshold (a 50/50 split
+    ///   under [`VerdictPolicy::majority`]) is *benign*. Note this is the
+    ///   opposite tie rule from [`QuorumVerdict::is_malware`], whose
+    ///   `2 * flagged >= voted` convicts ties — callers mixing the two
+    ///   paths must not assume they agree on knife-edge programs.
     pub fn judge_quorum(&self, quorum: &QuorumVerdict, min_coverage: f64) -> DegradedVerdict {
         if quorum.voted == 0 || quorum.coverage() < min_coverage {
             rhmd_obs::incr("core.verdict.abstained");
@@ -277,5 +291,41 @@ mod tests {
         // Everything lost: abstain regardless of the floor.
         let lost = QuorumVerdict::from_votes(&[None, None]);
         assert_eq!(policy.judge_quorum(&lost, 0.0), DegradedVerdict::Abstained);
+    }
+
+    #[test]
+    fn quorum_decides_at_exactly_min_coverage() {
+        let policy = VerdictPolicy::majority();
+        // 2 voted of 4 windows: coverage is exactly 0.5.
+        let edge = QuorumVerdict::from_votes(&[Some(true), Some(true), None, None]);
+        assert!((edge.coverage() - 0.5).abs() < 1e-12);
+        // The floor is inclusive: exactly at it, the quorum still decides.
+        assert_eq!(
+            policy.judge_quorum(&edge, 0.5),
+            DegradedVerdict::Decided(true)
+        );
+        // One epsilon above the floor, it abstains.
+        assert_eq!(policy.judge_quorum(&edge, 0.5 + 1e-9), DegradedVerdict::Abstained);
+        // A zero floor only abstains on zero-voter quorums.
+        assert_eq!(
+            policy.judge_quorum(&edge, 0.0),
+            DegradedVerdict::Decided(true)
+        );
+    }
+
+    #[test]
+    fn flag_rate_exactly_at_threshold_acquits() {
+        let policy = VerdictPolicy::majority();
+        // A 50/50 split sits exactly on the majority threshold.
+        let tie = QuorumVerdict::from_votes(&[Some(true), Some(false)]);
+        assert!((tie.flag_rate() - 0.5).abs() < 1e-12);
+        // judge_quorum is strict `>`: the tie acquits ...
+        assert_eq!(policy.judge_quorum(&tie, 0.0), DegradedVerdict::Decided(false));
+        // ... while the quorum's own majority rule (`2 * flagged >= voted`)
+        // convicts the same tie. The divergence is intentional and pinned.
+        assert!(tie.is_malware());
+        // One extra flag tips judge_quorum over the strict threshold too.
+        let over = QuorumVerdict::from_votes(&[Some(true), Some(true), Some(false)]);
+        assert_eq!(policy.judge_quorum(&over, 0.0), DegradedVerdict::Decided(true));
     }
 }

@@ -74,7 +74,7 @@ pub fn select_top_delta_opcodes(
         .enumerate()
         .map(|(i, (m, b))| ((m - b).abs(), i))
         .collect();
-    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(b.1.cmp(&a.1)));
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)));
     let mut chosen: Vec<usize> = ranked[..k].iter().map(|&(_, i)| i).collect();
     chosen.sort_unstable();
     chosen.into_iter().map(Opcode::from_index).collect()

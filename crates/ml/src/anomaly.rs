@@ -88,7 +88,7 @@ impl GaussianAnomaly {
         };
         // Threshold at the (1 - fp_budget) benign quantile.
         let mut scores: Vec<f64> = benign_rows.iter().map(|r| model.score(r)).collect();
-        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        scores.sort_by(|a, b| a.total_cmp(b));
         let idx = (((1.0 - config.fp_budget) * scores.len() as f64) as usize)
             .min(scores.len() - 1);
         model.threshold = scores[idx];

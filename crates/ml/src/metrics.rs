@@ -138,7 +138,7 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
     assert_eq!(scores.len(), labels.len(), "length mismatch");
     assert!(scores.iter().all(|s| !s.is_nan()), "scores must not be NaN");
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let positives = labels.iter().filter(|&&l| l).count() as f64;
     let negatives = labels.len() as f64 - positives;
     let mut points = vec![RocPoint {

@@ -127,11 +127,7 @@ fn grow(
     let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
     let mut sorted = indices.to_vec();
     for feature in 0..data.dims() {
-        sorted.sort_by(|&a, &b| {
-            data.row(a)[feature]
-                .partial_cmp(&data.row(b)[feature])
-                .unwrap()
-        });
+        sorted.sort_by(|&a, &b| data.row(a)[feature].total_cmp(&data.row(b)[feature]));
         let mut left_pos = 0.0;
         for (k, window) in sorted.windows(2).enumerate() {
             if data.labels()[window[0]] {

@@ -298,6 +298,33 @@ pub fn observe_ns(name: &str, ns: u64) {
     }
 }
 
+/// Builds a labeled metric name `base.label`, sanitizing `label` so
+/// caller-supplied strings (tenant names, file paths) cannot inject metric
+/// namespace separators or unbounded cardinality: every character outside
+/// `[A-Za-z0-9_-]` maps to `_`, the label is truncated to 48 characters,
+/// and an empty label becomes `_`.
+///
+/// This is how the serving layer gets per-tenant counters
+/// (`serve.tenant.<tenant>.decided`) without trusting the wire.
+pub fn labeled(base: &str, label: &str) -> String {
+    let mut out = String::with_capacity(base.len() + 1 + label.len().min(48));
+    out.push_str(base);
+    out.push('.');
+    let mut wrote = false;
+    for c in label.chars().take(48) {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+            c
+        } else {
+            '_'
+        });
+        wrote = true;
+    }
+    if !wrote {
+        out.push('_');
+    }
+    out
+}
+
 /// Registers the given names with zero values in the global registry (see
 /// [`MetricsRegistry::preregister`]). Unlike the recording functions this
 /// is *not* gated on [`enabled`]: callers preregister exactly when they
@@ -764,6 +791,15 @@ mod tests {
     fn noop_recorder_reports_disabled() {
         assert!(!NoopRecorder.is_enabled());
         assert!(NoopRecorder.export(&Snapshot::default()).is_ok());
+    }
+
+    #[test]
+    fn labeled_sanitizes_untrusted_labels() {
+        assert_eq!(labeled("serve.tenant", "acme-01"), "serve.tenant.acme-01");
+        assert_eq!(labeled("serve.tenant", "a.b/c d"), "serve.tenant.a_b_c_d");
+        assert_eq!(labeled("serve.tenant", ""), "serve.tenant._");
+        let long = "x".repeat(200);
+        assert_eq!(labeled("t", &long).len(), "t.".len() + 48);
     }
 
     #[test]

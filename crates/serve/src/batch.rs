@@ -1,0 +1,138 @@
+//! Size/deadline micro-batching of projected feature rows.
+//!
+//! Each tenant gets one [`MicroBatcher`]: sealed collection windows project
+//! into flat rows here, and the batch flushes to
+//! [`rhmd_ml::model::Classifier::score_batch`] either when it reaches
+//! `max_rows` (size trigger) or when its oldest row has waited `deadline`
+//! (latency trigger). Flat row storage means a flush hands the scorer one
+//! contiguous [`rhmd_ml::matrix::FeatureMatrix`] with no per-row
+//! allocation, the same layout the batch evaluation path uses — which is
+//! half of the bit-identity story.
+
+use crate::session::SessionKey;
+use std::time::{Duration, Instant};
+
+/// A flushed batch: flat rows plus the vote slots they resolve.
+#[derive(Debug)]
+pub struct TakenBatch {
+    /// Row-major flat feature rows (`entries.len() * dims` values).
+    pub flat: Vec<f64>,
+    /// `(session, slot index)` per row, in row order.
+    pub entries: Vec<(SessionKey, usize)>,
+}
+
+/// Accumulates projected rows for one tenant until a size or deadline
+/// trigger fires.
+#[derive(Debug)]
+pub struct MicroBatcher {
+    dims: usize,
+    max_rows: usize,
+    deadline: Duration,
+    flat: Vec<f64>,
+    entries: Vec<(SessionKey, usize)>,
+    opened: Option<Instant>,
+}
+
+impl MicroBatcher {
+    /// Creates a batcher for `dims`-wide rows flushing at `max_rows` or
+    /// after `deadline` (measured from the first row of the batch).
+    pub fn new(dims: usize, max_rows: usize, deadline: Duration) -> MicroBatcher {
+        MicroBatcher {
+            dims,
+            max_rows: max_rows.max(1),
+            deadline,
+            flat: Vec::new(),
+            entries: Vec::new(),
+            opened: None,
+        }
+    }
+
+    /// Appends one row; returns `true` when the batch hit the size trigger
+    /// and must flush now.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the row width mismatches `dims`.
+    pub fn push(&mut self, key: SessionKey, slot: usize, row: &[f64], now: Instant) -> bool {
+        debug_assert_eq!(row.len(), self.dims);
+        if self.entries.is_empty() {
+            self.opened = Some(now);
+        }
+        self.flat.extend_from_slice(row);
+        self.entries.push((key, slot));
+        self.entries.len() >= self.max_rows
+    }
+
+    /// Rows currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Instant at which the deadline trigger fires, if a batch is open.
+    pub fn deadline_at(&self) -> Option<Instant> {
+        self.opened.map(|t| t + self.deadline)
+    }
+
+    /// Whether the deadline trigger has fired.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline_at().is_some_and(|at| now >= at)
+    }
+
+    /// Takes the buffered batch, leaving the batcher empty.
+    pub fn take(&mut self) -> TakenBatch {
+        self.opened = None;
+        TakenBatch {
+            flat: std::mem::take(&mut self.flat),
+            entries: std::mem::take(&mut self.entries),
+        }
+    }
+
+    /// Row width.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> SessionKey {
+        SessionKey::new("t", s)
+    }
+
+    #[test]
+    fn size_trigger_fires_at_max_rows() {
+        let mut b = MicroBatcher::new(2, 3, Duration::from_secs(60));
+        let now = Instant::now();
+        assert!(!b.push(key("a"), 0, &[1.0, 2.0], now));
+        assert!(!b.push(key("a"), 1, &[3.0, 4.0], now));
+        assert!(b.push(key("b"), 0, &[5.0, 6.0], now));
+        let taken = b.take();
+        assert_eq!(taken.entries.len(), 3);
+        assert_eq!(taken.flat, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(b.is_empty());
+        assert_eq!(b.deadline_at(), None);
+    }
+
+    #[test]
+    fn deadline_measured_from_first_row() {
+        let mut b = MicroBatcher::new(1, 100, Duration::from_millis(10));
+        let t0 = Instant::now();
+        assert!(!b.expired(t0));
+        b.push(key("a"), 0, &[1.0], t0);
+        assert!(!b.expired(t0));
+        assert!(b.expired(t0 + Duration::from_millis(10)));
+        // A second row does not extend the deadline.
+        b.push(key("a"), 1, &[2.0], t0 + Duration::from_millis(5));
+        assert!(b.expired(t0 + Duration::from_millis(10)));
+        // After a take, the batch closes.
+        b.take();
+        assert!(!b.expired(t0 + Duration::from_secs(1)));
+    }
+}

@@ -1,0 +1,1082 @@
+//! The sharded serving engine: session routing, micro-batched scoring,
+//! load-shedding, watchdogs, hot reload, and drain.
+//!
+//! Sessions hash to one of `shards` worker threads; each worker owns its
+//! sessions outright (no shared session state, no locks on the hot path)
+//! and pulls from a bounded ingest queue. Admission control happens on the
+//! *submitting* thread via [`BoundedQueue::offer`]: past the high
+//! watermark the offer is refused, the session is marked shed, and a
+//! capacity-exempt control message tells the owning worker to finalize it
+//! as an explicit `abstain`/`shed` verdict — overload degrades loudly,
+//! never silently.
+//!
+//! Verdicts leave through a bounded output queue with *blocking* pushes:
+//! a slow verdict consumer stalls the workers, the ingest queues fill, and
+//! the admission path starts shedding — backpressure propagates end to end
+//! with no unbounded buffer anywhere.
+
+use crate::batch::MicroBatcher;
+use crate::proto::{Request, Response, StatsMsg, VerdictMsg};
+use crate::queue::BoundedQueue;
+use crate::session::{Sealed, SessionKey, SessionState, Slot};
+use crate::ServeConfig;
+use rhmd_core::hmd::{Hmd, QuorumVerdict, ABSTAIN_BOUND};
+use rhmd_core::RhmdError;
+use rhmd_features::window::RawWindow;
+use rhmd_ml::matrix::FeatureMatrix;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Broadcast connection id: the server fans these messages out to every
+/// connected client (used for the final `drained` notice).
+pub const BROADCAST_CONN: u64 = u64::MAX;
+
+/// An immutable model snapshot served between reloads.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    hmd: Hmd,
+    config_hash: u64,
+}
+
+impl ModelSnapshot {
+    /// Wraps a trained HMD with its feature-spec config hash.
+    pub fn new(hmd: Hmd) -> ModelSnapshot {
+        let config_hash = hmd.spec().stable_hash();
+        ModelSnapshot { hmd, config_hash }
+    }
+
+    /// The detector being served.
+    pub fn hmd(&self) -> &Hmd {
+        &self.hmd
+    }
+
+    /// Stable hash of the feature spec (the reload compatibility key).
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
+    }
+}
+
+/// An element of the engine's output stream.
+#[derive(Debug)]
+pub enum OutEvent {
+    /// A protocol response routed to `conn` (or everyone, for
+    /// [`BROADCAST_CONN`]).
+    Response {
+        /// Destination connection id.
+        conn: u64,
+        /// The response to deliver.
+        response: Response,
+    },
+    /// No further output will follow; consumers should exit.
+    Closed,
+}
+
+/// Atomic accounting counters (see [`StatsMsg`] for the identity they
+/// maintain).
+#[derive(Debug, Default)]
+pub struct Counts {
+    offered_sessions: AtomicU64,
+    decided: AtomicU64,
+    abstained: AtomicU64,
+    shed_sessions: AtomicU64,
+    offered_events: AtomicU64,
+    shed_events: AtomicU64,
+    reloads_ok: AtomicU64,
+    reloads_rejected: AtomicU64,
+}
+
+impl Counts {
+    fn snapshot(&self) -> StatsMsg {
+        StatsMsg {
+            offered_sessions: self.offered_sessions.load(Ordering::Relaxed),
+            decided: self.decided.load(Ordering::Relaxed),
+            abstained: self.abstained.load(Ordering::Relaxed),
+            shed_sessions: self.shed_sessions.load(Ordering::Relaxed),
+            offered_events: self.offered_events.load(Ordering::Relaxed),
+            shed_events: self.shed_events.load(Ordering::Relaxed),
+            reloads_ok: self.reloads_ok.load(Ordering::Relaxed),
+            reloads_rejected: self.reloads_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum ShardMsg {
+    Event {
+        key: SessionKey,
+        conn: u64,
+        seq: u64,
+        window: Box<RawWindow>,
+    },
+    End {
+        key: SessionKey,
+        conn: u64,
+        at: Instant,
+    },
+    Shed {
+        key: SessionKey,
+        conn: u64,
+    },
+    Drain,
+}
+
+struct ShardHandle {
+    queue: Arc<BoundedQueue<ShardMsg>>,
+    /// Sessions currently refused at admission; their later events drop at
+    /// the door (counted) without touching the queue.
+    shed: Mutex<HashSet<SessionKey>>,
+}
+
+/// The resident serving engine. One per `rhmd serve` process (or embedded
+/// in-process by `loadgen`).
+pub struct Engine {
+    shards: Vec<ShardHandle>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    model: Arc<RwLock<Arc<ModelSnapshot>>>,
+    out: Arc<BoundedQueue<OutEvent>>,
+    counts: Arc<Counts>,
+    config: ServeConfig,
+    draining: Arc<AtomicBool>,
+}
+
+fn read_snapshot(model: &RwLock<Arc<ModelSnapshot>>) -> Arc<ModelSnapshot> {
+    match model.read() {
+        Ok(g) => Arc::clone(&g),
+        Err(p) => Arc::clone(&p.into_inner()),
+    }
+}
+
+impl Engine {
+    /// Validates `config`, installs `hmd` as the serving snapshot, and
+    /// spawns the shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RhmdError::Config`] for invalid configuration.
+    pub fn start(hmd: Hmd, config: ServeConfig) -> Result<Engine, RhmdError> {
+        config.validate()?;
+        let model = Arc::new(RwLock::new(Arc::new(ModelSnapshot::new(hmd))));
+        let out = Arc::new(BoundedQueue::new(config.output));
+        let counts = Arc::new(Counts::default());
+        let draining = Arc::new(AtomicBool::new(false));
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for idx in 0..config.shards {
+            let queue = Arc::new(BoundedQueue::new(config.queue));
+            shards.push(ShardHandle {
+                queue: Arc::clone(&queue),
+                shed: Mutex::new(HashSet::new()),
+            });
+            let worker = Worker::new(
+                idx,
+                queue,
+                Arc::clone(&model),
+                Arc::clone(&out),
+                Arc::clone(&counts),
+                config.clone(),
+            );
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rhmd-serve-{idx}"))
+                    .spawn(move || worker.run())
+                    .map_err(|e| RhmdError::config(format!("serve: spawn worker: {e}")))?,
+            );
+        }
+        Ok(Engine {
+            shards,
+            workers: Mutex::new(workers),
+            model,
+            out,
+            counts,
+            config,
+            draining,
+        })
+    }
+
+    /// The engine's output stream (verdicts + control replies). Consume it
+    /// from a dedicated thread; slow consumption propagates backpressure
+    /// into load-shedding by design.
+    pub fn output(&self) -> Arc<BoundedQueue<OutEvent>> {
+        Arc::clone(&self.out)
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> StatsMsg {
+        self.counts.snapshot()
+    }
+
+    /// The serving feature-spec config hash.
+    pub fn config_hash(&self) -> u64 {
+        read_snapshot(&self.model).config_hash()
+    }
+
+    /// Whether any shard is currently refusing admissions.
+    pub fn is_shedding(&self) -> bool {
+        self.shards.iter().any(|s| s.queue.is_shedding())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Routes one subwindow event. Never blocks: under overload the event
+    /// (and the rest of its session) is shed, with the session finalized as
+    /// an explicit `abstain`/`shed` verdict by the owning worker.
+    pub fn submit_event(&self, conn: u64, tenant: &str, session: &str, seq: u64, window: Box<RawWindow>) {
+        if self.draining.load(Ordering::Relaxed) {
+            return; // post-drain stragglers are refused before being offered
+        }
+        let key = SessionKey::new(tenant, session);
+        let shard = &self.shards[key.shard(self.shards.len())];
+        {
+            let shed = lock(&shard.shed);
+            if shed.contains(&key) {
+                drop(shed);
+                self.counts.shed_events.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        match shard.queue.offer(ShardMsg::Event {
+            key: key.clone(),
+            conn,
+            seq,
+            window,
+        }) {
+            Ok(()) => {
+                self.counts.offered_events.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counts.shed_events.fetch_add(1, Ordering::Relaxed);
+                rhmd_obs::incr("serve.shed.events");
+                lock(&shard.shed).insert(key.clone());
+                // Capacity-exempt: the shed notice must reach the worker or
+                // the session would vanish without a verdict.
+                let _ = shard.queue.push_control(ShardMsg::Shed { key, conn });
+            }
+        }
+    }
+
+    /// Marks a session's stream complete; its verdict will be emitted once
+    /// in-flight windows score.
+    pub fn submit_end(&self, conn: u64, tenant: &str, session: &str) {
+        if self.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        let key = SessionKey::new(tenant, session);
+        let shard = &self.shards[key.shard(self.shards.len())];
+        lock(&shard.shed).remove(&key);
+        let _ = shard.queue.push_control(ShardMsg::End {
+            key,
+            conn,
+            at: Instant::now(),
+        });
+    }
+
+    /// Hot-swaps the serving model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RhmdError::Config`] (and keeps serving the old model) when
+    /// the new model's feature-spec config hash differs — a reload must not
+    /// change what the service measures mid-stream.
+    pub fn reload(&self, hmd: Hmd) -> Result<u64, RhmdError> {
+        let next = ModelSnapshot::new(hmd);
+        let current = self.config_hash();
+        if next.config_hash() != current {
+            self.counts.reloads_rejected.fetch_add(1, Ordering::Relaxed);
+            rhmd_obs::incr("serve.reload.rejected");
+            return Err(RhmdError::config(format!(
+                "reload rejected: feature-spec config hash {} does not match serving hash {current}; \
+                 the old model remains active",
+                next.config_hash()
+            )));
+        }
+        let hash = next.config_hash();
+        match self.model.write() {
+            Ok(mut g) => *g = Arc::new(next),
+            Err(p) => *p.into_inner() = Arc::new(next),
+        }
+        self.counts.reloads_ok.fetch_add(1, Ordering::Relaxed);
+        rhmd_obs::incr("serve.reload.ok");
+        Ok(hash)
+    }
+
+    /// Hot-reloads from a model file written by `rhmd train --out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load errors ([`RhmdError::Io`]/[`RhmdError::Parse`]/
+    /// [`RhmdError::Version`]) and the config-hash mismatch from
+    /// [`Engine::reload`]; all of them leave the old model serving.
+    pub fn reload_path(&self, path: &Path) -> Result<u64, RhmdError> {
+        let hmd = rhmd_core::persist::load_hmd(path).inspect_err(|_| {
+            self.counts.reloads_rejected.fetch_add(1, Ordering::Relaxed);
+            rhmd_obs::incr("serve.reload.rejected");
+        })?;
+        self.reload(hmd)
+    }
+
+    /// Dispatches one parsed request. Returns `true` when the client asked
+    /// for a drain (the caller owns the engine and performs it).
+    pub fn submit(&self, conn: u64, request: Request) -> bool {
+        match request {
+            Request::Event {
+                tenant,
+                session,
+                seq,
+                window,
+            } => self.submit_event(conn, &tenant, &session, seq, window),
+            Request::End { tenant, session } => self.submit_end(conn, &tenant, &session),
+            Request::Reload { model } => {
+                let response = match self.reload_path(Path::new(&model)) {
+                    Ok(config_hash) => Response::Reloaded { model, config_hash },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                };
+                let _ = self.out.push(OutEvent::Response { conn, response });
+            }
+            Request::Stats {} => {
+                let _ = self.out.push(OutEvent::Response {
+                    conn,
+                    response: Response::Stats(self.stats()),
+                });
+            }
+            Request::Drain {} => return true,
+        }
+        false
+    }
+
+    /// Routes one response to the output stream (used by front-ends for
+    /// request-level errors the engine itself never sees, e.g. unparseable
+    /// lines).
+    pub fn respond(&self, conn: u64, response: Response) {
+        let _ = self.out.push(OutEvent::Response { conn, response });
+    }
+
+    /// Graceful drain: stops admissions, lets workers finish in-flight
+    /// batches, finalizes un-ended sessions as `abstain`/`drain`, emits a
+    /// broadcast [`Response::Drained`] and [`OutEvent::Closed`], and
+    /// returns the final accounting. Idempotent: later calls just return
+    /// the final stats.
+    pub fn drain(&self) -> StatsMsg {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return self.counts.snapshot();
+        }
+        for shard in &self.shards {
+            let _ = shard.queue.push_control(ShardMsg::Drain);
+        }
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for worker in handles {
+            let _ = worker.join();
+        }
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        let stats = self.counts.snapshot();
+        debug_assert!(stats.accounted(), "drain accounting violated: {stats:?}");
+        let _ = self.out.push(OutEvent::Response {
+            conn: BROADCAST_CONN,
+            response: Response::Drained(stats),
+        });
+        let _ = self.out.push(OutEvent::Closed);
+        self.out.close();
+        stats
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // A dropped (not drained) engine must not leave workers spinning.
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            for shard in &self.shards {
+                shard.queue.close();
+            }
+            self.out.close();
+            for worker in lock(&self.workers).drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+enum Entry {
+    Live(Box<SessionState>),
+    /// The session already got its (shed) verdict; later events are
+    /// ignored until the watchdog expires the marker.
+    Tombstone(Instant),
+}
+
+struct Worker {
+    idx: usize,
+    queue: Arc<BoundedQueue<ShardMsg>>,
+    model: Arc<RwLock<Arc<ModelSnapshot>>>,
+    out: Arc<BoundedQueue<OutEvent>>,
+    counts: Arc<Counts>,
+    config: ServeConfig,
+    sessions: HashMap<SessionKey, Entry>,
+    batchers: HashMap<Arc<str>, MicroBatcher>,
+    tenant_activity: HashMap<Arc<str>, Instant>,
+    row: Vec<f64>,
+    last_sweep: Instant,
+    sweep_every: Duration,
+}
+
+impl Worker {
+    fn new(
+        idx: usize,
+        queue: Arc<BoundedQueue<ShardMsg>>,
+        model: Arc<RwLock<Arc<ModelSnapshot>>>,
+        out: Arc<BoundedQueue<OutEvent>>,
+        counts: Arc<Counts>,
+        config: ServeConfig,
+    ) -> Worker {
+        let shortest = config
+            .session_deadline
+            .into_iter()
+            .chain(config.tenant_deadline)
+            .min()
+            .unwrap_or(Duration::from_secs(4));
+        let sweep_every = (shortest / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+        Worker {
+            idx,
+            queue,
+            model,
+            out,
+            counts,
+            config,
+            sessions: HashMap::new(),
+            batchers: HashMap::new(),
+            tenant_activity: HashMap::new(),
+            row: Vec::new(),
+            last_sweep: Instant::now(),
+            sweep_every,
+        }
+    }
+
+    fn run(mut self) {
+        let _ = self.idx;
+        loop {
+            let timeout = self.next_timeout();
+            match self.queue.pop_timeout(timeout) {
+                Some(ShardMsg::Drain) => {
+                    self.drain();
+                    return;
+                }
+                Some(msg) => self.handle(msg),
+                None => {
+                    if self.queue.is_closed() {
+                        return; // engine dropped without drain
+                    }
+                }
+            }
+            self.tick(Instant::now());
+        }
+    }
+
+    fn handle(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Event {
+                key,
+                conn,
+                seq,
+                window,
+            } => self.on_event(key, conn, seq, &window),
+            ShardMsg::End { key, conn, at } => self.on_end(&key, conn, at),
+            ShardMsg::Shed { key, conn } => self.on_shed(key, conn),
+            ShardMsg::Drain => {} // only reachable from drain()'s inner loop
+        }
+    }
+
+    /// Time until the nearest open batch deadline, clamped so watchdog
+    /// sweeps stay timely even on an idle shard.
+    fn next_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let mut timeout = Duration::from_millis(50).min(self.sweep_every);
+        for batcher in self.batchers.values() {
+            if let Some(at) = batcher.deadline_at() {
+                timeout = timeout.min(at.saturating_duration_since(now));
+            }
+        }
+        timeout.max(Duration::from_millis(1))
+    }
+
+    fn on_event(&mut self, key: SessionKey, conn: u64, seq: u64, window: &RawWindow) {
+        let now = Instant::now();
+        self.tenant_activity.insert(key.tenant.clone(), now);
+        let snap = read_snapshot(&self.model);
+        let period = snap.hmd().spec().period;
+        let min_fill = self.config.min_fill;
+        let counts = &self.counts;
+        let entry = self.sessions.entry(key.clone()).or_insert_with(|| {
+            counts.offered_sessions.fetch_add(1, Ordering::Relaxed);
+            rhmd_obs::incr("serve.sessions.offered");
+            Entry::Live(Box::new(SessionState::new(period, min_fill, conn, now)))
+        });
+        let state = match entry {
+            Entry::Live(s) => s,
+            Entry::Tombstone(_) => return, // already verdicted (shed)
+        };
+        state.last_activity = now;
+        state.conn = conn;
+        if seq < state.next_seq {
+            // Sequence regression: the stream is incoherent; abstain loudly
+            // rather than assemble windows out of order.
+            rhmd_obs::incr("serve.sessions.protocol_poisoned");
+            self.flush_tenant(&key.tenant.clone());
+            self.finalize_abstain(&key, "protocol");
+            return;
+        }
+        if seq > state.next_seq {
+            let gap = seq - state.next_seq;
+            state.gap_events += gap;
+            rhmd_obs::add("serve.seq_gaps", gap);
+        }
+        state.next_seq = seq + 1;
+        if let Some(sealed) = state.assembler.push(window) {
+            match sealed {
+                Sealed::Window(w) => {
+                    if self.enqueue_vote(&key, &snap, &w, now) {
+                        rhmd_obs::incr("serve.batch.flush_full");
+                        self.flush_tenant(&key.tenant.clone());
+                    }
+                }
+                Sealed::Dropped => {}
+            }
+        }
+    }
+
+    /// Projects one sealed window into its tenant's micro-batch (or
+    /// resolves the vote immediately when the window abstains). Returns
+    /// `true` when the batch hit its size trigger.
+    fn enqueue_vote(
+        &mut self,
+        key: &SessionKey,
+        snap: &ModelSnapshot,
+        window: &RawWindow,
+        now: Instant,
+    ) -> bool {
+        let dims = snap.hmd().spec().dims();
+        let Some(Entry::Live(state)) = self.sessions.get_mut(key) else {
+            return false;
+        };
+        let slot = state.slots.len();
+        if window.instructions == 0 {
+            state.slots.push(Slot::Done(None));
+            return false;
+        }
+        if dims == 0 {
+            // Degenerate spec: no batch path, mirror the per-window fallback
+            // the batch evaluator uses.
+            state.slots.push(Slot::Done(snap.hmd().classify_window_checked(window)));
+            return false;
+        }
+        self.row.clear();
+        snap.hmd().spec().project_into(window, &mut self.row);
+        if self.row.iter().any(|x| !x.is_finite() || x.abs() > ABSTAIN_BOUND) {
+            rhmd_obs::incr("serve.windows.abstained_corrupt");
+            state.slots.push(Slot::Done(None));
+            return false;
+        }
+        state.slots.push(Slot::Pending);
+        let batch_max = self.config.batch_max;
+        let batch_deadline = self.config.batch_deadline;
+        let batcher = self
+            .batchers
+            .entry(key.tenant.clone())
+            .or_insert_with(|| MicroBatcher::new(dims, batch_max, batch_deadline));
+        batcher.push(key.clone(), slot, &self.row, now)
+    }
+
+    /// Scores a tenant's buffered batch and scatters votes back into the
+    /// owning sessions' slots.
+    fn flush_tenant(&mut self, tenant: &Arc<str>) {
+        let Some(batcher) = self.batchers.get_mut(tenant) else {
+            return;
+        };
+        if batcher.is_empty() {
+            return;
+        }
+        let dims = batcher.dims();
+        let taken = batcher.take();
+        let snap = read_snapshot(&self.model);
+        let rows = taken.entries.len();
+        let xs = FeatureMatrix::from_flat(dims, taken.flat);
+        let mut scores = vec![0.0; xs.len()];
+        snap.hmd().model().score_batch(&xs, &mut scores);
+        let threshold = snap.hmd().model().threshold();
+        rhmd_obs::incr("serve.batch.flushes");
+        rhmd_obs::add("serve.windows.scored", rows as u64);
+        if rhmd_obs::enabled() {
+            rhmd_obs::add(
+                &format!("{}.windows_scored", rhmd_obs::labeled("serve.tenant", tenant)),
+                rows as u64,
+            );
+        }
+        for ((key, slot), score) in taken.entries.into_iter().zip(scores) {
+            if let Some(Entry::Live(state)) = self.sessions.get_mut(&key) {
+                if let Some(s) = state.slots.get_mut(slot) {
+                    *s = Slot::Done(Some(score >= threshold));
+                }
+            }
+        }
+    }
+
+    fn on_end(&mut self, key: &SessionKey, conn: u64, at: Instant) {
+        self.tenant_activity.insert(key.tenant.clone(), at);
+        match self.sessions.get(key) {
+            None => {
+                // A session whose stream was empty: offered and abstained in
+                // one step (no evidence at all).
+                self.counts.offered_sessions.fetch_add(1, Ordering::Relaxed);
+                rhmd_obs::incr("serve.sessions.offered");
+                self.counts.abstained.fetch_add(1, Ordering::Relaxed);
+                self.emit_verdict(conn, key, &QuorumVerdict::from_votes(&[]), "abstain", Some("coverage"), at);
+            }
+            Some(Entry::Tombstone(_)) => {
+                // Shed earlier; its verdict is already out.
+                self.sessions.remove(key);
+            }
+            Some(Entry::Live(_)) => {
+                let snap = read_snapshot(&self.model);
+                let now = Instant::now();
+                let tail = match self.sessions.get_mut(key) {
+                    Some(Entry::Live(state)) => state.assembler.finish(),
+                    _ => None,
+                };
+                if let Some(Sealed::Window(w)) = tail {
+                    self.enqueue_vote(key, &snap, &w, now);
+                }
+                // Resolve every pending slot before judging.
+                self.flush_tenant(&key.tenant);
+                self.finalize_end(key, at);
+            }
+        }
+    }
+
+    fn finalize_end(&mut self, key: &SessionKey, at: Instant) {
+        let Some(Entry::Live(state)) = self.sessions.remove(key) else {
+            return;
+        };
+        let votes = state.votes();
+        let quorum = QuorumVerdict::from_votes(&votes);
+        let (verdict, reason) = if quorum.voted == 0 || quorum.coverage() < self.config.min_coverage
+        {
+            ("abstain", Some("coverage"))
+        } else if quorum.is_malware() {
+            ("malware", None)
+        } else {
+            ("benign", None)
+        };
+        if reason.is_none() {
+            self.counts.decided.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counts.abstained.fetch_add(1, Ordering::Relaxed);
+        }
+        self.emit_verdict(state.conn, key, &quorum, verdict, reason, at);
+    }
+
+    fn on_shed(&mut self, key: SessionKey, conn: u64) {
+        let now = Instant::now();
+        self.tenant_activity.insert(key.tenant.clone(), now);
+        let live = matches!(self.sessions.get(&key), Some(Entry::Live(_)));
+        if live {
+            // Mid-stream shed: resolve what already scored so the verdict
+            // line reports how far the session got.
+            self.flush_tenant(&key.tenant);
+        } else if matches!(self.sessions.get(&key), Some(Entry::Tombstone(_))) {
+            return; // duplicate shed notice
+        }
+        let quorum = match self.sessions.remove(&key) {
+            Some(Entry::Live(state)) => QuorumVerdict::from_votes(&state.votes()),
+            _ => {
+                // First contact under overload: the session is offered and
+                // shed in one step.
+                self.counts.offered_sessions.fetch_add(1, Ordering::Relaxed);
+                rhmd_obs::incr("serve.sessions.offered");
+                QuorumVerdict::from_votes(&[])
+            }
+        };
+        self.counts.shed_sessions.fetch_add(1, Ordering::Relaxed);
+        rhmd_obs::incr("serve.sessions.shed");
+        self.sessions.insert(key.clone(), Entry::Tombstone(now));
+        self.emit_verdict(conn, &key, &quorum, "abstain", Some("shed"), now);
+    }
+
+    /// Finalizes a live session as an abstention (`drain`, `deadline`,
+    /// `tenant-deadline`, `protocol`). The tenant's batch must already be
+    /// flushed.
+    fn finalize_abstain(&mut self, key: &SessionKey, reason: &str) {
+        let Some(Entry::Live(state)) = self.sessions.remove(key) else {
+            return;
+        };
+        let quorum = QuorumVerdict::from_votes(&state.votes());
+        self.counts.abstained.fetch_add(1, Ordering::Relaxed);
+        self.emit_verdict(state.conn, key, &quorum, "abstain", Some(reason), Instant::now());
+    }
+
+    fn emit_verdict(
+        &self,
+        conn: u64,
+        key: &SessionKey,
+        quorum: &QuorumVerdict,
+        verdict: &str,
+        reason: Option<&str>,
+        since: Instant,
+    ) {
+        rhmd_obs::observe_ns(
+            "serve.verdict_latency",
+            since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
+        if rhmd_obs::enabled() {
+            let base = rhmd_obs::labeled("serve.tenant", &key.tenant);
+            let outcome = if reason.is_some() { "abstained" } else { "decided" };
+            rhmd_obs::incr(&format!("{base}.{outcome}"));
+        }
+        let msg = VerdictMsg {
+            tenant: key.tenant.to_string(),
+            session: key.session.to_string(),
+            verdict: verdict.to_string(),
+            reason: reason.map(str::to_string),
+            voted: quorum.voted,
+            abstained: quorum.abstained,
+            flag_rate: quorum.flag_rate(),
+        };
+        // Blocking push: verdicts are never dropped; a slow consumer stalls
+        // this worker, which is exactly how backpressure reaches admission.
+        let _ = self.out.push(OutEvent::Response {
+            conn,
+            response: Response::Verdict(msg),
+        });
+    }
+
+    /// Deadline batch flushes plus (rate-limited) watchdog sweeps.
+    fn tick(&mut self, now: Instant) {
+        let expired: Vec<Arc<str>> = self
+            .batchers
+            .iter()
+            .filter(|(_, b)| b.expired(now))
+            .map(|(t, _)| t.clone())
+            .collect();
+        for tenant in expired {
+            rhmd_obs::incr("serve.batch.flush_deadline");
+            self.flush_tenant(&tenant);
+        }
+        if now.saturating_duration_since(self.last_sweep) >= self.sweep_every {
+            self.last_sweep = now;
+            self.sweep(now);
+        }
+    }
+
+    fn sweep(&mut self, now: Instant) {
+        if let Some(deadline) = self.config.session_deadline {
+            let stale: Vec<SessionKey> = self
+                .sessions
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Live(s)
+                        if now.saturating_duration_since(s.last_activity) >= deadline =>
+                    {
+                        Some(k.clone())
+                    }
+                    _ => None,
+                })
+                .collect();
+            for key in stale {
+                rhmd_obs::incr("serve.watchdog.session_expired");
+                self.flush_tenant(&key.tenant.clone());
+                self.finalize_abstain(&key, "deadline");
+            }
+            self.sessions.retain(|_, e| match e {
+                Entry::Tombstone(at) => now.saturating_duration_since(*at) < deadline,
+                Entry::Live(_) => true,
+            });
+        }
+        if let Some(deadline) = self.config.tenant_deadline {
+            let stale_tenants: Vec<Arc<str>> = self
+                .tenant_activity
+                .iter()
+                .filter(|(_, at)| now.saturating_duration_since(**at) >= deadline)
+                .map(|(t, _)| t.clone())
+                .collect();
+            for tenant in stale_tenants {
+                rhmd_obs::incr("serve.watchdog.tenant_expired");
+                self.flush_tenant(&tenant);
+                let keys: Vec<SessionKey> = self
+                    .sessions
+                    .iter()
+                    .filter_map(|(k, e)| match e {
+                        Entry::Live(_) if k.tenant == tenant => Some(k.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                for key in keys {
+                    self.finalize_abstain(&key, "tenant-deadline");
+                }
+                self.tenant_activity.remove(&tenant);
+            }
+        }
+    }
+
+    /// Drain: absorb already-queued stragglers, flush every batch, and
+    /// finalize whatever is still live as `abstain`/`drain`.
+    fn drain(&mut self) {
+        while let Some(msg) = self.queue.pop_timeout(Duration::from_millis(10)) {
+            match msg {
+                ShardMsg::Drain => {}
+                other => self.handle(other),
+            }
+        }
+        let tenants: Vec<Arc<str>> = self.batchers.keys().cloned().collect();
+        for tenant in tenants {
+            self.flush_tenant(&tenant);
+        }
+        let live: Vec<SessionKey> = self
+            .sessions
+            .iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Live(_) => Some(k.clone()),
+                Entry::Tombstone(_) => None,
+            })
+            .collect();
+        for key in live {
+            rhmd_obs::incr("serve.sessions.drained");
+            self.finalize_abstain(&key, "drain");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
+    use rhmd_features::vector::{FeatureKind, FeatureSpec};
+    use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+    use rhmd_uarch::CoreConfig;
+
+    fn fixture() -> (TracedCorpus, Splits, Hmd) {
+        let config = CorpusConfig::tiny();
+        let corpus = Corpus::build(&config);
+        let splits = Splits::new(&corpus, config.seed);
+        let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
+        let hmd = Hmd::train(
+            Algorithm::Lr,
+            FeatureSpec::new(FeatureKind::Architectural, 5_000, vec![]),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        (traced, splits, hmd)
+    }
+
+    fn collect_verdicts(
+        out: &BoundedQueue<OutEvent>,
+        expect: usize,
+    ) -> HashMap<(String, String), VerdictMsg> {
+        let mut verdicts = HashMap::new();
+        while verdicts.len() < expect {
+            match out.pop() {
+                Some(OutEvent::Response {
+                    response: Response::Verdict(v),
+                    ..
+                }) => {
+                    let prev = verdicts.insert((v.tenant.clone(), v.session.clone()), v);
+                    assert!(prev.is_none(), "duplicate verdict for a session");
+                }
+                Some(_) => {}
+                None => panic!("output closed before all verdicts arrived"),
+            }
+        }
+        verdicts
+    }
+
+    #[test]
+    fn replay_matches_batch_evaluation() {
+        let (traced, splits, hmd) = fixture();
+        for shards in [1, 3] {
+            let engine = Engine::start(
+                hmd.clone(),
+                ServeConfig {
+                    shards,
+                    session_deadline: None,
+                    tenant_deadline: None,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+            let out = engine.output();
+            let programs: Vec<usize> = splits.attacker_test.iter().copied().take(6).collect();
+            for &i in &programs {
+                let session = format!("p{i}");
+                for (seq, sub) in traced.subwindows(i).iter().enumerate() {
+                    engine.submit_event(0, "t0", &session, seq as u64, Box::new(sub.clone()));
+                }
+                engine.submit_end(0, "t0", &session);
+            }
+            let verdicts = collect_verdicts(&out, programs.len());
+            for &i in &programs {
+                let batch = hmd.verdict(traced.subwindows(i));
+                let served = &verdicts[&("t0".to_string(), format!("p{i}"))];
+                if batch.total == 0 {
+                    assert_eq!(served.verdict, "abstain", "program {i}");
+                } else {
+                    let expected = if batch.is_malware() { "malware" } else { "benign" };
+                    assert_eq!(served.verdict, expected, "program {i} at {shards} shards");
+                    assert_eq!(served.voted, batch.total, "program {i}");
+                    assert!((served.flag_rate - batch.flag_rate()).abs() < 1e-12);
+                }
+            }
+            let stats = engine.drain();
+            assert!(stats.accounted(), "{stats:?}");
+            assert_eq!(stats.offered_sessions, programs.len() as u64);
+            assert_eq!(stats.shed_sessions, 0);
+        }
+    }
+
+    #[test]
+    fn overload_sheds_loudly_and_accounts_everything() {
+        let (traced, _, hmd) = fixture();
+        let engine = Engine::start(
+            hmd,
+            ServeConfig {
+                shards: 1,
+                queue: crate::queue::Watermarks {
+                    capacity: 8,
+                    high: 2,
+                    low: 0,
+                },
+                output: crate::queue::Watermarks {
+                    capacity: 1,
+                    high: 1,
+                    low: 0,
+                },
+                session_deadline: None,
+                tenant_deadline: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let out = engine.output();
+        let subs = traced.subwindows(0);
+        // Two quick sessions: the first verdict fills the output queue (no
+        // consumer yet), the second blocks the worker on its push.
+        for s in ["warm0", "warm1"] {
+            for (seq, sub) in subs.iter().take(10).enumerate() {
+                engine.submit_event(0, "t0", s, seq as u64, Box::new(sub.clone()));
+            }
+            engine.submit_end(0, "t0", s);
+        }
+        // Give the worker time to wedge against the full output queue.
+        std::thread::sleep(Duration::from_millis(100));
+        // Flood distinct sessions: the tiny ingest queue saturates and most
+        // of these are refused at admission.
+        for i in 0..40 {
+            engine.submit_event(0, "t0", &format!("flood{i}"), 0, Box::new(subs[0].clone()));
+        }
+        assert!(engine.stats().shed_events > 0, "flood did not shed");
+        // Now consume the output so the pipeline unwedges, then drain.
+        let collector = std::thread::spawn({
+            let out = Arc::clone(&out);
+            move || {
+                let mut verdicts: Vec<VerdictMsg> = Vec::new();
+                while let Some(ev) = out.pop() {
+                    match ev {
+                        OutEvent::Response {
+                            response: Response::Verdict(v),
+                            ..
+                        } => verdicts.push(v),
+                        OutEvent::Closed => break,
+                        _ => {}
+                    }
+                }
+                verdicts
+            }
+        });
+        let stats = engine.drain();
+        let verdicts = collector.join().unwrap();
+        assert!(stats.accounted(), "{stats:?}");
+        assert!(stats.shed_sessions > 0, "{stats:?}");
+        assert_eq!(
+            verdicts.len() as u64,
+            stats.offered_sessions,
+            "exactly one verdict per offered session: {stats:?}"
+        );
+        let shed_lines = verdicts
+            .iter()
+            .filter(|v| v.reason.as_deref() == Some("shed"))
+            .count() as u64;
+        assert_eq!(shed_lines, stats.shed_sessions);
+        // No session got two verdicts.
+        let mut ids: Vec<&str> = verdicts.iter().map(|v| v.session.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), verdicts.len());
+    }
+
+    #[test]
+    fn reload_validates_config_hash_and_keeps_serving() {
+        let (traced, splits, hmd) = fixture();
+        let engine = Engine::start(hmd.clone(), ServeConfig::default()).unwrap();
+        let before = engine.config_hash();
+        // Same spec, retrained: accepted.
+        let same = Hmd::train(
+            Algorithm::Dt,
+            hmd.spec().clone(),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        assert_eq!(engine.reload(same).unwrap(), before);
+        // Different period => different config hash: rejected, old model
+        // stays.
+        let other = Hmd::train(
+            Algorithm::Lr,
+            FeatureSpec::new(FeatureKind::Architectural, 10_000, vec![]),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        let err = engine.reload(other).unwrap_err();
+        assert!(matches!(err, RhmdError::Config(_)));
+        assert_eq!(engine.config_hash(), before);
+        let stats = engine.stats();
+        assert_eq!(stats.reloads_ok, 1);
+        assert_eq!(stats.reloads_rejected, 1);
+    }
+
+    #[test]
+    fn session_watchdog_abstains_stalled_sessions() {
+        let (traced, _, hmd) = fixture();
+        let engine = Engine::start(
+            hmd,
+            ServeConfig {
+                shards: 1,
+                session_deadline: Some(Duration::from_millis(50)),
+                tenant_deadline: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let out = engine.output();
+        // One event, never an End: the watchdog must finalize it.
+        engine.submit_event(0, "t0", "stalled", 0, Box::new(traced.subwindows(0)[0].clone()));
+        let verdicts = collect_verdicts(&out, 1);
+        let v = &verdicts[&("t0".to_string(), "stalled".to_string())];
+        assert_eq!(v.verdict, "abstain");
+        assert_eq!(v.reason.as_deref(), Some("deadline"));
+        let stats = engine.drain();
+        assert!(stats.accounted());
+        assert_eq!(stats.abstained, 1);
+    }
+}

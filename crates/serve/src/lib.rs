@@ -1,0 +1,154 @@
+//! `rhmd-serve`: a resident detection service over the RHMD pipeline.
+//!
+//! The batch pipeline answers "is this corpus malware?" offline; this crate
+//! answers it *online*: many concurrent program sessions stream
+//! committed-event subwindows over a line protocol ([`proto`]), a sharded
+//! engine ([`engine`]) assembles them into collection windows per session
+//! ([`session`]), micro-batches the feature rows per tenant ([`batch`]),
+//! scores them through the same `Classifier::score_batch` hot path the
+//! batch evaluator uses, and emits exactly one verdict per session.
+//!
+//! The robustness contract, in order of importance:
+//!
+//! 1. **No silent drops.** Every offered session reaches exactly one
+//!    terminal state — decided, abstained, or shed — and the accounting
+//!    identity `offered == decided + abstained + shed` is checkable at any
+//!    moment via the `stats` message.
+//! 2. **Explicit backpressure.** Shard queues are bounded ([`queue`]); past
+//!    the high watermark new work is refused and the affected sessions
+//!    degrade to an explicit `abstain`/`shed` verdict instead of queueing
+//!    without bound. Hysteresis (recover at the low watermark) prevents
+//!    flapping.
+//! 3. **Bit-identical replay.** With strict assembly (`min_fill = 1.0`) and
+//!    no overload, replaying a corpus through the service yields the same
+//!    per-program verdicts as `rhmd evaluate`, at any shard count.
+//! 4. **Graceful degradation everywhere else.** Session and tenant
+//!    watchdog deadlines turn stalls into abstentions; hot reload swaps the
+//!    model atomically and rejects config-hash mismatches while continuing
+//!    to serve the old model; drain finishes in-flight work before exiting.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod engine;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod session;
+
+use crate::queue::Watermarks;
+use rhmd_core::RhmdError;
+use std::time::Duration;
+
+/// Tunables for the resident service.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard worker threads (each owns a disjoint set of sessions).
+    pub shards: usize,
+    /// Watermarks for each shard's ingest queue.
+    pub queue: Watermarks,
+    /// Watermarks for the verdict/output queue (offer is never used on it,
+    /// only blocking pushes, so only `capacity` matters).
+    pub output: Watermarks,
+    /// Micro-batch size trigger (rows).
+    pub batch_max: usize,
+    /// Micro-batch deadline trigger, measured from a batch's first row.
+    pub batch_deadline: Duration,
+    /// Idle deadline after which a session is finalized as an abstention
+    /// with reason `"deadline"`. `None` disables the session watchdog.
+    pub session_deadline: Option<Duration>,
+    /// Idle deadline after which *all* of a tenant's live sessions are
+    /// finalized with reason `"tenant-deadline"`. `None` disables it.
+    pub tenant_deadline: Option<Duration>,
+    /// Gap-tolerance floor for window assembly (1.0 = strict, the
+    /// bit-identical-replay setting).
+    pub min_fill: f64,
+    /// Coverage floor below which a session's verdict abstains with reason
+    /// `"coverage"` (matches `VerdictPolicy::judge_quorum` semantics).
+    pub min_coverage: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            queue: Watermarks {
+                capacity: 4096,
+                high: 3072,
+                low: 1024,
+            },
+            output: Watermarks {
+                capacity: 4096,
+                high: 4096,
+                low: 0,
+            },
+            batch_max: 64,
+            batch_deadline: Duration::from_millis(5),
+            session_deadline: Some(Duration::from_secs(30)),
+            tenant_deadline: Some(Duration::from_secs(120)),
+            min_fill: 1.0,
+            min_coverage: 0.0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RhmdError::Config`] on nonsensical values (zero shards,
+    /// inconsistent watermarks, out-of-range floors).
+    pub fn validate(&self) -> Result<(), RhmdError> {
+        if self.shards == 0 {
+            return Err(RhmdError::config("serve: shards must be at least 1"));
+        }
+        self.queue
+            .validate()
+            .map_err(|e| RhmdError::config(format!("serve ingest queue: {e}")))?;
+        self.output
+            .validate()
+            .map_err(|e| RhmdError::config(format!("serve output queue: {e}")))?;
+        if self.batch_max == 0 {
+            return Err(RhmdError::config("serve: batch-max must be at least 1"));
+        }
+        if !self.min_fill.is_finite() || !(0.0..=1.0).contains(&self.min_fill) {
+            return Err(RhmdError::config(format!(
+                "serve: min-fill must be in [0, 1], got {}",
+                self.min_fill
+            )));
+        }
+        if !self.min_coverage.is_finite() || !(0.0..=1.0).contains(&self.min_coverage) {
+            return Err(RhmdError::config(format!(
+                "serve: min-coverage must be in [0, 1], got {}",
+                self.min_coverage
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors() {
+        let mut c = ServeConfig {
+            shards: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(RhmdError::Config(_))));
+        c.shards = 1;
+        c.min_fill = 1.5;
+        assert!(c.validate().is_err());
+        c.min_fill = 1.0;
+        c.queue.low = c.queue.capacity + 1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The NDJSON wire protocol of `rhmd serve`.
+//!
+//! One JSON document per line, externally tagged by message type (the tag
+//! is the variant name, verbatim). Clients stream committed-event
+//! subwindows per `(tenant, session)` pair and receive exactly one
+//! `Verdict` line per offered session — decided, abstained, or shed —
+//! plus replies to control messages:
+//!
+//! ```text
+//! → {"Event":{"tenant":"t0","session":"s1","seq":0,"window":{...}}}
+//! → {"End":{"tenant":"t0","session":"s1"}}
+//! ← {"Verdict":{"tenant":"t0","session":"s1","verdict":"malware",...}}
+//! → {"Reload":{"model":"models/new.json"}}
+//! ← {"Reloaded":{"model":"models/new.json","config_hash":1234}}
+//! → {"Stats":{}}
+//! ← {"Stats":{...accounting counters...}}
+//! ```
+//!
+//! `window` is a serialized [`RawWindow`] — the same representation the
+//! tracing substrate produces, so any corpus replays over the wire without
+//! translation.
+
+use rhmd_features::window::RawWindow;
+use serde::{Deserialize, Serialize};
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// One committed-event subwindow for a session, with its stream
+    /// sequence number (gaps are tolerated; regressions poison the
+    /// session).
+    Event {
+        /// Tenant owning the session.
+        tenant: String,
+        /// Session identifier, unique within the tenant.
+        session: String,
+        /// Zero-based subwindow sequence number.
+        seq: u64,
+        /// The raw subwindow statistics.
+        window: Box<RawWindow>,
+    },
+    /// End of a session's stream: assemble, score, and emit its verdict.
+    End {
+        /// Tenant owning the session.
+        tenant: String,
+        /// Session identifier.
+        session: String,
+    },
+    /// Hot-reload the model from a path; rejected (keeping the old model)
+    /// unless the new model's feature-spec config hash matches.
+    Reload {
+        /// Path to a model JSON file written by `rhmd train --out`.
+        model: String,
+    },
+    /// Request an accounting snapshot.
+    Stats {},
+    /// Begin graceful drain (same as EOF / SIGTERM).
+    Drain {},
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Terminal outcome for one session. Exactly one per offered session.
+    Verdict(VerdictMsg),
+    /// A successful hot reload.
+    Reloaded {
+        /// The model path that was loaded.
+        model: String,
+        /// The (unchanged) feature-spec config hash now serving.
+        config_hash: u64,
+    },
+    /// An accounting snapshot.
+    Stats(StatsMsg),
+    /// A request-level error (bad line, rejected reload, draining).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Drain finished; no further messages follow.
+    Drained(StatsMsg),
+}
+
+/// Terminal outcome for one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictMsg {
+    /// Tenant owning the session.
+    pub tenant: String,
+    /// Session identifier.
+    pub session: String,
+    /// `"malware"`, `"benign"`, or `"abstain"`.
+    pub verdict: String,
+    /// Why an abstention happened (`"coverage"`, `"shed"`, `"deadline"`,
+    /// `"tenant-deadline"`, `"protocol"`, `"drain"`); `null` for decisions.
+    pub reason: Option<String>,
+    /// Collection windows that produced a vote.
+    pub voted: usize,
+    /// Collection windows the detector abstained on.
+    pub abstained: usize,
+    /// Fraction of voting windows that flagged malware.
+    pub flag_rate: f64,
+}
+
+impl VerdictMsg {
+    /// Whether this session got a decision (rather than an abstention).
+    pub fn is_decided(&self) -> bool {
+        self.verdict != "abstain"
+    }
+}
+
+/// Accounting counters, disjoint by terminal state:
+/// `offered_sessions == decided + abstained + shed_sessions`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsMsg {
+    /// Sessions the service has seen a first message for.
+    pub offered_sessions: u64,
+    /// Sessions that ended with a decision.
+    pub decided: u64,
+    /// Sessions that ended abstained (coverage, deadline, drain, protocol).
+    pub abstained: u64,
+    /// Sessions refused or degraded by load-shedding (their verdict line is
+    /// an abstention with reason `"shed"`, counted here, not in
+    /// `abstained`).
+    pub shed_sessions: u64,
+    /// Subwindow events accepted into shard queues.
+    pub offered_events: u64,
+    /// Subwindow events dropped by load-shedding.
+    pub shed_events: u64,
+    /// Successful hot reloads.
+    pub reloads_ok: u64,
+    /// Rejected hot reloads (config-hash mismatch or unreadable model).
+    pub reloads_rejected: u64,
+}
+
+impl StatsMsg {
+    /// The no-silent-drops identity: every offered session reached exactly
+    /// one terminal state.
+    pub fn accounted(&self) -> bool {
+        self.offered_sessions == self.decided + self.abstained + self.shed_sessions
+    }
+}
+
+/// Parses one NDJSON request line.
+///
+/// # Errors
+///
+/// Returns [`rhmd_core::RhmdError::Parse`] with the offending line's
+/// prefix on malformed input.
+pub fn parse_request(line: &str) -> Result<Request, rhmd_core::RhmdError> {
+    serde_json::from_str(line).map_err(|e| {
+        let prefix: String = line.chars().take(64).collect();
+        rhmd_core::RhmdError::parse(format!("request line '{prefix}'"), e.to_string())
+    })
+}
+
+/// Serializes a response as one NDJSON line (no trailing newline).
+///
+/// # Panics
+///
+/// Never panics in practice: every `Response` variant is a closed data
+/// type with no non-serializable fields.
+pub fn render_response(response: &Response) -> String {
+    serde_json::to_string(response).expect("responses always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let reqs = vec![
+            Request::Event {
+                tenant: "t".into(),
+                session: "s".into(),
+                seq: 3,
+                window: Box::default(),
+            },
+            Request::End {
+                tenant: "t".into(),
+                session: "s".into(),
+            },
+            Request::Reload {
+                model: "m.json".into(),
+            },
+            Request::Stats {},
+            Request::Drain {},
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'));
+            assert_eq!(parse_request(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::Verdict(VerdictMsg {
+            tenant: "t".into(),
+            session: "s".into(),
+            verdict: "abstain".into(),
+            reason: Some("shed".into()),
+            voted: 0,
+            abstained: 2,
+            flag_rate: 0.0,
+        });
+        let line = render_response(&resp);
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn malformed_line_is_typed_parse_error() {
+        let err = parse_request("{ nope").unwrap_err();
+        assert!(matches!(err, rhmd_core::RhmdError::Parse { .. }));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn accounting_identity() {
+        let mut s = StatsMsg {
+            offered_sessions: 10,
+            decided: 6,
+            abstained: 3,
+            shed_sessions: 1,
+            ..StatsMsg::default()
+        };
+        assert!(s.accounted());
+        s.shed_sessions = 0;
+        assert!(!s.accounted());
+    }
+}

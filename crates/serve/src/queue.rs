@@ -1,0 +1,328 @@
+//! A dependency-free bounded MPSC queue with watermark-based admission
+//! control.
+//!
+//! The service's backpressure story is built on three verbs:
+//!
+//! * [`BoundedQueue::offer`] — admission-controlled producer path. Past the
+//!   *high* watermark the queue flips into shedding mode and refuses offers
+//!   until the consumer drains it back below the *low* watermark
+//!   (hysteresis, so the service does not flap between shedding and
+//!   accepting on every element).
+//! * [`BoundedQueue::push`] — blocking producer path for work that must
+//!   never be dropped (verdicts, control messages). Blocks while the queue
+//!   is at hard capacity, propagating backpressure upstream.
+//! * [`BoundedQueue::push_control`] — capacity-exempt path for the rare,
+//!   small control messages (shed notices, drain markers) whose delivery
+//!   the no-silent-drops accounting depends on; exempting them from the
+//!   capacity bound makes the control plane deadlock-free by construction.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Watermark configuration for a [`BoundedQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Hard bound for [`BoundedQueue::push`]; `offer` never exceeds `high`.
+    pub capacity: usize,
+    /// Admission refusals (shedding) begin when the length reaches `high`.
+    pub high: usize,
+    /// Shedding ends once the length drains back to `low` or below.
+    pub low: usize,
+}
+
+impl Watermarks {
+    /// Validates `low <= high <= capacity` and a nonzero capacity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 {
+            return Err("queue capacity must be at least 1".to_string());
+        }
+        if self.high > self.capacity || self.low > self.high {
+            return Err(format!(
+                "watermarks must satisfy low <= high <= capacity, got low={} high={} capacity={}",
+                self.low, self.high, self.capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    shedding: bool,
+    closed: bool,
+}
+
+/// Bounded MPSC queue with explicit backpressure and shedding hysteresis.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    nonfull: Condvar,
+    marks: Watermarks,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue with the given watermarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watermarks are inconsistent (validated upstream by
+    /// `ServeConfig::validate`).
+    pub fn new(marks: Watermarks) -> BoundedQueue<T> {
+        if let Err(e) = marks.validate() {
+            panic!("{e}");
+        }
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                shedding: false,
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            nonfull: Condvar::new(),
+            marks,
+        }
+    }
+
+    /// Admission-controlled push: refuses (returns the item back) while the
+    /// queue sheds. Shedding starts when the length reaches the high
+    /// watermark and stops only once it drains to the low watermark —
+    /// hysteresis, so one drained slot does not re-admit a flood.
+    pub fn offer(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(item);
+        }
+        if inner.shedding {
+            if inner.items.len() <= self.marks.low {
+                inner.shedding = false;
+            } else {
+                return Err(item);
+            }
+        }
+        if inner.items.len() >= self.marks.high {
+            inner.shedding = true;
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space below hard capacity. Returns the item
+    /// back only if the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        while inner.items.len() >= self.marks.capacity && !inner.closed {
+            inner = match self.nonfull.wait(inner) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Capacity-exempt push for control messages; only fails when closed.
+    pub fn push_control(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next item, waiting up to `timeout`. `None` on timeout or
+    /// when the queue is closed and empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut inner = self.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.nonfull.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            inner = match self.nonempty.wait_timeout(inner, deadline - now) {
+                Ok((g, _)) => g,
+                Err(p) => p.into_inner().0,
+            };
+        }
+    }
+
+    /// Pops the next item, waiting until one arrives or the queue is closed
+    /// and empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.nonfull.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.nonempty.wait(inner) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what remains.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        self.nonempty.notify_all();
+        self.nonfull.notify_all();
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is currently refusing offers.
+    pub fn is_shedding(&self) -> bool {
+        self.lock().shedding
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// The configured watermarks.
+    pub fn watermarks(&self) -> Watermarks {
+        self.marks
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn marks(capacity: usize, high: usize, low: usize) -> Watermarks {
+        Watermarks { capacity, high, low }
+    }
+
+    #[test]
+    fn watermark_validation() {
+        assert!(marks(8, 6, 2).validate().is_ok());
+        assert!(marks(0, 0, 0).validate().is_err());
+        assert!(marks(8, 9, 2).validate().is_err());
+        assert!(marks(8, 4, 6).validate().is_err());
+    }
+
+    #[test]
+    fn offer_sheds_at_high_and_recovers_at_low() {
+        let q = BoundedQueue::new(marks(16, 4, 1));
+        for i in 0..4 {
+            q.offer(i).unwrap();
+        }
+        // Length 4 == high: next offer flips to shedding and is refused.
+        assert_eq!(q.offer(99), Err(99));
+        assert!(q.is_shedding());
+        // Draining to 2 (> low) is not enough — hysteresis holds.
+        q.pop_timeout(Duration::from_millis(10)).unwrap();
+        q.pop_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(q.offer(99), Err(99));
+        // Draining to low (1) re-admits.
+        q.pop_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(q.offer(7), Ok(()));
+        assert!(!q.is_shedding());
+    }
+
+    #[test]
+    fn control_pushes_bypass_capacity() {
+        let q = BoundedQueue::new(marks(2, 2, 0));
+        q.offer(1).unwrap();
+        q.offer(2).unwrap();
+        assert!(q.offer(3).is_err());
+        q.push_control(100).unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn pop_timeout_times_out_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(marks(4, 3, 1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(marks(4, 3, 1));
+        q.offer(1).unwrap();
+        q.close();
+        assert_eq!(q.offer(2), Err(2));
+        assert_eq!(q.push_control(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(marks(1, 1, 0)));
+        q.push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2u32))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn mpsc_delivers_everything_in_fifo_per_producer() {
+        let q = Arc::new(BoundedQueue::new(marks(64, 48, 8)));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        q.push((p, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut seen = vec![0u64; 4];
+        for _ in 0..400 {
+            let (p, i) = q.pop().unwrap();
+            assert_eq!(i, seen[p as usize], "per-producer FIFO order");
+            seen[p as usize] += 1;
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        assert_eq!(seen, vec![100; 4]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Transport front-ends for the engine: NDJSON over stdin/stdout or a Unix
+//! domain socket, plus dependency-free SIGTERM/SIGINT handling.
+//!
+//! Both front-ends share the same lifecycle: readers submit parsed
+//! requests into the engine, a single writer thread drains the engine's
+//! output queue, and the main thread polls for a shutdown condition (EOF,
+//! a `drain` request, or a signal). Shutdown always goes through
+//! [`crate::engine::Engine::drain`], so in-flight batches finish and every
+//! offered session gets its verdict line before the process exits.
+
+use crate::engine::{Engine, OutEvent, BROADCAST_CONN};
+use crate::proto::{parse_request, render_response, Response, StatsMsg};
+use rhmd_core::RhmdError;
+use std::io::{BufRead, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    pub fn install() {}
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful drain (no-op
+/// off Unix).
+pub fn install_signal_handlers() {
+    sig::install();
+}
+
+/// Whether a shutdown signal has been received.
+pub fn shutdown_requested() -> bool {
+    sig::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// How often the main loop polls for shutdown conditions.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Serves the engine over stdin/stdout until EOF, a `drain` request, or a
+/// shutdown signal, then drains gracefully.
+///
+/// # Errors
+///
+/// Currently infallible at this layer (transport errors terminate the
+/// affected reader/writer and lead into the drain path); the `Result` is
+/// the stable shape for front-ends that can fail to bind.
+pub fn serve_stdio(engine: Engine) -> Result<StatsMsg, RhmdError> {
+    install_signal_handlers();
+    let engine = Arc::new(engine);
+    let out = engine.output();
+
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        let mut w = BufWriter::new(stdout.lock());
+        write_loop(&out, |_conn, line| {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        });
+    });
+
+    let reader = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            read_loop(&engine, 0, stdin.lock());
+        })
+    };
+
+    while !shutdown_requested() && !reader.is_finished() {
+        std::thread::sleep(POLL);
+    }
+    let stats = engine.drain();
+    let _ = writer.join();
+    // The reader may still be parked on a blocked stdin read after a
+    // signal; it holds only an Arc and the process is about to exit, so it
+    // is left detached rather than interrupted.
+    Ok(stats)
+}
+
+/// Serves the engine over a Unix domain socket at `path` (created fresh;
+/// an existing socket file is replaced). Accepts any number of concurrent
+/// client connections; drains on a `drain` request or a shutdown signal.
+///
+/// # Errors
+///
+/// Returns [`RhmdError::Io`] when the socket cannot be bound.
+#[cfg(unix)]
+pub fn serve_listener(engine: Engine, path: &std::path::Path) -> Result<StatsMsg, RhmdError> {
+    use std::os::unix::net::UnixListener;
+
+    install_signal_handlers();
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)
+        .map_err(|e| RhmdError::io(format!("bind {}", path.display()), e.to_string()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| RhmdError::io(format!("socket {}", path.display()), e.to_string()))?;
+
+    let engine = Arc::new(engine);
+    let out = engine.output();
+    let conns: Arc<Mutex<std::collections::HashMap<u64, std::os::unix::net::UnixStream>>> =
+        Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let drain_requested = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            write_loop(&out, |conn, line| {
+                let mut map = match conns.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                if conn == BROADCAST_CONN {
+                    map.retain(|_, s| writeln!(s, "{line}").is_ok());
+                } else if let Some(s) = map.get_mut(&conn) {
+                    if writeln!(s, "{line}").is_err() {
+                        map.remove(&conn);
+                    }
+                }
+            });
+        })
+    };
+
+    let next_conn = AtomicU64::new(1);
+    let mut readers = Vec::new();
+    while !shutdown_requested() && !drain_requested.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let conn = next_conn.fetch_add(1, Ordering::Relaxed);
+                rhmd_obs::incr("serve.conns.accepted");
+                if let Ok(clone) = stream.try_clone() {
+                    match conns.lock() {
+                        Ok(mut g) => {
+                            g.insert(conn, clone);
+                        }
+                        Err(p) => {
+                            p.into_inner().insert(conn, clone);
+                        }
+                    }
+                }
+                let engine = Arc::clone(&engine);
+                let drain_requested = Arc::clone(&drain_requested);
+                readers.push(std::thread::spawn(move || {
+                    let reader = std::io::BufReader::new(stream);
+                    if read_loop(&engine, conn, reader) {
+                        drain_requested.store(true, Ordering::SeqCst);
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => break,
+        }
+    }
+    let stats = engine.drain();
+    let _ = writer.join();
+    let _ = std::fs::remove_file(path);
+    // Reader threads parked on open connections exit when clients
+    // disconnect; like the stdio reader they are left detached at exit.
+    Ok(stats)
+}
+
+/// Reads NDJSON requests from `input` and submits them until EOF or a
+/// `drain` request; returns `true` when the client asked to drain. Blank
+/// lines are ignored; unparseable lines get a typed `error` response and
+/// the stream continues (one bad line must not kill a session multiplex).
+fn read_loop(engine: &Engine, conn: u64, input: impl BufRead) -> bool {
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(request) => {
+                if engine.submit(conn, request) {
+                    return true;
+                }
+            }
+            Err(e) => {
+                rhmd_obs::incr("serve.requests.malformed");
+                engine.respond(
+                    conn,
+                    Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+            }
+        }
+    }
+    false
+}
+
+/// Drains the output queue into `deliver` until [`OutEvent::Closed`].
+fn write_loop(
+    out: &crate::queue::BoundedQueue<OutEvent>,
+    mut deliver: impl FnMut(u64, &str),
+) {
+    while let Some(ev) = out.pop() {
+        match ev {
+            OutEvent::Response { conn, response } => {
+                deliver(conn, &render_response(&response));
+            }
+            OutEvent::Closed => break,
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use rhmd_core::hmd::Hmd;
+    use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
+    use rhmd_features::vector::{FeatureKind, FeatureSpec};
+    use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+    use rhmd_uarch::CoreConfig;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn socket_round_trip_with_drain() {
+        let config = CorpusConfig::tiny();
+        let corpus = Corpus::build(&config);
+        let splits = Splits::new(&corpus, config.seed);
+        let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
+        let hmd = Hmd::train(
+            Algorithm::Lr,
+            FeatureSpec::new(FeatureKind::Architectural, 5_000, vec![]),
+            &TrainerConfig::default(),
+            &traced,
+            &splits.victim_train,
+        );
+        let engine = Engine::start(
+            hmd.clone(),
+            ServeConfig {
+                session_deadline: None,
+                tenant_deadline: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let sock = std::env::temp_dir().join(format!("rhmd-serve-test-{}.sock", std::process::id()));
+        let server = {
+            let sock = sock.clone();
+            std::thread::spawn(move || serve_listener(engine, &sock).unwrap())
+        };
+        // Wait for the socket to appear.
+        let mut stream = loop {
+            if let Ok(s) = UnixStream::connect(&sock) {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let subs = traced.subwindows(0);
+        for (seq, sub) in subs.iter().enumerate() {
+            let line = serde_json::to_string(&crate::proto::Request::Event {
+                tenant: "t".into(),
+                session: "s".into(),
+                seq: seq as u64,
+                window: Box::new(sub.clone()),
+            })
+            .unwrap();
+            writeln!(stream, "{line}").unwrap();
+        }
+        writeln!(stream, "{{\"End\":{{\"tenant\":\"t\",\"session\":\"s\"}}}}").unwrap();
+        writeln!(stream, "not json").unwrap();
+        writeln!(stream, "{{\"Drain\":{{}}}}").unwrap();
+        stream.flush().unwrap();
+
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        let mut verdicts = 0;
+        let mut errors = 0;
+        let mut drained = false;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            match serde_json::from_str::<Response>(&line).unwrap() {
+                Response::Verdict(v) => {
+                    verdicts += 1;
+                    let expected = hmd.verdict(subs);
+                    if expected.total > 0 {
+                        let want = if expected.is_malware() { "malware" } else { "benign" };
+                        assert_eq!(v.verdict, want);
+                    }
+                }
+                Response::Error { .. } => errors += 1,
+                Response::Drained(stats) => {
+                    assert!(stats.accounted());
+                    drained = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let stats = server.join().unwrap();
+        assert_eq!(verdicts, 1);
+        assert_eq!(errors, 1);
+        assert!(drained, "drained notice must reach the client");
+        assert_eq!(stats.offered_sessions, 1);
+        assert!(!std::path::Path::new(&sock).exists(), "socket file cleaned up");
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests for the serving pipeline's three load-bearing pieces:
+//!
+//! * the gap-tolerant window assembler streams to exactly what the batch
+//!   path's [`aggregate_with_gaps`] computes, on arbitrary streams;
+//! * the micro-batcher never loses, duplicates, or reorders a row across
+//!   any interleaving of size-triggered and forced flushes;
+//! * the engine emits exactly one verdict per offered session and keeps
+//!   the accounting identity, across random loads and queue shapes —
+//!   including runs where shedding kicks in and later recovers.
+
+use proptest::prelude::*;
+use rhmd_features::window::{aggregate_with_gaps, RawWindow, SUBWINDOW};
+use rhmd_serve::batch::MicroBatcher;
+use rhmd_serve::engine::{Engine, OutEvent};
+use rhmd_serve::proto::Response;
+use rhmd_serve::queue::Watermarks;
+use rhmd_serve::session::{Sealed, SessionKey, WindowAssembler};
+use rhmd_serve::ServeConfig;
+use std::time::{Duration, Instant};
+
+/// A synthetic subwindow whose channels are all derived from `fill`, so a
+/// merge mistake in any channel shows up as inequality.
+fn sub(fill: u64, salt: u64) -> RawWindow {
+    let mut w = RawWindow {
+        instructions: fill,
+        ..RawWindow::default()
+    };
+    w.opcode_counts[(salt % 7) as usize] = fill / 2 + salt;
+    w.mem_delta_hist[(salt % 5) as usize] = fill / 3 + 1;
+    w
+}
+
+fn assembled(subs: &[RawWindow], period: u32, min_fill: f64) -> Vec<RawWindow> {
+    let mut asm = WindowAssembler::new(period, min_fill);
+    let mut out = Vec::new();
+    let mut keep = |sealed: Option<Sealed>| {
+        if let Some(Sealed::Window(w)) = sealed {
+            out.push(*w);
+        }
+    };
+    for s in subs {
+        keep(asm.push(s));
+    }
+    keep(asm.finish());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streamed assembly == batch aggregation, for any stream shape
+    /// (short, over-full, and empty subwindows included), period, and
+    /// fill floor.
+    #[test]
+    fn assembler_matches_batch_aggregation(
+        fills in prop::collection::vec(0u64..=(u64::from(SUBWINDOW) * 3 / 2), 0..40),
+        per in 1u32..6,
+        min_fill in prop::sample::select(vec![0.0, 0.25, 0.5, 1.0]),
+    ) {
+        let period = per * SUBWINDOW;
+        let subs: Vec<RawWindow> = fills
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| sub(f, i as u64))
+            .collect();
+        prop_assert_eq!(
+            assembled(&subs, period, min_fill),
+            aggregate_with_gaps(&subs, period, min_fill)
+        );
+    }
+
+    /// Every pushed row comes back exactly once, in push order, with its
+    /// flat storage aligned to its entry — across any interleaving of
+    /// size-triggered and forced (deadline/shutdown-style) flushes.
+    #[test]
+    fn batcher_neither_loses_nor_duplicates_rows(
+        dims in 1usize..4,
+        max_rows in 1usize..6,
+        rows in 0usize..40,
+        force_every in 1usize..9,
+    ) {
+        let now = Instant::now();
+        let mut b = MicroBatcher::new(dims, max_rows, Duration::from_secs(60));
+        let mut seen: Vec<(SessionKey, usize)> = Vec::new();
+        for i in 0..rows {
+            let key = SessionKey::new("t", &format!("s{}", i % 5));
+            let row: Vec<f64> = (0..dims).map(|d| (i * dims + d) as f64).collect();
+            let full = b.push(key, i, &row, now);
+            prop_assert_eq!(full, b.len() >= max_rows);
+            // Flush on the size trigger, plus forced flushes at an
+            // arbitrary cadence (standing in for deadline expiry).
+            if full || i % force_every == 0 {
+                let taken = b.take();
+                prop_assert_eq!(taken.flat.len(), taken.entries.len() * dims);
+                for (r, entry) in taken.entries.iter().enumerate() {
+                    let slot = entry.1;
+                    // Row r's flat storage is the row pushed for slot r.
+                    prop_assert_eq!(taken.flat[r * dims], (slot * dims) as f64);
+                }
+                seen.extend(taken.entries);
+                prop_assert!(b.is_empty());
+                prop_assert_eq!(b.deadline_at(), None);
+            }
+        }
+        seen.extend(b.take().entries);
+        prop_assert_eq!(seen.len(), rows);
+        for (i, entry) in seen.iter().enumerate() {
+            prop_assert_eq!(entry.1, i, "rows drain in push order, exactly once");
+        }
+    }
+
+    /// One verdict per offered session and a closed accounting identity,
+    /// for random session mixes and queue shapes — with and without
+    /// shedding (tight queues + an initially stalled consumer force the
+    /// shed path; the collector then recovers and drains everything).
+    #[test]
+    fn one_verdict_per_session_across_shed_and_recover(
+        sessions in 1usize..24,
+        events_per in 1usize..6,
+        capacity in 2usize..32,
+        stall_ms in 0u64..8,
+    ) {
+        let hmd = fixture::hmd();
+        let high = (capacity / 2).max(1);
+        let engine = Engine::start(
+            hmd.clone(),
+            ServeConfig {
+                shards: 2,
+                queue: Watermarks { capacity, high, low: high / 2 },
+                output: Watermarks { capacity: 4096, high: 4096, low: 0 },
+                session_deadline: None,
+                tenant_deadline: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let out = engine.output();
+        let window = fixture::subwindow();
+        let stats = std::thread::scope(|scope| {
+            let collector = scope.spawn(|| {
+                // A stalled start lets queues fill so some cases shed.
+                std::thread::sleep(Duration::from_millis(stall_ms));
+                let mut ids = Vec::new();
+                while let Some(ev) = out.pop() {
+                    match ev {
+                        OutEvent::Response { response: Response::Verdict(v), .. } => {
+                            ids.push(v.session);
+                        }
+                        OutEvent::Response { .. } => {}
+                        OutEvent::Closed => break,
+                    }
+                }
+                ids
+            });
+            for k in 0..sessions {
+                let session = format!("s{k}");
+                for seq in 0..events_per {
+                    engine.submit_event(0, "t", &session, seq as u64, Box::new(window.clone()));
+                }
+                engine.submit_end(0, "t", &session);
+            }
+            let stats = engine.drain();
+            let mut ids = collector.join().unwrap();
+            ids.sort();
+            let before = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "no duplicate verdicts");
+            assert_eq!(
+                ids.len() as u64,
+                stats.offered_sessions,
+                "exactly one verdict line per offered session"
+            );
+            stats
+        });
+        prop_assert!(stats.accounted(), "identity violated: {:?}", stats);
+        prop_assert_eq!(stats.offered_sessions, sessions as u64);
+    }
+}
+
+/// Shared one-time fixtures: a trained tiny detector and a real traced
+/// subwindow (training per proptest case would dominate the runtime).
+mod fixture {
+    use rhmd_core::hmd::Hmd;
+    use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
+    use rhmd_features::vector::{FeatureKind, FeatureSpec};
+    use rhmd_features::window::RawWindow;
+    use rhmd_ml::trainer::{Algorithm, TrainerConfig};
+    use rhmd_uarch::CoreConfig;
+    use std::sync::OnceLock;
+
+    static FIXTURE: OnceLock<(Hmd, RawWindow)> = OnceLock::new();
+
+    fn build() -> &'static (Hmd, RawWindow) {
+        FIXTURE.get_or_init(|| {
+            let config = CorpusConfig::tiny();
+            let corpus = Corpus::build(&config);
+            let splits = Splits::new(&corpus, config.seed);
+            let traced = TracedCorpus::trace(corpus, config.limits(), CoreConfig::default());
+            let hmd = Hmd::train(
+                Algorithm::Lr,
+                FeatureSpec::new(FeatureKind::Architectural, 2_000, vec![]),
+                &TrainerConfig::default(),
+                &traced,
+                &splits.victim_train,
+            );
+            let window = traced.subwindows(0)[0].clone();
+            (hmd, window)
+        })
+    }
+
+    pub fn hmd() -> Hmd {
+        build().0.clone()
+    }
+
+    pub fn subwindow() -> RawWindow {
+        build().1.clone()
+    }
+}
