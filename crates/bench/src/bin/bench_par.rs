@@ -65,6 +65,8 @@ struct Report {
     cache: CacheStats,
     results_bit_identical: bool,
     kernels: Vec<KernelBench>,
+    fused: FusedKernelBench,
+    quant_kernels: Vec<QuantKernelBench>,
     metrics: MetricsOverhead,
 }
 
@@ -139,6 +141,236 @@ fn kernel_benches(exp: &Experiment) -> Vec<KernelBench> {
             }
         })
         .collect()
+}
+
+/// The fused standardize+dot sweep, scalar vs the feature-dispatched kernel
+/// (`rhmd_ml::kernel::dot_standardized`), on a synthetic wide matrix whose
+/// values include the adversarial cases the kernels must agree on bit-for-bit
+/// (huge magnitudes past the standardizer clamp, subnormals, NaN/Inf).
+#[derive(Debug, Serialize)]
+struct FusedKernelBench {
+    rows: usize,
+    dims: usize,
+    /// Whether the crate was compiled with the `simd` cargo feature.
+    simd_compiled: bool,
+    /// Whether AVX2 was detected at runtime, so the vector path actually ran.
+    avx2_active: bool,
+    scalar_rows_per_sec: f64,
+    fused_rows_per_sec: f64,
+    speedup_vs_scalar: f64,
+    /// Scalar and dispatched sweeps must agree to the last bit — the SIMD
+    /// kernel reproduces the scalar summation order exactly.
+    bit_identical: bool,
+}
+
+/// The floor the SIMD fused sweep must clear over the scalar kernels when
+/// the vector path is compiled in and the CPU supports it.
+const MIN_SIMD_SPEEDUP: f64 = 1.5;
+
+/// A tiny deterministic PRNG for the synthetic kernel workload (the bench
+/// must not perturb the experiment seeds).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn synthetic_value(state: &mut u64) -> f64 {
+    let r = splitmix(state);
+    match r % 64 {
+        // Rare adversarial probes: the fused kernel zeroes non-finite
+        // counters and clamps huge magnitudes; both paths must agree.
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 1e13,
+        4 => -1e13,
+        5 => 1e-310, // subnormal
+        _ => (r >> 11) as f64 / (1u64 << 53) as f64 * 2.0e4 - 1.0e4,
+    }
+}
+
+/// Benchmarks the fused standardize+dot sweep the linear detectors run per
+/// window: scalar reference vs the feature-dispatched kernel.
+///
+/// Bit-identity is checked on an *adversarial* matrix (NaN/Inf, subnormals,
+/// magnitudes past the standardizer clamp) while throughput is timed on a
+/// realistic finite matrix — hardware counters never produce subnormals,
+/// and a single subnormal lane drags a whole vector op through a microcoded
+/// FP assist, so timing the adversarial matrix would understate both paths.
+fn fused_kernel_bench() -> FusedKernelBench {
+    use rhmd_ml::kernel;
+    const ROWS: usize = 2_048;
+    const DIMS: usize = 64;
+    const REPS: usize = 100;
+    const TRIALS: usize = 3;
+    let mut state = 0x5eed_f00d_u64;
+    let adversarial: Vec<Vec<f64>> = (0..ROWS)
+        .map(|_| (0..DIMS).map(|_| synthetic_value(&mut state)).collect())
+        .collect();
+    // Model parameters are always finite (the standardizer floors `std` and
+    // a fitter never emits NaN weights); only counter rows are adversarial.
+    let mut finite = |scale: f64| {
+        let r = splitmix(&mut state);
+        ((r >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * scale
+    };
+    let w: Vec<f64> = (0..DIMS).map(|_| finite(1e-1)).collect();
+    let mean: Vec<f64> = (0..DIMS).map(|_| finite(1e2)).collect();
+    let std: Vec<f64> = (0..DIMS).map(|_| 1.0 + finite(10.0).abs()).collect();
+    let mut state2 = 0xcafe_f00d_u64;
+    let realistic: Vec<Vec<f64>> = (0..ROWS)
+        .map(|_| {
+            (0..DIMS)
+                .map(|_| (splitmix(&mut state2) % 100_000) as f64)
+                .collect()
+        })
+        .collect();
+
+    let bit_identical = adversarial.iter().all(|row| {
+        kernel::scalar::dot_standardized(&w, row, &mean, &std).to_bits()
+            == kernel::dot_standardized(&w, row, &mean, &std).to_bits()
+    }) && realistic.iter().all(|row| {
+        kernel::scalar::dot_standardized(&w, row, &mean, &std).to_bits()
+            == kernel::dot_standardized(&w, row, &mean, &std).to_bits()
+    });
+
+    let mut sink = 0.0f64;
+    let mut scalar_seconds = f64::INFINITY;
+    let mut fused_seconds = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        for _ in 0..REPS {
+            for row in &realistic {
+                sink += kernel::scalar::dot_standardized(
+                    std::hint::black_box(&w),
+                    std::hint::black_box(row),
+                    &mean,
+                    &std,
+                );
+            }
+        }
+        scalar_seconds = scalar_seconds.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for _ in 0..REPS {
+            for row in &realistic {
+                sink += kernel::dot_standardized(
+                    std::hint::black_box(&w),
+                    std::hint::black_box(row),
+                    &mean,
+                    &std,
+                );
+            }
+        }
+        fused_seconds = fused_seconds.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    let scored = (ROWS * REPS) as f64;
+    FusedKernelBench {
+        rows: ROWS,
+        dims: DIMS,
+        simd_compiled: cfg!(feature = "simd"),
+        avx2_active: kernel::simd::avx2_active(),
+        scalar_rows_per_sec: scored / scalar_seconds.max(1e-12),
+        fused_rows_per_sec: scored / fused_seconds.max(1e-12),
+        speedup_vs_scalar: scalar_seconds / fused_seconds.max(1e-12),
+        bit_identical,
+    }
+}
+
+/// One quantized model's error-envelope and throughput evidence: the
+/// quantized scores must sit inside the analytic bound per row, and the
+/// batched path must reproduce per-row scoring bit-for-bit.
+#[derive(Debug, Serialize)]
+struct QuantKernelBench {
+    family: &'static str,
+    config: String,
+    rows: usize,
+    max_abs_error: f64,
+    max_error_bound: f64,
+    within_envelope: bool,
+    batch_bit_identical: bool,
+    batch_rows_per_sec: f64,
+}
+
+/// Scores `exact` and `quant` over the held-out windows, checking the
+/// analytic per-row error envelope and batch/per-row bit-identity.
+fn quant_bench(
+    family: &'static str,
+    config: rhmd_ml::QuantConfig,
+    exact: &dyn rhmd_ml::model::Classifier,
+    quant: &dyn rhmd_ml::model::Classifier,
+    bound: impl Fn(&[f64]) -> f64,
+    xs: &rhmd_ml::FeatureMatrix,
+) -> QuantKernelBench {
+    let rows = xs.len();
+    let mut max_abs_error = 0.0f64;
+    let mut max_error_bound = 0.0f64;
+    let mut within_envelope = true;
+    let mut per_row = vec![0.0; rows];
+    for (slot, row) in per_row.iter_mut().zip(xs.rows()) {
+        *slot = quant.score(row);
+        let err = (*slot - exact.score(row)).abs();
+        let env = bound(row);
+        max_abs_error = max_abs_error.max(err);
+        max_error_bound = max_error_bound.max(env);
+        within_envelope &= err <= env + 1e-9;
+    }
+    let mut batch = vec![0.0; rows];
+    let reps = (200_000 / rows.max(1)).max(1);
+    let mut batch_seconds = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            quant.score_batch(std::hint::black_box(xs), &mut batch);
+        }
+        batch_seconds = batch_seconds.min(start.elapsed().as_secs_f64());
+    }
+    QuantKernelBench {
+        family,
+        config: format!("{}/{}", config.bits.name(), config.rounding.name()),
+        rows,
+        max_abs_error,
+        max_error_bound,
+        within_envelope,
+        batch_bit_identical: per_row
+            .iter()
+            .zip(&batch)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        batch_rows_per_sec: (rows * reps) as f64 / batch_seconds.max(1e-12),
+    }
+}
+
+/// Builds int4/int8/int16 × nearest/stochastic variants of the linear +
+/// MLP detectors and pins each one inside its error envelope (int4 is the
+/// width coarse enough for stochastic rounding to act as a defense, so its
+/// envelope is the one the resilience experiments lean on).
+fn quant_benches(exp: &Experiment) -> Vec<QuantKernelBench> {
+    use rhmd_ml::{QuantBits, QuantConfig, QuantizedLinear, QuantizedMlp};
+    let spec = exp.spec(FeatureKind::Memory, 5_000);
+    let train = exp.traced.window_dataset(&exp.splits.victim_train, &spec);
+    let test = exp.traced.window_dataset(&exp.splits.attacker_test, &spec);
+    let xs = test.matrix();
+    let configs = [
+        QuantConfig::nearest(QuantBits::Int8),
+        QuantConfig::nearest(QuantBits::Int16),
+        QuantConfig::stochastic(QuantBits::Int16, 0xbead),
+        QuantConfig::stochastic(QuantBits::Int4, 0xbead),
+    ];
+    let lr = rhmd_ml::LogisticRegression::fit(&exp.trainer.lr, &train);
+    let svm = rhmd_ml::LinearSvm::fit(&exp.trainer.svm, &train);
+    let nn = rhmd_ml::Mlp::fit(&exp.trainer.mlp, &train);
+    let mut out = Vec::new();
+    for config in configs {
+        let qlr = QuantizedLinear::from_lr(&lr, config, &train);
+        out.push(quant_bench("LR", config, &lr, &qlr, |x| qlr.score_error_bound(x), xs));
+        let qsvm = QuantizedLinear::from_svm(&svm, config, &train);
+        out.push(quant_bench("SVM", config, &svm, &qsvm, |x| qsvm.score_error_bound(x), xs));
+        let qnn = QuantizedMlp::from_mlp(&nn, config, &train);
+        out.push(quant_bench("NN", config, &nn, &qnn, |x| qnn.score_error_bound(x), xs));
+    }
+    out
 }
 
 /// The observability overhead gate's evidence, kept in the report so every
@@ -308,6 +540,55 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         "batched kernels diverged from per-row scoring"
     );
 
+    eprintln!("[bench_par] fused standardize+dot sweep (scalar vs dispatched kernel) ...");
+    let fused = fused_kernel_bench();
+    eprintln!(
+        "[bench_par]   {}x{}: scalar {:.3e} rows/s, fused {:.3e} rows/s \
+         ({:.2}x, simd={}, avx2={}, bit_identical={})",
+        fused.rows,
+        fused.dims,
+        fused.scalar_rows_per_sec,
+        fused.fused_rows_per_sec,
+        fused.speedup_vs_scalar,
+        fused.simd_compiled,
+        fused.avx2_active,
+        fused.bit_identical
+    );
+    // Exact mode is a pure optimization: the vector kernel replays the
+    // scalar summation order, so divergence at any bit is a bug.
+    assert!(fused.bit_identical, "SIMD fused sweep diverged from the scalar kernels");
+    if fused.simd_compiled && fused.avx2_active {
+        assert!(
+            fused.speedup_vs_scalar >= MIN_SIMD_SPEEDUP,
+            "SIMD fused sweep speedup {:.2}x is below the {MIN_SIMD_SPEEDUP}x floor",
+            fused.speedup_vs_scalar
+        );
+    }
+
+    eprintln!("[bench_par] quantized kernels (error envelope + batch identity) ...");
+    let quant_kernels = quant_benches(&exp);
+    for q in &quant_kernels {
+        eprintln!(
+            "[bench_par]   {:>3} {}: max |err| {:.3e} <= bound {:.3e} (within={}), \
+             batch {:.3e} rows/s, batch_bit_identical={}",
+            q.family,
+            q.config,
+            q.max_abs_error,
+            q.max_error_bound,
+            q.within_envelope,
+            q.batch_rows_per_sec,
+            q.batch_bit_identical
+        );
+    }
+    assert!(
+        quant_kernels.iter().all(|q| q.within_envelope),
+        "a quantized model escaped its analytic error envelope"
+    );
+    assert!(
+        quant_kernels.iter().all(|q| q.batch_bit_identical),
+        "a quantized batch sweep diverged from per-row scoring"
+    );
+
     // Price the disabled path while the registry is still off, then turn
     // metrics on for the third pass.
     let ns_per_event = disabled_ns_per_event();
@@ -371,6 +652,8 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         cache: stats,
         results_bit_identical: true,
         kernels,
+        fused,
+        quant_kernels,
         metrics: MetricsOverhead {
             enabled_seconds,
             events_per_pass,

@@ -1,0 +1,12 @@
+//! Regenerates the stochastic-rounding defense table (Ext 5): the fig 14a
+//! pool with quantized base detectors, deterministic vs stochastic rounding.
+
+use rhmd_bench::Experiment;
+
+fn main() {
+    let exp = Experiment::load();
+    println!(
+        "{}",
+        rhmd_bench::figures::resilient::ext_stochastic_defense(&exp)
+    );
+}

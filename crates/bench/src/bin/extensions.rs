@@ -1,6 +1,6 @@
 //! Regenerates the extension experiments: deterministic ensembles vs RHMDs,
-//! the non-stationary RHMD of paper §8.3, the unsupervised anomaly HMD, and
-//! a random-forest victim.
+//! the non-stationary RHMD of paper §8.3, the unsupervised anomaly HMD, a
+//! random-forest victim, and the stochastic-rounding defense.
 
 use rhmd_bench::figures::extensions;
 use rhmd_bench::Experiment;
@@ -11,4 +11,8 @@ fn main() {
     println!("{}", extensions::ext_anomaly_detector(&exp));
     println!("{}", extensions::ext_random_forest_victim(&exp));
     println!("{}", extensions::ext_dormant_malware(&exp));
+    println!(
+        "{}",
+        rhmd_bench::figures::resilient::ext_stochastic_defense(&exp)
+    );
 }

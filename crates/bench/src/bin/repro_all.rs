@@ -59,6 +59,8 @@ fn run() -> Result<(), RhmdError> {
     record(figures::resilient::fig15(&exp));
     step("Fig 16: RHMD evasion resilience");
     record(vec![figures::resilient::fig16(&exp)]);
+    step("Ext 5: stochastic-rounding defense");
+    record(vec![figures::resilient::ext_stochastic_defense(&exp)]);
     step("HW table");
     record(vec![figures::theory::tab_hw(&exp)]);
     step("Theorem 1 bounds");

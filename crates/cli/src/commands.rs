@@ -98,6 +98,57 @@ fn parse_fault(value: &str) -> Result<FaultConfig, RhmdError> {
     }
 }
 
+/// Parses `--quantize int4|int8|int16` and `--stochastic-round <seed>` into a
+/// quantization config for the LR/SVM/NN families. `--stochastic-round`
+/// alone implies `--quantize int16` (the width whose accuracy cost is
+/// negligible); neither flag means exact `f64` models.
+fn parse_quant(args: &Args) -> Result<Option<rhmd_ml::QuantConfig>, RhmdError> {
+    let bits = match args.get("quantize") {
+        None => None,
+        Some("int4") => Some(rhmd_ml::QuantBits::Int4),
+        Some("int8") => Some(rhmd_ml::QuantBits::Int8),
+        Some("int16") => Some(rhmd_ml::QuantBits::Int16),
+        Some(other) => {
+            return Err(RhmdError::config(format!(
+                "unknown quantization '{other}' (int4|int8|int16)"
+            )))
+        }
+    };
+    let rounding = match args.get("stochastic-round") {
+        None => rhmd_ml::Rounding::Nearest,
+        Some(v) => {
+            let seed: u64 = v.parse().map_err(|_| {
+                RhmdError::parse(
+                    "--stochastic-round",
+                    format!("invalid seed '{v}' (want an unsigned integer)"),
+                )
+            })?;
+            rhmd_ml::Rounding::Stochastic { seed }
+        }
+    };
+    Ok(match (bits, args.get("stochastic-round").is_some()) {
+        (None, false) => None,
+        (bits, _) => Some(rhmd_ml::QuantConfig {
+            bits: bits.unwrap_or(rhmd_ml::QuantBits::Int16),
+            rounding,
+        }),
+    })
+}
+
+/// Human/config-hash description of a quantization config (`none`,
+/// `int8/nearest`, `int16/stochastic:42`, ...).
+fn quant_label(quant: Option<rhmd_ml::QuantConfig>) -> String {
+    match quant {
+        None => "none".to_owned(),
+        Some(q) => match q.rounding {
+            rhmd_ml::Rounding::Nearest => format!("{}/nearest", q.bits.name()),
+            rhmd_ml::Rounding::Stochastic { seed } => {
+                format!("{}/stochastic:{seed}", q.bits.name())
+            }
+        },
+    }
+}
+
 /// Parses `--threads N` (default: the machine's available parallelism).
 /// Results are bit-identical at any value; threads only change wall-clock.
 fn parse_pool(args: &Args) -> Result<Pool, RhmdError> {
@@ -247,11 +298,15 @@ fn workbench(args: &Args) -> Result<Workbench, RhmdError> {
             .collect()
     };
     let opcodes = select_top_delta_opcodes(&collect(true), &collect(false), 16);
+    let trainer = TrainerConfig {
+        quant: parse_quant(args)?,
+        ..TrainerConfig::with_seed(config.seed)
+    };
     Ok(Workbench {
         traced,
         splits,
         opcodes,
-        trainer: TrainerConfig::with_seed(config.seed),
+        trainer,
         pool,
         seed: config.seed,
     })
@@ -308,7 +363,8 @@ pub fn dump(args: &Args) -> Result<(), RhmdError> {
 }
 
 /// `rhmd train [--scale s] [--feature f] [--algo a] [--period n]
-/// [--threads n] [--out path] [--metrics path] [--metrics-summary]`
+/// [--quantize int4|int8|int16] [--stochastic-round seed] [--threads n]
+/// [--out path] [--metrics path] [--metrics-summary]`
 pub fn train(args: &Args) -> Result<(), RhmdError> {
     let kind = parse_kind(&args.str_or("feature", "instructions"))?;
     let algorithm = parse_algorithm(&args.str_or("algo", "lr"))?;
@@ -392,7 +448,8 @@ pub fn evaluate(args: &Args) -> Result<(), RhmdError> {
 }
 
 /// `rhmd sweep [--scale s] [--algos lr,dt,...] [--features f,g]
-/// [--periods 10000,5000] [--threads n] [--out bench.json]
+/// [--periods 10000,5000] [--quantize int4|int8|int16] [--stochastic-round seed]
+/// [--threads n] [--out bench.json]
 /// [--checkpoint dir | --resume dir] [--metrics path] [--metrics-summary]`
 /// — train and score every algorithm × feature × period combination on the
 /// parallel engine. Detectors sharing a feature spec reuse cached feature
@@ -423,12 +480,15 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
     // the corpus trace, so a typo fails in milliseconds, not after minutes.
     let ckpt = parse_checkpoint(args)?;
     let deadline = parse_deadline(args)?;
+    let quant = parse_quant(args)?;
     let metrics = parse_metrics(args);
     metrics.install();
     // The config summary excludes --threads: cells are bit-identical at any
-    // thread count, so a resume may legally change it.
+    // thread count, so a resume may legally change it. It includes the
+    // quantization knobs: a resume that flips `--quantize` or the stochastic
+    // seed would silently mix incompatible cells.
     let summary = format!(
-        "scale={};algos={};features={};periods={}",
+        "scale={};algos={};features={};periods={};quant={}",
         args.str_or("scale", "small"),
         algos.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(","),
         kinds
@@ -437,6 +497,7 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
             .collect::<Vec<_>>()
             .join(","),
         periods.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","),
+        quant_label(quant),
     );
     let journal = match &ckpt {
         None => None,
@@ -658,8 +719,11 @@ pub fn attack(args: &Args) -> Result<(), RhmdError> {
     Ok(())
 }
 
-/// `rhmd defend [--scale s] [--periods 10000,5000] [--count n]` — deploy an
-/// RHMD pool and report its resilience under the standard attack.
+/// `rhmd defend [--scale s] [--periods 10000,5000] [--count n]
+/// [--quantize int4|int8|int16] [--stochastic-round seed]` — deploy an RHMD pool
+/// and report its resilience under the standard attack. With
+/// `--stochastic-round` the pool's detectors use seeded stochastic rounding,
+/// stacking computation-level randomness on top of detector switching.
 pub fn defend(args: &Args) -> Result<(), RhmdError> {
     let periods: Vec<u32> = args
         .str_or("periods", "10000")
@@ -870,6 +934,56 @@ mod tests {
     }
 
     #[test]
+    fn quant_flag_parsing() {
+        let parse = |argv: &[&str]| {
+            let mut full = vec!["train"];
+            full.extend_from_slice(argv);
+            let args = Args::parse(full.into_iter().map(String::from).collect::<Vec<_>>()).unwrap();
+            parse_quant(&args)
+        };
+        assert_eq!(parse(&[]).unwrap(), None);
+        assert_eq!(
+            parse(&["--quantize", "int8"]).unwrap(),
+            Some(rhmd_ml::QuantConfig::nearest(rhmd_ml::QuantBits::Int8))
+        );
+        assert_eq!(
+            parse(&["--quantize", "int16", "--stochastic-round", "42"]).unwrap(),
+            Some(rhmd_ml::QuantConfig::stochastic(rhmd_ml::QuantBits::Int16, 42))
+        );
+        // --stochastic-round alone implies int16.
+        assert_eq!(
+            parse(&["--stochastic-round", "7"]).unwrap(),
+            Some(rhmd_ml::QuantConfig::stochastic(rhmd_ml::QuantBits::Int16, 7))
+        );
+        assert_eq!(
+            parse(&["--quantize", "int4"]).unwrap(),
+            Some(rhmd_ml::QuantConfig::nearest(rhmd_ml::QuantBits::Int4))
+        );
+        // Malformed values become typed errors naming the offender.
+        assert!(parse(&["--quantize", "int2"]).unwrap_err().to_string().contains("int2"));
+        assert!(parse(&["--stochastic-round", "banana"])
+            .unwrap_err()
+            .to_string()
+            .contains("--stochastic-round"));
+    }
+
+    #[test]
+    fn quant_labels_pin_the_checkpoint_config_hash() {
+        assert_eq!(quant_label(None), "none");
+        assert_eq!(
+            quant_label(Some(rhmd_ml::QuantConfig::nearest(rhmd_ml::QuantBits::Int8))),
+            "int8/nearest"
+        );
+        assert_eq!(
+            quant_label(Some(rhmd_ml::QuantConfig::stochastic(
+                rhmd_ml::QuantBits::Int16,
+                42
+            ))),
+            "int16/stochastic:42"
+        );
+    }
+
+    #[test]
     fn corpus_command_runs_at_tiny_scale() {
         let args = Args::parse(["corpus", "--scale", "tiny"].map(String::from)).unwrap();
         corpus(&args).unwrap();
@@ -889,6 +1003,40 @@ mod tests {
                 "architectural",
                 "--algo",
                 "lr",
+                "--out",
+                model_path.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        train(&train_args).unwrap();
+        let eval_args = Args::parse(
+            ["evaluate", "--scale", "tiny", "--model", model_path.to_str().unwrap()]
+                .map(String::from),
+        )
+        .unwrap();
+        evaluate(&eval_args).unwrap();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn quantized_train_and_evaluate_round_trip() {
+        let dir = std::env::temp_dir().join("rhmd-cli-quant-cmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("q.json");
+        let train_args = Args::parse(
+            [
+                "train",
+                "--scale",
+                "tiny",
+                "--feature",
+                "architectural",
+                "--algo",
+                "svm",
+                "--quantize",
+                "int16",
+                "--stochastic-round",
+                "7",
                 "--out",
                 model_path.to_str().unwrap(),
             ]

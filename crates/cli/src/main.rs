@@ -3,9 +3,10 @@
 //! ```text
 //! rhmd corpus   [--scale tiny|small|standard|paper]
 //! rhmd train    [--scale s] [--feature f] [--algo a] [--period n] [--threads n]
-//!               [--out model.json]
+//!               [--quantize int4|int8|int16] [--stochastic-round seed] [--out model.json]
 //! rhmd evaluate --model model.json [--scale s] [--threads n] [--fault noise:0.1]
 //! rhmd sweep    [--scale s] [--algos lr,dt] [--features f,g] [--periods 10000,5000]
+//!               [--quantize int4|int8|int16] [--stochastic-round seed]
 //!               [--threads n] [--out bench.json] [--checkpoint dir | --resume dir]
 //!               [--checkpoint-every n] [--task-deadline secs]
 //!               [--metrics snap.json] [--metrics-summary]
@@ -55,6 +56,17 @@ COMMON FLAGS:
   --algo lr|dt|svm|nn|rf
   --threads N                           worker threads (default: all cores);
                                         results are identical at any N
+
+QUANTIZATION (train, sweep, defend; LR/SVM/NN only):
+  --quantize int4|int8|int16                 post-training quantized inference with
+                                        per-feature input scales; tree families
+                                        stay exact
+  --stochastic-round SEED               round quantized inputs stochastically
+                                        (seeded, byte-reproducible at any
+                                        --threads N); implies --quantize int16
+                                        unless a width is given. Randomized
+                                        rounding jitters the decision boundary
+                                        seen by a reverse-engineering attacker.
 
 CRASH TOLERANCE (sweep):
   --checkpoint DIR                      journal each finished cell to DIR

@@ -1,0 +1,122 @@
+//! Thread-determinism of seeded stochastic rounding, end to end through
+//! the real binary: `rhmd sweep --quantize ... --stochastic-round <seed>`
+//! must produce byte-identical cells at any `--threads N` (rounding is a
+//! pure function of seed, row bits, and feature index — never of worker
+//! scheduling), and the stochastic noise must stay small enough that AUC
+//! remains within tolerance of the exact f64 kernels for any seed.
+
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Passthrough deserializer keeping the raw [`Value`] tree (the vendored
+/// `serde_json` otherwise insists on a typed target).
+struct Raw(Value);
+
+impl serde::Deserialize for Raw {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        Ok(Raw(value.clone()))
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rhmd-stoch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sweep(out: &Path, threads: &str, quant: &[&str]) {
+    let mut args = vec![
+        "sweep",
+        "--scale",
+        "tiny",
+        "--algos",
+        "lr,svm",
+        "--threads",
+        threads,
+        "--out",
+        out.to_str().unwrap(),
+    ];
+    args.extend_from_slice(quant);
+    let out = Command::new(env!("CARGO_BIN_EXE_rhmd"))
+        .args(&args)
+        .output()
+        .expect("spawn rhmd binary");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "`rhmd {}` should exit 0; stderr:\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The `"cells": [...]` tail of a sweep report — the part that must be
+/// byte-identical between runs (timing stats above it may differ).
+fn cells_section(json: &str) -> &str {
+    let at = json.find("\"cells\"").expect("report has a cells field");
+    &json[at..]
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Per-cell AUC values, in grid order.
+fn aucs(json: &str) -> Vec<f64> {
+    let doc = serde_json::from_str::<Raw>(json).expect("sweep report is valid JSON").0;
+    doc.field("cells")
+        .expect("cells field")
+        .seq()
+        .expect("cells array")
+        .iter()
+        .map(|cell| match cell.field("auc").expect("auc field") {
+            Value::F64(v) => *v,
+            other => panic!("auc should be a float, found {}", other.kind()),
+        })
+        .collect()
+}
+
+#[test]
+fn stochastic_sweep_is_byte_identical_at_any_thread_count() {
+    let dir = temp_dir("threads");
+    let stoch = ["--quantize", "int16", "--stochastic-round", "48879"];
+    let baseline = dir.join("t1.json");
+    sweep(&baseline, "1", &stoch);
+    let golden = read(&baseline);
+
+    for threads in ["2", "4"] {
+        let out = dir.join(format!("t{threads}.json"));
+        sweep(&out, threads, &stoch);
+        assert_eq!(
+            cells_section(&read(&out)),
+            cells_section(&golden),
+            "--threads {threads} changed stochastic-rounding sweep cells"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn any_seed_stays_within_auc_tolerance_of_exact_kernels() {
+    let dir = temp_dir("seeds");
+    let exact = dir.join("exact.json");
+    sweep(&exact, "2", &[]);
+    let exact_aucs = aucs(&read(&exact));
+    assert!(!exact_aucs.is_empty(), "sweep produced cells");
+
+    for seed in ["7", "3735928559"] {
+        let out = dir.join(format!("seed-{seed}.json"));
+        sweep(&out, "2", &["--quantize", "int16", "--stochastic-round", seed]);
+        let got = aucs(&read(&out));
+        assert_eq!(got.len(), exact_aucs.len(), "seed {seed} changed the grid shape");
+        for (i, (q, e)) in got.iter().zip(&exact_aucs).enumerate() {
+            assert!(
+                (q - e).abs() <= 0.05,
+                "seed {seed} cell {i}: stochastic AUC {q} drifted from exact {e}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

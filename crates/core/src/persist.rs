@@ -13,7 +13,9 @@ use crate::hmd::Hmd;
 use rhmd_features::vector::FeatureSpec;
 use rhmd_ml::model::Classifier;
 use rhmd_ml::trainer::Algorithm;
-use rhmd_ml::{DecisionTree, LinearSvm, LogisticRegression, Mlp, RandomForest};
+use rhmd_ml::{
+    DecisionTree, LinearSvm, LogisticRegression, Mlp, QuantizedLinear, QuantizedMlp, RandomForest,
+};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -30,11 +32,24 @@ pub enum SavedModel {
     Nn(Mlp),
     /// Random forest.
     Rf(RandomForest),
+    /// Quantized LR or SVM (the family is recorded inside the model).
+    QLinear(QuantizedLinear),
+    /// Quantized perceptron.
+    QNn(QuantizedMlp),
 }
 
 impl SavedModel {
     fn from_classifier(algorithm: Algorithm, model: &dyn Classifier) -> Option<SavedModel> {
         let any = model.as_any();
+        // Quantized LR/SVM/NN report their base family through
+        // `Classifier::algorithm`, so try the quantized concrete types
+        // before the exact ones.
+        if let Some(q) = any.downcast_ref::<QuantizedLinear>() {
+            return Some(SavedModel::QLinear(q.clone()));
+        }
+        if let Some(q) = any.downcast_ref::<QuantizedMlp>() {
+            return Some(SavedModel::QNn(q.clone()));
+        }
         Some(match algorithm {
             Algorithm::Lr => SavedModel::Lr(any.downcast_ref::<LogisticRegression>()?.clone()),
             Algorithm::Dt => SavedModel::Dt(any.downcast_ref::<DecisionTree>()?.clone()),
@@ -51,6 +66,8 @@ impl SavedModel {
             SavedModel::Svm(m) => Box::new(m),
             SavedModel::Nn(m) => Box::new(m),
             SavedModel::Rf(m) => Box::new(m),
+            SavedModel::QLinear(m) => Box::new(m),
+            SavedModel::QNn(m) => Box::new(m),
         }
     }
 
@@ -61,6 +78,8 @@ impl SavedModel {
             SavedModel::Svm(_) => Algorithm::Svm,
             SavedModel::Nn(_) => Algorithm::Nn,
             SavedModel::Rf(_) => Algorithm::Rf,
+            SavedModel::QLinear(m) => m.base_algorithm(),
+            SavedModel::QNn(_) => Algorithm::Nn,
         }
     }
 }
@@ -194,6 +213,34 @@ mod tests {
                     hmd.decide_windows(subs),
                     restored.decide_windows(subs),
                     "{algorithm} decisions changed across round-trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_snapshot_round_trips_decisions() {
+        let (traced, splits) = fixture();
+        let config = TrainerConfig {
+            quant: Some(rhmd_ml::QuantConfig::stochastic(rhmd_ml::QuantBits::Int16, 0xd5)),
+            ..TrainerConfig::default()
+        };
+        for algorithm in [Algorithm::Lr, Algorithm::Svm, Algorithm::Nn] {
+            let hmd = Hmd::train(
+                algorithm,
+                FeatureSpec::new(FeatureKind::Architectural, 5_000, vec![]),
+                &config,
+                &traced,
+                &splits.victim_train,
+            );
+            let restored = restore(snapshot(&hmd).unwrap());
+            assert_eq!(restored.algorithm(), algorithm);
+            for i in 0..5 {
+                let subs = traced.subwindows(i);
+                assert_eq!(
+                    hmd.decide_windows(subs),
+                    restored.decide_windows(subs),
+                    "quantized {algorithm} decisions changed across round-trip"
                 );
             }
         }

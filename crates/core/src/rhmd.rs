@@ -368,6 +368,35 @@ pub fn build_pool(
     ResilientHmd::new(detectors, seed)
 }
 
+/// Trains a *stochastic* defender pool: the same construction as
+/// [`build_pool`], but every base detector's LR/SVM/NN model is quantized
+/// with the given config — normally [`rhmd_ml::Rounding::Stochastic`], which
+/// reproduces Stochastic-HMDs' computation-level randomness in software.
+/// The rounding seed is defender-private: scores stay byte-reproducible for
+/// the defender (rounding is a pure function of seed, row, and feature), but
+/// an attacker querying the pool sees a decision boundary that jitters per
+/// input on top of the detector switching, making the reverse-engineered
+/// surrogate strictly noisier than against a deterministic pool.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn build_stochastic_pool(
+    algorithm: Algorithm,
+    specs: Vec<FeatureSpec>,
+    trainer: &TrainerConfig,
+    quant: rhmd_ml::QuantConfig,
+    traced: &TracedCorpus,
+    train_indices: &[usize],
+    seed: u64,
+) -> ResilientHmd {
+    let trainer = TrainerConfig {
+        quant: Some(quant),
+        ..*trainer
+    };
+    build_pool(algorithm, specs, &trainer, traced, train_indices, seed)
+}
+
 /// Non-stationary RHMD (paper §8.3, future work): a large candidate pool of
 /// detectors of which only a random *subset* is active at any time; the
 /// active subset is re-drawn periodically. Even an attacker who knows the
@@ -787,6 +816,53 @@ mod tests {
                 decisions
             );
         }
+    }
+
+    #[test]
+    fn stochastic_pool_is_seed_deterministic_and_detects() {
+        let (traced, splits) = fixture();
+        let specs = || {
+            pool_specs(
+                &[FeatureKind::Memory, FeatureKind::Architectural],
+                &[5_000],
+                &[],
+            )
+        };
+        let quant = rhmd_ml::QuantConfig::stochastic(rhmd_ml::QuantBits::Int16, 0xd1ce);
+        let build = || {
+            build_stochastic_pool(
+                Algorithm::Lr,
+                specs(),
+                &TrainerConfig::default(),
+                quant,
+                &traced,
+                &splits.victim_train,
+                9,
+            )
+        };
+        let subs = traced.subwindows(0);
+        let mut a = build();
+        let mut b = build();
+        // Stochastic rounding is seeded: two identically built pools emit
+        // byte-identical decision streams.
+        assert_eq!(a.label_subwindows(subs), b.label_subwindows(subs));
+        // And the pool still detects: program accuracy beats chance.
+        let labels = traced.corpus().labels();
+        a.reset();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for &i in &splits.attacker_test {
+            let stream = a.label_subwindows(traced.subwindows(i));
+            let verdict = ProgramVerdict::from_decisions(&stream);
+            if verdict.is_malware() == labels[i] {
+                correct += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.6,
+            "stochastic pool program accuracy {correct}/{total}"
+        );
     }
 
     #[test]

@@ -23,12 +23,13 @@
 
 pub mod anomaly;
 pub mod forest;
-mod kernel;
+pub mod kernel;
 pub mod linear;
 pub mod matrix;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
+pub mod quant;
 pub mod scale;
 pub mod split;
 pub mod svm;
@@ -42,6 +43,7 @@ pub use matrix::FeatureMatrix;
 pub use metrics::{agreement, auc, best_accuracy_threshold, roc_curve, Confusion, RocPoint};
 pub use mlp::{Mlp, MlpConfig};
 pub use model::{predict_all, score_all, Classifier, Dataset};
+pub use quant::{QuantBits, QuantConfig, QuantizedLinear, QuantizedMlp, Rounding};
 pub use scale::Standardizer;
 pub use split::stratified_split;
 pub use svm::{LinearSvm, SvmConfig};

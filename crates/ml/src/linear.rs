@@ -148,6 +148,12 @@ impl LogisticRegression {
         }
         (raw, bias)
     }
+
+    /// Internal parts for post-training quantization:
+    /// `(scaler, weights, bias, threshold)`.
+    pub(crate) fn parts(&self) -> (&Standardizer, &[f64], f64, f64) {
+        (&self.scaler, &self.weights, self.bias, self.threshold)
+    }
 }
 
 impl Classifier for LogisticRegression {

@@ -12,6 +12,10 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Borrowed internals handed to the quantizer:
+/// `(scaler, w1, b1, w2, b2, threshold)`.
+pub(crate) type MlpParts<'a> = (&'a Standardizer, &'a [Vec<f64>], &'a [f64], &'a [f64], f64, f64);
+
 /// Training hyperparameters for [`Mlp`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MlpConfig {
@@ -221,6 +225,12 @@ impl Mlp {
             *acc /= s;
         }
         w
+    }
+
+    /// Internal parts for post-training quantization:
+    /// `(scaler, w1, b1, w2, b2, threshold)`.
+    pub(crate) fn parts(&self) -> MlpParts<'_> {
+        (&self.scaler, &self.w1, &self.b1, &self.w2, self.b2, self.threshold)
     }
 
     /// Forward pass on an already-standardized row: hidden `tanh` layer

@@ -206,4 +206,55 @@ mod tests {
         assert!(t.iter().all(|v| v.is_finite()));
         assert!(t.iter().all(|v| v.abs() <= Standardizer::CLAMP));
     }
+
+    /// The in-place matrix sweep applies the same non-finite guard and OOD
+    /// clamp as the per-row path, bit for bit — including on the
+    /// zero-variance dimension, where the floored std turns any excursion
+    /// into a huge-but-clamped z-score.
+    #[test]
+    fn transform_matrix_guards_nonfinite_and_clamps_ood() {
+        let data = toy();
+        let s = Standardizer::fit(&data);
+        let rows = [
+            vec![f64::NAN, f64::INFINITY],
+            vec![f64::NEG_INFINITY, f64::NAN],
+            vec![1e300, -1e300],
+            vec![-1e300, 10.0],
+            vec![1e-310, -0.0],
+            vec![3.0, 10.0],
+        ];
+        let mut m = FeatureMatrix::new(2);
+        for r in &rows {
+            m.push_row(r);
+        }
+        s.transform_matrix(&mut m);
+        for (flat, raw) in m.iter().zip(&rows) {
+            let per_row = s.transform(raw);
+            for (a, b) in flat.iter().zip(&per_row) {
+                assert_eq!(a.to_bits(), b.to_bits(), "matrix {a} vs per-row {b}");
+            }
+            assert!(flat.iter().all(|v| v.is_finite()));
+            assert!(flat.iter().all(|v| v.abs() <= Standardizer::CLAMP));
+        }
+        // Non-finite inputs land on the training mean (z = 0) exactly.
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        // Zero-variance dim 1: any departure from the constant divides by
+        // the 1e-9 floor and pins to the clamp rather than overflowing.
+        assert_eq!(m.row(2)[1].abs(), Standardizer::CLAMP);
+    }
+
+    /// Degenerate shapes sweep cleanly: a matrix with no rows and a
+    /// zero-dimensional standardizer are both no-ops, not panics.
+    #[test]
+    fn transform_matrix_handles_empty_shapes() {
+        let s = Standardizer::fit(&toy());
+        let mut empty = FeatureMatrix::new(2);
+        s.transform_matrix(&mut empty);
+        assert_eq!(empty.len(), 0);
+
+        let zero_dims = Standardizer::identity(0);
+        let mut m = FeatureMatrix::new(0);
+        zero_dims.transform_matrix(&mut m);
+        assert_eq!(m.dims(), 0);
+    }
 }

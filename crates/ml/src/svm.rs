@@ -125,6 +125,12 @@ impl LinearSvm {
         model
     }
 
+    /// Internal parts for post-training quantization:
+    /// `(scaler, weights, bias, threshold)`.
+    pub(crate) fn parts(&self) -> (&Standardizer, &[f64], f64, f64) {
+        (&self.scaler, &self.weights, self.bias, self.threshold)
+    }
+
     /// The decision weights in raw feature space, as `(weights, bias)` —
     /// directly analogous to [`crate::linear::LogisticRegression::input_space_weights`].
     pub fn input_space_weights(&self) -> (Vec<f64>, f64) {

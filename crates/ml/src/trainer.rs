@@ -5,6 +5,7 @@ use crate::forest::{ForestConfig, RandomForest};
 use crate::linear::{LogisticRegression, LrConfig};
 use crate::mlp::{Mlp, MlpConfig};
 use crate::model::{Classifier, Dataset};
+use crate::quant::{QuantConfig, QuantizedLinear, QuantizedMlp};
 use crate::svm::{LinearSvm, SvmConfig};
 use crate::tree::{DecisionTree, TreeConfig};
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,10 @@ pub struct TrainerConfig {
     pub mlp: MlpConfig,
     /// Random-forest settings.
     pub forest: ForestConfig,
+    /// Post-training quantization for the LR/SVM/NN families; `None`
+    /// (the default) keeps the exact `f64` models bit-for-bit. Ignored by
+    /// the tree families, whose thresholds don't quantize meaningfully.
+    pub quant: Option<QuantConfig>,
 }
 
 impl TrainerConfig {
@@ -103,12 +108,27 @@ impl TrainerConfig {
 pub fn train(algorithm: Algorithm, config: &TrainerConfig, data: &Dataset) -> Box<dyn Classifier> {
     let _span = rhmd_obs::span("ml.train");
     rhmd_obs::incr("ml.models_trained");
-    match algorithm {
-        Algorithm::Lr => Box::new(LogisticRegression::fit(&config.lr, data)),
-        Algorithm::Dt => Box::new(DecisionTree::fit(&config.tree, data)),
-        Algorithm::Svm => Box::new(LinearSvm::fit(&config.svm, data)),
-        Algorithm::Nn => Box::new(Mlp::fit(&config.mlp, data)),
-        Algorithm::Rf => Box::new(RandomForest::fit(&config.forest, data)),
+    match (algorithm, config.quant) {
+        (Algorithm::Lr, None) => Box::new(LogisticRegression::fit(&config.lr, data)),
+        (Algorithm::Svm, None) => Box::new(LinearSvm::fit(&config.svm, data)),
+        (Algorithm::Nn, None) => Box::new(Mlp::fit(&config.mlp, data)),
+        // Quantization is post-training: fit the exact model, then quantize
+        // weights and calibrate input scales + threshold on the training set.
+        (Algorithm::Lr, Some(q)) => Box::new(QuantizedLinear::from_lr(
+            &LogisticRegression::fit(&config.lr, data),
+            q,
+            data,
+        )),
+        (Algorithm::Svm, Some(q)) => Box::new(QuantizedLinear::from_svm(
+            &LinearSvm::fit(&config.svm, data),
+            q,
+            data,
+        )),
+        (Algorithm::Nn, Some(q)) => {
+            Box::new(QuantizedMlp::from_mlp(&Mlp::fit(&config.mlp, data), q, data))
+        }
+        (Algorithm::Dt, _) => Box::new(DecisionTree::fit(&config.tree, data)),
+        (Algorithm::Rf, _) => Box::new(RandomForest::fit(&config.forest, data)),
     }
 }
 
@@ -141,6 +161,43 @@ mod tests {
         assert_ne!(a.lr.seed, a.svm.seed);
         assert_ne!(a.lr.seed, a.mlp.seed);
         assert_ne!(a.lr.seed, a.forest.seed);
+    }
+
+    #[test]
+    fn quantized_dispatch_preserves_family_names() {
+        let data = Dataset::from_rows(
+            vec![vec![0.0], vec![0.2], vec![0.8], vec![1.0]],
+            vec![false, false, true, true],
+        );
+        let config = TrainerConfig {
+            quant: Some(crate::quant::QuantConfig::stochastic(
+                crate::quant::QuantBits::Int16,
+                9,
+            )),
+            ..TrainerConfig::default()
+        };
+        for algo in Algorithm::ALL {
+            let model = train(algo, &config, &data);
+            assert_eq!(model.algorithm(), algo.name());
+            assert!(model.predict(&[0.95]));
+        }
+    }
+
+    #[test]
+    fn config_round_trips_with_quant_knob() {
+        let config = TrainerConfig {
+            quant: Some(crate::quant::QuantConfig::stochastic(
+                crate::quant::QuantBits::Int8,
+                0xfeed,
+            )),
+            ..TrainerConfig::default()
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: TrainerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        let default_json = serde_json::to_string(&TrainerConfig::default()).unwrap();
+        let default_back: TrainerConfig = serde_json::from_str(&default_json).unwrap();
+        assert!(default_back.quant.is_none());
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod prelude {
 }
 
 /// Defines property-test functions. Each `fn name(arg in strategy, ...)`
-/// becomes a `#[test]` running the body over sampled inputs.
+/// runs the body over sampled inputs. As in upstream proptest, callers
+/// write `#[test]` on each fn themselves; the macro passes attributes
+/// through verbatim (emitting a second `#[test]` here would register — and
+/// run — every property twice).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -31,7 +34,6 @@ macro_rules! proptest {
     };
     (@impl $config:expr; $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block $($rest:tt)*) => {
         $(#[$meta])*
-        #[test]
         fn $name() {
             $crate::test_runner::run_cases(
                 stringify!($name),
