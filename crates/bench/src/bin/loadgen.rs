@@ -15,9 +15,20 @@
 //!    (nonzero shed, every session accounted) with bounded p99 — never by
 //!    losing verdicts.
 //!
+//! 4. **Chaos point** (`--chaos`) — the same replay, but every frame runs
+//!    the hostile-wire gauntlet (malformed/truncated/oversized/nonfinite
+//!    garbage, duplicates, stale re-deliveries), a deterministic subset of
+//!    sessions poisons the scorer (panics and NaNs → quarantine), and
+//!    shard workers are killed mid-stream and supervised back up. Gates:
+//!    the engine must never fail, the four-term accounting identity must
+//!    close, recovery latency is recorded, and every non-quarantined
+//!    session's verdict must still match the batch path bit for bit.
+//!
 //! `--connect <socket>` instead streams NDJSON to a running
 //! `rhmd serve --listen` daemon and records a single point, tolerating a
-//! mid-stream server drain (SIGTERM smoke tests).
+//! mid-stream server drain (SIGTERM smoke tests). With `--chaos` it also
+//! mutates the wire stream and parks slow-loris / mid-frame-disconnect
+//! attacker connections on the daemon.
 //!
 //! Run `RHMD_SCALE=tiny cargo run --release -p rhmd-bench --bin loadgen`
 //! for a quick pass; see `--help`.
@@ -28,9 +39,13 @@ use rhmd_core::hmd::Hmd;
 use rhmd_core::RhmdError;
 use rhmd_features::vector::{FeatureKind, FeatureSpec};
 use rhmd_ml::trainer::Algorithm;
+use rhmd_serve::chaos::{EngineFaults, WireFaults};
 use rhmd_serve::engine::{Engine, OutEvent};
-use rhmd_serve::proto::{Response, StatsMsg, VerdictMsg};
+use rhmd_serve::proto::{
+    parse_request, validate_request, Response, StatsMsg, VerdictMsg,
+};
 use rhmd_serve::queue::Watermarks;
+use rhmd_serve::server::{read_frame, Frame};
 use rhmd_serve::ServeConfig;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -47,6 +62,10 @@ options:
                       over NDJSON instead of an in-process engine
   --sessions <n>      sessions per point in --connect mode (default: 32)
   --qps <f>           offered sessions/second in --connect mode (0 = unpaced)
+  --chaos             run the chaos point: wire faults on every frame,
+                      injected scorer poison, and mid-stream shard kills
+                      (in --connect mode: wire faults + attacker conns)
+  --chaos-seed <n>    deterministic seed for all chaos targeting (default: 7)
   --help              show this message
 
 env fallbacks: RHMD_SCALE (tiny|small|standard|paper) selects the corpus.";
@@ -70,6 +89,8 @@ struct Point {
     abstained: u64,
     /// Sessions degraded by load-shedding (explicit shed verdicts).
     shed: u64,
+    /// Sessions isolated by the poison-pill boundary (abstain/quarantine).
+    quarantined: u64,
     /// Median end-to-verdict latency in milliseconds.
     p50_ms: f64,
     /// 99th-percentile end-to-verdict latency in milliseconds.
@@ -80,8 +101,44 @@ struct Point {
     shed_rate: f64,
     /// Offered sessions with no verdict line (must be 0: no silent drops).
     lost: u64,
-    /// Whether `offered == decided + abstained + shed` held.
+    /// Whether `offered == decided + abstained + shed + quarantined` held.
     accounted: bool,
+}
+
+/// Outcome of the chaos point: the service under a hostile wire, a
+/// poisoned scorer, and mid-stream shard kills. Every field here is a
+/// release gate (see `run`), not just telemetry.
+#[derive(Debug, Serialize)]
+struct ChaosReport {
+    /// Deterministic seed driving all fault targeting.
+    seed: u64,
+    /// Sessions offered through the hostile pipeline.
+    sessions: u64,
+    /// Sessions the poison-pill boundary isolated (must be > 0, or the
+    /// injected scorer faults never fired and the point is vacuous).
+    quarantined: u64,
+    /// Wire frames rejected at the boundary (malformed / truncated /
+    /// oversized / non-finite); must be > 0 for the same reason.
+    rejected_frames: u64,
+    /// Duplicate / stale re-deliveries repaired away by the sequence
+    /// filter.
+    stale_frames: u64,
+    /// Shard workers killed mid-stream by the harness.
+    shard_kills: u64,
+    /// Supervisor restarts observed (>= shard_kills when recovery works).
+    shard_restarts: u64,
+    /// Median kill-to-serving shard recovery latency, milliseconds.
+    recovery_p50_ms: f64,
+    /// 99th-percentile shard recovery latency, milliseconds.
+    recovery_p99_ms: f64,
+    /// Whether the engine ever entered the failed state (must be false:
+    /// the restart budget absorbed every kill).
+    engine_failed: bool,
+    /// Whether the four-term accounting identity closed at drain.
+    accounted: bool,
+    /// Whether every non-quarantined session's verdict matched the batch
+    /// evaluation path bit for bit despite the chaos.
+    nonquarantined_bit_identical: bool,
 }
 
 /// The full report written to `BENCH_serve.json`.
@@ -96,6 +153,8 @@ struct Report {
     /// Whether streamed verdicts matched the batch evaluation path at
     /// every shard count tried (`null` in `--connect` mode).
     replay_bit_identical: Option<bool>,
+    /// The chaos point's gates and recovery envelope (`--chaos` only).
+    chaos: Option<ChaosReport>,
     /// The measured operating points.
     points: Vec<Point>,
 }
@@ -105,6 +164,8 @@ struct Options {
     connect: Option<PathBuf>,
     sessions: usize,
     qps: f64,
+    chaos: bool,
+    chaos_seed: u64,
 }
 
 fn parse_args() -> Result<Options, RhmdError> {
@@ -113,6 +174,8 @@ fn parse_args() -> Result<Options, RhmdError> {
         connect: None,
         sessions: 32,
         qps: 0.0,
+        chaos: false,
+        chaos_seed: 7,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(token) = iter.next() {
@@ -134,6 +197,13 @@ fn parse_args() -> Result<Options, RhmdError> {
                 opts.qps = v
                     .parse()
                     .map_err(|_| RhmdError::parse("--qps", format!("invalid value '{v}'")))?;
+            }
+            "--chaos" => opts.chaos = true,
+            "--chaos-seed" => {
+                let v = value("--chaos-seed")?;
+                opts.chaos_seed = v.parse().map_err(|_| {
+                    RhmdError::parse("--chaos-seed", format!("invalid value '{v}'"))
+                })?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -160,8 +230,8 @@ fn run() -> Result<(), RhmdError> {
     let opts = parse_args()?;
     let exp = Experiment::load();
     let report = match &opts.connect {
-        Some(sock) => connect_mode(&exp, sock, opts.sessions, opts.qps)?,
-        None => in_process(&exp)?,
+        Some(sock) => connect_mode(&exp, sock, &opts)?,
+        None => in_process(&exp, &opts)?,
     };
     let json = serde_json::to_string(&report)
         .map_err(|e| RhmdError::model(format!("serialize report: {e}")))?;
@@ -170,8 +240,16 @@ fn run() -> Result<(), RhmdError> {
     for p in &report.points {
         eprintln!(
             "[loadgen] {:>10}: offered {} decided {} abstained {} shed {} \
-             p50 {:.2}ms p99 {:.2}ms lost {}",
-            p.label, p.offered, p.decided, p.abstained, p.shed, p.p50_ms, p.p99_ms, p.lost
+             quarantined {} p50 {:.2}ms p99 {:.2}ms lost {}",
+            p.label,
+            p.offered,
+            p.decided,
+            p.abstained,
+            p.shed,
+            p.quarantined,
+            p.p50_ms,
+            p.p99_ms,
+            p.lost
         );
     }
     if report.points.iter().any(|p| p.lost > 0 || !p.accounted) {
@@ -184,6 +262,48 @@ fn run() -> Result<(), RhmdError> {
         return Err(RhmdError::model(
             "streamed replay diverged from the batch evaluation path",
         ));
+    }
+    if let Some(chaos) = &report.chaos {
+        eprintln!(
+            "[loadgen] chaos: quarantined {} rejected_frames {} stale {} \
+             kills {} restarts {} recovery p99 {:.2}ms failed {} identical {}",
+            chaos.quarantined,
+            chaos.rejected_frames,
+            chaos.stale_frames,
+            chaos.shard_kills,
+            chaos.shard_restarts,
+            chaos.recovery_p99_ms,
+            chaos.engine_failed,
+            chaos.nonquarantined_bit_identical
+        );
+        if chaos.engine_failed {
+            return Err(RhmdError::model(
+                "chaos: the engine entered the failed state — the restart \
+                 budget did not absorb the injected shard kills",
+            ));
+        }
+        if !chaos.accounted {
+            return Err(RhmdError::model(
+                "chaos: the four-term accounting identity did not close",
+            ));
+        }
+        if !chaos.nonquarantined_bit_identical {
+            return Err(RhmdError::model(
+                "chaos: a non-quarantined session's verdict diverged from the \
+                 batch evaluation path",
+            ));
+        }
+        if chaos.quarantined == 0 || chaos.rejected_frames == 0 || chaos.stale_frames == 0 {
+            return Err(RhmdError::model(
+                "chaos: a fault plane never fired (quarantine, rejection, or \
+                 re-delivery count is zero) — the point is vacuous",
+            ));
+        }
+        if chaos.shard_kills > 0 && chaos.shard_restarts < chaos.shard_kills {
+            return Err(RhmdError::model(
+                "chaos: the supervisor restarted fewer shards than were killed",
+            ));
+        }
     }
     Ok(())
 }
@@ -244,6 +364,7 @@ fn point_from(
         decided: stats.decided,
         abstained: stats.abstained,
         shed: stats.shed_sessions,
+        quarantined: stats.quarantined,
         p50_ms: percentile(&latencies_ms, 0.50),
         p99_ms: percentile(&latencies_ms, 0.99),
         abstain_rate: stats.abstained as f64 / offered.max(1) as f64,
@@ -302,7 +423,7 @@ fn send_session(engine: &Engine, exp: &Experiment, col: &Collected, k: usize, pr
     let tenant = if k.is_multiple_of(2) { "t0" } else { "t1" };
     let session = format!("s{k}");
     for (seq, sub) in exp.traced.subwindows(prog).iter().enumerate() {
-        engine.submit_event(0, tenant, &session, seq as u64, Box::new(sub.clone()));
+        engine.submit_event(0, tenant, &session, seq as u64, Box::new(sub.clone()), None);
     }
     col.ends
         .lock()
@@ -338,7 +459,9 @@ fn run_point(
         tenant_deadline: None,
         ..ServeConfig::default()
     };
-    let engine = Engine::start(hmd.clone(), config)?;
+    // Explicit default faults: a stray RHMD_SERVE_FAULTS in the
+    // environment must never poison a clean measurement point.
+    let engine = Engine::start_with_faults(hmd.clone(), config, EngineFaults::default())?;
     let out = engine.output();
     let col = Collected::default();
     let test = &exp.splits.attacker_test;
@@ -400,7 +523,7 @@ fn replay_identity(exp: &Experiment, hmd: &Hmd, n_shards: usize) -> Result<bool,
         tenant_deadline: None,
         ..ServeConfig::default()
     };
-    let engine = Engine::start(hmd.clone(), config)?;
+    let engine = Engine::start_with_faults(hmd.clone(), config, EngineFaults::default())?;
     let out = engine.output();
     let col = Collected::default();
     let test = exp.splits.attacker_test.clone();
@@ -449,7 +572,211 @@ fn replay_identity(exp: &Experiment, hmd: &Hmd, n_shards: usize) -> Result<bool,
     Ok(identical)
 }
 
-fn in_process(exp: &Experiment) -> Result<Report, RhmdError> {
+/// What the batch path says about a replayed program, reduced to the
+/// fields a verdict line carries — the bit-identity oracle.
+fn batch_expectation(hmd: &Hmd, exp: &Experiment, prog: usize) -> (String, usize, f64) {
+    let expected = hmd.verdict(exp.traced.subwindows(prog));
+    let want = if expected.total == 0 {
+        "abstain"
+    } else if expected.is_malware() {
+        "malware"
+    } else {
+        "benign"
+    };
+    (want.to_owned(), expected.total, expected.flag_rate())
+}
+
+/// The chaos point: every test program replayed through the full hostile
+/// pipeline — frames expanded by the wire-fault plane, then pushed through
+/// the bounded frame reader, parser, and validator exactly as a socket
+/// client's bytes would be — against an engine with injected scorer poison,
+/// while shard workers are killed mid-session and supervised back up.
+fn chaos_point(
+    exp: &Experiment,
+    hmd: &Hmd,
+    n_shards: usize,
+    seed: u64,
+) -> Result<(Point, ChaosReport), RhmdError> {
+    use rhmd_serve::proto::Request;
+
+    let wire = WireFaults::standard(seed);
+    let engine_faults = EngineFaults {
+        score_panic: 0.2,
+        score_nan: 0.15,
+        seed,
+    };
+    let per_session = mean_events(exp).ceil() as usize;
+    let config = ServeConfig {
+        shards: n_shards,
+        queue: Watermarks {
+            capacity: 4 * per_session + 256,
+            high: 4 * per_session + 256,
+            low: 0,
+        },
+        output: Watermarks {
+            capacity: 1 << 16,
+            high: 1 << 16,
+            low: 0,
+        },
+        session_deadline: None,
+        tenant_deadline: None,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::start_with_faults(hmd.clone(), config, engine_faults.clone())?;
+    let out = engine.output();
+    let col = Collected::default();
+    let test = exp.splits.attacker_test.clone();
+    // Kill a shard during roughly every third session, while that session
+    // is mid-stream, so supervised restarts must restore live state.
+    let kill_every = (test.len() / 3).max(2);
+    let mut kills = 0u64;
+    let mut rejected_frames = 0u64;
+    let t0 = Instant::now();
+    let stats = std::thread::scope(|scope| {
+        let collector = scope.spawn(|| collect(&out, &col));
+        for (k, &prog) in test.iter().enumerate() {
+            let session = format!("s{k}");
+            // Render the session exactly as a client would put it on the
+            // wire, with the fault plane expanding each frame.
+            let mut bytes: Vec<u8> = Vec::new();
+            let mut first_frame = String::new();
+            let subs = exp.traced.subwindows(prog);
+            for (seq, sub) in subs.iter().enumerate() {
+                let frame = serde_json::to_string(&Request::Event {
+                    tenant: "t0".into(),
+                    session: session.clone(),
+                    seq: seq as u64,
+                    window: Box::new(sub.clone()),
+                    deadline_ms: None,
+                })
+                .expect("requests serialize");
+                if seq == 0 {
+                    first_frame = frame.clone();
+                }
+                for line in wire.mutate(&session, seq as u64, &frame, &first_frame) {
+                    bytes.extend_from_slice(line.as_bytes());
+                    bytes.push(b'\n');
+                }
+            }
+            // Feed the hostile bytes through the real ingest pipeline.
+            let mut input = std::io::Cursor::new(bytes);
+            let mut partial = Vec::new();
+            let mut submitted = 0usize;
+            loop {
+                match read_frame(&mut input, &mut partial) {
+                    Frame::Line(line) => {
+                        match parse_request(&line).and_then(|r| {
+                            validate_request(&r)?;
+                            Ok(r)
+                        }) {
+                            Ok(request) => {
+                                engine.submit(0, request);
+                                submitted += 1;
+                            }
+                            Err(_) => rejected_frames += 1,
+                        }
+                    }
+                    Frame::Oversized(_) => rejected_frames += 1,
+                    Frame::Idle | Frame::Stalled => unreachable!("cursors never block"),
+                    Frame::Eof { .. } => break,
+                }
+                // Mid-session shard kill: live assemblies must survive the
+                // restart via snapshots (or the worker's dying flush).
+                if k % kill_every == 1
+                    && submitted == subs.len() / 2
+                    && submitted > 0
+                    && engine.kill_shard(k % n_shards)
+                {
+                    kills += 1;
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    while (engine.recoveries_ns().len() as u64) < kills
+                        && !engine.failed()
+                        && Instant::now() < deadline
+                    {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+            col.ends
+                .lock()
+                .unwrap()
+                .insert(session.clone(), Instant::now());
+            engine.submit_end(0, "t0", &session);
+            // One session in flight at a time: the chaos point probes
+            // fault handling, not throughput, and must never shed.
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while col.verdict_count() <= k && !engine.failed() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let stats = engine.drain();
+        let _ = collector.join();
+        stats
+    });
+    let elapsed = t0.elapsed();
+
+    // Bit-identity gate: quarantine-targeted sessions must carry the
+    // explicit quarantine abstention; everyone else must match the batch
+    // path exactly, chaos or no chaos.
+    let verdicts = col.verdicts.lock().unwrap().clone();
+    let mut identical = verdicts.len() == test.len();
+    for v in &verdicts {
+        let k: usize = v.session[1..].parse().expect("session ids are s<k>");
+        if engine_faults.quarantines("t0", &v.session) {
+            if v.verdict != "abstain" || v.reason.as_deref() != Some("quarantine") {
+                eprintln!(
+                    "[loadgen] CHAOS: poisoned session {} ended '{}' ({:?}), \
+                     expected abstain/quarantine",
+                    v.session, v.verdict, v.reason
+                );
+                identical = false;
+            }
+            continue;
+        }
+        let (want, voted, flag_rate) = batch_expectation(hmd, exp, test[k]);
+        if v.verdict != want || v.voted != voted || v.flag_rate != flag_rate {
+            eprintln!(
+                "[loadgen] CHAOS DIVERGENCE session {}: streamed {} (voted {}, \
+                 flag_rate {}), batch wants {} (voted {voted}, flag_rate {flag_rate})",
+                v.session, v.verdict, v.voted, v.flag_rate, want
+            );
+            identical = false;
+        }
+    }
+
+    let mut recovery_ms: Vec<f64> = engine
+        .recoveries_ns()
+        .iter()
+        .map(|&ns| ns as f64 / 1e6)
+        .collect();
+    recovery_ms.sort_by(f64::total_cmp);
+    let chaos = ChaosReport {
+        seed,
+        sessions: stats.offered_sessions,
+        quarantined: stats.quarantined,
+        rejected_frames,
+        stale_frames: stats.stale_frames,
+        shard_kills: kills,
+        shard_restarts: stats.shard_restarts,
+        recovery_p50_ms: percentile(&recovery_ms, 0.50),
+        recovery_p99_ms: percentile(&recovery_ms, 0.99),
+        engine_failed: engine.failed(),
+        accounted: stats.accounted(),
+        nonquarantined_bit_identical: identical,
+    };
+    let point = point_from(
+        "chaos",
+        0.0,
+        0.0,
+        &stats,
+        col.verdict_count() as u64,
+        std::mem::take(&mut col.latencies_ms.lock().unwrap()),
+        elapsed,
+    );
+    Ok((point, chaos))
+}
+
+fn in_process(exp: &Experiment, opts: &Options) -> Result<Report, RhmdError> {
     let hmd = train(exp);
     let per_session = mean_events(exp);
     let n_shards = shards();
@@ -506,11 +833,24 @@ fn in_process(exp: &Experiment) -> Result<Report, RhmdError> {
         points.push(point);
     }
 
+    let chaos = if opts.chaos {
+        eprintln!(
+            "[loadgen] chaos point (seed {}): hostile wire + scorer poison + shard kills ...",
+            opts.chaos_seed
+        );
+        let (point, chaos) = chaos_point(exp, &hmd, n_shards, opts.chaos_seed)?;
+        points.push(point);
+        Some(chaos)
+    } else {
+        None
+    };
+
     Ok(Report {
         scale: scale_name(),
         saturation_sps,
         events_per_session: per_session,
         replay_bit_identical: Some(identical),
+        chaos,
         points,
     })
 }
@@ -523,12 +863,29 @@ fn in_process(exp: &Experiment) -> Result<Report, RhmdError> {
 fn connect_mode(
     exp: &Experiment,
     sock: &std::path::Path,
-    sessions: usize,
-    qps: f64,
+    opts: &Options,
 ) -> Result<Report, RhmdError> {
     use rhmd_serve::proto::Request;
     use std::io::{BufRead, BufReader, Write};
     use std::os::unix::net::UnixStream;
+
+    let (sessions, qps) = (opts.sessions, opts.qps);
+    let wire = opts.chaos.then(|| WireFaults::standard(opts.chaos_seed));
+
+    // Hostile co-tenants: a mid-frame disconnect and a slow-loris holding
+    // half a frame open. The daemon must keep serving the healthy client.
+    let mut attacker_loris: Option<UnixStream> = None;
+    if opts.chaos {
+        if let Ok(mut s) = UnixStream::connect(sock) {
+            let _ = s.write_all(br#"{"Event":{"tenant":"t0","session":"vanish","#);
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        if let Ok(mut s) = UnixStream::connect(sock) {
+            let _ = s.write_all(br#"{"Event":{"tenant":"t0","session":"loris","#);
+            let _ = s.flush();
+            attacker_loris = Some(s); // held open, never finished
+        }
+    }
 
     let stream = UnixStream::connect(sock)
         .map_err(|e| RhmdError::io(sock.display().to_string(), e.to_string()))?;
@@ -568,19 +925,30 @@ fn connect_mode(
             }
             let tenant = if k.is_multiple_of(2) { "t0" } else { "t1" };
             let session = format!("s{k}");
+            let mut first_frame = String::new();
             for (seq, sub) in exp.traced.subwindows(test[k % test.len()]).iter().enumerate() {
                 let req = Request::Event {
                     tenant: tenant.to_owned(),
                     session: session.clone(),
                     seq: seq as u64,
                     window: Box::new(sub.clone()),
+                    deadline_ms: None,
                 };
-                let line = serde_json::to_string(&req).expect("requests serialize");
+                let frame = serde_json::to_string(&req).expect("requests serialize");
+                if seq == 0 {
+                    first_frame = frame.clone();
+                }
+                let lines = match &wire {
+                    Some(w) => w.mutate(&session, seq as u64, &frame, &first_frame),
+                    None => vec![frame],
+                };
                 // A write error means the server went away mid-stream
                 // (e.g. a SIGTERM drain): stop offering and settle with
                 // whatever verdicts the drain flushed.
-                if writeln!(writer, "{line}").is_err() {
-                    break 'send;
+                for line in lines {
+                    if writeln!(writer, "{line}").is_err() {
+                        break 'send;
+                    }
                 }
             }
             col.ends
@@ -614,6 +982,16 @@ fn connect_mode(
         while Instant::now() < deadline && (col.verdict_count() as u64) < sent {
             std::thread::sleep(Duration::from_millis(20));
         }
+        // Second stats barrier: counts are bumped before a verdict line is
+        // emitted, so a snapshot taken after every verdict arrived is
+        // consistent — the first one can be stale by an in-flight finalize.
+        let _ = writeln!(
+            writer,
+            "{}",
+            serde_json::to_string(&Request::Stats {}).expect("requests serialize")
+        );
+        let _ = writer.flush();
+        std::thread::sleep(Duration::from_millis(50));
         let _ = stream.shutdown(std::net::Shutdown::Write);
         server_stats = reader.join().unwrap_or(None);
         Ok(())
@@ -638,6 +1016,7 @@ fn connect_mode(
             ..StatsMsg::default()
         }
     });
+    drop(attacker_loris); // released only after the healthy run completed
     let point = point_from(
         "connect",
         0.0,
@@ -652,6 +1031,7 @@ fn connect_mode(
         saturation_sps: 0.0,
         events_per_session: mean_events(exp),
         replay_bit_identical: None,
+        chaos: None,
         points: vec![point],
     })
 }
@@ -660,8 +1040,7 @@ fn connect_mode(
 fn connect_mode(
     _exp: &Experiment,
     _sock: &std::path::Path,
-    _sessions: usize,
-    _qps: f64,
+    _opts: &Options,
 ) -> Result<Report, RhmdError> {
     Err(RhmdError::config("--connect is only supported on Unix"))
 }

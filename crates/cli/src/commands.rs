@@ -827,26 +827,42 @@ pub fn serve(args: &Args) -> Result<(), RhmdError> {
         )),
         min_fill: args.parse_or("min-fill", 1.0)?,
         min_coverage: args.parse_or("min-coverage", 0.0)?,
+        snapshot_every: std::time::Duration::from_millis(
+            args.parse_or("snapshot-every-ms", 25u64)?,
+        ),
+        restart_budget: args.parse_or("restart-budget", 5u32)?,
+        restart_backoff: std::time::Duration::from_millis(
+            args.parse_or("restart-backoff-ms", 10u64)?,
+        ),
+        read_stall: std::time::Duration::from_secs(args.parse_or("read-stall-secs", 5u64)?),
+        write_timeout: std::time::Duration::from_secs(args.parse_or("write-timeout-secs", 2u64)?),
     };
+    // `Engine::start` reads RHMD_SERVE_FAULTS: the daemon's injectable
+    // fault plane for chaos drills stays env-gated, off by default.
     let engine = rhmd_serve::engine::Engine::start(hmd, config)?;
     eprintln!(
-        "[serve] model {} (config hash {:016x}), {} shards, queue {}/{}/{} (cap/high/low)",
+        "[serve] model {} (config hash {:016x}), {} shards, queue {}/{}/{} (cap/high/low), restart budget {}",
         model_path,
         engine.config_hash(),
         engine.config().shards,
         engine.config().queue.capacity,
         engine.config().queue.high,
         engine.config().queue.low,
+        engine.config().restart_budget,
     );
     let stats = serve_transport(engine, args.get("listen"))?;
     eprintln!(
-        "[serve] drained: {} offered = {} decided + {} abstained + {} shed ({} events offered, {} shed)",
+        "[serve] drained: {} offered = {} decided + {} abstained + {} shed + {} quarantined \
+         ({} events offered, {} shed, {} stale dropped, {} shard restarts)",
         stats.offered_sessions,
         stats.decided,
         stats.abstained,
         stats.shed_sessions,
+        stats.quarantined,
         stats.offered_events,
         stats.shed_events,
+        stats.stale_frames,
+        stats.shard_restarts,
     );
     if !stats.accounted() {
         return Err(RhmdError::model(format!(

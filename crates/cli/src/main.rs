@@ -17,6 +17,9 @@
 //!               [--queue-cap n] [--high-watermark n] [--low-watermark n]
 //!               [--batch-max n] [--batch-deadline-ms n] [--task-deadline secs]
 //!               [--tenant-deadline secs] [--min-fill f] [--min-coverage f]
+//!               [--restart-budget n] [--restart-backoff-ms n]
+//!               [--snapshot-every-ms n] [--read-stall-secs n]
+//!               [--write-timeout-secs n]
 //!               [--metrics snap.json] [--metrics-summary]
 //! ```
 
@@ -76,6 +79,22 @@ CRASH TOLERANCE (sweep):
   --checkpoint-every N                  fsync the journal every N cells (default 1)
   --task-deadline SECS                  flag + requeue work units stuck > SECS
   Resumed runs are bit-identical to uninterrupted ones at any --threads N.
+
+ROBUSTNESS (serve):
+  --restart-budget N                    shard-worker restarts the supervisor
+                                        may spend before failing fast (default 5)
+  --restart-backoff-ms N                base supervisor backoff, doubled per
+                                        restart of the same shard (default 10)
+  --snapshot-every-ms N                 session-snapshot sync cadence backing
+                                        lossless shard restarts (default 25)
+  --read-stall-secs N                   disconnect a client stalled mid-frame
+                                        (slow loris) after N seconds (default 5)
+  --write-timeout-secs N                drop a consumer that blocks verdict
+                                        writes for N seconds (default 2)
+  Malformed, oversized, stale, or non-finite frames are rejected with typed
+  errors (never a crash); sessions that poison the scorer are quarantined
+  with explicit abstain verdicts. The drain summary accounts every session:
+  offered == decided + abstained + shed + quarantined.
 
 OBSERVABILITY (train, evaluate, sweep):
   --metrics PATH                        export per-stage counters and latency

@@ -45,6 +45,7 @@ fn session_lines(traced: &TracedCorpus, program: usize, tenant: &str, session: &
                 session: session.to_owned(),
                 seq: seq as u64,
                 window: Box::new(sub.clone()),
+                deadline_ms: None,
             })
             .unwrap()
         })
@@ -216,6 +217,95 @@ fn sigterm_mid_stream_drains_gracefully_over_the_socket() {
     let cut = verdicts.iter().find(|(s, _)| s == "cut").unwrap();
     assert_eq!(cut.1, "abstain", "the mid-stream session abstains loudly");
     assert!(metrics.is_file(), "metrics snapshot flushed during shutdown");
+    assert!(!sock.exists(), "socket file removed on exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shutdown must be idempotent: a second (and third) signal landing while
+/// the first drain is already in flight — the classic double Ctrl-C, or a
+/// process manager escalating SIGTERM → SIGINT — must coalesce into one
+/// clean drain, one `Drained` notice, and exit 0.
+#[cfg(unix)]
+#[test]
+fn repeated_signals_coalesce_into_one_clean_drain() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    let dir = scratch("double-signal");
+    let model = train_model(&dir);
+    let sock = dir.join("serve.sock");
+    let traced = tiny_traced();
+
+    let child = rhmd()
+        .args(["serve", "--model"])
+        .arg(&model)
+        .args(["--listen"])
+        .arg(&sock)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut child = child;
+    let mut stream = {
+        let mut tries = 0;
+        loop {
+            match UnixStream::connect(&sock) {
+                Ok(s) => break s,
+                Err(_) if tries < 200 => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => panic!("serve never bound {}: {e}", sock.display()),
+            }
+        }
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // A session left mid-stream so the signals land with real state to
+    // drain, plus a stats barrier proving the server ingested it all.
+    let partial = session_lines(&traced, 0, "t0", "cut");
+    for line in &partial[..partial.len() / 2] {
+        writeln!(stream, "{line}").unwrap();
+    }
+    writeln!(stream, "{}", serde_json::to_string(&Request::Stats {}).unwrap()).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    loop {
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up early");
+        if matches!(serde_json::from_str::<Response>(&line).unwrap(), Response::Stats(_)) {
+            break;
+        }
+    }
+
+    let pid = child.id().to_string();
+    for sig in ["-TERM", "-TERM", "-INT"] {
+        let kill = Command::new("kill").args([sig, &pid]).status().unwrap();
+        assert!(kill.success());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut verdicts = 0;
+    let mut drained = 0;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        match serde_json::from_str::<Response>(&line).unwrap() {
+            Response::Verdict(_) => verdicts += 1,
+            Response::Drained(stats) => {
+                drained += 1;
+                assert!(stats.accounted(), "identity after signal storm: {stats:?}");
+                assert_eq!(stats.offered_sessions, 1);
+            }
+            _ => {}
+        }
+    }
+    let status = child.wait().unwrap();
+    assert!(status.success(), "a signal storm still exits 0, not via abort");
+    assert_eq!(drained, 1, "exactly one drain despite three signals");
+    assert_eq!(verdicts, 1, "the mid-stream session is finalized exactly once");
     assert!(!sock.exists(), "socket file removed on exit");
     std::fs::remove_dir_all(&dir).ok();
 }

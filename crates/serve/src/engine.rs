@@ -1,5 +1,6 @@
 //! The sharded serving engine: session routing, micro-batched scoring,
-//! load-shedding, watchdogs, hot reload, and drain.
+//! load-shedding, poison-pill quarantine, shard supervision, watchdogs,
+//! hot reload, and drain.
 //!
 //! Sessions hash to one of `shards` worker threads; each worker owns its
 //! sessions outright (no shared session state, no locks on the hot path)
@@ -14,11 +15,32 @@
 //! a slow verdict consumer stalls the workers, the ingest queues fill, and
 //! the admission path starts shedding — backpressure propagates end to end
 //! with no unbounded buffer anywhere.
+//!
+//! Two failure boundaries sit between a hostile session and the daemon:
+//!
+//! * **Poison-pill quarantine.** Every micro-batch scores inside a
+//!   [`std::panic::catch_unwind`] fence. A panicking or non-finite batch
+//!   is bisected to isolate the offending rows; their sessions are
+//!   finalized as `abstain`/`quarantine` (counted separately in the
+//!   accounting identity) and tombstoned at the door, while every other
+//!   session in the batch keeps its exact score — scoring is
+//!   row-independent, so the bisection cannot perturb innocent verdicts.
+//! * **Shard supervision.** Each worker syncs dirty sessions into an
+//!   in-memory snapshot store (create, then every
+//!   [`ServeConfig::snapshot_every`]); a supervisor thread detects worker
+//!   death, restarts the shard with sessions restored from the store under
+//!   a bounded restart budget with deterministic exponential backoff, and
+//!   fails fast (explicit `abstain`/`shard-down` verdicts, engine flagged
+//!   failed) when the budget is exhausted. The one unavoidable hole is the
+//!   single message being processed at the instant of death; everything
+//!   else is restored, and a [`Engine::kill_shard`] kill (which flushes
+//!   and syncs before dying) recovers bit-identically.
 
 use crate::batch::MicroBatcher;
+use crate::chaos::EngineFaults;
 use crate::proto::{Request, Response, StatsMsg, VerdictMsg};
 use crate::queue::BoundedQueue;
-use crate::session::{Sealed, SessionKey, SessionState, Slot};
+use crate::session::{Sealed, SessionKey, SessionSnapshot, SessionState, Slot};
 use crate::ServeConfig;
 use rhmd_core::hmd::{Hmd, QuorumVerdict, ABSTAIN_BOUND};
 use rhmd_core::RhmdError;
@@ -27,7 +49,7 @@ use rhmd_ml::matrix::FeatureMatrix;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, Once, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -83,8 +105,11 @@ pub struct Counts {
     decided: AtomicU64,
     abstained: AtomicU64,
     shed_sessions: AtomicU64,
+    quarantined: AtomicU64,
     offered_events: AtomicU64,
     shed_events: AtomicU64,
+    stale_frames: AtomicU64,
+    shard_restarts: AtomicU64,
     reloads_ok: AtomicU64,
     reloads_rejected: AtomicU64,
 }
@@ -96,8 +121,11 @@ impl Counts {
             decided: self.decided.load(Ordering::Relaxed),
             abstained: self.abstained.load(Ordering::Relaxed),
             shed_sessions: self.shed_sessions.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
             offered_events: self.offered_events.load(Ordering::Relaxed),
             shed_events: self.shed_events.load(Ordering::Relaxed),
+            stale_frames: self.stale_frames.load(Ordering::Relaxed),
+            shard_restarts: self.shard_restarts.load(Ordering::Relaxed),
             reloads_ok: self.reloads_ok.load(Ordering::Relaxed),
             reloads_rejected: self.reloads_rejected.load(Ordering::Relaxed),
         }
@@ -110,6 +138,7 @@ enum ShardMsg {
         conn: u64,
         seq: u64,
         window: Box<RawWindow>,
+        deadline_ms: Option<u64>,
     },
     End {
         key: SessionKey,
@@ -120,26 +149,43 @@ enum ShardMsg {
         key: SessionKey,
         conn: u64,
     },
+    /// Chaos hook: the worker flushes its batches, syncs every session to
+    /// the snapshot store, and dies — exercising lossless supervision
+    /// recovery.
+    Kill,
     Drain,
 }
+
+type SnapshotStore = Mutex<HashMap<SessionKey, SessionSnapshot>>;
 
 struct ShardHandle {
     queue: Arc<BoundedQueue<ShardMsg>>,
     /// Sessions currently refused at admission; their later events drop at
-    /// the door (counted) without touching the queue.
+    /// the door (counted) without touching the queue. Lives on the engine
+    /// side, so it survives worker death.
     shed: Mutex<HashSet<SessionKey>>,
+    /// Incremental session snapshots, the restart substrate. Workers insert
+    /// at session creation and re-sync dirty sessions periodically; every
+    /// finalize path removes its key, so leftovers after worker death are
+    /// exactly the sessions that still need a verdict.
+    store: Arc<SnapshotStore>,
 }
 
 /// The resident serving engine. One per `rhmd serve` process (or embedded
 /// in-process by `loadgen`).
 pub struct Engine {
-    shards: Vec<ShardHandle>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    shards: Arc<Vec<ShardHandle>>,
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
     model: Arc<RwLock<Arc<ModelSnapshot>>>,
     out: Arc<BoundedQueue<OutEvent>>,
     counts: Arc<Counts>,
     config: ServeConfig,
+    faults: EngineFaults,
     draining: Arc<AtomicBool>,
+    failed: Arc<AtomicBool>,
+    last_error: Arc<Mutex<Option<String>>>,
+    recovery_ns: Arc<Mutex<Vec<u64>>>,
 }
 
 fn read_snapshot(model: &RwLock<Arc<ModelSnapshot>>) -> Arc<ModelSnapshot> {
@@ -149,50 +195,117 @@ fn read_snapshot(model: &RwLock<Arc<ModelSnapshot>>) -> Arc<ModelSnapshot> {
     }
 }
 
+/// Contained panics inside shard workers (injected scorer faults, chaos
+/// kills) are expected events under test; the default panic hook would
+/// flood stderr with backtraces for failures that are caught, counted, and
+/// recovered. Silence the hook for engine worker threads only — the
+/// supervisor surfaces real deaths through `shard_restarts`, `last_error`,
+/// and metrics.
+fn silence_worker_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let ours = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("rhmd-serve-"));
+            if !ours {
+                prev(info);
+            }
+        }));
+    });
+}
+
 impl Engine {
     /// Validates `config`, installs `hmd` as the serving snapshot, and
-    /// spawns the shard workers.
+    /// spawns the shard workers and their supervisor. Engine-side fault
+    /// injection is read from the `RHMD_SERVE_FAULTS` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RhmdError::Config`] for invalid configuration and
+    /// [`RhmdError::Parse`] for a malformed fault spec — a misconfigured
+    /// chaos run fails loudly at startup instead of silently serving
+    /// without faults.
+    pub fn start(hmd: Hmd, config: ServeConfig) -> Result<Engine, RhmdError> {
+        Engine::start_with_faults(hmd, config, EngineFaults::from_env()?)
+    }
+
+    /// [`Engine::start`] with an explicit fault plane (ignores the
+    /// environment) — what `loadgen` uses to keep its clean baseline
+    /// points clean while chaos points inject.
     ///
     /// # Errors
     ///
     /// Returns [`RhmdError::Config`] for invalid configuration.
-    pub fn start(hmd: Hmd, config: ServeConfig) -> Result<Engine, RhmdError> {
+    pub fn start_with_faults(
+        hmd: Hmd,
+        config: ServeConfig,
+        faults: EngineFaults,
+    ) -> Result<Engine, RhmdError> {
         config.validate()?;
+        silence_worker_panics();
         let model = Arc::new(RwLock::new(Arc::new(ModelSnapshot::new(hmd))));
-        let out = Arc::new(BoundedQueue::new(config.output));
+        let out = Arc::new(BoundedQueue::try_new(config.output)?);
         let counts = Arc::new(Counts::default());
         let draining = Arc::new(AtomicBool::new(false));
+        let failed = Arc::new(AtomicBool::new(false));
+        let last_error = Arc::new(Mutex::new(None));
+        let recovery_ns = Arc::new(Mutex::new(Vec::new()));
         let mut shards = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for idx in 0..config.shards {
-            let queue = Arc::new(BoundedQueue::new(config.queue));
-            shards.push(ShardHandle {
-                queue: Arc::clone(&queue),
-                shed: Mutex::new(HashSet::new()),
-            });
-            let worker = Worker::new(
+            let queue = Arc::new(BoundedQueue::try_new(config.queue)?);
+            let store: Arc<SnapshotStore> = Arc::new(Mutex::new(HashMap::new()));
+            workers.push(Some(spawn_worker(
                 idx,
-                queue,
+                Arc::clone(&queue),
+                Arc::clone(&store),
                 Arc::clone(&model),
                 Arc::clone(&out),
                 Arc::clone(&counts),
                 config.clone(),
-            );
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("rhmd-serve-{idx}"))
-                    .spawn(move || worker.run())
-                    .map_err(|e| RhmdError::config(format!("serve: spawn worker: {e}")))?,
-            );
+                faults.clone(),
+                false,
+            )?));
+            shards.push(ShardHandle {
+                queue,
+                shed: Mutex::new(HashSet::new()),
+                store,
+            });
         }
+        let shards = Arc::new(shards);
+        let workers = Arc::new(Mutex::new(workers));
+        let supervisor = Supervisor {
+            shards: Arc::clone(&shards),
+            workers: Arc::clone(&workers),
+            model: Arc::clone(&model),
+            out: Arc::clone(&out),
+            counts: Arc::clone(&counts),
+            config: config.clone(),
+            faults: faults.clone(),
+            draining: Arc::clone(&draining),
+            failed: Arc::clone(&failed),
+            last_error: Arc::clone(&last_error),
+            recovery_ns: Arc::clone(&recovery_ns),
+        };
+        let supervisor = std::thread::Builder::new()
+            .name("rhmd-supervise".to_string())
+            .spawn(move || supervisor.run())
+            .map_err(|e| RhmdError::config(format!("serve: spawn supervisor: {e}")))?;
         Ok(Engine {
             shards,
-            workers: Mutex::new(workers),
+            workers,
+            supervisor: Mutex::new(Some(supervisor)),
             model,
             out,
             counts,
             config,
+            faults,
             draining,
+            failed,
+            last_error,
+            recovery_ns,
         })
     }
 
@@ -218,15 +331,54 @@ impl Engine {
         self.shards.iter().any(|s| s.queue.is_shedding())
     }
 
+    /// Whether the engine has failed fast (a shard exhausted its restart
+    /// budget or could not be respawned). Front-ends poll this and initiate
+    /// a drain: a failed engine refuses to limp along silently.
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    /// The most recent supervision error (shard death or fail-fast cause).
+    pub fn last_error(&self) -> Option<String> {
+        lock(&self.last_error).clone()
+    }
+
+    /// Wall-clock nanoseconds of each completed shard recovery
+    /// (death detection through restored worker running, backoff
+    /// included) — the chaos benchmark's recovery-latency sample set.
+    pub fn recoveries_ns(&self) -> Vec<u64> {
+        lock(&self.recovery_ns).clone()
+    }
+
+    /// The engine-side fault plane in effect.
+    pub fn faults(&self) -> &EngineFaults {
+        &self.faults
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
     }
 
+    /// Chaos hook: asks shard `idx` to flush, sync its snapshot store, and
+    /// die — the supervisor then restarts it from the store. Returns
+    /// whether the kill was delivered (in-range shard, queue open).
+    pub fn kill_shard(&self, idx: usize) -> bool {
+        idx < self.shards.len() && self.shards[idx].queue.push_control(ShardMsg::Kill).is_ok()
+    }
+
     /// Routes one subwindow event. Never blocks: under overload the event
     /// (and the rest of its session) is shed, with the session finalized as
     /// an explicit `abstain`/`shed` verdict by the owning worker.
-    pub fn submit_event(&self, conn: u64, tenant: &str, session: &str, seq: u64, window: Box<RawWindow>) {
+    pub fn submit_event(
+        &self,
+        conn: u64,
+        tenant: &str,
+        session: &str,
+        seq: u64,
+        window: Box<RawWindow>,
+        deadline_ms: Option<u64>,
+    ) {
         if self.draining.load(Ordering::Relaxed) {
             return; // post-drain stragglers are refused before being offered
         }
@@ -245,6 +397,7 @@ impl Engine {
             conn,
             seq,
             window,
+            deadline_ms,
         }) {
             Ok(()) => {
                 self.counts.offered_events.fetch_add(1, Ordering::Relaxed);
@@ -329,7 +482,8 @@ impl Engine {
                 session,
                 seq,
                 window,
-            } => self.submit_event(conn, &tenant, &session, seq, window),
+                deadline_ms,
+            } => self.submit_event(conn, &tenant, &session, seq, window, deadline_ms),
             Request::End { tenant, session } => self.submit_end(conn, &tenant, &session),
             Request::Reload { model } => {
                 let response = match self.reload_path(Path::new(&model)) {
@@ -359,23 +513,35 @@ impl Engine {
     }
 
     /// Graceful drain: stops admissions, lets workers finish in-flight
-    /// batches, finalizes un-ended sessions as `abstain`/`drain`, emits a
-    /// broadcast [`Response::Drained`] and [`OutEvent::Closed`], and
-    /// returns the final accounting. Idempotent: later calls just return
-    /// the final stats.
+    /// batches, finalizes un-ended sessions as `abstain`/`drain` (and any
+    /// sessions orphaned by an unrecovered shard as `abstain`/
+    /// `"shard-down"`), emits a broadcast [`Response::Drained`] and
+    /// [`OutEvent::Closed`], and returns the final accounting. Idempotent:
+    /// later calls just return the final stats.
     pub fn drain(&self) -> StatsMsg {
         if self.draining.swap(true, Ordering::SeqCst) {
             return self.counts.snapshot();
         }
-        for shard in &self.shards {
+        // Supervision stops first so a worker exiting on Drain is never
+        // mistaken for a death (and never restarted mid-drain).
+        if let Some(sup) = lock(&self.supervisor).take() {
+            let _ = sup.join();
+        }
+        for shard in self.shards.iter() {
             let _ = shard.queue.push_control(ShardMsg::Drain);
         }
-        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        let handles: Vec<JoinHandle<()>> =
+            lock(&self.workers).iter_mut().filter_map(Option::take).collect();
         for worker in handles {
             let _ = worker.join();
         }
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             shard.queue.close();
+        }
+        // A worker that drained cleanly emptied its store; leftovers mean
+        // the shard died undrained — finalize them so the identity holds.
+        for shard in self.shards.iter() {
+            finalize_store_as(&shard.store, &self.out, &self.counts, "shard-down");
         }
         let stats = self.counts.snapshot();
         debug_assert!(stats.accounted(), "drain accounting violated: {stats:?}");
@@ -393,11 +559,14 @@ impl Drop for Engine {
     fn drop(&mut self) {
         // A dropped (not drained) engine must not leave workers spinning.
         if !self.draining.swap(true, Ordering::SeqCst) {
-            for shard in &self.shards {
+            if let Some(sup) = lock(&self.supervisor).take() {
+                let _ = sup.join();
+            }
+            for shard in self.shards.iter() {
                 shard.queue.close();
             }
             self.out.close();
-            for worker in lock(&self.workers).drain(..) {
+            for worker in lock(&self.workers).iter_mut().filter_map(Option::take) {
                 let _ = worker.join();
             }
         }
@@ -411,10 +580,238 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
+/// Finalizes every session left in a dead shard's snapshot store as an
+/// abstention with `reason` — the fail-fast and drain catch-all that keeps
+/// `offered == decided + abstained + shed + quarantined` exact even when a
+/// shard is never coming back.
+fn finalize_store_as(
+    store: &SnapshotStore,
+    out: &BoundedQueue<OutEvent>,
+    counts: &Counts,
+    reason: &str,
+) {
+    let orphans: Vec<(SessionKey, SessionSnapshot)> = lock(store).drain().collect();
+    for (key, snap) in orphans {
+        let votes: Vec<Option<bool>> = snap
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Done(v) => *v,
+                Slot::Pending => None,
+            })
+            .collect();
+        let quorum = QuorumVerdict::from_votes(&votes);
+        counts.abstained.fetch_add(1, Ordering::Relaxed);
+        rhmd_obs::incr("serve.sessions.shard_down");
+        let msg = VerdictMsg {
+            tenant: key.tenant.to_string(),
+            session: key.session.to_string(),
+            verdict: "abstain".to_string(),
+            reason: Some(reason.to_string()),
+            voted: quorum.voted,
+            abstained: quorum.abstained,
+            flag_rate: quorum.flag_rate(),
+        };
+        let _ = out.push(OutEvent::Response {
+            conn: snap.conn,
+            response: Response::Verdict(msg),
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    idx: usize,
+    queue: Arc<BoundedQueue<ShardMsg>>,
+    store: Arc<SnapshotStore>,
+    model: Arc<RwLock<Arc<ModelSnapshot>>>,
+    out: Arc<BoundedQueue<OutEvent>>,
+    counts: Arc<Counts>,
+    config: ServeConfig,
+    faults: EngineFaults,
+    restore: bool,
+) -> Result<JoinHandle<()>, RhmdError> {
+    let mut worker = Worker::new(idx, queue, store, model, out, counts, config, faults);
+    if restore {
+        worker.restore_sessions();
+    }
+    std::thread::Builder::new()
+        .name(format!("rhmd-serve-{idx}"))
+        .spawn(move || worker.run())
+        .map_err(|e| RhmdError::config(format!("serve: spawn worker {idx}: {e}")))
+}
+
+/// The supervision loop: detect dead shard workers, restart them from the
+/// snapshot store under the restart budget with deterministic exponential
+/// backoff, fail fast when the budget runs out. Exits as soon as the
+/// engine begins draining.
+struct Supervisor {
+    shards: Arc<Vec<ShardHandle>>,
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    model: Arc<RwLock<Arc<ModelSnapshot>>>,
+    out: Arc<BoundedQueue<OutEvent>>,
+    counts: Arc<Counts>,
+    config: ServeConfig,
+    faults: EngineFaults,
+    draining: Arc<AtomicBool>,
+    failed: Arc<AtomicBool>,
+    last_error: Arc<Mutex<Option<String>>>,
+    recovery_ns: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Supervisor {
+    fn run(self) {
+        let mut restarts = vec![0u32; self.shards.len()];
+        loop {
+            if self.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            for (idx, spent) in restarts.iter_mut().enumerate() {
+                let finished = lock(&self.workers)[idx]
+                    .as_ref()
+                    .is_some_and(JoinHandle::is_finished);
+                if !finished {
+                    continue;
+                }
+                if self.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                let began = Instant::now();
+                let handle = lock(&self.workers)[idx].take();
+                let cause = match handle.map(JoinHandle::join) {
+                    Some(Err(payload)) => Some(panic_message(payload.as_ref())),
+                    _ => None, // clean exit (engine dropping) — not a death
+                };
+                let Some(cause) = cause else { continue };
+                rhmd_obs::incr("serve.shard.deaths");
+                if *spent >= self.config.restart_budget {
+                    self.fail_shard(
+                        idx,
+                        &format!(
+                            "died ({cause}) with restart budget {} exhausted",
+                            self.config.restart_budget
+                        ),
+                    );
+                    continue;
+                }
+                // Deterministic exponential backoff: restart n waits
+                // base * 2^n, capped so a misconfigured base cannot stall
+                // supervision for minutes.
+                let backoff = self
+                    .config
+                    .restart_backoff
+                    .saturating_mul(1u32 << (*spent).min(16))
+                    .min(Duration::from_secs(2));
+                std::thread::sleep(backoff);
+                *spent += 1;
+                *lock(&self.last_error) =
+                    Some(format!("shard {idx} died ({cause}); restart {spent}"));
+                match spawn_worker(
+                    idx,
+                    Arc::clone(&self.shards[idx].queue),
+                    Arc::clone(&self.shards[idx].store),
+                    Arc::clone(&self.model),
+                    Arc::clone(&self.out),
+                    Arc::clone(&self.counts),
+                    self.config.clone(),
+                    self.faults.clone(),
+                    true,
+                ) {
+                    Ok(h) => {
+                        lock(&self.workers)[idx] = Some(h);
+                        self.counts.shard_restarts.fetch_add(1, Ordering::Relaxed);
+                        let ns = began.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        rhmd_obs::incr("serve.shard.restarts");
+                        rhmd_obs::observe_ns("serve.shard.recovery", ns);
+                        lock(&self.recovery_ns).push(ns);
+                    }
+                    Err(e) => self.fail_shard(idx, &format!("respawn failed: {e}")),
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Fail-fast: close the shard's ingest (new sessions are refused before
+    /// they are ever offered), give every stored session an explicit
+    /// `abstain`/`shard-down` verdict, and flag the engine failed so
+    /// front-ends drain instead of limping.
+    fn fail_shard(&self, idx: usize, why: &str) {
+        self.shards[idx].queue.close();
+        *lock(&self.last_error) = Some(format!("shard {idx}: {why}"));
+        rhmd_obs::incr("serve.shard.failed");
+        finalize_store_as(&self.shards[idx].store, &self.out, &self.counts, "shard-down");
+        self.failed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Best-effort panic payload extraction (`&str` / `String` payloads only).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Scores `keys[lo..hi]`'s rows inside a `catch_unwind` fence, bisecting on
+/// panic to isolate poison rows. `scores[i]` becomes `Some(score)` for
+/// healthy rows, `None` for poisoned ones (panicked or non-finite).
+/// Scoring is row-independent, so healthy rows score identically whether
+/// or not the batch was bisected around them — quarantine cannot perturb
+/// innocent sessions' verdicts.
+#[allow(clippy::too_many_arguments)]
+fn score_guarded(
+    hmd: &Hmd,
+    dims: usize,
+    flat: &[f64],
+    keys: &[SessionKey],
+    lo: usize,
+    hi: usize,
+    faults: &EngineFaults,
+    scores: &mut [Option<f64>],
+) {
+    if lo >= hi {
+        return;
+    }
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let xs = FeatureMatrix::from_flat(dims, flat[lo * dims..hi * dims].to_vec());
+        let mut s = vec![0.0; hi - lo];
+        hmd.model().score_batch(&xs, &mut s);
+        for (i, key) in keys[lo..hi].iter().enumerate() {
+            if faults.panics(&key.tenant, &key.session) {
+                panic!("injected scorer panic for {}/{}", key.tenant, key.session);
+            }
+            if faults.nans(&key.tenant, &key.session) {
+                s[i] = f64::NAN;
+            }
+        }
+        s
+    }));
+    match attempt {
+        Ok(s) => {
+            for (i, v) in s.into_iter().enumerate() {
+                scores[lo + i] = v.is_finite().then_some(v);
+            }
+        }
+        Err(_) if hi - lo == 1 => {
+            scores[lo] = None;
+        }
+        Err(_) => {
+            rhmd_obs::incr("serve.batch.bisects");
+            let mid = lo + (hi - lo) / 2;
+            score_guarded(hmd, dims, flat, keys, lo, mid, faults, scores);
+            score_guarded(hmd, dims, flat, keys, mid, hi, faults, scores);
+        }
+    }
+}
+
 enum Entry {
     Live(Box<SessionState>),
-    /// The session already got its (shed) verdict; later events are
-    /// ignored until the watchdog expires the marker.
+    /// The session already got its (shed/quarantine) verdict; later events
+    /// are ignored until the watchdog expires the marker.
     Tombstone(Instant),
 }
 
@@ -425,22 +822,32 @@ struct Worker {
     out: Arc<BoundedQueue<OutEvent>>,
     counts: Arc<Counts>,
     config: ServeConfig,
+    faults: EngineFaults,
+    store: Arc<SnapshotStore>,
+    /// Sessions mutated since the last snapshot sync.
+    dirty: HashSet<SessionKey>,
     sessions: HashMap<SessionKey, Entry>,
     batchers: HashMap<Arc<str>, MicroBatcher>,
     tenant_activity: HashMap<Arc<str>, Instant>,
     row: Vec<f64>,
     last_sweep: Instant,
     sweep_every: Duration,
+    last_sync: Instant,
+    /// Earliest client-requested verdict deadline across live sessions.
+    nearest_deadline: Option<Instant>,
 }
 
 impl Worker {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         idx: usize,
         queue: Arc<BoundedQueue<ShardMsg>>,
+        store: Arc<SnapshotStore>,
         model: Arc<RwLock<Arc<ModelSnapshot>>>,
         out: Arc<BoundedQueue<OutEvent>>,
         counts: Arc<Counts>,
         config: ServeConfig,
+        faults: EngineFaults,
     ) -> Worker {
         let shortest = config
             .session_deadline
@@ -456,17 +863,44 @@ impl Worker {
             out,
             counts,
             config,
+            faults,
+            store,
+            dirty: HashSet::new(),
             sessions: HashMap::new(),
             batchers: HashMap::new(),
             tenant_activity: HashMap::new(),
             row: Vec::new(),
             last_sweep: Instant::now(),
             sweep_every,
+            last_sync: Instant::now(),
+            nearest_deadline: None,
+        }
+    }
+
+    /// Rebuilds sessions from the snapshot store after a shard restart.
+    /// Counts are untouched — these sessions were already offered.
+    fn restore_sessions(&mut self) {
+        let snaps: Vec<(SessionKey, SessionSnapshot)> = lock(&self.store)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        if snaps.is_empty() {
+            return;
+        }
+        let period = read_snapshot(&self.model).hmd().spec().period;
+        let now = Instant::now();
+        rhmd_obs::add("serve.shard.sessions_restored", snaps.len() as u64);
+        for (key, snap) in snaps {
+            self.tenant_activity.insert(key.tenant.clone(), now);
+            let state = SessionState::restore(period, self.config.min_fill, snap, now);
+            if let Some(at) = state.deadline_at {
+                self.nearest_deadline = Some(self.nearest_deadline.map_or(at, |n| n.min(at)));
+            }
+            self.sessions.insert(key, Entry::Live(Box::new(state)));
         }
     }
 
     fn run(mut self) {
-        let _ = self.idx;
         loop {
             let timeout = self.next_timeout();
             match self.queue.pop_timeout(timeout) {
@@ -474,6 +908,7 @@ impl Worker {
                     self.drain();
                     return;
                 }
+                Some(ShardMsg::Kill) => self.die(),
                 Some(msg) => self.handle(msg),
                 None => {
                     if self.queue.is_closed() {
@@ -485,6 +920,20 @@ impl Worker {
         }
     }
 
+    /// The chaos kill path: resolve every pending vote, sync every live
+    /// session into the snapshot store, then die. Because the store is
+    /// complete at the instant of death, the supervisor's restart is
+    /// lossless and the recovered shard's verdicts are bit-identical.
+    fn die(&mut self) -> ! {
+        let tenants: Vec<Arc<str>> = self.batchers.keys().cloned().collect();
+        for tenant in tenants {
+            self.flush_tenant(&tenant);
+        }
+        self.sync_all();
+        rhmd_obs::incr("serve.shard.killed");
+        panic!("shard {} killed by kill_shard (chaos)", self.idx);
+    }
+
     fn handle(&mut self, msg: ShardMsg) {
         match msg {
             ShardMsg::Event {
@@ -492,15 +941,18 @@ impl Worker {
                 conn,
                 seq,
                 window,
-            } => self.on_event(key, conn, seq, &window),
+                deadline_ms,
+            } => self.on_event(key, conn, seq, &window, deadline_ms),
             ShardMsg::End { key, conn, at } => self.on_end(&key, conn, at),
             ShardMsg::Shed { key, conn } => self.on_shed(key, conn),
-            ShardMsg::Drain => {} // only reachable from drain()'s inner loop
+            // Only reachable from drain()'s inner loop, where both are
+            // no-ops (the shard is already terminating).
+            ShardMsg::Drain | ShardMsg::Kill => {}
         }
     }
 
     /// Time until the nearest open batch deadline, clamped so watchdog
-    /// sweeps stay timely even on an idle shard.
+    /// sweeps and client deadlines stay timely even on an idle shard.
     fn next_timeout(&self) -> Duration {
         let now = Instant::now();
         let mut timeout = Duration::from_millis(50).min(self.sweep_every);
@@ -509,41 +961,58 @@ impl Worker {
                 timeout = timeout.min(at.saturating_duration_since(now));
             }
         }
+        if let Some(at) = self.nearest_deadline {
+            timeout = timeout.min(at.saturating_duration_since(now));
+        }
         timeout.max(Duration::from_millis(1))
     }
 
-    fn on_event(&mut self, key: SessionKey, conn: u64, seq: u64, window: &RawWindow) {
+    fn on_event(
+        &mut self,
+        key: SessionKey,
+        conn: u64,
+        seq: u64,
+        window: &RawWindow,
+        deadline_ms: Option<u64>,
+    ) {
         let now = Instant::now();
         self.tenant_activity.insert(key.tenant.clone(), now);
         let snap = read_snapshot(&self.model);
         let period = snap.hmd().spec().period;
         let min_fill = self.config.min_fill;
-        let counts = &self.counts;
-        let entry = self.sessions.entry(key.clone()).or_insert_with(|| {
-            counts.offered_sessions.fetch_add(1, Ordering::Relaxed);
+        if !self.sessions.contains_key(&key) {
+            self.counts.offered_sessions.fetch_add(1, Ordering::Relaxed);
             rhmd_obs::incr("serve.sessions.offered");
-            Entry::Live(Box::new(SessionState::new(period, min_fill, conn, now)))
-        });
-        let state = match entry {
-            Entry::Live(s) => s,
-            Entry::Tombstone(_) => return, // already verdicted (shed)
+            let state = SessionState::new(period, min_fill, conn, now);
+            // Synced at creation: a session's *existence* must survive
+            // worker death, or its verdict could be lost and the
+            // accounting identity broken.
+            lock(&self.store).insert(key.clone(), state.snapshot());
+            self.sessions.insert(key.clone(), Entry::Live(Box::new(state)));
+        }
+        let state = match self.sessions.get_mut(&key) {
+            Some(Entry::Live(s)) => s,
+            _ => return, // already verdicted (shed/quarantined)
         };
         state.last_activity = now;
         state.conn = conn;
-        if seq < state.next_seq {
-            // Sequence regression: the stream is incoherent; abstain loudly
-            // rather than assemble windows out of order.
-            rhmd_obs::incr("serve.sessions.protocol_poisoned");
-            self.flush_tenant(&key.tenant.clone());
-            self.finalize_abstain(&key, "protocol");
-            return;
+        if let Some(ms) = deadline_ms {
+            state.tighten_deadline(now + Duration::from_millis(ms));
+            let at = state.deadline_at.unwrap_or(now);
+            self.nearest_deadline = Some(self.nearest_deadline.map_or(at, |n| n.min(at)));
         }
-        if seq > state.next_seq {
-            let gap = seq - state.next_seq;
-            state.gap_events += gap;
+        let Some(gap) = state.admit_seq(seq) else {
+            // Stale or duplicate re-delivery: repaired by dropping, which
+            // is exactly what makes a redelivered stream assemble
+            // bit-identically to a clean one.
+            self.counts.stale_frames.fetch_add(1, Ordering::Relaxed);
+            rhmd_obs::incr("serve.frames.stale_dropped");
+            return;
+        };
+        if gap > 0 {
             rhmd_obs::add("serve.seq_gaps", gap);
         }
-        state.next_seq = seq + 1;
+        self.dirty.insert(key.clone());
         if let Some(sealed) = state.assembler.push(window) {
             match sealed {
                 Sealed::Window(w) => {
@@ -599,8 +1068,10 @@ impl Worker {
         batcher.push(key.clone(), slot, &self.row, now)
     }
 
-    /// Scores a tenant's buffered batch and scatters votes back into the
-    /// owning sessions' slots.
+    /// Scores a tenant's buffered batch inside the poison-pill fence and
+    /// scatters votes back into the owning sessions' slots. Rows whose
+    /// scoring panicked or produced non-finite values quarantine their
+    /// session; every other row keeps its exact score.
     fn flush_tenant(&mut self, tenant: &Arc<str>) {
         let Some(batcher) = self.batchers.get_mut(tenant) else {
             return;
@@ -612,9 +1083,18 @@ impl Worker {
         let taken = batcher.take();
         let snap = read_snapshot(&self.model);
         let rows = taken.entries.len();
-        let xs = FeatureMatrix::from_flat(dims, taken.flat);
-        let mut scores = vec![0.0; xs.len()];
-        snap.hmd().model().score_batch(&xs, &mut scores);
+        let keys: Vec<SessionKey> = taken.entries.iter().map(|(k, _)| k.clone()).collect();
+        let mut scores: Vec<Option<f64>> = vec![None; rows];
+        score_guarded(
+            snap.hmd(),
+            dims,
+            &taken.flat,
+            &keys,
+            0,
+            rows,
+            &self.faults,
+            &mut scores,
+        );
         let threshold = snap.hmd().model().threshold();
         rhmd_obs::incr("serve.batch.flushes");
         rhmd_obs::add("serve.windows.scored", rows as u64);
@@ -624,11 +1104,71 @@ impl Worker {
                 rows as u64,
             );
         }
+        let mut poisoned: Vec<SessionKey> = Vec::new();
         for ((key, slot), score) in taken.entries.into_iter().zip(scores) {
             if let Some(Entry::Live(state)) = self.sessions.get_mut(&key) {
                 if let Some(s) = state.slots.get_mut(slot) {
-                    *s = Slot::Done(Some(score >= threshold));
+                    *s = match score {
+                        Some(v) => Slot::Done(Some(v >= threshold)),
+                        None => Slot::Done(None),
+                    };
                 }
+            }
+            if score.is_none() && !poisoned.contains(&key) {
+                poisoned.push(key);
+            }
+        }
+        for key in poisoned {
+            self.quarantine(&key);
+        }
+    }
+
+    /// Poison-pill isolation: the session's scoring panicked or produced
+    /// non-finite values. It gets an explicit `abstain`/`quarantine`
+    /// verdict built from whatever votes resolved cleanly, is counted in
+    /// the `quarantined` accounting term, and is tombstoned so the rest of
+    /// its stream drops at the door.
+    fn quarantine(&mut self, key: &SessionKey) {
+        let Some(Entry::Live(state)) = self.forget(key) else {
+            return;
+        };
+        let now = Instant::now();
+        let quorum = QuorumVerdict::from_votes(&state.votes_lossy());
+        self.counts.quarantined.fetch_add(1, Ordering::Relaxed);
+        rhmd_obs::incr("serve.sessions.quarantined");
+        self.sessions.insert(key.clone(), Entry::Tombstone(now));
+        self.emit_verdict(state.conn, key, &quorum, "abstain", Some("quarantine"), now);
+    }
+
+    /// Removes a session from the live map, the dirty set, and the
+    /// snapshot store — the single exit point every finalize path goes
+    /// through, so the store never resurrects a verdicted session.
+    fn forget(&mut self, key: &SessionKey) -> Option<Entry> {
+        self.dirty.remove(key);
+        lock(&self.store).remove(key);
+        self.sessions.remove(key)
+    }
+
+    /// Re-syncs sessions mutated since the last sync into the store.
+    fn sync_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut store = lock(&self.store);
+        for key in self.dirty.drain() {
+            if let Some(Entry::Live(state)) = self.sessions.get(&key) {
+                store.insert(key, state.snapshot());
+            }
+        }
+    }
+
+    /// Syncs every live session (the kill path's lossless handoff).
+    fn sync_all(&mut self) {
+        self.dirty.clear();
+        let mut store = lock(&self.store);
+        for (key, entry) in &self.sessions {
+            if let Entry::Live(state) = entry {
+                store.insert(key.clone(), state.snapshot());
             }
         }
     }
@@ -645,8 +1185,8 @@ impl Worker {
                 self.emit_verdict(conn, key, &QuorumVerdict::from_votes(&[]), "abstain", Some("coverage"), at);
             }
             Some(Entry::Tombstone(_)) => {
-                // Shed earlier; its verdict is already out.
-                self.sessions.remove(key);
+                // Shed or quarantined earlier; its verdict is already out.
+                self.forget(key);
             }
             Some(Entry::Live(_)) => {
                 let snap = read_snapshot(&self.model);
@@ -658,15 +1198,17 @@ impl Worker {
                 if let Some(Sealed::Window(w)) = tail {
                     self.enqueue_vote(key, &snap, &w, now);
                 }
-                // Resolve every pending slot before judging.
-                self.flush_tenant(&key.tenant);
+                // Resolve every pending slot before judging. This can
+                // quarantine `key` itself, in which case finalize_end
+                // finds nothing live and the quarantine verdict stands.
+                self.flush_tenant(&key.tenant.clone());
                 self.finalize_end(key, at);
             }
         }
     }
 
     fn finalize_end(&mut self, key: &SessionKey, at: Instant) {
-        let Some(Entry::Live(state)) = self.sessions.remove(key) else {
+        let Some(Entry::Live(state)) = self.forget(key) else {
             return;
         };
         let votes = state.votes();
@@ -693,13 +1235,16 @@ impl Worker {
         let live = matches!(self.sessions.get(&key), Some(Entry::Live(_)));
         if live {
             // Mid-stream shed: resolve what already scored so the verdict
-            // line reports how far the session got.
-            self.flush_tenant(&key.tenant);
-        } else if matches!(self.sessions.get(&key), Some(Entry::Tombstone(_))) {
-            return; // duplicate shed notice
+            // line reports how far the session got. The flush can
+            // quarantine the session, in which case the shed downgrade
+            // below finds a tombstone and becomes a no-op.
+            self.flush_tenant(&key.tenant.clone());
         }
-        let quorum = match self.sessions.remove(&key) {
-            Some(Entry::Live(state)) => QuorumVerdict::from_votes(&state.votes()),
+        if matches!(self.sessions.get(&key), Some(Entry::Tombstone(_))) {
+            return; // duplicate shed notice, or quarantined during flush
+        }
+        let quorum = match self.forget(&key) {
+            Some(Entry::Live(state)) => QuorumVerdict::from_votes(&state.votes_lossy()),
             _ => {
                 // First contact under overload: the session is offered and
                 // shed in one step.
@@ -715,10 +1260,9 @@ impl Worker {
     }
 
     /// Finalizes a live session as an abstention (`drain`, `deadline`,
-    /// `tenant-deadline`, `protocol`). The tenant's batch must already be
-    /// flushed.
+    /// `tenant-deadline`). The tenant's batch must already be flushed.
     fn finalize_abstain(&mut self, key: &SessionKey, reason: &str) {
-        let Some(Entry::Live(state)) = self.sessions.remove(key) else {
+        let Some(Entry::Live(state)) = self.forget(key) else {
             return;
         };
         let quorum = QuorumVerdict::from_votes(&state.votes());
@@ -761,7 +1305,8 @@ impl Worker {
         });
     }
 
-    /// Deadline batch flushes plus (rate-limited) watchdog sweeps.
+    /// Deadline batch flushes, client-deadline enforcement, snapshot
+    /// syncs, and (rate-limited) watchdog sweeps.
     fn tick(&mut self, now: Instant) {
         let expired: Vec<Arc<str>> = self
             .batchers
@@ -773,13 +1318,58 @@ impl Worker {
             rhmd_obs::incr("serve.batch.flush_deadline");
             self.flush_tenant(&tenant);
         }
+        self.enforce_request_deadlines(now);
+        if now.saturating_duration_since(self.last_sync) >= self.config.snapshot_every {
+            self.last_sync = now;
+            self.sync_dirty();
+        }
         if now.saturating_duration_since(self.last_sweep) >= self.sweep_every {
             self.last_sweep = now;
             self.sweep(now);
         }
     }
 
+    /// Per-request deadline propagation: a session whose client-requested
+    /// deadline passed finalizes as an explicit `abstain`/`deadline` right
+    /// now — a late verdict becomes an abstention, never a stall.
+    fn enforce_request_deadlines(&mut self, now: Instant) {
+        let Some(at) = self.nearest_deadline else {
+            return;
+        };
+        if now < at {
+            return;
+        }
+        let overdue: Vec<SessionKey> = self
+            .sessions
+            .iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Live(s) if s.past_deadline(now) => Some(k.clone()),
+                _ => None,
+            })
+            .collect();
+        for key in overdue {
+            rhmd_obs::incr("serve.watchdog.request_deadline");
+            self.flush_tenant(&key.tenant.clone());
+            self.finalize_abstain(&key, "deadline");
+        }
+        self.nearest_deadline = self
+            .sessions
+            .values()
+            .filter_map(|e| match e {
+                Entry::Live(s) => s.deadline_at,
+                Entry::Tombstone(_) => None,
+            })
+            .min();
+    }
+
     fn sweep(&mut self, now: Instant) {
+        // Tombstones always expire, even with the idle watchdog disabled —
+        // they are door markers, not sessions, and must not accumulate.
+        let ttl = self.config.session_deadline.unwrap_or(Duration::from_secs(60));
+        self.sessions.retain(|_, e| match e {
+            Entry::Tombstone(at) => now.saturating_duration_since(*at) < ttl,
+            Entry::Live(_) => true,
+        });
         if let Some(deadline) = self.config.session_deadline {
             let stale: Vec<SessionKey> = self
                 .sessions
@@ -798,10 +1388,6 @@ impl Worker {
                 self.flush_tenant(&key.tenant.clone());
                 self.finalize_abstain(&key, "deadline");
             }
-            self.sessions.retain(|_, e| match e {
-                Entry::Tombstone(at) => now.saturating_duration_since(*at) < deadline,
-                Entry::Live(_) => true,
-            });
         }
         if let Some(deadline) = self.config.tenant_deadline {
             let stale_tenants: Vec<Arc<str>> = self
@@ -834,7 +1420,7 @@ impl Worker {
     fn drain(&mut self) {
         while let Some(msg) = self.queue.pop_timeout(Duration::from_millis(10)) {
             match msg {
-                ShardMsg::Drain => {}
+                ShardMsg::Drain | ShardMsg::Kill => {}
                 other => self.handle(other),
             }
         }
@@ -854,6 +1440,10 @@ impl Worker {
             rhmd_obs::incr("serve.sessions.drained");
             self.finalize_abstain(&key, "drain");
         }
+        // Anything left in the store is a tombstoned leftover already
+        // verdicted; clear it so the engine's drain catch-all does not
+        // double-finalize.
+        lock(&self.store).clear();
     }
 }
 
@@ -880,10 +1470,12 @@ mod tests {
         (traced, splits, hmd)
     }
 
+    /// Collects exactly `expect` verdicts, or a typed error if the output
+    /// closes first — supervision-observable instead of a panic.
     fn collect_verdicts(
         out: &BoundedQueue<OutEvent>,
         expect: usize,
-    ) -> HashMap<(String, String), VerdictMsg> {
+    ) -> Result<HashMap<(String, String), VerdictMsg>, RhmdError> {
         let mut verdicts = HashMap::new();
         while verdicts.len() < expect {
             match out.pop() {
@@ -895,17 +1487,22 @@ mod tests {
                     assert!(prev.is_none(), "duplicate verdict for a session");
                 }
                 Some(_) => {}
-                None => panic!("output closed before all verdicts arrived"),
+                None => {
+                    return Err(RhmdError::io(
+                        "serve output",
+                        format!("closed after {} of {expect} verdicts", verdicts.len()),
+                    ))
+                }
             }
         }
-        verdicts
+        Ok(verdicts)
     }
 
     #[test]
     fn replay_matches_batch_evaluation() {
         let (traced, splits, hmd) = fixture();
         for shards in [1, 3] {
-            let engine = Engine::start(
+            let engine = Engine::start_with_faults(
                 hmd.clone(),
                 ServeConfig {
                     shards,
@@ -913,6 +1510,7 @@ mod tests {
                     tenant_deadline: None,
                     ..ServeConfig::default()
                 },
+                EngineFaults::default(),
             )
             .unwrap();
             let out = engine.output();
@@ -920,11 +1518,11 @@ mod tests {
             for &i in &programs {
                 let session = format!("p{i}");
                 for (seq, sub) in traced.subwindows(i).iter().enumerate() {
-                    engine.submit_event(0, "t0", &session, seq as u64, Box::new(sub.clone()));
+                    engine.submit_event(0, "t0", &session, seq as u64, Box::new(sub.clone()), None);
                 }
                 engine.submit_end(0, "t0", &session);
             }
-            let verdicts = collect_verdicts(&out, programs.len());
+            let verdicts = collect_verdicts(&out, programs.len()).unwrap();
             for &i in &programs {
                 let batch = hmd.verdict(traced.subwindows(i));
                 let served = &verdicts[&("t0".to_string(), format!("p{i}"))];
@@ -941,13 +1539,14 @@ mod tests {
             assert!(stats.accounted(), "{stats:?}");
             assert_eq!(stats.offered_sessions, programs.len() as u64);
             assert_eq!(stats.shed_sessions, 0);
+            assert_eq!(stats.quarantined, 0);
         }
     }
 
     #[test]
     fn overload_sheds_loudly_and_accounts_everything() {
         let (traced, _, hmd) = fixture();
-        let engine = Engine::start(
+        let engine = Engine::start_with_faults(
             hmd,
             ServeConfig {
                 shards: 1,
@@ -965,6 +1564,7 @@ mod tests {
                 tenant_deadline: None,
                 ..ServeConfig::default()
             },
+            EngineFaults::default(),
         )
         .unwrap();
         let out = engine.output();
@@ -973,7 +1573,7 @@ mod tests {
         // consumer yet), the second blocks the worker on its push.
         for s in ["warm0", "warm1"] {
             for (seq, sub) in subs.iter().take(10).enumerate() {
-                engine.submit_event(0, "t0", s, seq as u64, Box::new(sub.clone()));
+                engine.submit_event(0, "t0", s, seq as u64, Box::new(sub.clone()), None);
             }
             engine.submit_end(0, "t0", s);
         }
@@ -982,7 +1582,7 @@ mod tests {
         // Flood distinct sessions: the tiny ingest queue saturates and most
         // of these are refused at admission.
         for i in 0..40 {
-            engine.submit_event(0, "t0", &format!("flood{i}"), 0, Box::new(subs[0].clone()));
+            engine.submit_event(0, "t0", &format!("flood{i}"), 0, Box::new(subs[0].clone()), None);
         }
         assert!(engine.stats().shed_events > 0, "flood did not shed");
         // Now consume the output so the pipeline unwedges, then drain.
@@ -1027,7 +1627,12 @@ mod tests {
     #[test]
     fn reload_validates_config_hash_and_keeps_serving() {
         let (traced, splits, hmd) = fixture();
-        let engine = Engine::start(hmd.clone(), ServeConfig::default()).unwrap();
+        let engine = Engine::start_with_faults(
+            hmd.clone(),
+            ServeConfig::default(),
+            EngineFaults::default(),
+        )
+        .unwrap();
         let before = engine.config_hash();
         // Same spec, retrained: accepted.
         let same = Hmd::train(
@@ -1058,7 +1663,7 @@ mod tests {
     #[test]
     fn session_watchdog_abstains_stalled_sessions() {
         let (traced, _, hmd) = fixture();
-        let engine = Engine::start(
+        let engine = Engine::start_with_faults(
             hmd,
             ServeConfig {
                 shards: 1,
@@ -1066,17 +1671,236 @@ mod tests {
                 tenant_deadline: None,
                 ..ServeConfig::default()
             },
+            EngineFaults::default(),
         )
         .unwrap();
         let out = engine.output();
         // One event, never an End: the watchdog must finalize it.
-        engine.submit_event(0, "t0", "stalled", 0, Box::new(traced.subwindows(0)[0].clone()));
-        let verdicts = collect_verdicts(&out, 1);
+        engine.submit_event(0, "t0", "stalled", 0, Box::new(traced.subwindows(0)[0].clone()), None);
+        let verdicts = collect_verdicts(&out, 1).unwrap();
         let v = &verdicts[&("t0".to_string(), "stalled".to_string())];
         assert_eq!(v.verdict, "abstain");
         assert_eq!(v.reason.as_deref(), Some("deadline"));
         let stats = engine.drain();
         assert!(stats.accounted());
         assert_eq!(stats.abstained, 1);
+    }
+
+    #[test]
+    fn client_deadline_turns_stall_into_abstention() {
+        let (traced, _, hmd) = fixture();
+        let engine = Engine::start_with_faults(
+            hmd,
+            ServeConfig {
+                shards: 1,
+                session_deadline: None,
+                tenant_deadline: None,
+                ..ServeConfig::default()
+            },
+            EngineFaults::default(),
+        )
+        .unwrap();
+        let out = engine.output();
+        // The frame carries a 30ms verdict deadline; the End never comes.
+        engine.submit_event(
+            0,
+            "t0",
+            "slow",
+            0,
+            Box::new(traced.subwindows(0)[0].clone()),
+            Some(30),
+        );
+        let verdicts = collect_verdicts(&out, 1).unwrap();
+        let v = &verdicts[&("t0".to_string(), "slow".to_string())];
+        assert_eq!(v.verdict, "abstain");
+        assert_eq!(v.reason.as_deref(), Some("deadline"));
+        let stats = engine.drain();
+        assert!(stats.accounted(), "{stats:?}");
+    }
+
+    #[test]
+    fn stale_and_duplicate_frames_are_repaired_not_fatal() {
+        let (traced, splits, hmd) = fixture();
+        let program = splits.attacker_test[0];
+        let subs = traced.subwindows(program);
+        let run = |chaotic: bool| {
+            let engine = Engine::start_with_faults(
+                hmd.clone(),
+                ServeConfig {
+                    shards: 1,
+                    session_deadline: None,
+                    tenant_deadline: None,
+                    ..ServeConfig::default()
+                },
+                EngineFaults::default(),
+            )
+            .unwrap();
+            let out = engine.output();
+            for (seq, sub) in subs.iter().enumerate() {
+                engine.submit_event(0, "t0", "s", seq as u64, Box::new(sub.clone()), None);
+                if chaotic {
+                    // Duplicate of the frame just sent, plus a stale replay
+                    // of frame 0: both must drop at the sequence filter.
+                    engine.submit_event(0, "t0", "s", seq as u64, Box::new(sub.clone()), None);
+                    engine.submit_event(0, "t0", "s", 0, Box::new(subs[0].clone()), None);
+                }
+            }
+            engine.submit_end(0, "t0", "s");
+            let verdicts = collect_verdicts(&out, 1).unwrap();
+            let stats = engine.drain();
+            (verdicts[&("t0".to_string(), "s".to_string())].clone(), stats)
+        };
+        let (clean, _) = run(false);
+        let (faulted, stats) = run(true);
+        assert_eq!(clean, faulted, "re-deliveries changed the verdict");
+        assert!(stats.accounted(), "{stats:?}");
+        assert!(stats.stale_frames > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn poison_sessions_quarantine_without_harming_neighbors() {
+        let (traced, splits, hmd) = fixture();
+        let programs: Vec<usize> = splits.attacker_test.iter().copied().take(6).collect();
+        let faults = EngineFaults {
+            score_panic: 0.5,
+            score_nan: 0.3,
+            seed: 11,
+        };
+        let run = |f: EngineFaults| {
+            let engine = Engine::start_with_faults(
+                hmd.clone(),
+                ServeConfig {
+                    shards: 2,
+                    session_deadline: None,
+                    tenant_deadline: None,
+                    ..ServeConfig::default()
+                },
+                f,
+            )
+            .unwrap();
+            let out = engine.output();
+            for &i in &programs {
+                let session = format!("p{i}");
+                for (seq, sub) in traced.subwindows(i).iter().enumerate() {
+                    engine.submit_event(0, "t0", &session, seq as u64, Box::new(sub.clone()), None);
+                }
+                engine.submit_end(0, "t0", &session);
+            }
+            let verdicts = collect_verdicts(&out, programs.len()).unwrap();
+            let stats = engine.drain();
+            (verdicts, stats)
+        };
+        let (clean, _) = run(EngineFaults::default());
+        let (chaotic, stats) = run(faults.clone());
+        assert!(stats.accounted(), "{stats:?}");
+        let mut quarantined = 0u64;
+        for &i in &programs {
+            let id = ("t0".to_string(), format!("p{i}"));
+            if faults.quarantines("t0", &format!("p{i}")) {
+                assert_eq!(chaotic[&id].verdict, "abstain", "p{i}");
+                assert_eq!(chaotic[&id].reason.as_deref(), Some("quarantine"), "p{i}");
+                quarantined += 1;
+            } else {
+                assert_eq!(chaotic[&id], clean[&id], "untargeted p{i} perturbed");
+            }
+        }
+        assert!(quarantined > 0, "fault rates too low to exercise quarantine");
+        assert_eq!(stats.quarantined, quarantined, "{stats:?}");
+        assert_eq!(stats.decided + stats.abstained, programs.len() as u64 - quarantined);
+    }
+
+    #[test]
+    fn killed_shard_recovers_bit_identically() {
+        let (traced, splits, hmd) = fixture();
+        let programs: Vec<usize> = splits.attacker_test.iter().copied().take(4).collect();
+        let run = |kill: bool| {
+            let engine = Engine::start_with_faults(
+                hmd.clone(),
+                ServeConfig {
+                    shards: 1,
+                    session_deadline: None,
+                    tenant_deadline: None,
+                    ..ServeConfig::default()
+                },
+                EngineFaults::default(),
+            )
+            .unwrap();
+            let out = engine.output();
+            // First half of every session's stream...
+            for &i in &programs {
+                let session = format!("p{i}");
+                let subs = traced.subwindows(i);
+                for (seq, sub) in subs.iter().take(subs.len() / 2).enumerate() {
+                    engine.submit_event(0, "t0", &session, seq as u64, Box::new(sub.clone()), None);
+                }
+            }
+            if kill {
+                // ...then the shard dies (flush + sync + panic) and the
+                // supervisor restores it from snapshots...
+                assert!(engine.kill_shard(0));
+                let began = Instant::now();
+                while engine.stats().shard_restarts == 0 {
+                    assert!(began.elapsed() < Duration::from_secs(10), "no restart");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            // ...and the streams complete as if nothing happened.
+            for &i in &programs {
+                let session = format!("p{i}");
+                let subs = traced.subwindows(i);
+                for (seq, sub) in subs.iter().enumerate().skip(subs.len() / 2) {
+                    engine.submit_event(0, "t0", &session, seq as u64, Box::new(sub.clone()), None);
+                }
+                engine.submit_end(0, "t0", &session);
+            }
+            let verdicts = collect_verdicts(&out, programs.len()).unwrap();
+            let stats = engine.drain();
+            (verdicts, stats)
+        };
+        let (clean, _) = run(false);
+        let (recovered, stats) = run(true);
+        assert!(stats.accounted(), "{stats:?}");
+        assert_eq!(stats.shard_restarts, 1, "{stats:?}");
+        for (id, v) in &clean {
+            assert_eq!(recovered[id], *v, "verdict changed across kill/restore: {id:?}");
+        }
+        assert!(!recovered.is_empty());
+    }
+
+    #[test]
+    fn exhausted_restart_budget_fails_fast_with_exact_accounting() {
+        let (traced, _, hmd) = fixture();
+        let engine = Engine::start_with_faults(
+            hmd,
+            ServeConfig {
+                shards: 1,
+                restart_budget: 0,
+                session_deadline: None,
+                tenant_deadline: None,
+                ..ServeConfig::default()
+            },
+            EngineFaults::default(),
+        )
+        .unwrap();
+        let out = engine.output();
+        let subs = traced.subwindows(0);
+        for (seq, sub) in subs.iter().take(3).enumerate() {
+            engine.submit_event(0, "t0", "doomed", seq as u64, Box::new(sub.clone()), None);
+        }
+        assert!(engine.kill_shard(0));
+        let began = Instant::now();
+        while !engine.failed() {
+            assert!(began.elapsed() < Duration::from_secs(10), "engine never failed fast");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(engine.last_error().unwrap().contains("budget"));
+        // The doomed session got an explicit shard-down abstention.
+        let verdicts = collect_verdicts(&out, 1).unwrap();
+        let v = &verdicts[&("t0".to_string(), "doomed".to_string())];
+        assert_eq!(v.verdict, "abstain");
+        assert_eq!(v.reason.as_deref(), Some("shard-down"));
+        let stats = engine.drain();
+        assert!(stats.accounted(), "{stats:?}");
+        assert_eq!(stats.shard_restarts, 0);
     }
 }

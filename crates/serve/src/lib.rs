@@ -11,9 +11,10 @@
 //! The robustness contract, in order of importance:
 //!
 //! 1. **No silent drops.** Every offered session reaches exactly one
-//!    terminal state — decided, abstained, or shed — and the accounting
-//!    identity `offered == decided + abstained + shed` is checkable at any
-//!    moment via the `stats` message.
+//!    terminal state — decided, abstained, shed, or quarantined — and the
+//!    accounting identity
+//!    `offered == decided + abstained + shed + quarantined` is checkable
+//!    at any moment via the `stats` message.
 //! 2. **Explicit backpressure.** Shard queues are bounded ([`queue`]); past
 //!    the high watermark new work is refused and the affected sessions
 //!    degrade to an explicit `abstain`/`shed` verdict instead of queueing
@@ -21,15 +22,28 @@
 //!    flapping.
 //! 3. **Bit-identical replay.** With strict assembly (`min_fill = 1.0`) and
 //!    no overload, replaying a corpus through the service yields the same
-//!    per-program verdicts as `rhmd evaluate`, at any shard count.
-//! 4. **Graceful degradation everywhere else.** Session and tenant
-//!    watchdog deadlines turn stalls into abstentions; hot reload swaps the
-//!    model atomically and rejects config-hash mismatches while continuing
-//!    to serve the old model; drain finishes in-flight work before exiting.
+//!    per-program verdicts as `rhmd evaluate`, at any shard count — and
+//!    wire-level chaos ([`chaos`]) must not change any non-quarantined
+//!    session's verdict.
+//! 4. **Blast-radius isolation.** A poison session — one whose windows
+//!    panic the scorer or yield non-finite scores — is bisected out of its
+//!    micro-batch, quarantined with an explicit `abstain`/`quarantine`
+//!    verdict, and never takes down the batch, the shard, or the daemon.
+//! 5. **Supervised recovery.** A dead shard worker is restarted from
+//!    incremental session snapshots under a bounded restart budget with
+//!    deterministic exponential backoff; an exhausted budget fails fast
+//!    (every stored session gets an `abstain`/`shard-down` verdict and the
+//!    engine flags itself failed) instead of limping silently.
+//! 6. **Graceful degradation everywhere else.** Session, tenant, and
+//!    per-request client deadlines turn stalls into abstentions; hot
+//!    reload swaps the model atomically and rejects config-hash mismatches
+//!    while continuing to serve the old model; drain finishes in-flight
+//!    work before exiting.
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod chaos;
 pub mod engine;
 pub mod proto;
 pub mod queue;
@@ -66,6 +80,25 @@ pub struct ServeConfig {
     /// Coverage floor below which a session's verdict abstains with reason
     /// `"coverage"` (matches `VerdictPolicy::judge_quorum` semantics).
     pub min_coverage: f64,
+    /// How often each shard worker syncs dirty sessions into its in-memory
+    /// snapshot store (the recovery substrate for shard restarts).
+    pub snapshot_every: Duration,
+    /// How many times the supervisor may restart any single shard before
+    /// declaring the engine failed. `0` disables supervision restarts
+    /// (first death fails fast).
+    pub restart_budget: u32,
+    /// Base delay of the supervisor's deterministic exponential backoff:
+    /// restart `n` of a shard waits `restart_backoff * 2^n`.
+    pub restart_backoff: Duration,
+    /// How long a socket connection may stall *mid-frame* before it is
+    /// disconnected as a slow-loris client. Idle connections with no
+    /// partial frame buffered are never disconnected by this.
+    pub read_stall: Duration,
+    /// Per-write timeout for socket consumers; a client too slow to accept
+    /// its verdicts is disconnected rather than allowed to wedge the
+    /// writer thread (verdict delivery is per-connection best-effort; the
+    /// accounting counters are the durable record).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +121,11 @@ impl Default for ServeConfig {
             tenant_deadline: Some(Duration::from_secs(120)),
             min_fill: 1.0,
             min_coverage: 0.0,
+            snapshot_every: Duration::from_millis(25),
+            restart_budget: 5,
+            restart_backoff: Duration::from_millis(10),
+            read_stall: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -124,6 +162,21 @@ impl ServeConfig {
                 self.min_coverage
             )));
         }
+        if self.snapshot_every.is_zero() {
+            return Err(RhmdError::config(
+                "serve: snapshot-every must be positive",
+            ));
+        }
+        if self.restart_budget > 0 && self.restart_backoff.is_zero() {
+            return Err(RhmdError::config(
+                "serve: restart-backoff must be positive when restarts are budgeted",
+            ));
+        }
+        if self.read_stall.is_zero() || self.write_timeout.is_zero() {
+            return Err(RhmdError::config(
+                "serve: read-stall and write-timeout must be positive",
+            ));
+        }
         Ok(())
     }
 }
@@ -150,5 +203,13 @@ mod tests {
         c.min_fill = 1.0;
         c.queue.low = c.queue.capacity + 1;
         assert!(c.validate().is_err());
+        c.queue.low = 0;
+        c.snapshot_every = Duration::ZERO;
+        assert!(c.validate().is_err());
+        c.snapshot_every = Duration::from_millis(25);
+        c.restart_backoff = Duration::ZERO;
+        assert!(c.validate().is_err());
+        c.restart_budget = 0;
+        assert!(c.validate().is_ok(), "unbudgeted restarts need no backoff");
     }
 }

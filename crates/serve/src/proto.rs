@@ -23,12 +23,31 @@
 use rhmd_features::window::RawWindow;
 use serde::{Deserialize, Serialize};
 
+/// Hard cap on one NDJSON frame, in bytes. Longer frames are drained and
+/// rejected with a typed error — an attacker-sized payload must cost the
+/// server bounded memory, not an allocation proportional to the payload.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Hard cap on tenant and session identifier length, in bytes.
+pub const MAX_ID_BYTES: usize = 256;
+
+/// Hard cap on any single counter value in a submitted window: `2^53`, the
+/// largest integer range f64 projects exactly. Anything larger is not a
+/// plausible per-subwindow PMU delta and would silently lose precision in
+/// feature space (and can overflow the u64 merge accumulators under
+/// assembly) — rejected with a typed error instead.
+pub const MAX_COUNTER: u64 = 1 << 53;
+
 /// A client → server message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (rather than derived) so optional fields
+/// like `deadline_ms` may be omitted on the wire — robustness demands the
+/// parser accept yesterday's frames, not just its own round trips.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Request {
     /// One committed-event subwindow for a session, with its stream
-    /// sequence number (gaps are tolerated; regressions poison the
-    /// session).
+    /// sequence number (gaps are tolerated; duplicate and stale sequence
+    /// numbers are dropped as re-deliveries).
     Event {
         /// Tenant owning the session.
         tenant: String,
@@ -38,6 +57,11 @@ pub enum Request {
         seq: u64,
         /// The raw subwindow statistics.
         window: Box<RawWindow>,
+        /// Optional verdict deadline in milliseconds from this frame's
+        /// arrival; past it the session finalizes as an explicit
+        /// `abstain`/`deadline` rather than stalling the caller. The
+        /// earliest deadline across a session's frames wins.
+        deadline_ms: Option<u64>,
     },
     /// End of a session's stream: assemble, score, and emit its verdict.
     End {
@@ -91,7 +115,8 @@ pub struct VerdictMsg {
     /// `"malware"`, `"benign"`, or `"abstain"`.
     pub verdict: String,
     /// Why an abstention happened (`"coverage"`, `"shed"`, `"deadline"`,
-    /// `"tenant-deadline"`, `"protocol"`, `"drain"`); `null` for decisions.
+    /// `"tenant-deadline"`, `"quarantine"`, `"shard-down"`, `"drain"`);
+    /// `null` for decisions.
     pub reason: Option<String>,
     /// Collection windows that produced a vote.
     pub voted: usize,
@@ -109,23 +134,37 @@ impl VerdictMsg {
 }
 
 /// Accounting counters, disjoint by terminal state:
-/// `offered_sessions == decided + abstained + shed_sessions`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// `offered_sessions == decided + abstained + shed_sessions + quarantined`.
+///
+/// `Deserialize` is hand-written with missing-counter-defaults-to-zero
+/// semantics, so stats emitted by older builds (without the chaos
+/// counters) still parse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct StatsMsg {
     /// Sessions the service has seen a first message for.
     pub offered_sessions: u64,
     /// Sessions that ended with a decision.
     pub decided: u64,
-    /// Sessions that ended abstained (coverage, deadline, drain, protocol).
+    /// Sessions that ended abstained (coverage, deadline, drain).
     pub abstained: u64,
     /// Sessions refused or degraded by load-shedding (their verdict line is
     /// an abstention with reason `"shed"`, counted here, not in
     /// `abstained`).
     pub shed_sessions: u64,
+    /// Sessions isolated by the poison-pill boundary: their windows made
+    /// the scorer panic or produce non-finite scores, so they were
+    /// finalized as `abstain`/`quarantine` and their remaining input is
+    /// dropped at the door. Counted here, not in `abstained`.
+    pub quarantined: u64,
     /// Subwindow events accepted into shard queues.
     pub offered_events: u64,
     /// Subwindow events dropped by load-shedding.
     pub shed_events: u64,
+    /// Stale or duplicate subwindow frames dropped by the sequence filter
+    /// (re-deliveries repaired away, not verdict-affecting).
+    pub stale_frames: u64,
+    /// Shard workers restarted by the supervisor after a death.
+    pub shard_restarts: u64,
     /// Successful hot reloads.
     pub reloads_ok: u64,
     /// Rejected hot reloads (config-hash mismatch or unreadable model).
@@ -136,7 +175,137 @@ impl StatsMsg {
     /// The no-silent-drops identity: every offered session reached exactly
     /// one terminal state.
     pub fn accounted(&self) -> bool {
-        self.offered_sessions == self.decided + self.abstained + self.shed_sessions
+        self.offered_sessions
+            == self.decided + self.abstained + self.shed_sessions + self.quarantined
+    }
+}
+
+/// Looks up `name` in a map value, treating a missing key as JSON `null`
+/// (the lenient accessor backing optional wire fields).
+fn opt_field<'a>(value: &'a serde::Value, name: &str) -> &'a serde::Value {
+    static NULL: serde::Value = serde::Value::Null;
+    match value {
+        serde::Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(&NULL, |(_, v)| v),
+        _ => &NULL,
+    }
+}
+
+impl serde::Deserialize for Request {
+    fn deserialize(value: &serde::Value) -> Result<Request, serde::Error> {
+        let entries = value.map()?;
+        if entries.len() != 1 {
+            return Err(serde::Error::msg(format!(
+                "expected exactly one externally-tagged request object, found {} keys",
+                entries.len()
+            )));
+        }
+        let (tag, inner) = &entries[0];
+        match tag.as_str() {
+            "Event" => Ok(Request::Event {
+                tenant: serde::Deserialize::deserialize(inner.field("tenant")?)?,
+                session: serde::Deserialize::deserialize(inner.field("session")?)?,
+                seq: serde::Deserialize::deserialize(inner.field("seq")?)?,
+                window: serde::Deserialize::deserialize(inner.field("window")?)?,
+                deadline_ms: serde::Deserialize::deserialize(opt_field(inner, "deadline_ms"))?,
+            }),
+            "End" => Ok(Request::End {
+                tenant: serde::Deserialize::deserialize(inner.field("tenant")?)?,
+                session: serde::Deserialize::deserialize(inner.field("session")?)?,
+            }),
+            "Reload" => Ok(Request::Reload {
+                model: serde::Deserialize::deserialize(inner.field("model")?)?,
+            }),
+            "Stats" => {
+                inner.map()?;
+                Ok(Request::Stats {})
+            }
+            "Drain" => {
+                inner.map()?;
+                Ok(Request::Drain {})
+            }
+            other => Err(serde::Error::msg(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+}
+
+impl serde::Deserialize for StatsMsg {
+    fn deserialize(value: &serde::Value) -> Result<StatsMsg, serde::Error> {
+        fn counter(value: &serde::Value, name: &str) -> Result<u64, serde::Error> {
+            match opt_field(value, name) {
+                serde::Value::Null => Ok(0),
+                v => serde::Deserialize::deserialize(v),
+            }
+        }
+        value.map()?;
+        Ok(StatsMsg {
+            offered_sessions: counter(value, "offered_sessions")?,
+            decided: counter(value, "decided")?,
+            abstained: counter(value, "abstained")?,
+            shed_sessions: counter(value, "shed_sessions")?,
+            quarantined: counter(value, "quarantined")?,
+            offered_events: counter(value, "offered_events")?,
+            shed_events: counter(value, "shed_events")?,
+            stale_frames: counter(value, "stale_frames")?,
+            shard_restarts: counter(value, "shard_restarts")?,
+            reloads_ok: counter(value, "reloads_ok")?,
+            reloads_rejected: counter(value, "reloads_rejected")?,
+        })
+    }
+}
+
+/// Validates a parsed request's identifiers and window payload: rejects
+/// empty/oversized tenant or session ids and counter values beyond
+/// [`MAX_COUNTER`] in any channel. Pure reject-or-accept — a hostile frame
+/// draws a typed error, never a panic or a silently-garbled feature row.
+///
+/// # Errors
+///
+/// Returns [`rhmd_core::RhmdError::Parse`] naming the offending field.
+pub fn validate_request(request: &Request) -> Result<(), rhmd_core::RhmdError> {
+    fn check_id(what: &str, id: &str) -> Result<(), rhmd_core::RhmdError> {
+        if id.is_empty() {
+            return Err(rhmd_core::RhmdError::parse(what, "must not be empty"));
+        }
+        if id.len() > MAX_ID_BYTES {
+            return Err(rhmd_core::RhmdError::parse(
+                what,
+                format!("{} bytes exceeds the {MAX_ID_BYTES}-byte cap", id.len()),
+            ));
+        }
+        Ok(())
+    }
+    match request {
+        Request::Event {
+            tenant,
+            session,
+            window,
+            ..
+        } => {
+            check_id("tenant", tenant)?;
+            check_id("session", session)?;
+            let over = |v: u64| v > MAX_COUNTER;
+            if over(window.instructions)
+                || window.opcode_counts.iter().copied().any(over)
+                || window.mem_delta_hist.iter().copied().any(over)
+                || window.counters.to_array().iter().copied().any(over)
+            {
+                return Err(rhmd_core::RhmdError::parse(
+                    "window",
+                    format!("counter value exceeds the 2^53 cap ({MAX_COUNTER})"),
+                ));
+            }
+            Ok(())
+        }
+        Request::End { tenant, session } => {
+            check_id("tenant", tenant)?;
+            check_id("session", session)
+        }
+        Request::Reload { .. } | Request::Stats {} | Request::Drain {} => Ok(()),
     }
 }
 
@@ -175,6 +344,14 @@ mod tests {
                 session: "s".into(),
                 seq: 3,
                 window: Box::default(),
+                deadline_ms: None,
+            },
+            Request::Event {
+                tenant: "t".into(),
+                session: "s".into(),
+                seq: 4,
+                window: Box::default(),
+                deadline_ms: Some(250),
             },
             Request::End {
                 tenant: "t".into(),
@@ -221,12 +398,62 @@ mod tests {
         let mut s = StatsMsg {
             offered_sessions: 10,
             decided: 6,
-            abstained: 3,
+            abstained: 2,
             shed_sessions: 1,
+            quarantined: 1,
             ..StatsMsg::default()
         };
         assert!(s.accounted());
-        s.shed_sessions = 0;
+        s.quarantined = 0;
         assert!(!s.accounted());
+    }
+
+    #[test]
+    fn stats_without_quarantine_field_still_parses() {
+        let line = r#"{"offered_sessions":2,"decided":2,"abstained":0,
+            "shed_sessions":0,"offered_events":4,"shed_events":0,
+            "reloads_ok":0,"reloads_rejected":0}"#;
+        let s: StatsMsg = serde_json::from_str(line).unwrap();
+        assert_eq!(s.quarantined, 0);
+        assert!(s.accounted());
+    }
+
+    #[test]
+    fn validation_rejects_hostile_identifiers_and_counters() {
+        let ok = Request::Event {
+            tenant: "t".into(),
+            session: "s".into(),
+            seq: 0,
+            window: Box::default(),
+            deadline_ms: None,
+        };
+        assert!(validate_request(&ok).is_ok());
+
+        let empty_tenant = Request::End {
+            tenant: String::new(),
+            session: "s".into(),
+        };
+        assert!(validate_request(&empty_tenant).is_err());
+
+        let long_session = Request::End {
+            tenant: "t".into(),
+            session: "s".repeat(MAX_ID_BYTES + 1),
+        };
+        assert!(validate_request(&long_session).is_err());
+
+        let window = RawWindow {
+            instructions: MAX_COUNTER + 1,
+            ..RawWindow::default()
+        };
+        let overflow = Request::Event {
+            tenant: "t".into(),
+            session: "s".into(),
+            seq: 0,
+            window: Box::new(window),
+            deadline_ms: None,
+        };
+        let err = validate_request(&overflow).unwrap_err();
+        assert!(matches!(err, rhmd_core::RhmdError::Parse { .. }));
+        assert!(err.to_string().contains("2^53"));
     }
 }

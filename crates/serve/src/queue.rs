@@ -64,17 +64,19 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    /// Creates a queue with the given watermarks.
+    /// Creates a queue with the given watermarks, rejecting inconsistent
+    /// ones with a typed error so supervision layers observe the failure
+    /// instead of unwinding through a worker thread.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the watermarks are inconsistent (validated upstream by
-    /// `ServeConfig::validate`).
-    pub fn new(marks: Watermarks) -> BoundedQueue<T> {
-        if let Err(e) = marks.validate() {
-            panic!("{e}");
-        }
-        BoundedQueue {
+    /// Returns [`rhmd_core::RhmdError::Config`] when the watermarks violate
+    /// `low <= high <= capacity` or the capacity is zero.
+    pub fn try_new(marks: Watermarks) -> Result<BoundedQueue<T>, rhmd_core::RhmdError> {
+        marks
+            .validate()
+            .map_err(|e| rhmd_core::RhmdError::config(format!("queue watermarks: {e}")))?;
+        Ok(BoundedQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 shedding: false,
@@ -83,7 +85,7 @@ impl<T> BoundedQueue<T> {
             nonempty: Condvar::new(),
             nonfull: Condvar::new(),
             marks,
-        }
+        })
     }
 
     /// Admission-controlled push: refuses (returns the item back) while the
@@ -243,7 +245,7 @@ mod tests {
 
     #[test]
     fn offer_sheds_at_high_and_recovers_at_low() {
-        let q = BoundedQueue::new(marks(16, 4, 1));
+        let q = BoundedQueue::try_new(marks(16, 4, 1)).unwrap();
         for i in 0..4 {
             q.offer(i).unwrap();
         }
@@ -262,7 +264,7 @@ mod tests {
 
     #[test]
     fn control_pushes_bypass_capacity() {
-        let q = BoundedQueue::new(marks(2, 2, 0));
+        let q = BoundedQueue::try_new(marks(2, 2, 0)).unwrap();
         q.offer(1).unwrap();
         q.offer(2).unwrap();
         assert!(q.offer(3).is_err());
@@ -272,13 +274,13 @@ mod tests {
 
     #[test]
     fn pop_timeout_times_out_empty() {
-        let q: BoundedQueue<u32> = BoundedQueue::new(marks(4, 3, 1));
+        let q: BoundedQueue<u32> = BoundedQueue::try_new(marks(4, 3, 1)).unwrap();
         assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
     }
 
     #[test]
     fn close_drains_then_ends() {
-        let q = BoundedQueue::new(marks(4, 3, 1));
+        let q = BoundedQueue::try_new(marks(4, 3, 1)).unwrap();
         q.offer(1).unwrap();
         q.close();
         assert_eq!(q.offer(2), Err(2));
@@ -289,7 +291,7 @@ mod tests {
 
     #[test]
     fn blocking_push_waits_for_space() {
-        let q = Arc::new(BoundedQueue::new(marks(1, 1, 0)));
+        let q = Arc::new(BoundedQueue::try_new(marks(1, 1, 0)).unwrap());
         q.push(1u32).unwrap();
         let producer = {
             let q = Arc::clone(&q);
@@ -303,7 +305,7 @@ mod tests {
 
     #[test]
     fn mpsc_delivers_everything_in_fifo_per_producer() {
-        let q = Arc::new(BoundedQueue::new(marks(64, 48, 8)));
+        let q = Arc::new(BoundedQueue::try_new(marks(64, 48, 8)).unwrap());
         let producers: Vec<_> = (0..4u64)
             .map(|p| {
                 let q = Arc::clone(&q);

@@ -4,12 +4,40 @@
 //! Both front-ends share the same lifecycle: readers submit parsed
 //! requests into the engine, a single writer thread drains the engine's
 //! output queue, and the main thread polls for a shutdown condition (EOF,
-//! a `drain` request, or a signal). Shutdown always goes through
-//! [`crate::engine::Engine::drain`], so in-flight batches finish and every
-//! offered session gets its verdict line before the process exits.
+//! a `drain` request, a signal, or a failed engine). Shutdown always goes
+//! through [`crate::engine::Engine::drain`], so in-flight batches finish
+//! and every offered session gets its verdict line before the process
+//! exits.
+//!
+//! The transport layer is the outermost chaos boundary, and it assumes
+//! every client is hostile or broken:
+//!
+//! * Frames are read through [`read_frame`], which enforces
+//!   [`MAX_FRAME_BYTES`] with bounded memory — an oversized frame is
+//!   *discarded as it streams in* and answered with a typed error, never
+//!   buffered in proportion to its length.
+//! * Parsed requests pass [`crate::proto::validate_request`] before they
+//!   reach the engine: hostile identifiers and counter values draw a typed
+//!   error response, not a panic or a garbled feature row.
+//! * A connection stalled mid-frame for longer than
+//!   [`crate::ServeConfig::read_stall`] is disconnected as a slow-loris
+//!   client; a connection that is merely idle (no partial frame) is left
+//!   alone indefinitely.
+//! * Socket writes carry [`crate::ServeConfig::write_timeout`]; a consumer
+//!   too slow to accept its verdicts is disconnected instead of wedging
+//!   the shared writer thread.
+//! * Transient `accept` errors are retried with backoff; only persistent
+//!   failure closes the listener (into a graceful drain).
+//! * Signals are counted, not latched: repeated SIGTERM/SIGINT during a
+//!   drain are coalesced into the single drain already running
+//!   (idempotent shutdown), and the socket file is unlinked exactly once,
+//!   only if it is still *our* socket (a replacement server that already
+//!   re-bound the path keeps its file).
 
 use crate::engine::{Engine, OutEvent, BROADCAST_CONN};
-use crate::proto::{parse_request, render_response, Response, StatsMsg};
+use crate::proto::{
+    parse_request, render_response, validate_request, Response, StatsMsg, MAX_FRAME_BYTES,
+};
 use rhmd_core::RhmdError;
 use std::io::{BufRead, BufWriter, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -18,13 +46,15 @@ use std::time::Duration;
 
 #[cfg(unix)]
 mod sig {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    pub static SIGNALS: AtomicU64 = AtomicU64::new(0);
 
     extern "C" fn on_signal(_signum: i32) {
-        // Async-signal-safe: a single atomic store.
-        SHUTDOWN.store(true, Ordering::SeqCst);
+        // Async-signal-safe: a single atomic add. Counting (rather than a
+        // boolean latch) keeps repeated signals observable while the drain
+        // they coalesce into runs exactly once.
+        SIGNALS.fetch_add(1, Ordering::SeqCst);
     }
 
     extern "C" {
@@ -43,27 +73,117 @@ mod sig {
 
 #[cfg(not(unix))]
 mod sig {
-    use std::sync::atomic::AtomicBool;
-    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    use std::sync::atomic::AtomicU64;
+    pub static SIGNALS: AtomicU64 = AtomicU64::new(0);
     pub fn install() {}
 }
 
 /// Installs SIGTERM/SIGINT handlers that request a graceful drain (no-op
-/// off Unix).
+/// off Unix). Idempotent; re-installing never loses the signal count.
 pub fn install_signal_handlers() {
     sig::install();
 }
 
 /// Whether a shutdown signal has been received.
 pub fn shutdown_requested() -> bool {
-    sig::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst)
+    shutdown_signals() > 0
+}
+
+/// How many shutdown signals have been received. The first one initiates
+/// the drain; later ones are coalesced into it (and visible here, so an
+/// operator hammering ^C can be told the drain is already running).
+pub fn shutdown_signals() -> u64 {
+    sig::SIGNALS.load(std::sync::atomic::Ordering::SeqCst)
 }
 
 /// How often the main loop polls for shutdown conditions.
 const POLL: Duration = Duration::from_millis(25);
 
-/// Serves the engine over stdin/stdout until EOF, a `drain` request, or a
-/// shutdown signal, then drains gracefully.
+/// Consecutive non-transient `accept` failures tolerated (with escalating
+/// backoff) before the listener gives up and drains.
+const ACCEPT_RETRY_BUDGET: u32 = 8;
+
+/// Outcome of reading one NDJSON frame via [`read_frame`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete frame (without its newline).
+    Line(String),
+    /// The frame exceeded [`MAX_FRAME_BYTES`]; this many bytes were
+    /// discarded (the stream itself remains usable).
+    Oversized(usize),
+    /// The read timed out with a partial frame buffered — the slow-loris
+    /// posture. The caller should disconnect.
+    Stalled,
+    /// The read timed out with no partial frame buffered — a merely idle
+    /// connection. The caller should keep waiting.
+    Idle,
+    /// End of stream (or hard transport error). `mid_frame` is true when
+    /// the peer vanished with a partial frame buffered.
+    Eof {
+        /// Whether unterminated bytes were pending at disconnect.
+        mid_frame: bool,
+    },
+}
+
+/// Reads one newline-terminated frame from `input` with bounded memory:
+/// a frame longer than [`MAX_FRAME_BYTES`] is discarded *while it streams
+/// in* (never accumulated) and reported as [`Frame::Oversized`]. `partial`
+/// carries an incomplete frame across calls, so timeouts ([`Frame::Idle`] /
+/// [`Frame::Stalled`]) never lose buffered bytes.
+///
+/// This is the hostile-input boundary for the wire: arbitrary bytes in,
+/// a typed [`Frame`] out, no panic, no unbounded allocation.
+pub fn read_frame(input: &mut impl BufRead, partial: &mut Vec<u8>) -> Frame {
+    let mut discarded = 0usize;
+    loop {
+        let chunk = match input.fill_buf() {
+            Ok([]) => {
+                let mid_frame = !partial.is_empty() || discarded > 0;
+                partial.clear();
+                return Frame::Eof { mid_frame };
+            }
+            Ok(chunk) => chunk,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if partial.is_empty() && discarded == 0 {
+                    return Frame::Idle;
+                }
+                return Frame::Stalled;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                let mid_frame = !partial.is_empty() || discarded > 0;
+                partial.clear();
+                return Frame::Eof { mid_frame };
+            }
+        };
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i + 1);
+        if discarded > 0 {
+            discarded += newline.map_or(take, |i| i);
+        } else {
+            partial.extend_from_slice(&chunk[..newline.map_or(take, |i| i)]);
+            if partial.len() > MAX_FRAME_BYTES {
+                discarded = partial.len();
+                partial.clear();
+            }
+        }
+        input.consume(take);
+        if newline.is_some() {
+            if discarded > 0 {
+                return Frame::Oversized(discarded);
+            }
+            let line = String::from_utf8_lossy(partial).into_owned();
+            partial.clear();
+            return Frame::Line(line);
+        }
+    }
+}
+
+/// Serves the engine over stdin/stdout until EOF, a `drain` request, a
+/// shutdown signal, or engine failure, then drains gracefully.
 ///
 /// # Errors
 ///
@@ -92,8 +212,11 @@ pub fn serve_stdio(engine: Engine) -> Result<StatsMsg, RhmdError> {
         })
     };
 
-    while !shutdown_requested() && !reader.is_finished() {
+    while !shutdown_requested() && !reader.is_finished() && !engine.failed() {
         std::thread::sleep(POLL);
+    }
+    if engine.failed() {
+        rhmd_obs::incr("serve.drain.engine_failed");
     }
     let stats = engine.drain();
     let _ = writer.join();
@@ -103,9 +226,62 @@ pub fn serve_stdio(engine: Engine) -> Result<StatsMsg, RhmdError> {
     Ok(stats)
 }
 
+/// Unlink-exactly-once, unlink-only-ours cleanup for the listener socket.
+///
+/// Without the identity check there is a shutdown race: a replacement
+/// server can re-bind the path while this process is still mid-drain, and
+/// the old unconditional `remove_file` would then delete the *new*
+/// server's socket. The guard remembers the bound socket's `(dev, ino)`
+/// and removes the path only while it still names that inode.
+#[cfg(unix)]
+struct SocketGuard {
+    path: std::path::PathBuf,
+    dev: u64,
+    ino: u64,
+    removed: AtomicBool,
+}
+
+#[cfg(unix)]
+impl SocketGuard {
+    fn new(path: &std::path::Path) -> std::io::Result<SocketGuard> {
+        use std::os::unix::fs::MetadataExt;
+        let meta = std::fs::symlink_metadata(path)?;
+        Ok(SocketGuard {
+            path: path.to_path_buf(),
+            dev: meta.dev(),
+            ino: meta.ino(),
+            removed: AtomicBool::new(false),
+        })
+    }
+
+    fn remove_if_ours(&self) {
+        use std::os::unix::fs::MetadataExt;
+        if self.removed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        match std::fs::symlink_metadata(&self.path) {
+            Ok(meta) if meta.dev() == self.dev && meta.ino() == self.ino => {
+                let _ = std::fs::remove_file(&self.path);
+            }
+            _ => {
+                // Replaced or already gone: not ours to delete.
+                rhmd_obs::incr("serve.socket.replaced_during_drain");
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        self.remove_if_ours();
+    }
+}
+
 /// Serves the engine over a Unix domain socket at `path` (created fresh;
 /// an existing socket file is replaced). Accepts any number of concurrent
-/// client connections; drains on a `drain` request or a shutdown signal.
+/// client connections; drains on a `drain` request, a shutdown signal, or
+/// engine failure.
 ///
 /// # Errors
 ///
@@ -121,9 +297,13 @@ pub fn serve_listener(engine: Engine, path: &std::path::Path) -> Result<StatsMsg
     listener
         .set_nonblocking(true)
         .map_err(|e| RhmdError::io(format!("socket {}", path.display()), e.to_string()))?;
+    let guard = SocketGuard::new(path)
+        .map_err(|e| RhmdError::io(format!("stat {}", path.display()), e.to_string()))?;
 
     let engine = Arc::new(engine);
     let out = engine.output();
+    let write_timeout = engine.config().write_timeout;
+    let read_stall = engine.config().read_stall;
     let conns: Arc<Mutex<std::collections::HashMap<u64, std::os::unix::net::UnixStream>>> =
         Arc::new(Mutex::new(std::collections::HashMap::new()));
     let drain_requested = Arc::new(AtomicBool::new(false));
@@ -137,9 +317,12 @@ pub fn serve_listener(engine: Engine, path: &std::path::Path) -> Result<StatsMsg
                     Err(p) => p.into_inner(),
                 };
                 if conn == BROADCAST_CONN {
-                    map.retain(|_, s| writeln!(s, "{line}").is_ok());
+                    map.retain(|_, s| write_line(s, line));
                 } else if let Some(s) = map.get_mut(&conn) {
-                    if writeln!(s, "{line}").is_err() {
+                    if !write_line(s, line) {
+                        // Slow or vanished consumer: the write timed out or
+                        // failed, so the connection goes, not the daemon.
+                        rhmd_obs::incr("serve.conns.write_dropped");
                         map.remove(&conn);
                     }
                 }
@@ -149,12 +332,19 @@ pub fn serve_listener(engine: Engine, path: &std::path::Path) -> Result<StatsMsg
 
     let next_conn = AtomicU64::new(1);
     let mut readers = Vec::new();
-    while !shutdown_requested() && !drain_requested.load(Ordering::SeqCst) {
+    let mut accept_failures: u32 = 0;
+    while !shutdown_requested() && !drain_requested.load(Ordering::SeqCst) && !engine.failed() {
         match listener.accept() {
             Ok((stream, _addr)) => {
+                accept_failures = 0;
                 let conn = next_conn.fetch_add(1, Ordering::Relaxed);
                 rhmd_obs::incr("serve.conns.accepted");
+                // Reads poll at `read_stall` so a mid-frame stall is
+                // detected; writes time out so a slow consumer cannot wedge
+                // the shared writer.
+                let _ = stream.set_read_timeout(Some(read_stall));
                 if let Ok(clone) = stream.try_clone() {
+                    let _ = clone.set_write_timeout(Some(write_timeout));
                     match conns.lock() {
                         Ok(mut g) => {
                             g.insert(conn, clone);
@@ -176,52 +366,105 @@ pub fn serve_listener(engine: Engine, path: &std::path::Path) -> Result<StatsMsg
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
             }
-            Err(_) => break,
+            Err(_) => {
+                // Transient accept errors (EMFILE pressure, aborted
+                // handshakes) are retried with escalating backoff; only a
+                // persistently failing listener falls through to drain.
+                accept_failures += 1;
+                rhmd_obs::incr("serve.accept.errors");
+                if accept_failures > ACCEPT_RETRY_BUDGET {
+                    break;
+                }
+                std::thread::sleep(POLL * accept_failures);
+            }
         }
+    }
+    if engine.failed() {
+        rhmd_obs::incr("serve.drain.engine_failed");
     }
     let stats = engine.drain();
     let _ = writer.join();
-    let _ = std::fs::remove_file(path);
+    guard.remove_if_ours();
     // Reader threads parked on open connections exit when clients
     // disconnect; like the stdio reader they are left detached at exit.
     Ok(stats)
 }
 
-/// Reads NDJSON requests from `input` and submits them until EOF or a
-/// `drain` request; returns `true` when the client asked to drain. Blank
-/// lines are ignored; unparseable lines get a typed `error` response and
-/// the stream continues (one bad line must not kill a session multiplex).
-fn read_loop(engine: &Engine, conn: u64, input: impl BufRead) -> bool {
-    for line in input.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match parse_request(&line) {
-            Ok(request) => {
-                if engine.submit(conn, request) {
-                    return true;
+/// Reads NDJSON frames from `input` and submits them until EOF, a `drain`
+/// request, or a slow-loris stall; returns `true` when the client asked to
+/// drain. Blank frames are ignored; malformed, oversized, and
+/// validation-rejected frames get a typed `error` response and the stream
+/// continues (one bad frame must not kill a session multiplex).
+fn read_loop(engine: &Engine, conn: u64, mut input: impl BufRead) -> bool {
+    let mut partial = Vec::new();
+    loop {
+        match read_frame(&mut input, &mut partial) {
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_request(&line).and_then(|r| {
+                    validate_request(&r)?;
+                    Ok(r)
+                }) {
+                    Ok(request) => {
+                        if engine.submit(conn, request) {
+                            return true;
+                        }
+                    }
+                    Err(e) => {
+                        rhmd_obs::incr("serve.requests.malformed");
+                        engine.respond(
+                            conn,
+                            Response::Error {
+                                message: e.to_string(),
+                            },
+                        );
+                    }
                 }
             }
-            Err(e) => {
-                rhmd_obs::incr("serve.requests.malformed");
+            Frame::Oversized(bytes) => {
+                rhmd_obs::incr("serve.requests.oversized");
                 engine.respond(
                     conn,
                     Response::Error {
-                        message: e.to_string(),
+                        message: format!(
+                            "frame of {bytes} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+                        ),
                     },
                 );
             }
+            Frame::Idle => {
+                // A quiet connection waiting for verdicts: not a fault.
+                continue;
+            }
+            Frame::Stalled => {
+                // Mid-frame for longer than the read timeout: slow-loris
+                // posture, disconnect.
+                rhmd_obs::incr("serve.conns.slow_loris");
+                return false;
+            }
+            Frame::Eof { mid_frame } => {
+                if mid_frame {
+                    rhmd_obs::incr("serve.conns.disconnect_midframe");
+                }
+                return false;
+            }
         }
     }
-    false
+}
+
+/// Writes one line; `false` on any error (timeout, broken pipe).
+#[cfg(unix)]
+fn write_line(stream: &mut std::os::unix::net::UnixStream, line: &str) -> bool {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .is_ok()
 }
 
 /// Drains the output queue into `deliver` until [`OutEvent::Closed`].
-fn write_loop(
-    out: &crate::queue::BoundedQueue<OutEvent>,
-    mut deliver: impl FnMut(u64, &str),
-) {
+fn write_loop(out: &crate::queue::BoundedQueue<OutEvent>, mut deliver: impl FnMut(u64, &str)) {
     while let Some(ev) = out.pop() {
         match ev {
             OutEvent::Response { conn, response } => {
@@ -232,9 +475,62 @@ fn write_loop(
     }
 }
 
+#[cfg(test)]
+mod frame_tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_split_on_newlines_with_state_across_calls() {
+        let mut input = Cursor::new(b"one\ntwo\nthree".to_vec());
+        let mut partial = Vec::new();
+        assert_eq!(read_frame(&mut input, &mut partial), Frame::Line("one".into()));
+        assert_eq!(read_frame(&mut input, &mut partial), Frame::Line("two".into()));
+        // Unterminated tail: a mid-frame EOF, loudly distinguished.
+        assert_eq!(
+            read_frame(&mut input, &mut partial),
+            Frame::Eof { mid_frame: true }
+        );
+        assert_eq!(
+            read_frame(&mut input, &mut partial),
+            Frame::Eof { mid_frame: false }
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_discarded_with_bounded_memory() {
+        let mut bytes = vec![b'x'; MAX_FRAME_BYTES + 100];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"after\n");
+        let mut input = Cursor::new(bytes);
+        let mut partial = Vec::new();
+        match read_frame(&mut input, &mut partial) {
+            Frame::Oversized(n) => assert!(n > MAX_FRAME_BYTES),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert!(
+            partial.capacity() <= 2 * MAX_FRAME_BYTES,
+            "oversized frame must not accumulate"
+        );
+        // The stream survives the oversized frame.
+        assert_eq!(read_frame(&mut input, &mut partial), Frame::Line("after".into()));
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced_not_fatal() {
+        let mut input = Cursor::new(b"\xff\xfe{bad}\n".to_vec());
+        let mut partial = Vec::new();
+        match read_frame(&mut input, &mut partial) {
+            Frame::Line(line) => assert!(line.contains("{bad}")),
+            other => panic!("expected Line, got {other:?}"),
+        }
+    }
+}
+
 #[cfg(all(test, unix))]
 mod tests {
     use super::*;
+    use crate::chaos::EngineFaults;
     use crate::ServeConfig;
     use rhmd_core::hmd::Hmd;
     use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
@@ -244,8 +540,7 @@ mod tests {
     use std::io::{BufRead, BufReader, Write};
     use std::os::unix::net::UnixStream;
 
-    #[test]
-    fn socket_round_trip_with_drain() {
+    fn trained() -> (TracedCorpus, Hmd) {
         let config = CorpusConfig::tiny();
         let corpus = Corpus::build(&config);
         let splits = Splits::new(&corpus, config.seed);
@@ -257,16 +552,24 @@ mod tests {
             &traced,
             &splits.victim_train,
         );
-        let engine = Engine::start(
+        (traced, hmd)
+    }
+
+    #[test]
+    fn socket_round_trip_with_drain_and_hostile_frames() {
+        let (traced, hmd) = trained();
+        let engine = Engine::start_with_faults(
             hmd.clone(),
             ServeConfig {
                 session_deadline: None,
                 tenant_deadline: None,
                 ..ServeConfig::default()
             },
+            EngineFaults::default(),
         )
         .unwrap();
-        let sock = std::env::temp_dir().join(format!("rhmd-serve-test-{}.sock", std::process::id()));
+        let sock =
+            std::env::temp_dir().join(format!("rhmd-serve-test-{}.sock", std::process::id()));
         let server = {
             let sock = sock.clone();
             std::thread::spawn(move || serve_listener(engine, &sock).unwrap())
@@ -285,12 +588,17 @@ mod tests {
                 session: "s".into(),
                 seq: seq as u64,
                 window: Box::new(sub.clone()),
+                deadline_ms: None,
             })
             .unwrap();
             writeln!(stream, "{line}").unwrap();
         }
         writeln!(stream, "{{\"End\":{{\"tenant\":\"t\",\"session\":\"s\"}}}}").unwrap();
+        // Three hostile frames, all answered with typed errors: malformed
+        // JSON, an empty-tenant End, and an oversized payload.
         writeln!(stream, "not json").unwrap();
+        writeln!(stream, "{{\"End\":{{\"tenant\":\"\",\"session\":\"s\"}}}}").unwrap();
+        writeln!(stream, "{{\"junk\":\"{}\"}}", "x".repeat(MAX_FRAME_BYTES)).unwrap();
         writeln!(stream, "{{\"Drain\":{{}}}}").unwrap();
         stream.flush().unwrap();
 
@@ -320,9 +628,86 @@ mod tests {
         }
         let stats = server.join().unwrap();
         assert_eq!(verdicts, 1);
-        assert_eq!(errors, 1);
+        assert_eq!(errors, 3);
         assert!(drained, "drained notice must reach the client");
         assert_eq!(stats.offered_sessions, 1);
+        assert_eq!(stats.quarantined, 0);
         assert!(!std::path::Path::new(&sock).exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn slow_loris_and_midframe_disconnect_do_not_stall_the_daemon() {
+        let (traced, hmd) = trained();
+        let engine = Engine::start_with_faults(
+            hmd,
+            ServeConfig {
+                session_deadline: None,
+                tenant_deadline: None,
+                read_stall: Duration::from_millis(100),
+                ..ServeConfig::default()
+            },
+            EngineFaults::default(),
+        )
+        .unwrap();
+        let sock =
+            std::env::temp_dir().join(format!("rhmd-serve-loris-{}.sock", std::process::id()));
+        let server = {
+            let sock = sock.clone();
+            std::thread::spawn(move || serve_listener(engine, &sock).unwrap())
+        };
+        let connect = || loop {
+            if let Ok(s) = UnixStream::connect(&sock) {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        // Attacker 1: sends half a frame and stalls. The read-stall
+        // watchdog must disconnect it.
+        let mut loris = connect();
+        loris.write_all(b"{\"Event\":{\"tenant\":\"t\",").unwrap();
+        loris.flush().unwrap();
+        // Attacker 2: sends half a frame and vanishes.
+        let mut vanisher = connect();
+        vanisher.write_all(b"{\"End\":{\"tenant").unwrap();
+        vanisher.flush().unwrap();
+        drop(vanisher);
+        std::thread::sleep(Duration::from_millis(300));
+        // The daemon is still fully live for a well-behaved client.
+        let mut good = connect();
+        let subs = traced.subwindows(0);
+        let line = serde_json::to_string(&crate::proto::Request::Event {
+            tenant: "t".into(),
+            session: "ok".into(),
+            seq: 0,
+            window: Box::new(subs[0].clone()),
+            deadline_ms: None,
+        })
+        .unwrap();
+        writeln!(good, "{line}").unwrap();
+        writeln!(good, "{{\"End\":{{\"tenant\":\"t\",\"session\":\"ok\"}}}}").unwrap();
+        writeln!(good, "{{\"Drain\":{{}}}}").unwrap();
+        good.flush().unwrap();
+        let reader = BufReader::new(good.try_clone().unwrap());
+        let mut saw_verdict = false;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            match serde_json::from_str::<Response>(&line).unwrap() {
+                Response::Verdict(v) => {
+                    assert_eq!(v.session, "ok");
+                    saw_verdict = true;
+                }
+                Response::Drained(stats) => {
+                    assert!(stats.accounted());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let stats = server.join().unwrap();
+        assert!(saw_verdict, "healthy client starved by attackers");
+        assert_eq!(stats.offered_sessions, 1);
+        // The half-frames never became sessions.
+        assert!(stats.accounted());
+        drop(loris);
     }
 }

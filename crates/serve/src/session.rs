@@ -117,6 +117,29 @@ impl WindowAssembler {
         Some(self.seal())
     }
 
+    /// Rebuilds an assembler mid-stream from a snapshot's `(chunk, count)`
+    /// pair, as captured by [`WindowAssembler::chunk_state`]. The resumed
+    /// assembler continues the stream exactly where the snapshot left it —
+    /// the foundation of bit-identical shard recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is invalid (same contract as
+    /// [`WindowAssembler::new`]) — snapshots only ever carry validated
+    /// configs.
+    pub fn resume(period: u32, min_fill: f64, chunk: RawWindow, count: usize) -> WindowAssembler {
+        let mut asm = WindowAssembler::new(period, min_fill);
+        asm.chunk = chunk;
+        asm.count = count.min(asm.per.saturating_sub(1));
+        asm
+    }
+
+    /// The in-flight partial chunk and how many subwindows it has merged —
+    /// everything a snapshot needs to resume assembly.
+    pub fn chunk_state(&self) -> (&RawWindow, usize) {
+        (&self.chunk, self.count)
+    }
+
     fn seal(&mut self) -> Sealed {
         let merged = std::mem::take(&mut self.chunk);
         self.count = 0;
@@ -152,8 +175,13 @@ pub struct SessionState {
     pub next_seq: u64,
     /// Subwindow sequence gaps observed (missed deadlines upstream).
     pub gap_events: u64,
+    /// Stale or duplicate frames dropped by the sequence filter.
+    pub stale_frames: u64,
     /// Last time any message touched this session (watchdog input).
     pub last_activity: Instant,
+    /// Earliest client-requested verdict deadline, if any frame carried
+    /// one; past it the session finalizes as `abstain`/`deadline`.
+    pub deadline_at: Option<Instant>,
     /// The connection that opened the session (verdict routing).
     pub conn: u64,
 }
@@ -166,9 +194,41 @@ impl SessionState {
             slots: Vec::new(),
             next_seq: 0,
             gap_events: 0,
+            stale_frames: 0,
             last_activity: now,
+            deadline_at: None,
             conn,
         }
+    }
+
+    /// Sequence admission filter: `Some(gap)` admits the frame (recording
+    /// how many sequence numbers were skipped), `None` drops it as a stale
+    /// or duplicate re-delivery. Dropping rather than aborting is what
+    /// makes redelivered streams assemble bit-identically to clean ones —
+    /// the batch aggregator only ever sees each subwindow once.
+    pub fn admit_seq(&mut self, seq: u64) -> Option<u64> {
+        if seq < self.next_seq {
+            self.stale_frames += 1;
+            return None;
+        }
+        let gap = seq - self.next_seq;
+        self.gap_events += gap;
+        self.next_seq = seq + 1;
+        Some(gap)
+    }
+
+    /// Tightens the session's verdict deadline to `at` if it is earlier
+    /// than any previously requested deadline.
+    pub fn tighten_deadline(&mut self, at: Instant) {
+        self.deadline_at = Some(match self.deadline_at {
+            Some(cur) => cur.min(at),
+            None => at,
+        });
+    }
+
+    /// Whether the client-requested verdict deadline has passed.
+    pub fn past_deadline(&self, now: Instant) -> bool {
+        self.deadline_at.is_some_and(|at| now >= at)
     }
 
     /// Resolved votes, in window order.
@@ -189,6 +249,85 @@ impl SessionState {
             })
             .collect()
     }
+
+    /// Resolved votes with pending slots degraded to abstentions — the
+    /// quarantine/recovery path, where a slot's micro-batch may have died
+    /// with its worker and will never flush.
+    pub fn votes_lossy(&self) -> Vec<Option<bool>> {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Done(v) => *v,
+                Slot::Pending => None,
+            })
+            .collect()
+    }
+
+    /// Captures everything needed to rebuild this session on a restarted
+    /// shard. Pending slots are preserved as pending; [`restore`] degrades
+    /// them to abstentions because their in-flight batch died unflushed.
+    ///
+    /// [`restore`]: SessionState::restore
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let (chunk, count) = self.assembler.chunk_state();
+        SessionSnapshot {
+            chunk: chunk.clone(),
+            count,
+            slots: self.slots.clone(),
+            next_seq: self.next_seq,
+            gap_events: self.gap_events,
+            stale_frames: self.stale_frames,
+            deadline_at: self.deadline_at,
+            conn: self.conn,
+        }
+    }
+
+    /// Rebuilds a session from a snapshot on a restarted shard. Slots that
+    /// were pending at capture time resolve to abstentions (their batch
+    /// never flushed); slots resolved before the snapshot keep their votes,
+    /// so a kill after a full batch flush + snapshot sync recovers
+    /// bit-identically.
+    pub fn restore(period: u32, min_fill: f64, snap: SessionSnapshot, now: Instant) -> SessionState {
+        SessionState {
+            assembler: WindowAssembler::resume(period, min_fill, snap.chunk, snap.count),
+            slots: snap
+                .slots
+                .into_iter()
+                .map(|slot| match slot {
+                    Slot::Pending => Slot::Done(None),
+                    done => done,
+                })
+                .collect(),
+            next_seq: snap.next_seq,
+            gap_events: snap.gap_events,
+            stale_frames: snap.stale_frames,
+            last_activity: now,
+            deadline_at: snap.deadline_at,
+            conn: snap.conn,
+        }
+    }
+}
+
+/// Point-in-time copy of one session's recoverable state, held by the
+/// engine's in-memory snapshot store and replayed into a restarted shard.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// In-flight partial collection-window chunk.
+    pub chunk: RawWindow,
+    /// Subwindows merged into `chunk` so far.
+    pub count: usize,
+    /// Vote ledger at capture time.
+    pub slots: Vec<Slot>,
+    /// Next expected subwindow sequence number.
+    pub next_seq: u64,
+    /// Sequence gaps observed so far.
+    pub gap_events: u64,
+    /// Stale/duplicate frames dropped so far.
+    pub stale_frames: u64,
+    /// Client-requested verdict deadline, if any.
+    pub deadline_at: Option<Instant>,
+    /// The connection that opened the session.
+    pub conn: u64,
 }
 
 #[cfg(test)]
@@ -268,5 +407,62 @@ mod tests {
         s.slots.push(Slot::Done(Some(true)));
         s.slots.push(Slot::Done(None));
         assert_eq!(s.votes(), vec![Some(true), None]);
+    }
+
+    #[test]
+    fn seq_filter_drops_stale_and_duplicate_frames() {
+        let mut s = SessionState::new(5_000, 1.0, 0, Instant::now());
+        assert_eq!(s.admit_seq(0), Some(0));
+        assert_eq!(s.admit_seq(0), None, "duplicate dropped");
+        assert_eq!(s.admit_seq(1), Some(0));
+        assert_eq!(s.admit_seq(0), None, "stale dropped");
+        assert_eq!(s.admit_seq(4), Some(2), "gap admitted and counted");
+        assert_eq!(s.admit_seq(3), None, "out-of-order behind cursor dropped");
+        assert_eq!((s.stale_frames, s.gap_events, s.next_seq), (3, 2, 5));
+    }
+
+    #[test]
+    fn deadline_tightens_to_earliest() {
+        let now = Instant::now();
+        let mut s = SessionState::new(5_000, 1.0, 0, now);
+        assert!(!s.past_deadline(now));
+        s.tighten_deadline(now + std::time::Duration::from_millis(100));
+        s.tighten_deadline(now + std::time::Duration::from_millis(500));
+        assert_eq!(s.deadline_at, Some(now + std::time::Duration::from_millis(100)));
+        assert!(s.past_deadline(now + std::time::Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_assembly_exactly() {
+        let subs: Vec<RawWindow> = (0..7).map(|i| sub(1_000 + i)).collect();
+        // Straight-through assembly.
+        let direct = streamed(&subs, 5_000, 0.0);
+        // Snapshot after 3 subwindows, restore, continue with the rest.
+        let mut s = SessionState::new(5_000, 0.0, 7, Instant::now());
+        let mut resumed_out = Vec::new();
+        for w in &subs[..3] {
+            if let Some(Sealed::Window(w)) = s.assembler.push(w) {
+                resumed_out.push(*w);
+            }
+        }
+        s.slots.push(Slot::Done(Some(false)));
+        s.slots.push(Slot::Pending);
+        let snap = s.snapshot();
+        let mut r = SessionState::restore(5_000, 0.0, snap, Instant::now());
+        assert_eq!(r.conn, 7);
+        assert_eq!(
+            r.slots,
+            vec![Slot::Done(Some(false)), Slot::Done(None)],
+            "pending slots degrade to abstentions on restore"
+        );
+        for w in &subs[3..] {
+            if let Some(Sealed::Window(w)) = r.assembler.push(w) {
+                resumed_out.push(*w);
+            }
+        }
+        if let Some(Sealed::Window(w)) = r.assembler.finish() {
+            resumed_out.push(*w);
+        }
+        assert_eq!(resumed_out, direct, "kill/restore does not perturb windows");
     }
 }

@@ -6,15 +6,20 @@
 //!   any interleaving of size-triggered and forced flushes;
 //! * the engine emits exactly one verdict per offered session and keeps
 //!   the accounting identity, across random loads and queue shapes —
-//!   including runs where shedding kicks in and later recovers.
+//!   including runs where shedding kicks in and later recovers;
+//! * the hostile-input boundary never panics: `parse_request` and the
+//!   bounded frame reader accept arbitrary bytes, and the session
+//!   sequence filter makes duplicate/stale/out-of-order re-delivery
+//!   invisible to window assembly.
 
 use proptest::prelude::*;
 use rhmd_features::window::{aggregate_with_gaps, RawWindow, SUBWINDOW};
 use rhmd_serve::batch::MicroBatcher;
 use rhmd_serve::engine::{Engine, OutEvent};
-use rhmd_serve::proto::Response;
+use rhmd_serve::proto::{parse_request, validate_request, Response};
 use rhmd_serve::queue::Watermarks;
-use rhmd_serve::session::{Sealed, SessionKey, WindowAssembler};
+use rhmd_serve::server::{read_frame, Frame};
+use rhmd_serve::session::{Sealed, SessionKey, SessionState, WindowAssembler};
 use rhmd_serve::ServeConfig;
 use std::time::{Duration, Instant};
 
@@ -109,6 +114,96 @@ proptest! {
         }
     }
 
+    /// The request parser and validator accept arbitrary bytes without
+    /// panicking: hostile input draws `Ok` or a typed error, nothing else.
+    /// (Runs both raw fuzz strings and JSON-shaped prefixes of real
+    /// frames, which exercise deeper parser states.)
+    #[test]
+    fn parse_request_never_panics_on_arbitrary_input(
+        raw in prop::collection::vec(any::<u8>(), 0..256),
+        cut in 0usize..128,
+    ) {
+        let s = String::from_utf8_lossy(&raw).into_owned();
+        if let Ok(req) = parse_request(&s) {
+            let _ = validate_request(&req);
+        }
+        // A truncated real frame must also die cleanly.
+        let frame = r#"{"Event":{"tenant":"t","session":"s","seq":0,"window":{"instructions":1}}}"#;
+        let cut = cut.min(frame.len());
+        if let Some(prefix) = frame.get(..cut) {
+            if let Ok(req) = parse_request(prefix) {
+                let _ = validate_request(&req);
+            }
+        }
+    }
+
+    /// The bounded frame reader never panics on arbitrary byte streams,
+    /// never yields a frame beyond the size cap, and always terminates.
+    #[test]
+    fn frame_reader_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut input = std::io::Cursor::new(bytes);
+        let mut partial = Vec::new();
+        loop {
+            match read_frame(&mut input, &mut partial) {
+                Frame::Line(line) => {
+                    prop_assert!(line.len() <= rhmd_serve::proto::MAX_FRAME_BYTES);
+                    // Whatever came out must feed the parser cleanly too.
+                    if let Ok(req) = parse_request(&line) {
+                        let _ = validate_request(&req);
+                    }
+                }
+                Frame::Oversized(_) | Frame::Idle | Frame::Stalled => {}
+                Frame::Eof { .. } => break,
+            }
+        }
+    }
+
+    /// Re-delivery chaos is invisible to assembly: a stream delivered with
+    /// injected duplicates and stale replays (gated by the session
+    /// sequence filter, exactly as the engine gates it) seals the same
+    /// windows as the clean in-order stream.
+    #[test]
+    fn sequence_filter_makes_redelivery_invisible_to_assembly(
+        fills in prop::collection::vec(1u64..=u64::from(SUBWINDOW), 1..24),
+        per in 1u32..4,
+        replays in prop::collection::vec((0usize..24, 0usize..24), 0..32),
+    ) {
+        let period = per * SUBWINDOW;
+        let subs: Vec<RawWindow> = fills
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| sub(f, i as u64))
+            .collect();
+        let now = Instant::now();
+        let deliver = |chaos: bool| {
+            let mut state = SessionState::new(period, 1.0, 0, now);
+            let mut sealed = Vec::new();
+            let mut push = |state: &mut SessionState, seq: u64, w: &RawWindow| {
+                if state.admit_seq(seq).is_some() {
+                    if let Some(Sealed::Window(out)) = state.assembler.push(w) {
+                        sealed.push(*out);
+                    }
+                }
+            };
+            for (i, w) in subs.iter().enumerate() {
+                push(&mut state, i as u64, w);
+                if chaos {
+                    // Replay arbitrary already-delivered frames (duplicates
+                    // of the current one, stale older ones, in any order).
+                    for &(at, j) in &replays {
+                        if at == i && j <= i {
+                            push(&mut state, j as u64, &subs[j]);
+                        }
+                    }
+                }
+            }
+            sealed
+        };
+        prop_assert_eq!(deliver(false), deliver(true));
+    }
+
     /// One verdict per offered session and a closed accounting identity,
     /// for random session mixes and queue shapes — with and without
     /// shedding (tight queues + an initially stalled consumer force the
@@ -155,7 +250,7 @@ proptest! {
             for k in 0..sessions {
                 let session = format!("s{k}");
                 for seq in 0..events_per {
-                    engine.submit_event(0, "t", &session, seq as u64, Box::new(window.clone()));
+                    engine.submit_event(0, "t", &session, seq as u64, Box::new(window.clone()), None);
                 }
                 engine.submit_end(0, "t", &session);
             }

@@ -68,7 +68,7 @@ fn replay(traced: &TracedCorpus, test: &[usize], hmd: &Hmd, shards: usize) -> Ve
             // Interleave tenants so per-tenant micro-batching is exercised.
             let tenant = if k % 2 == 0 { "t0" } else { "t1" };
             for (seq, sub) in traced.subwindows(prog).iter().enumerate() {
-                engine.submit_event(0, tenant, &session, seq as u64, Box::new(sub.clone()));
+                engine.submit_event(0, tenant, &session, seq as u64, Box::new(sub.clone()), None);
             }
             engine.submit_end(0, tenant, &session);
             // Keep at most a couple of sessions in flight so the generous
