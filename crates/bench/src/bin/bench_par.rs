@@ -22,9 +22,10 @@ use rhmd_bench::par::{CacheStats, Evaluator, Pool};
 use rhmd_bench::Experiment;
 use rhmd_core::hmd::Hmd;
 use rhmd_core::retrain::detection_quality;
+use rhmd_data::{Corpus, CorpusStore, StoreBuilder, TracedCorpus};
 use rhmd_features::vector::{FeatureKind, FeatureSpec};
 use rhmd_ml::metrics::auc;
-use rhmd_ml::model::score_all;
+use rhmd_ml::model::{score_all, Dataset};
 use rhmd_ml::trainer::Algorithm;
 use rhmd_obs as obs;
 use serde::Serialize;
@@ -67,6 +68,7 @@ struct Report {
     kernels: Vec<KernelBench>,
     fused: FusedKernelBench,
     quant_kernels: Vec<QuantKernelBench>,
+    bench_store: StoreBench,
     metrics: MetricsOverhead,
 }
 
@@ -373,6 +375,135 @@ fn quant_benches(exp: &Experiment) -> Vec<QuantKernelBench> {
     out
 }
 
+/// The corpus-store data plane: trace-once build cost, then the mmap'd
+/// second-run read path against regenerating the same features live
+/// (trace + project), with bit-identity between the two and the process
+/// peak RSS as evidence the store does not inflate memory.
+#[derive(Debug, Serialize)]
+struct StoreBench {
+    programs: usize,
+    canonical: usize,
+    duplicates: usize,
+    dedup_ratio: f64,
+    shards: usize,
+    rows: u64,
+    store_bytes: u64,
+    /// Trace-once store build (parallel, checkpointed), paid a single time.
+    build_seconds: f64,
+    /// What every later run pays *without* the store: re-trace the corpus
+    /// and project every grid spec.
+    regenerate_seconds: f64,
+    /// What a later run pays *with* the store: open, mmap, read the same
+    /// datasets back through the engine (best of trials, open included).
+    store_read_seconds: f64,
+    /// `regenerate_seconds / store_read_seconds` — the second-run payoff.
+    second_run_speedup: f64,
+    /// Whether store-backed datasets matched the regenerated ones
+    /// bit-for-bit (labels, dims, and every `f64` row value).
+    bit_identical: bool,
+    /// `VmHWM` of this process in MiB after the store pass (0.0 where
+    /// procfs is unavailable) — CI bounds it.
+    peak_rss_mib: f64,
+}
+
+/// The floor the mmap'd second run must clear over live regeneration.
+const MIN_STORE_SPEEDUP: f64 = 5.0;
+
+/// Peak resident set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`), or 0.0 where procfs is unavailable.
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// Bitwise dataset equality: dims, labels, and every row value's bits.
+fn datasets_identical(a: &Dataset, b: &Dataset) -> bool {
+    a.matrix().dims() == b.matrix().dims()
+        && a.labels() == b.labels()
+        && a.matrix().as_slice().len() == b.matrix().as_slice().len()
+        && a.matrix()
+            .as_slice()
+            .iter()
+            .zip(b.matrix().as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Builds a corpus store for the grid's specs in a scratch directory, then
+/// times regenerating the full-corpus window datasets live against reading
+/// them back through the store-backed engine.
+fn store_bench(exp: &Experiment, pool: Pool) -> Result<StoreBench, rhmd_core::RhmdError> {
+    let dir = std::env::temp_dir().join(format!("rhmd-bench-store-{}", std::process::id()));
+    // A stale directory from a crashed run would let the builder resume
+    // instead of measuring a full build.
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = specs(exp);
+    let every: Vec<usize> = (0..exp.traced.corpus().len()).collect();
+
+    let start = Instant::now();
+    let summary = StoreBuilder::new(&dir, exp.config)
+        .specs(specs.clone())
+        .threads(pool.threads())
+        .build()?;
+    let build_seconds = start.elapsed().as_secs_f64();
+
+    // The no-store path: trace the whole corpus from scratch and project
+    // every spec, exactly what a second experiment run would redo.
+    let start = Instant::now();
+    let corpus = Corpus::build(&exp.config);
+    let traced = TracedCorpus::trace_threads(
+        corpus,
+        exp.traced.limits(),
+        exp.traced.core_config(),
+        pool.threads(),
+    );
+    let live: Vec<Dataset> =
+        specs.iter().map(|spec| traced.window_dataset(&every, spec)).collect();
+    let regenerate_seconds = start.elapsed().as_secs_f64();
+    drop(traced);
+
+    // The store path: open + mmap + read the same datasets back. Open cost
+    // is inside the timer — it is part of every second run.
+    let mut store_read_seconds = f64::INFINITY;
+    let mut stored: Vec<Dataset> = Vec::new();
+    for _ in 0..3 {
+        let start = Instant::now();
+        let store = CorpusStore::open(&dir)?;
+        let engine = Evaluator::builder_from_store(&store, exp.config.seed).pool(pool).build();
+        stored = specs.iter().map(|spec| engine.window_dataset(&every, spec)).collect();
+        store_read_seconds = store_read_seconds.min(start.elapsed().as_secs_f64());
+    }
+
+    let bit_identical =
+        live.len() == stored.len() && live.iter().zip(&stored).all(|(a, b)| datasets_identical(a, b));
+    let peak_rss = peak_rss_mib();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(StoreBench {
+        programs: summary.programs,
+        canonical: summary.canonical,
+        duplicates: summary.duplicates,
+        dedup_ratio: summary.duplicates as f64 / summary.programs.max(1) as f64,
+        shards: summary.shards,
+        rows: summary.rows,
+        store_bytes: summary.bytes,
+        build_seconds,
+        regenerate_seconds,
+        store_read_seconds,
+        second_run_speedup: regenerate_seconds / store_read_seconds.max(1e-12),
+        bit_identical,
+        peak_rss_mib: peak_rss,
+    })
+}
+
 /// The observability overhead gate's evidence, kept in the report so every
 /// run re-documents the disabled-path cost.
 #[derive(Debug, Serialize)]
@@ -589,6 +720,34 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         "a quantized batch sweep diverged from per-row scoring"
     );
 
+    eprintln!("[bench_par] corpus store (trace-once build vs regenerate vs mmap read) ...");
+    let bench_store = store_bench(&exp, pool)?;
+    eprintln!(
+        "[bench_par]   build {:.2}s ({} canonical of {} programs, {} shards, {:.1} MiB); \
+         regenerate {:.2}s vs store read {:.3}s ({:.1}x, bit_identical={}, peak RSS {:.0} MiB)",
+        bench_store.build_seconds,
+        bench_store.canonical,
+        bench_store.programs,
+        bench_store.shards,
+        bench_store.store_bytes as f64 / (1024.0 * 1024.0),
+        bench_store.regenerate_seconds,
+        bench_store.store_read_seconds,
+        bench_store.second_run_speedup,
+        bench_store.bit_identical,
+        bench_store.peak_rss_mib,
+    );
+    // The store is a serialization of the live data plane, nothing more:
+    // reading features back must reproduce regeneration bit-for-bit.
+    assert!(bench_store.bit_identical, "store-backed datasets diverged from live regeneration");
+    assert!(
+        bench_store.second_run_speedup >= MIN_STORE_SPEEDUP,
+        "store second-run speedup {:.2}x is below the {MIN_STORE_SPEEDUP}x floor \
+         (regenerate {:.3}s vs store read {:.3}s)",
+        bench_store.second_run_speedup,
+        bench_store.regenerate_seconds,
+        bench_store.store_read_seconds,
+    );
+
     // Price the disabled path while the registry is still off, then turn
     // metrics on for the third pass.
     let ns_per_event = disabled_ns_per_event();
@@ -654,6 +813,7 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         kernels,
         fused,
         quant_kernels,
+        bench_store,
         metrics: MetricsOverhead {
             enabled_seconds,
             events_per_pass,

@@ -30,7 +30,8 @@ use rhmd_core::retrain::DetectionQuality;
 use rhmd_core::rhmd::ResilientHmd;
 use rhmd_core::verdict::{DegradedVerdict, VerdictPolicy};
 use rhmd_core::RhmdError;
-use rhmd_data::TracedCorpus;
+use rhmd_data::store::CorpusStore;
+use rhmd_data::{CorpusSource, TracedCorpus};
 use rhmd_features::pipeline::project_windows_into;
 use rhmd_features::vector::FeatureSpec;
 use rhmd_features::window::{apply_faults, RawWindow};
@@ -472,11 +473,18 @@ impl Pool {
 // Feature-vector cache
 // ---------------------------------------------------------------------------
 
-/// Cache key: one projected window set is identified by the program, the
-/// fault seed, the collection period, the feature definition, and the fault
-/// configuration (hashed stably, so keys survive process boundaries).
+/// Cache key: one projected window set is identified by the backing corpus
+/// source, the program, the fault seed, the collection period, the feature
+/// definition, and the fault configuration (hashed stably, so keys survive
+/// process boundaries).
+///
+/// `source` is the [`CorpusSource::identity`] of the backing data — `0` for
+/// live generation, the store's path/config hash otherwise — so mixing a
+/// corpus store and a generated corpus in one process can never alias
+/// entries even when program indices and specs coincide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
+    source: u64,
     program: usize,
     seed: u64,
     period: u32,
@@ -485,6 +493,71 @@ struct CacheKey {
 }
 
 const SHARDS: usize = 16;
+
+/// Where an [`Evaluator`] reads feature rows from: a live traced corpus or
+/// an opened on-disk [`CorpusStore`].
+///
+/// Both sides satisfy the same contract ([`CorpusSource`]): for the same
+/// underlying corpus, feature rows are bit-identical — which is what makes
+/// `rhmd sweep --corpus-store` byte-identical to live generation.
+#[derive(Debug, Clone, Copy)]
+pub enum EvalSource<'a> {
+    /// Programs traced in RAM this run.
+    Traced(&'a TracedCorpus),
+    /// Feature rows mmap'd from a prebuilt corpus store.
+    Store(&'a CorpusStore),
+}
+
+impl EvalSource<'_> {
+    /// Number of programs.
+    pub fn len(&self) -> usize {
+        match self {
+            EvalSource::Traced(t) => CorpusSource::len(*t),
+            EvalSource::Store(s) => CorpusSource::len(*s),
+        }
+    }
+
+    /// Whether the source holds no programs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ground-truth labels, one per program.
+    pub fn labels(&self) -> Vec<bool> {
+        match self {
+            EvalSource::Traced(t) => CorpusSource::labels(*t),
+            EvalSource::Store(s) => CorpusSource::labels(*s),
+        }
+    }
+
+    /// Stratum ids, one per program.
+    pub fn strata(&self) -> Vec<u32> {
+        match self {
+            EvalSource::Traced(t) => CorpusSource::strata(*t),
+            EvalSource::Store(s) => CorpusSource::strata(*s),
+        }
+    }
+
+    /// The cache-key identity of the backing data (0 = live generation).
+    pub fn identity(&self) -> u64 {
+        match self {
+            EvalSource::Traced(t) => CorpusSource::identity(*t),
+            EvalSource::Store(s) => CorpusSource::identity(*s),
+        }
+    }
+
+    /// Feature rows of one program. Panics on a source mismatch (spec not
+    /// stored, index out of range) — evaluation loops are pure and such a
+    /// mismatch is a caller bug, validated at CLI level before any loop
+    /// runs.
+    fn features_of(&self, program: usize, spec: &FeatureSpec) -> FeatureMatrix {
+        let result = match self {
+            EvalSource::Traced(t) => CorpusSource::features_of(*t, program, spec),
+            EvalSource::Store(s) => CorpusSource::features_of(*s, program, spec),
+        };
+        result.unwrap_or_else(|e| panic!("{e}"))
+    }
+}
 
 /// Statistics of a [`FeatureCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -570,7 +643,28 @@ impl FeatureCache {
         spec: &FeatureSpec,
         fault: Option<(&FaultConfig, u64)>,
     ) -> Arc<FeatureMatrix> {
+        self.vectors_source(&EvalSource::Traced(traced), program, spec, fault)
+    }
+
+    /// [`FeatureCache::vectors`] over any [`EvalSource`]. Store-backed hits
+    /// and misses both return zero-copy views over the mapped shard; the
+    /// source identity is part of the key, so a store and a generated
+    /// corpus sharing one process never alias entries.
+    ///
+    /// # Panics
+    ///
+    /// When `fault` is given for a store source: fault injection corrupts
+    /// raw subwindows, which a store does not retain. Degraded evaluations
+    /// require a traced source.
+    pub fn vectors_source(
+        &self,
+        source: &EvalSource<'_>,
+        program: usize,
+        spec: &FeatureSpec,
+        fault: Option<(&FaultConfig, u64)>,
+    ) -> Arc<FeatureMatrix> {
         let key = CacheKey {
+            source: source.identity(),
             program,
             seed: fault.map_or(0, |(_, s)| s),
             period: spec.period,
@@ -587,25 +681,31 @@ impl FeatureCache {
         // may win the insert.
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::incr("cache.misses");
-        let subs = traced.subwindows(program);
-        let mut flat = Vec::new();
-        let windows = match fault {
-            None => project_windows_into(subs, spec, &mut flat),
-            Some((config, seed)) => {
+        let projected = match (source, fault) {
+            (EvalSource::Traced(traced), Some((config, seed))) => {
+                let subs = traced.subwindows(program);
+                let mut flat = Vec::new();
                 let model = FaultModel::new(*config, seed);
-                project_windows_into(&apply_faults(subs, &model), spec, &mut flat)
+                let windows = project_windows_into(&apply_faults(subs, &model), spec, &mut flat);
+                if spec.dims() == 0 {
+                    // Flat storage cannot infer a row count at zero dims;
+                    // keep the window count by pushing empty rows.
+                    let mut m = FeatureMatrix::new(0);
+                    for _ in 0..windows {
+                        m.push_row(&[]);
+                    }
+                    m
+                } else {
+                    FeatureMatrix::from_flat(spec.dims(), flat)
+                }
             }
-        };
-        let projected = if spec.dims() == 0 {
-            // Flat storage cannot infer a row count at zero dims; keep the
-            // window count by pushing empty rows.
-            let mut m = FeatureMatrix::new(0);
-            for _ in 0..windows {
-                m.push_row(&[]);
-            }
-            m
-        } else {
-            FeatureMatrix::from_flat(spec.dims(), flat)
+            (EvalSource::Store(_), Some(_)) => panic!(
+                "fault injection needs raw subwindows, which a corpus store does not \
+                 retain; evaluate degraded runs from a traced corpus"
+            ),
+            // Clean stream: both sources produce bit-identical rows (a
+            // store-backed matrix is a zero-copy view into the shard).
+            (_, None) => source.features_of(program, spec),
         };
         let value = Arc::new(projected);
         let mut shard = self.shard(&key).lock().expect("cache mutex poisoned");
@@ -662,7 +762,7 @@ pub struct DegradedQuality {
 /// # }
 /// ```
 pub struct EvaluatorBuilder<'a> {
-    traced: &'a TracedCorpus,
+    source: EvalSource<'a>,
     run_seed: u64,
     pool: Pool,
     cache_shards: usize,
@@ -739,7 +839,7 @@ impl<'a> EvaluatorBuilder<'a> {
         }
         obs::set_gauge("pool.threads", self.pool.threads() as f64);
         Evaluator {
-            traced: self.traced,
+            source: self.source,
             pool: self.pool,
             cache: FeatureCache::with_shards(self.cache_shards),
             run_seed: self.run_seed,
@@ -762,7 +862,7 @@ impl<'a> EvaluatorBuilder<'a> {
 /// the equivalence suite (`tests/equivalence.rs`) enforces this for thread
 /// counts {1, 2, 8} across seeds and fault configs.
 pub struct Evaluator<'a> {
-    traced: &'a TracedCorpus,
+    source: EvalSource<'a>,
     pool: Pool,
     cache: FeatureCache,
     run_seed: u64,
@@ -788,8 +888,29 @@ impl fmt::Debug for Evaluator<'_> {
 impl<'a> Evaluator<'a> {
     /// Starts configuring an engine over `traced` with the given run seed.
     pub fn builder(traced: &'a TracedCorpus, run_seed: u64) -> EvaluatorBuilder<'a> {
+        Evaluator::builder_from_source(EvalSource::Traced(traced), run_seed)
+    }
+
+    /// Starts configuring an engine over an opened corpus store: feature
+    /// rows come back as zero-copy views over the mapped shards, and every
+    /// clean-stream loop ([`Evaluator::vectors`],
+    /// [`Evaluator::window_dataset`], [`Evaluator::quality_hmd`]) produces
+    /// bit-identical results to a traced-corpus engine over the same
+    /// underlying corpus. Subwindow-dependent loops
+    /// ([`Evaluator::quality_rhmd`], [`Evaluator::degraded_quality`],
+    /// [`Evaluator::vectors_faulted`]) need raw traces and panic in store
+    /// mode.
+    pub fn builder_from_store(store: &'a CorpusStore, run_seed: u64) -> EvaluatorBuilder<'a> {
+        Evaluator::builder_from_source(EvalSource::Store(store), run_seed)
+    }
+
+    /// Starts configuring an engine over any [`EvalSource`].
+    pub fn builder_from_source(
+        source: EvalSource<'a>,
+        run_seed: u64,
+    ) -> EvaluatorBuilder<'a> {
         EvaluatorBuilder {
-            traced,
+            source,
             run_seed,
             pool: Pool::new(1),
             cache_shards: SHARDS,
@@ -908,9 +1029,27 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// The corpus source under evaluation.
+    pub fn source(&self) -> EvalSource<'a> {
+        self.source
+    }
+
     /// The traced corpus under evaluation.
+    ///
+    /// # Panics
+    ///
+    /// In store-backed mode (see [`Evaluator::builder_from_store`]): raw
+    /// traces are not retained on disk. Callers that need subwindows must
+    /// run from a traced corpus.
     pub fn traced(&self) -> &TracedCorpus {
-        self.traced
+        match self.source {
+            EvalSource::Traced(t) => t,
+            EvalSource::Store(s) => panic!(
+                "this evaluation needs raw subwindows, which the corpus store at {} \
+                 does not retain; rerun from live generation",
+                s.dir().display()
+            ),
+        }
     }
 
     /// The worker pool.
@@ -945,13 +1084,18 @@ impl<'a> Evaluator<'a> {
         self.run_map(indices, |_, &i| f(i, self.program_seed(i)))
     }
 
-    /// Cached projected feature matrix of one program (clean stream).
+    /// Cached projected feature matrix of one program (clean stream) —
+    /// from the traced corpus or, in store mode, a zero-copy shard view.
     pub fn vectors(&self, program: usize, spec: &FeatureSpec) -> Arc<FeatureMatrix> {
-        self.cache.vectors(self.traced, program, spec, None)
+        self.cache.vectors_source(&self.source, program, spec, None)
     }
 
     /// Cached projected feature matrix of one program through a fault model
     /// seeded with the program's derived seed.
+    ///
+    /// # Panics
+    ///
+    /// In store-backed mode — see [`Evaluator::traced`].
     pub fn vectors_faulted(
         &self,
         program: usize,
@@ -959,7 +1103,7 @@ impl<'a> Evaluator<'a> {
         config: &FaultConfig,
     ) -> Arc<FeatureMatrix> {
         self.cache
-            .vectors(self.traced, program, spec, Some((config, self.program_seed(program))))
+            .vectors(self.traced(), program, spec, Some((config, self.program_seed(program))))
     }
 
     /// Window-level dataset over `indices` — the parallel, cached
@@ -967,7 +1111,7 @@ impl<'a> Evaluator<'a> {
     /// over the pool (or come from the cache), assembly is sequential in
     /// `indices` order, so rows are bit-identical to the serial path.
     pub fn window_dataset(&self, indices: &[usize], spec: &FeatureSpec) -> Dataset {
-        let labels = self.traced.corpus().labels();
+        let labels = self.source.labels();
         let per_program = self.run_map(indices, |_, &i| self.vectors(i, spec));
         let mut data = Dataset::new(spec.dims());
         data.reserve_rows(per_program.iter().map(|m| m.len()).sum());
@@ -1002,16 +1146,17 @@ impl<'a> Evaluator<'a> {
     /// construction seed mixed with each program id — order-independent by
     /// construction, unlike the shared-RNG serial walk.
     pub fn quality_rhmd(&self, rhmd: &ResilientHmd, indices: &[usize]) -> DetectionQuality {
+        let traced = self.traced();
         let verdicts = self.run_map(indices, |_, &i| {
             let mut rng = StreamRng::from_seed(derive_seed(rhmd.seed(), i as u64));
-            let stream = Detector::label_stream(rhmd, self.traced.subwindows(i), &mut rng);
+            let stream = Detector::label_stream(rhmd, traced.subwindows(i), &mut rng);
             rhmd_core::hmd::ProgramVerdict::from_decisions(&stream).is_malware()
         });
         self.tally(indices, &verdicts)
     }
 
     fn tally(&self, indices: &[usize], verdicts: &[bool]) -> DetectionQuality {
-        let labels = self.traced.corpus().labels();
+        let labels = self.source.labels();
         let (mut tp, mut mal, mut tn, mut ben) = (0usize, 0usize, 0usize, 0usize);
         for (&i, &flagged) in indices.iter().zip(verdicts) {
             if labels[i] {
@@ -1051,10 +1196,11 @@ impl<'a> Evaluator<'a> {
         Q: Fn(usize, &[RawWindow]) -> QuorumVerdict + Sync,
         S: Fn(usize) -> u64 + Sync,
     {
-        let labels = self.traced.corpus().labels();
+        let traced = self.traced();
+        let labels = self.source.labels();
         let judged: Vec<DegradedVerdict> = self.run_map(indices, |_, &i| {
             let model = FaultModel::new(config, seed_of(i));
-            let subs = apply_faults(self.traced.subwindows(i), &model);
+            let subs = apply_faults(traced.subwindows(i), &model);
             policy.judge_quorum(&quorum_of(i, &subs), min_coverage)
         });
         let (mut tp, mut malware, mut tn, mut benign, mut abstained) =

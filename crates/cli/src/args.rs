@@ -7,11 +7,15 @@ use std::collections::BTreeMap;
 /// Flags that take no value: their presence alone means `true`.
 const BOOLEAN_FLAGS: &[&str] = &["metrics-summary"];
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand, an optional action, plus `--key
+/// value` flags.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: Option<String>,
+    /// An optional second positional, e.g. `build` in `rhmd corpus build`.
+    /// Commands without actions reject it via [`Args::expect_no_action`].
+    pub action: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -27,6 +31,11 @@ impl Args {
         if let Some(first) = iter.peek() {
             if !first.starts_with("--") {
                 args.command = iter.next();
+                if let Some(second) = iter.peek() {
+                    if !second.starts_with("--") {
+                        args.action = iter.next();
+                    }
+                }
             }
         }
         while let Some(token) = iter.next() {
@@ -45,6 +54,20 @@ impl Args {
             args.flags.insert(key.to_owned(), value);
         }
         Ok(args)
+    }
+
+    /// Rejects a stray action positional for commands that take none.
+    ///
+    /// # Errors
+    ///
+    /// Returns a config error naming the offending positional.
+    pub fn expect_no_action(&self) -> Result<(), RhmdError> {
+        match &self.action {
+            None => Ok(()),
+            Some(action) => Err(RhmdError::config(format!(
+                "unexpected positional argument '{action}'"
+            ))),
+        }
     }
 
     /// Whether a boolean flag (one of [`BOOLEAN_FLAGS`]) was given.
@@ -115,8 +138,17 @@ mod tests {
     }
 
     #[test]
-    fn stray_positional_is_an_error() {
-        assert!(parse(&["train", "lr"]).is_err());
+    fn second_positional_is_an_action_commands_may_reject() {
+        let args = parse(&["corpus", "build", "--store", "d"]).unwrap();
+        assert_eq!(args.command.as_deref(), Some("corpus"));
+        assert_eq!(args.action.as_deref(), Some("build"));
+        assert!(args.expect_no_action().is_err());
+        assert!(parse(&["train"]).unwrap().expect_no_action().is_ok());
+    }
+
+    #[test]
+    fn third_positional_is_an_error() {
+        assert!(parse(&["corpus", "build", "now"]).is_err());
     }
 
     #[test]

@@ -13,9 +13,11 @@ use rhmd_core::reveng;
 use rhmd_core::rhmd::{build_pool, pool_specs};
 use rhmd_core::verdict::VerdictPolicy;
 use rhmd_core::RhmdError;
-use rhmd_data::{Corpus, CorpusConfig, Splits, TracedCorpus};
+use rhmd_data::{parallel_map_threads, Corpus, CorpusConfig, CorpusStore, Splits, StoreBuilder, TracedCorpus};
+use rhmd_features::pipeline::trace_subwindows;
 use rhmd_features::select::select_top_delta_opcodes;
 use rhmd_features::vector::{FeatureKind, FeatureSpec};
+use rhmd_features::window::RawWindow;
 use rhmd_ml::metrics::{auc, best_accuracy_threshold};
 use rhmd_ml::model::score_all;
 use rhmd_ml::trainer::{Algorithm, TrainerConfig};
@@ -37,6 +39,26 @@ fn parse_kind(name: &str) -> Result<FeatureKind, RhmdError> {
             "unknown feature '{other}' (instructions|memory|architectural)"
         ))),
     }
+}
+
+/// Parses `--features f,g` (default: all three kinds).
+fn parse_kind_list(args: &Args) -> Result<Vec<FeatureKind>, RhmdError> {
+    args.str_or("features", "instructions,memory,architectural")
+        .split(',')
+        .map(|k| parse_kind(k.trim()))
+        .collect()
+}
+
+/// Parses `--periods 10000,5000` (default: 10000).
+fn parse_period_list(args: &Args) -> Result<Vec<u32>, RhmdError> {
+    args.str_or("periods", "10000")
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| RhmdError::parse("--periods", format!("bad period '{p}'")))
+        })
+        .collect()
 }
 
 fn parse_algorithm(name: &str) -> Result<Algorithm, RhmdError> {
@@ -254,8 +276,15 @@ fn finish_metrics(metrics: &MetricsOptions, engine: &Evaluator<'_>) -> Result<()
     Ok(())
 }
 
+/// Where the evaluation engine's feature rows come from: a live in-RAM
+/// trace, or an opened on-disk corpus store (`--corpus-store`).
+enum Backing {
+    Live(TracedCorpus),
+    Store(CorpusStore),
+}
+
 struct Workbench {
-    traced: TracedCorpus,
+    backing: Backing,
     splits: Splits,
     opcodes: Vec<rhmd_trace::Opcode>,
     trainer: TrainerConfig,
@@ -264,15 +293,95 @@ struct Workbench {
 }
 
 impl Workbench {
-    /// A parallel evaluation-engine builder over this workbench's traced
-    /// corpus; commands add a recorder / watchdog / checkpoint journal as
+    /// A parallel evaluation-engine builder over this workbench's data
+    /// source; commands add a recorder / watchdog / checkpoint journal as
     /// their flags demand, then `.build()`.
     fn evaluator(&self) -> EvaluatorBuilder<'_> {
-        Evaluator::builder(&self.traced, self.seed).pool(self.pool)
+        match &self.backing {
+            Backing::Live(traced) => Evaluator::builder(traced, self.seed),
+            Backing::Store(store) => Evaluator::builder_from_store(store, self.seed),
+        }
+        .pool(self.pool)
+    }
+
+    /// The live traced corpus, for paths that need raw subwindows (attack,
+    /// defend, fault injection); a typed error in store mode.
+    fn traced(&self) -> Result<&TracedCorpus, RhmdError> {
+        match &self.backing {
+            Backing::Live(traced) => Ok(traced),
+            Backing::Store(store) => Err(RhmdError::config(format!(
+                "this command needs raw traces, which the corpus store at {} \
+                 does not retain; rerun without --corpus-store",
+                store.dir().display()
+            ))),
+        }
+    }
+
+    /// In store mode, insists `spec` was built into the store so a missing
+    /// shard fails with a typed error before any evaluation; live mode can
+    /// project any spec.
+    fn require_spec(&self, spec: &FeatureSpec) -> Result<(), RhmdError> {
+        match &self.backing {
+            Backing::Live(_) => Ok(()),
+            Backing::Store(store) => {
+                if store.has_spec(spec) {
+                    return Ok(());
+                }
+                let stored: Vec<String> = store.specs().map(FeatureSpec::label).collect();
+                Err(RhmdError::config(format!(
+                    "the corpus store at {} was not built with feature {} \
+                     (stored: {}); rebuild with: rhmd corpus build --store {} \
+                     --features ... --periods ...",
+                    store.dir().display(),
+                    spec.label(),
+                    stored.join(", "),
+                    store.dir().display(),
+                )))
+            }
+        }
+    }
+
+    /// Checkpoint-summary tag for the data source: `None` for live
+    /// generation (summaries stay byte-compatible with older journals),
+    /// the store identity otherwise, so a sweep journal written from one
+    /// store is never resumed against another.
+    fn source_tag(&self) -> Option<String> {
+        match &self.backing {
+            Backing::Live(_) => None,
+            Backing::Store(store) => Some(format!("store:{:016x}", store.identity())),
+        }
     }
 }
 
+/// Selects the instruction-feature opcodes exactly as the live workbench
+/// does — top-delta opcodes over the victim-train subwindows — without
+/// keeping the whole corpus traced in RAM.
+fn select_opcodes(
+    corpus: &Corpus,
+    splits: &Splits,
+    config: &CorpusConfig,
+    threads: usize,
+) -> Vec<rhmd_trace::Opcode> {
+    let labels = corpus.labels();
+    let windows: Vec<Vec<RawWindow>> = parallel_map_threads(threads, &splits.victim_train, |&i| {
+        trace_subwindows(corpus.program(i), config.limits(), CoreConfig::default())
+    });
+    let collect = |want: bool| -> Vec<RawWindow> {
+        splits
+            .victim_train
+            .iter()
+            .zip(&windows)
+            .filter(|&(&i, _)| labels[i] == want)
+            .flat_map(|(_, w)| w.iter().cloned())
+            .collect()
+    };
+    select_top_delta_opcodes(&collect(true), &collect(false), 16)
+}
+
 fn workbench(args: &Args) -> Result<Workbench, RhmdError> {
+    if let Some(dir) = args.get("corpus-store") {
+        return store_workbench(args, Path::new(dir));
+    }
     let config = scale_config(&args.str_or("scale", "small"))?;
     let pool = parse_pool(args)?;
     eprintln!(
@@ -303,7 +412,7 @@ fn workbench(args: &Args) -> Result<Workbench, RhmdError> {
         ..TrainerConfig::with_seed(config.seed)
     };
     Ok(Workbench {
-        traced,
+        backing: Backing::Live(traced),
         splits,
         opcodes,
         trainer,
@@ -312,8 +421,65 @@ fn workbench(args: &Args) -> Result<Workbench, RhmdError> {
     })
 }
 
-/// `rhmd corpus [--scale s]` — build the corpus and print a summary.
+/// `--corpus-store DIR`: open the mmap'd store instead of regenerating and
+/// re-tracing the corpus. Splits, seed, and the selected opcodes all come
+/// from the store so results are byte-identical to a live run over the
+/// same configuration.
+fn store_workbench(args: &Args, dir: &Path) -> Result<Workbench, RhmdError> {
+    let pool = parse_pool(args)?;
+    let store = CorpusStore::open(dir)?;
+    let config = *store.config();
+    if let Some(scale) = args.get("scale") {
+        if scale_config(scale)? != config {
+            return Err(RhmdError::config(format!(
+                "--scale {scale} does not match the corpus store at {} \
+                 ({} programs, seed {:#x}); drop --scale or rebuild the store",
+                dir.display(),
+                config.total_programs(),
+                config.seed
+            )));
+        }
+    }
+    eprintln!(
+        "[rhmd] corpus store {}: {} programs, {} shard(s), dedup ratio {:.2} ({} threads)",
+        dir.display(),
+        store.manifest().len(),
+        store.manifest().shards.len(),
+        store.manifest().dedup_ratio(),
+        pool.threads()
+    );
+    let splits = Splits::from_strata(store.strata(), config.seed);
+    let opcodes = store
+        .specs()
+        .find(|s| !s.opcodes.is_empty())
+        .map(|s| s.opcodes.clone())
+        .unwrap_or_default();
+    let trainer = TrainerConfig {
+        quant: parse_quant(args)?,
+        ..TrainerConfig::with_seed(config.seed)
+    };
+    Ok(Workbench {
+        backing: Backing::Store(store),
+        splits,
+        opcodes,
+        trainer,
+        pool,
+        seed: config.seed,
+    })
+}
+
+/// `rhmd corpus [--scale s]` — build the corpus and print a summary; or
+/// `rhmd corpus build --store DIR` — build the on-disk feature-shard store.
 pub fn corpus(args: &Args) -> Result<(), RhmdError> {
+    match args.action.as_deref() {
+        Some("build") => return corpus_build(args),
+        Some(other) => {
+            return Err(RhmdError::config(format!(
+                "unknown corpus action '{other}' (try: rhmd corpus build --store DIR)"
+            )))
+        }
+        None => {}
+    }
     let config = scale_config(&args.str_or("scale", "small"))?;
     let corpus = Corpus::build(&config);
     println!("{corpus}");
@@ -331,6 +497,74 @@ pub fn corpus(args: &Args) -> Result<(), RhmdError> {
     for (_, (name, count, instrs)) in by_family {
         println!("{name:>12} {count:>8} {:>16}", instrs / count as u64);
     }
+    Ok(())
+}
+
+/// `rhmd corpus build --store DIR [--scale s] [--features f,g]
+/// [--periods 10000,5000] [--threads n] [--chunk n]` — generate and trace
+/// the corpus once into mmap-able feature shards under `DIR`.
+///
+/// Opcode selection replicates the live workbench (top-delta opcodes over
+/// the victim-train subwindows), so `--corpus-store DIR` runs of
+/// `train`/`evaluate`/`sweep` are byte-identical to live generation.
+/// Builds are checkpointed per chunk: rerunning over an interrupted (or
+/// finished) directory resumes instead of re-tracing.
+fn corpus_build(args: &Args) -> Result<(), RhmdError> {
+    let dir = args.get("store").ok_or_else(|| {
+        RhmdError::config("corpus build needs --store <dir> (the shard directory to create)")
+    })?;
+    let config = scale_config(&args.str_or("scale", "small"))?;
+    let pool = parse_pool(args)?;
+    let kinds = parse_kind_list(args)?;
+    let periods = parse_period_list(args)?;
+    let chunk: usize = args.parse_or("chunk", 16)?;
+    if chunk == 0 {
+        return Err(RhmdError::parse("--chunk", "must be at least 1"));
+    }
+    eprintln!(
+        "[rhmd] building {} programs and selecting opcodes ({} threads) ...",
+        config.total_programs(),
+        pool.threads()
+    );
+    let corpus = Corpus::build(&config);
+    let splits = Splits::new(&corpus, config.seed);
+    let opcodes = select_opcodes(&corpus, &splits, &config, pool.threads());
+    let mut specs = Vec::new();
+    for &period in &periods {
+        for &kind in &kinds {
+            specs.push(FeatureSpec::new(kind, period, opcodes.clone()));
+        }
+    }
+    eprintln!(
+        "[rhmd] tracing into {} shard(s) under {dir} ...",
+        specs.len()
+    );
+    let started = std::time::Instant::now();
+    let summary = StoreBuilder::new(Path::new(dir), config)
+        .specs(specs)
+        .threads(pool.threads())
+        .chunk(chunk)
+        .with_corpus(corpus)
+        .build()?;
+    println!(
+        "corpus store built at {dir} in {:.2}s",
+        started.elapsed().as_secs_f64()
+    );
+    println!(
+        "  {} programs ({} canonical + {} duplicates), {} shard(s), {} rows, {:.1} MiB{}",
+        summary.programs,
+        summary.canonical,
+        summary.duplicates,
+        summary.shards,
+        summary.rows,
+        summary.bytes as f64 / (1024.0 * 1024.0),
+        if summary.resumed_chunks > 0 {
+            format!(", {} chunk(s) resumed", summary.resumed_chunks)
+        } else {
+            String::new()
+        },
+    );
+    println!("evaluate from it with: rhmd sweep --corpus-store {dir}");
     Ok(())
 }
 
@@ -372,8 +606,9 @@ pub fn train(args: &Args) -> Result<(), RhmdError> {
     let metrics = parse_metrics(args);
     metrics.install();
     let bench = workbench(args)?;
-    let engine = bench.evaluator().recorder(metrics.recorder()?).build();
     let spec = FeatureSpec::new(kind, period, bench.opcodes.clone());
+    bench.require_spec(&spec)?;
+    let engine = bench.evaluator().recorder(metrics.recorder()?).build();
     // Dataset assembly fans out over the pool; rows are bit-identical to
     // the serial path, so the trained model is too.
     let train_data = engine.window_dataset(&bench.splits.victim_train, &spec);
@@ -414,6 +649,12 @@ pub fn evaluate(args: &Args) -> Result<(), RhmdError> {
     metrics.install();
     let hmd = load_hmd(&PathBuf::from(&path))?;
     let bench = workbench(args)?;
+    bench.require_spec(hmd.spec())?;
+    if fault.is_some() {
+        // Fault injection replays raw subwindows through a degraded
+        // counter model, which the store does not retain.
+        bench.traced()?;
+    }
     let engine = bench.evaluator().recorder(metrics.recorder()?).build();
     let quality = engine.quality_hmd(&hmd, &bench.splits.attacker_test);
     println!(
@@ -462,20 +703,8 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
         .split(',')
         .map(|a| parse_algorithm(a.trim()))
         .collect::<Result<_, _>>()?;
-    let kinds: Vec<FeatureKind> = args
-        .str_or("features", "instructions,memory,architectural")
-        .split(',')
-        .map(|k| parse_kind(k.trim()))
-        .collect::<Result<_, _>>()?;
-    let periods: Vec<u32> = args
-        .str_or("periods", "10000")
-        .split(',')
-        .map(|p| {
-            p.trim()
-                .parse()
-                .map_err(|_| RhmdError::parse("--periods", format!("bad period '{p}'")))
-        })
-        .collect::<Result<_, _>>()?;
+    let kinds = parse_kind_list(args)?;
+    let periods = parse_period_list(args)?;
     // Checkpoint, watchdog, and metrics flags are validated here, before
     // the corpus trace, so a typo fails in milliseconds, not after minutes.
     let ckpt = parse_checkpoint(args)?;
@@ -483,12 +712,21 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
     let quant = parse_quant(args)?;
     let metrics = parse_metrics(args);
     metrics.install();
+    // A store opens in milliseconds, so in store mode the workbench comes
+    // first and the journal summary pins the store identity; live mode
+    // keeps journal-before-trace so a bad resume dir fails fast.
+    let store_bench = match args.get("corpus-store") {
+        Some(_) => Some(workbench(args)?),
+        None => None,
+    };
     // The config summary excludes --threads: cells are bit-identical at any
     // thread count, so a resume may legally change it. It includes the
     // quantization knobs: a resume that flips `--quantize` or the stochastic
-    // seed would silently mix incompatible cells.
+    // seed would silently mix incompatible cells. Store-backed sweeps add
+    // the store identity: a journal written from one store is never
+    // resumed against another (or against live generation).
     let summary = format!(
-        "scale={};algos={};features={};periods={};quant={}",
+        "scale={};algos={};features={};periods={};quant={}{}",
         args.str_or("scale", "small"),
         algos.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(","),
         kinds
@@ -498,6 +736,11 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
             .join(","),
         periods.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","),
         quant_label(quant),
+        store_bench
+            .as_ref()
+            .and_then(Workbench::source_tag)
+            .map(|tag| format!(";source={tag}"))
+            .unwrap_or_default(),
     );
     let journal = match &ckpt {
         None => None,
@@ -519,7 +762,17 @@ pub fn sweep(args: &Args) -> Result<(), RhmdError> {
         }
     };
 
-    let bench = workbench(args)?;
+    let bench = match store_bench {
+        Some(bench) => bench,
+        None => workbench(args)?,
+    };
+    // In store mode every grid spec must have a shard; fail with a typed
+    // error naming the stored specs before any training starts.
+    for &period in &periods {
+        for &kind in &kinds {
+            bench.require_spec(&FeatureSpec::new(kind, period, bench.opcodes.clone()))?;
+        }
+    }
     let mut builder = bench.evaluator().recorder(metrics.recorder()?);
     if let Some(watchdog) = deadline {
         builder = builder.watchdog(watchdog);
@@ -666,17 +919,18 @@ pub fn attack(args: &Args) -> Result<(), RhmdError> {
         }
     };
     let bench = workbench(args)?;
+    let traced = bench.traced()?;
     let spec = FeatureSpec::new(kind, 10_000, bench.opcodes.clone());
     let mut victim = Hmd::train(
         victim_algo,
         spec.clone(),
         &bench.trainer,
-        &bench.traced,
+        traced,
         &bench.splits.victim_train,
     );
     let surrogate = reveng::reverse_engineer(
         &mut victim,
-        &bench.traced,
+        traced,
         &bench.splits.attacker_train,
         spec,
         surrogate_algo,
@@ -685,11 +939,11 @@ pub fn attack(args: &Args) -> Result<(), RhmdError> {
     let fidelity = reveng::agreement(
         &mut victim,
         &surrogate,
-        &bench.traced,
+        traced,
         &bench.splits.attacker_test,
     );
     println!("surrogate agreement: {:.1}%", 100.0 * fidelity);
-    let labels = bench.traced.corpus().labels();
+    let labels = traced.corpus().labels();
     let malware: Vec<usize> = bench
         .splits
         .attacker_test
@@ -706,7 +960,7 @@ pub fn attack(args: &Args) -> Result<(), RhmdError> {
             seed: 0xc12,
         },
     );
-    let trial = evade_corpus(&mut victim, &bench.traced, &malware, &plan);
+    let trial = evade_corpus(&mut victim, traced, &malware, &plan);
     println!(
         "evasion ({strategy}, {count}/block): {}/{} still detected ({:.1}%), \
          overhead static {:.1}% dynamic {:.1}%",
@@ -725,26 +979,19 @@ pub fn attack(args: &Args) -> Result<(), RhmdError> {
 /// `--stochastic-round` the pool's detectors use seeded stochastic rounding,
 /// stacking computation-level randomness on top of detector switching.
 pub fn defend(args: &Args) -> Result<(), RhmdError> {
-    let periods: Vec<u32> = args
-        .str_or("periods", "10000")
-        .split(',')
-        .map(|p| {
-            p.trim()
-                .parse()
-                .map_err(|_| RhmdError::parse("--periods", format!("bad period '{p}'")))
-        })
-        .collect::<Result<_, _>>()?;
+    let periods = parse_period_list(args)?;
     let count: usize = args.parse_or("count", 2)?;
     let bench = workbench(args)?;
+    let traced = bench.traced()?;
     let mut rhmd = build_pool(
         Algorithm::Lr,
         pool_specs(&FeatureKind::ALL, &periods, &bench.opcodes),
         &bench.trainer,
-        &bench.traced,
+        traced,
         &bench.splits.victim_train,
         0xc13,
     );
-    let quality = detection_quality(&mut rhmd, &bench.traced, &bench.splits.attacker_test);
+    let quality = detection_quality(&mut rhmd, traced, &bench.splits.attacker_test);
     println!(
         "pool of {} detectors: sensitivity {:.1}%, specificity {:.1}%",
         rhmd.detectors().len(),
@@ -753,7 +1000,7 @@ pub fn defend(args: &Args) -> Result<(), RhmdError> {
     );
     let surrogate = reveng::reverse_engineer(
         &mut rhmd,
-        &bench.traced,
+        traced,
         &bench.splits.attacker_train,
         FeatureSpec::new(FeatureKind::Instructions, 10_000, bench.opcodes.clone()),
         Algorithm::Nn,
@@ -762,10 +1009,10 @@ pub fn defend(args: &Args) -> Result<(), RhmdError> {
     let fidelity = reveng::agreement(
         &mut rhmd,
         &surrogate,
-        &bench.traced,
+        traced,
         &bench.splits.attacker_test,
     );
-    let labels = bench.traced.corpus().labels();
+    let labels = traced.corpus().labels();
     let malware: Vec<usize> = bench
         .splits
         .attacker_test
@@ -775,7 +1022,7 @@ pub fn defend(args: &Args) -> Result<(), RhmdError> {
         .collect();
     let plan = plan_evasion(&surrogate, &EvasionConfig::least_weight(count));
     rhmd.reset();
-    let trial = evade_corpus(&mut rhmd, &bench.traced, &malware, &plan);
+    let trial = evade_corpus(&mut rhmd, traced, &malware, &plan);
     println!(
         "attacker: agreement {:.1}%, detection after {count}/block injection {:.1}%",
         100.0 * fidelity,

@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! rhmd corpus   [--scale tiny|small|standard|paper]
-//! rhmd train    [--scale s] [--feature f] [--algo a] [--period n] [--threads n]
+//! rhmd corpus build --store dir [--scale s] [--features f,g]
+//!               [--periods 10000,5000] [--threads n] [--chunk n]
+//! rhmd train    [--scale s | --corpus-store dir] [--feature f] [--algo a]
+//!               [--period n] [--threads n]
 //!               [--quantize int4|int8|int16] [--stochastic-round seed] [--out model.json]
-//! rhmd evaluate --model model.json [--scale s] [--threads n] [--fault noise:0.1]
-//! rhmd sweep    [--scale s] [--algos lr,dt] [--features f,g] [--periods 10000,5000]
+//! rhmd evaluate --model model.json [--scale s | --corpus-store dir]
+//!               [--threads n] [--fault noise:0.1]
+//! rhmd sweep    [--scale s | --corpus-store dir] [--algos lr,dt]
+//!               [--features f,g] [--periods 10000,5000]
 //!               [--quantize int4|int8|int16] [--stochastic-round seed]
 //!               [--threads n] [--out bench.json] [--checkpoint dir | --resume dir]
 //!               [--checkpoint-every n] [--task-deadline secs]
@@ -36,7 +41,9 @@ rhmd — evasion-resilient hardware malware detectors (MICRO'17 reproduction)
 USAGE: rhmd <command> [--flag value]...
 
 COMMANDS:
-  corpus     build the synthetic corpus and summarize it
+  corpus     build the synthetic corpus and summarize it; `corpus build
+             --store DIR` traces it once into mmap-able feature shards
+             (content-addressed dedup, checkpointed, resumable)
   dump       print an objdump-style listing of one synthetic binary
   train      train a baseline HMD; optionally save it (--out model.json)
   evaluate   score a saved detector on held-out programs (--model path);
@@ -59,6 +66,20 @@ COMMON FLAGS:
   --algo lr|dt|svm|nn|rf
   --threads N                           worker threads (default: all cores);
                                         results are identical at any N
+
+CORPUS STORE (corpus build; train, evaluate, sweep):
+  --store DIR                           (corpus build) shard directory to
+                                        create; rebuilding resumes from the
+                                        build journal instead of re-tracing
+  --chunk N                             (corpus build) programs per
+                                        checkpointed build chunk (default 16)
+  --corpus-store DIR                    read feature rows from a store built
+                                        by `corpus build` instead of
+                                        regenerating + re-tracing; mmap'd
+                                        zero-copy reads, byte-identical
+                                        results, bounded RSS. Fault
+                                        injection, attack, and defend need
+                                        raw traces and refuse this flag.
 
 QUANTIZATION (train, sweep, defend; LR/SVM/NN only):
   --quantize int4|int8|int16                 post-training quantized inference with
@@ -118,6 +139,11 @@ fn main() {
 
 fn run(raw: Vec<String>) -> Result<(), RhmdError> {
     let args = Args::parse(raw)?;
+    // `corpus` takes an optional action (`corpus build`); every other
+    // command rejects stray positionals.
+    if args.command.as_deref() != Some("corpus") {
+        args.expect_no_action()?;
+    }
     match args.command.as_deref() {
         Some("corpus") => commands::corpus(&args),
         Some("dump") => commands::dump(&args),

@@ -381,7 +381,7 @@ pub fn evade_corpus(
         let mut acc = rhmd_features::window::WindowAccumulator::new(
             rhmd_uarch::CoreModel::new(traced.core_config()),
         );
-        let summary = modified.execute(limits, &mut rhmd_trace::exec::Tee(&mut acc, &mut sink));
+        let summary = modified.execute_observed(limits, &mut [&mut acc, &mut sink]);
         (acc.finish(), static_overhead.ratio(), summary.dynamic_overhead())
     });
 

@@ -60,7 +60,6 @@
 
 pub mod detector;
 pub mod ensemble;
-pub mod error;
 pub mod evasion;
 pub mod hmd;
 pub mod hw;
@@ -72,8 +71,12 @@ pub mod reveng;
 pub mod rhmd;
 pub mod verdict;
 
+// The error module moved to `rhmd-runtime` (the corpus store needs it below
+// this crate in the graph); both spellings keep working.
+pub use rhmd_runtime::error;
+pub use rhmd_runtime::RhmdError;
+
 pub use detector::{Detector, StreamRng};
-pub use error::RhmdError;
 pub use evasion::{evade_corpus, plan_evasion, EvasionConfig, EvasionTrial, Strategy};
 pub use hmd::{transfer_labels, BlackBox, Hmd, ProgramVerdict, QuorumVerdict, ABSTAIN_BOUND};
 pub use hw::{overhead as hw_overhead, HwOverhead, UnitCosts};

@@ -11,7 +11,14 @@
 //!   attacker-test split of paper §3;
 //! * [`traced::TracedCorpus`] — every program executed once (in parallel)
 //!   into fine-grained windows, from which any feature spec can be
-//!   projected.
+//!   projected;
+//! * [`store::CorpusStore`] — the on-disk data plane: `rhmd corpus build`
+//!   traces once into mmap-able feature shards (content-addressed dedup,
+//!   checkpointed builds), and evaluation reads zero-copy
+//!   [`rhmd_ml::FeatureMatrix`] views back with bounded RSS;
+//! * [`source::CorpusSource`] — the streaming trait that makes the traced
+//!   corpus and the store interchangeable (and bit-identical) to every
+//!   consumer.
 //!
 //! # Examples
 //!
@@ -34,10 +41,14 @@
 
 pub mod config;
 pub mod corpus;
+pub mod source;
 pub mod splits;
+pub mod store;
 pub mod traced;
 
 pub use config::CorpusConfig;
 pub use corpus::Corpus;
+pub use source::{CorpusSource, SourceChunk};
 pub use splits::Splits;
+pub use store::{CorpusStore, StoreBuilder, StoreManifest, StoreSummary};
 pub use traced::{parallel_map, parallel_map_threads, TracedCorpus};

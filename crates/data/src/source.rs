@@ -1,0 +1,219 @@
+//! [`CorpusSource`]: one streaming API over "where do feature rows come
+//! from" — the in-RAM generated corpus or the mmap'd on-disk store.
+//!
+//! The evaluator, the CLI verbs, and the bench figure binaries all consume
+//! per-program feature matrices plus labels. Before the corpus store, that
+//! contract was implicit in [`TracedCorpus`]'s inherent methods; the trait
+//! makes it explicit so a store-backed run ([`crate::store::CorpusStore`])
+//! and a live-generation run are interchangeable — and byte-identical,
+//! which the `store-smoke` CI job asserts by diffing sweep cells from both
+//! paths.
+
+use crate::store::CorpusStore;
+use crate::traced::TracedCorpus;
+use rhmd_features::pipeline::project_windows_into;
+use rhmd_features::vector::FeatureSpec;
+use rhmd_ml::matrix::FeatureMatrix;
+use rhmd_runtime::RhmdError;
+
+/// A contiguous run of programs yielded by [`CorpusSource::iter_chunks`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceChunk {
+    /// Index of the first program in this chunk.
+    pub start: usize,
+    /// One feature matrix per program, in index order (`start`,
+    /// `start + 1`, ...). Store-backed chunks hold zero-copy views.
+    pub matrices: Vec<FeatureMatrix>,
+}
+
+/// A corpus of labelled programs whose feature rows can be read one program
+/// (or one bounded chunk) at a time.
+///
+/// Implementations must agree bit-for-bit: for the same underlying corpus,
+/// [`CorpusSource::features_of`] returns identical rows whether they were
+/// just generated or read back from a shard.
+pub trait CorpusSource {
+    /// Number of programs.
+    fn len(&self) -> usize;
+
+    /// Whether the source holds no programs.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ground-truth label per program (`true` = malware).
+    fn labels(&self) -> Vec<bool>;
+
+    /// Stratum id per program, for stratified splitting.
+    fn strata(&self) -> Vec<u32>;
+
+    /// A stable identity for the backing data, folded into feature-cache
+    /// keys: `0` for live generation, the store's path/config hash
+    /// otherwise. Two sources with different identities never share cache
+    /// entries.
+    fn identity(&self) -> u64;
+
+    /// All feature rows of program `index` under `spec` (one row per
+    /// collection window).
+    ///
+    /// # Errors
+    ///
+    /// [`RhmdError::Config`] when `index` is out of range or the source
+    /// cannot produce `spec` (e.g. a store built without it).
+    fn features_of(&self, index: usize, spec: &FeatureSpec) -> Result<FeatureMatrix, RhmdError>;
+
+    /// Streams the whole source as chunks of at most `chunk` programs, in
+    /// index order — the bounded-RSS bulk path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CorpusSource::features_of`] failure.
+    fn iter_chunks(
+        &self,
+        spec: &FeatureSpec,
+        chunk: usize,
+    ) -> Box<dyn Iterator<Item = Result<SourceChunk, RhmdError>> + '_>;
+}
+
+/// Shared [`CorpusSource::iter_chunks`] implementation over `features_of`.
+fn chunked<'a, S: CorpusSource + ?Sized>(
+    source: &'a S,
+    spec: &FeatureSpec,
+    chunk: usize,
+) -> Box<dyn Iterator<Item = Result<SourceChunk, RhmdError>> + 'a> {
+    let chunk = chunk.max(1);
+    let len = source.len();
+    let spec = spec.clone();
+    Box::new((0..len).step_by(chunk).map(move |start| {
+        let end = (start + chunk).min(len);
+        let matrices = (start..end)
+            .map(|i| source.features_of(i, &spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SourceChunk { start, matrices })
+    }))
+}
+
+impl CorpusSource for TracedCorpus {
+    fn len(&self) -> usize {
+        self.corpus().len()
+    }
+
+    fn labels(&self) -> Vec<bool> {
+        self.corpus().labels()
+    }
+
+    fn strata(&self) -> Vec<u32> {
+        self.corpus().strata()
+    }
+
+    /// Live generation: identity `0` by definition.
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn features_of(&self, index: usize, spec: &FeatureSpec) -> Result<FeatureMatrix, RhmdError> {
+        if index >= self.corpus().len() {
+            return Err(RhmdError::config(format!(
+                "program index {index} out of range ({} programs)",
+                self.corpus().len()
+            )));
+        }
+        let mut buf = Vec::new();
+        let rows = project_windows_into(self.subwindows(index), spec, &mut buf);
+        if spec.dims() == 0 {
+            // Degenerate specs still count windows; preserve the row count
+            // the store path records.
+            let mut m = FeatureMatrix::new(0);
+            for _ in 0..rows {
+                m.push_row(&[]);
+            }
+            return Ok(m);
+        }
+        Ok(FeatureMatrix::from_flat(spec.dims(), buf))
+    }
+
+    fn iter_chunks(
+        &self,
+        spec: &FeatureSpec,
+        chunk: usize,
+    ) -> Box<dyn Iterator<Item = Result<SourceChunk, RhmdError>> + '_> {
+        chunked(self, spec, chunk)
+    }
+}
+
+impl CorpusSource for CorpusStore {
+    fn len(&self) -> usize {
+        CorpusStore::len(self)
+    }
+
+    fn labels(&self) -> Vec<bool> {
+        CorpusStore::labels(self).to_vec()
+    }
+
+    fn strata(&self) -> Vec<u32> {
+        CorpusStore::strata(self).to_vec()
+    }
+
+    fn identity(&self) -> u64 {
+        CorpusStore::identity(self)
+    }
+
+    fn features_of(&self, index: usize, spec: &FeatureSpec) -> Result<FeatureMatrix, RhmdError> {
+        CorpusStore::features_of(self, index, spec)
+    }
+
+    fn iter_chunks(
+        &self,
+        spec: &FeatureSpec,
+        chunk: usize,
+    ) -> Box<dyn Iterator<Item = Result<SourceChunk, RhmdError>> + '_> {
+        chunked(self, spec, chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorpusConfig;
+    use crate::corpus::Corpus;
+    use rhmd_features::vector::FeatureKind;
+    use rhmd_uarch::CoreConfig;
+
+    fn traced() -> TracedCorpus {
+        let cfg = CorpusConfig::tiny();
+        TracedCorpus::trace(Corpus::build(&cfg), cfg.limits(), CoreConfig::default())
+    }
+
+    #[test]
+    fn traced_source_matches_inherent_vectors() {
+        let t = traced();
+        let spec = FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]);
+        let m = CorpusSource::features_of(&t, 0, &spec).unwrap();
+        let direct = t.program_vectors(0, &spec);
+        assert_eq!(m.len(), direct.len());
+        for (row, want) in (0..m.len()).zip(&direct) {
+            assert_eq!(m.row(row), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let t = traced();
+        let spec = FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]);
+        let mut seen = 0usize;
+        for chunk in t.iter_chunks(&spec, 7) {
+            let chunk = chunk.unwrap();
+            assert_eq!(chunk.start, seen);
+            seen += chunk.matrices.len();
+        }
+        assert_eq!(seen, CorpusSource::len(&t));
+    }
+
+    #[test]
+    fn out_of_range_is_a_config_error() {
+        let t = traced();
+        let spec = FeatureSpec::new(FeatureKind::Memory, 5_000, vec![]);
+        let err = CorpusSource::features_of(&t, 100_000, &spec).unwrap_err();
+        assert!(matches!(err, RhmdError::Config(_)));
+    }
+}

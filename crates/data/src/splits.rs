@@ -21,7 +21,14 @@ pub struct Splits {
 impl Splits {
     /// Splits a corpus 60/20/20, stratified by generation family.
     pub fn new(corpus: &Corpus, seed: u64) -> Splits {
-        let groups = stratified_split(&corpus.strata(), &[0.6, 0.2, 0.2], seed);
+        Splits::from_strata(&corpus.strata(), seed)
+    }
+
+    /// Splits from a stratum vector alone — the corpus store records strata
+    /// in its manifest, so store-backed runs rebuild the exact same splits
+    /// without regenerating a [`Corpus`].
+    pub fn from_strata(strata: &[u32], seed: u64) -> Splits {
+        let groups = stratified_split(strata, &[0.6, 0.2, 0.2], seed);
         let mut iter = groups.into_iter();
         Splits {
             victim_train: iter.next().expect("three groups"),
@@ -75,6 +82,15 @@ mod tests {
         let s = Splits::new(&corpus, 3);
         assert!(s.victim_train.len() > s.attacker_train.len());
         assert!(s.victim_train.len() > s.attacker_test.len());
+    }
+
+    #[test]
+    fn from_strata_matches_corpus_splits() {
+        let corpus = Corpus::build(&CorpusConfig::tiny());
+        assert_eq!(
+            Splits::new(&corpus, 11),
+            Splits::from_strata(&corpus.strata(), 11)
+        );
     }
 
     #[test]

@@ -47,8 +47,9 @@ impl Default for ForestConfig {
 /// use rhmd_ml::forest::{ForestConfig, RandomForest};
 /// use rhmd_ml::model::{Classifier, Dataset};
 ///
-/// let data = Dataset::from_rows(
-///     vec![vec![0.1], vec![0.2], vec![0.8], vec![0.9]],
+/// let data = Dataset::from_flat(
+///     1,
+///     vec![0.1, 0.2, 0.8, 0.9],
 ///     vec![false, false, true, true],
 /// );
 /// let forest = RandomForest::fit(&ForestConfig::default(), &data);

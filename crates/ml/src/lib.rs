@@ -28,6 +28,7 @@ pub mod linear;
 pub mod matrix;
 pub mod metrics;
 pub mod mlp;
+pub mod mmap;
 pub mod model;
 pub mod quant;
 pub mod scale;

@@ -50,8 +50,9 @@ impl Default for LrConfig {
 /// use rhmd_ml::linear::{LogisticRegression, LrConfig};
 /// use rhmd_ml::model::{Classifier, Dataset};
 ///
-/// let data = Dataset::from_rows(
-///     vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]],
+/// let data = Dataset::from_flat(
+///     1,
+///     vec![0.0, 0.1, 0.9, 1.0],
 ///     vec![false, false, true, true],
 /// );
 /// let lr = LogisticRegression::fit(&LrConfig::default(), &data);

@@ -3,10 +3,17 @@
 //!
 //! Every layer that used to shuttle `Vec<Vec<f64>>` around (feature
 //! projection, dataset storage, the feature cache, batch scoring) now moves
-//! one [`FeatureMatrix`]: a single `Vec<f64>` plus a row width. Rows are
+//! one [`FeatureMatrix`]: a single flat `f64` run plus a row width. Rows are
 //! exposed as borrowed slices via [`FeatureMatrix::row`] and the
 //! [`Rows`] view (backed by `chunks_exact`), so per-row access costs no
 //! allocation and batch kernels can sweep the whole backing slice.
+//!
+//! Storage is either owned (a `Vec<f64>`, the generation path) or a
+//! zero-copy window into a shared [`MappedBuffer`] (the corpus-store path:
+//! a mapped shard slice *is* a valid matrix, so scoring 10⁵ programs from
+//! disk allocates nothing per program). Mutating methods promote a mapped
+//! matrix to owned storage first (copy-on-write), so the full mutable API
+//! keeps working on views.
 //!
 //! # Examples
 //!
@@ -20,23 +27,44 @@
 //! assert_eq!(m.rows().iter().count(), 2);
 //! ```
 
+use crate::mmap::MappedBuffer;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
+
+/// The backing storage of a [`FeatureMatrix`]: owned rows or a zero-copy
+/// window into a shared read-only mapping.
+#[derive(Clone)]
+enum Storage {
+    Owned(Vec<f64>),
+    Mapped {
+        buf: Arc<MappedBuffer>,
+        /// Byte offset of the window inside `buf` (8-byte aligned).
+        offset: usize,
+        /// Number of `f64` values in the window (`rows * dims`).
+        len: usize,
+    },
+}
 
 /// A dense row-major matrix of feature values: `rows × dims` doubles in one
-/// contiguous allocation.
+/// contiguous run.
 ///
 /// Unlike a `Vec<Vec<f64>>`, appending a row never re-boxes and iterating
 /// rows never chases pointers; the backing slice is available via
 /// [`FeatureMatrix::as_slice`] for kernels that want to sweep it flat.
 /// `dims == 0` matrices are supported (every row is the empty slice) so the
 /// container composes with degenerate feature specs.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// A matrix constructed with [`FeatureMatrix::from_mapped`] borrows its
+/// values from a shared [`MappedBuffer`] instead of owning them; cloning
+/// such a matrix clones an [`Arc`], and any mutation first copies the window
+/// into owned storage.
+#[derive(Clone)]
 pub struct FeatureMatrix {
     dims: usize,
     rows: usize,
-    data: Vec<f64>,
+    data: Storage,
 }
 
 impl FeatureMatrix {
@@ -45,7 +73,7 @@ impl FeatureMatrix {
         FeatureMatrix {
             dims,
             rows: 0,
-            data: Vec::new(),
+            data: Storage::Owned(Vec::new()),
         }
     }
 
@@ -54,7 +82,7 @@ impl FeatureMatrix {
         FeatureMatrix {
             dims,
             rows: 0,
-            data: Vec::with_capacity(dims.saturating_mul(rows)),
+            data: Storage::Owned(Vec::with_capacity(dims.saturating_mul(rows))),
         }
     }
 
@@ -79,7 +107,55 @@ impl FeatureMatrix {
             );
             data.len() / dims
         };
-        FeatureMatrix { dims, rows, data }
+        FeatureMatrix {
+            dims,
+            rows,
+            data: Storage::Owned(data),
+        }
+    }
+
+    /// A zero-copy view of `rows × dims` little-endian `f64`s starting at
+    /// `byte_offset` inside a shared mapping. `None` when the window is out
+    /// of bounds, misaligned, or raw views are impossible on this target
+    /// (big-endian; see [`crate::mmap::NATIVE_F64_VIEWS`]).
+    #[must_use]
+    pub fn from_mapped(
+        buf: Arc<MappedBuffer>,
+        byte_offset: usize,
+        dims: usize,
+        rows: usize,
+    ) -> Option<FeatureMatrix> {
+        let len = dims.checked_mul(rows)?;
+        // Validate once here so every later `as_slice` is infallible.
+        buf.f64_slice(byte_offset, len)?;
+        Some(FeatureMatrix {
+            dims,
+            rows,
+            data: Storage::Mapped {
+                buf,
+                offset: byte_offset,
+                len,
+            },
+        })
+    }
+
+    /// Whether this matrix is a zero-copy view over a mapped buffer (false
+    /// once any mutation promoted it to owned storage).
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, Storage::Mapped { .. })
+    }
+
+    /// Copy-on-write promotion: makes the storage owned, copying the mapped
+    /// window the first time. Owned matrices are untouched.
+    fn make_owned(&mut self) -> &mut Vec<f64> {
+        if let Storage::Mapped { .. } = self.data {
+            self.data = Storage::Owned(self.as_slice().to_vec());
+        }
+        match &mut self.data {
+            Storage::Owned(v) => v,
+            Storage::Mapped { .. } => unreachable!("storage was just promoted"),
+        }
     }
 
     /// Appends one row, adopting its width if the matrix is still untyped
@@ -93,7 +169,7 @@ impl FeatureMatrix {
             self.dims = row.len();
         }
         assert_eq!(row.len(), self.dims, "row has wrong dimensionality");
-        self.data.extend_from_slice(row);
+        self.make_owned().extend_from_slice(row);
         self.rows += 1;
     }
 
@@ -116,14 +192,15 @@ impl FeatureMatrix {
             "flat length must be a multiple of dims"
         );
         let appended = flat.len() / self.dims;
-        self.data.extend_from_slice(flat);
+        self.make_owned().extend_from_slice(flat);
         self.rows += appended;
         appended
     }
 
     /// Reserves backing storage for `additional` more rows.
     pub fn reserve_rows(&mut self, additional: usize) {
-        self.data.reserve(additional.saturating_mul(self.dims));
+        let want = additional.saturating_mul(self.dims);
+        self.make_owned().reserve(want);
     }
 
     /// Row `i` as a slice.
@@ -134,14 +211,14 @@ impl FeatureMatrix {
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
         assert!(i < self.rows, "row index {i} out of range ({})", self.rows);
-        &self.data[i * self.dims..(i + 1) * self.dims]
+        &self.as_slice()[i * self.dims..(i + 1) * self.dims]
     }
 
     /// A lightweight view over all rows.
     #[inline]
     pub fn rows(&self) -> Rows<'_> {
         Rows {
-            data: &self.data,
+            data: self.as_slice(),
             dims: self.dims,
             len: self.rows,
         }
@@ -170,13 +247,79 @@ impl FeatureMatrix {
     /// The flat row-major backing slice (`len() * dims()` doubles).
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        match &self.data {
+            Storage::Owned(v) => v,
+            Storage::Mapped { buf, offset, len } => buf
+                .f64_slice(*offset, *len)
+                .expect("mapped window validated at construction"),
+        }
     }
 
     /// Mutable access to the flat backing slice, for in-place transforms.
+    /// Promotes a mapped view to owned storage first.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.make_owned()
+    }
+}
+
+impl Default for FeatureMatrix {
+    fn default() -> FeatureMatrix {
+        FeatureMatrix::new(0)
+    }
+}
+
+impl PartialEq for FeatureMatrix {
+    fn eq(&self, other: &FeatureMatrix) -> bool {
+        // Value semantics: a mapped view equals the owned matrix holding the
+        // same rows, which is exactly what the shard round-trip tests assert.
+        self.dims == other.dims && self.rows == other.rows && self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for FeatureMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FeatureMatrix")
+            .field("dims", &self.dims)
+            .field("rows", &self.rows)
+            .field("data", &self.as_slice())
+            .finish()
+    }
+}
+
+// Manual serde impls mirroring the former `{dims, rows, data}` derive
+// output byte-for-byte, so persisted matrices from earlier versions load
+// unchanged. Mapped views serialize their values like owned matrices and
+// always deserialize as owned.
+impl Serialize for FeatureMatrix {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("dims".to_string(), Serialize::serialize(&self.dims)),
+            ("rows".to_string(), Serialize::serialize(&self.rows)),
+            (
+                "data".to_string(),
+                serde::Value::Seq(self.as_slice().iter().map(|v| serde::Value::F64(*v)).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for FeatureMatrix {
+    fn deserialize(value: &serde::Value) -> Result<FeatureMatrix, serde::Error> {
+        let dims: usize = Deserialize::deserialize(value.field("dims")?)?;
+        let rows: usize = Deserialize::deserialize(value.field("rows")?)?;
+        let data: Vec<f64> = Deserialize::deserialize(value.field("data")?)?;
+        if data.len() != dims.saturating_mul(rows) {
+            return Err(serde::Error::msg(format!(
+                "FeatureMatrix data length {} does not match {rows} rows x {dims} dims",
+                data.len()
+            )));
+        }
+        Ok(FeatureMatrix {
+            dims,
+            rows,
+            data: Storage::Owned(data),
+        })
     }
 }
 
@@ -388,5 +531,75 @@ mod tests {
         m.reserve_rows(100);
         assert_eq!(m.len(), 1);
         assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    fn mapped(values: &[f64], dims: usize) -> Option<FeatureMatrix> {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let buf = Arc::new(MappedBuffer::from_bytes(&bytes));
+        FeatureMatrix::from_mapped(buf, 0, dims, values.len() / dims.max(1))
+    }
+
+    #[test]
+    fn mapped_view_equals_owned_matrix() {
+        if !crate::mmap::NATIVE_F64_VIEWS {
+            return;
+        }
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let view = mapped(&values, 2).unwrap();
+        let owned = FeatureMatrix::from_flat(2, values.to_vec());
+        assert!(view.is_mapped());
+        assert_eq!(view, owned);
+        assert_eq!(view.row(1), &[3.0, 4.0]);
+        assert_eq!(view.as_slice(), owned.as_slice());
+        // Clones share the mapping instead of copying rows.
+        let clone = view.clone();
+        assert!(clone.is_mapped());
+        assert_eq!(clone, owned);
+    }
+
+    #[test]
+    fn mutation_promotes_mapped_to_owned() {
+        if !crate::mmap::NATIVE_F64_VIEWS {
+            return;
+        }
+        let mut view = mapped(&[1.0, 2.0], 2).unwrap();
+        let twin = view.clone();
+        view.push_row(&[3.0, 4.0]);
+        assert!(!view.is_mapped(), "mutation must copy out of the mapping");
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.row(1), &[3.0, 4.0]);
+        // The sibling view still sees the original mapped bytes.
+        assert!(twin.is_mapped());
+        assert_eq!(twin.as_slice(), &[1.0, 2.0]);
+        let mut scaled = twin.clone();
+        scaled.as_mut_slice()[0] = 9.0;
+        assert_eq!(scaled.row(0), &[9.0, 2.0]);
+        assert_eq!(twin.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_mapped_rejects_out_of_bounds_windows() {
+        let bytes: Vec<u8> = [1.0f64, 2.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let buf = Arc::new(MappedBuffer::from_bytes(&bytes));
+        assert!(FeatureMatrix::from_mapped(Arc::clone(&buf), 0, 2, 2).is_none());
+        assert!(FeatureMatrix::from_mapped(Arc::clone(&buf), 4, 1, 1).is_none());
+    }
+
+    #[test]
+    fn serde_output_matches_owned_format_for_views() {
+        if !crate::mmap::NATIVE_F64_VIEWS {
+            return;
+        }
+        let values = [0.5, 1.5];
+        let view = mapped(&values, 1).unwrap();
+        let owned = FeatureMatrix::from_flat(1, values.to_vec());
+        assert_eq!(
+            serde::Serialize::serialize(&view),
+            serde::Serialize::serialize(&owned)
+        );
+        let back: FeatureMatrix =
+            serde::Deserialize::deserialize(&serde::Serialize::serialize(&view)).unwrap();
+        assert!(!back.is_mapped());
+        assert_eq!(back, owned);
     }
 }

@@ -59,8 +59,9 @@ impl Default for MlpConfig {
 /// use rhmd_ml::model::{Classifier, Dataset};
 ///
 /// // XOR-like data that no linear model can fit.
-/// let data = Dataset::from_rows(
-///     vec![vec![0., 0.], vec![1., 1.], vec![0., 1.], vec![1., 0.]],
+/// let data = Dataset::from_flat(
+///     2,
+///     vec![0., 0., 1., 1., 0., 1., 1., 0.],
 ///     vec![false, false, true, true],
 /// );
 /// let nn = Mlp::fit(&MlpConfig { epochs: 400, ..MlpConfig::default() }, &data);

@@ -1,0 +1,257 @@
+//! Read-only memory-mapped byte buffers backing zero-copy feature views.
+//!
+//! The corpus store persists feature matrices as little-endian `f64` rows;
+//! a [`MappedBuffer`] maps the shard file and hands out `&[f64]` windows
+//! directly over the page cache, so opening a 10⁵-program shard costs pages,
+//! not a resident copy. No mmap crate is vendored, so the mapping goes
+//! through two hand-declared libc calls (`mmap`/`munmap`), `cfg(unix)`-gated
+//! with a heap fallback that reads the file into 8-byte-aligned storage —
+//! behaviour is identical either way, only residency differs.
+//!
+//! Safety rests on three invariants: mappings are `PROT_READ`/`MAP_PRIVATE`
+//! (never written, never shared mutably), the pointer/length pair is fixed
+//! for the buffer's lifetime, and [`MappedBuffer::f64_slice`] refuses any
+//! window that is out of bounds, misaligned, or on a big-endian target
+//! (shard bytes are little-endian).
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// Whether `&[f64]` views over raw shard bytes are valid on this target
+/// (shards store little-endian `f64`; big-endian targets must decode).
+pub const NATIVE_F64_VIEWS: bool = cfg!(target_endian = "little");
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+/// An immutable byte buffer, either memory-mapped from a file or held on the
+/// heap (8-byte aligned in both cases, so `f64` views are always legal at
+/// aligned offsets).
+pub struct MappedBuffer {
+    ptr: *const u8,
+    len: usize,
+    /// Bytes to `munmap` on drop; `0` means heap-backed.
+    mapped: usize,
+    /// Backing storage of the heap path (`u64` elements force 8-byte
+    /// alignment). Empty when the buffer is a real mapping.
+    _heap: Vec<u64>,
+}
+
+// The buffer is strictly read-only after construction and the mapping (or
+// heap allocation) lives exactly as long as the struct, so shared access
+// from any thread is sound.
+unsafe impl Send for MappedBuffer {}
+unsafe impl Sync for MappedBuffer {}
+
+impl MappedBuffer {
+    /// Maps `path` read-only, falling back to an aligned heap read when
+    /// mapping is unavailable (non-unix targets, exotic filesystems).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening or reading the file.
+    pub fn map_file(path: &Path) -> io::Result<MappedBuffer> {
+        let mut file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        #[cfg(unix)]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 && !ptr.is_null() {
+                rhmd_obs::incr("store.map");
+                return Ok(MappedBuffer {
+                    ptr: ptr as *const u8,
+                    len,
+                    mapped: len,
+                    _heap: Vec::new(),
+                });
+            }
+        }
+        let mut heap = vec![0u64; len.div_ceil(8)];
+        if len > 0 {
+            let bytes = unsafe {
+                std::slice::from_raw_parts_mut(heap.as_mut_ptr() as *mut u8, len)
+            };
+            file.read_exact(bytes)?;
+        }
+        rhmd_obs::incr("store.map_fallback");
+        Ok(MappedBuffer::from_heap(heap, len))
+    }
+
+    /// A heap-backed buffer holding a copy of `bytes` (tests, in-memory
+    /// round trips).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> MappedBuffer {
+        let mut heap = vec![0u64; bytes.len().div_ceil(8)];
+        if !bytes.is_empty() {
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(heap.as_mut_ptr() as *mut u8, bytes.len())
+            };
+            dst.copy_from_slice(bytes);
+        }
+        MappedBuffer::from_heap(heap, bytes.len())
+    }
+
+    fn from_heap(heap: Vec<u64>, len: usize) -> MappedBuffer {
+        MappedBuffer {
+            ptr: heap.as_ptr() as *const u8,
+            len,
+            mapped: 0,
+            _heap: heap,
+        }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the buffer is a real `mmap` (false = heap fallback).
+    #[must_use]
+    pub fn was_mapped(&self) -> bool {
+        self.mapped > 0
+    }
+
+    /// The whole buffer as bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// `count` little-endian `f64`s starting at `byte_offset`, as a borrowed
+    /// slice over the mapping. `None` when the window is out of bounds, the
+    /// offset is not 8-byte aligned, or the target is big-endian (callers
+    /// must then decode with [`f64::from_le_bytes`]).
+    #[must_use]
+    pub fn f64_slice(&self, byte_offset: usize, count: usize) -> Option<&[f64]> {
+        if !NATIVE_F64_VIEWS {
+            return None;
+        }
+        let bytes = count.checked_mul(8)?;
+        let end = byte_offset.checked_add(bytes)?;
+        if end > self.len {
+            return None;
+        }
+        if count == 0 {
+            return Some(&[]);
+        }
+        let ptr = unsafe { self.ptr.add(byte_offset) };
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<f64>()) {
+            return None;
+        }
+        Some(unsafe { std::slice::from_raw_parts(ptr as *const f64, count) })
+    }
+}
+
+impl Drop for MappedBuffer {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.mapped > 0 {
+            unsafe {
+                sys::munmap(self.ptr as *mut std::os::raw::c_void, self.mapped);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBuffer")
+            .field("len", &self.len)
+            .field("mapped", &self.was_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("rhmd-mmap-{tag}-{}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn map_file_round_trips_bytes() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096 + 13).collect();
+        let path = temp_file("roundtrip", &payload);
+        let buf = MappedBuffer::map_file(&path).unwrap();
+        assert_eq!(buf.len(), payload.len());
+        assert_eq!(buf.as_bytes(), payload.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn f64_views_decode_little_endian_rows() {
+        let values = [1.5f64, -2.25, 0.0, f64::MIN_POSITIVE];
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let buf = MappedBuffer::from_bytes(&bytes);
+        if NATIVE_F64_VIEWS {
+            assert_eq!(buf.f64_slice(0, 4).unwrap(), &values);
+            assert_eq!(buf.f64_slice(8, 2).unwrap(), &values[1..3]);
+        }
+        // Out of bounds and misaligned windows are refused, never UB.
+        assert!(buf.f64_slice(0, 5).is_none());
+        assert!(buf.f64_slice(4, 1).is_none());
+        assert!(buf.f64_slice(usize::MAX, 1).is_none());
+    }
+
+    #[test]
+    fn empty_buffers_are_safe() {
+        let path = temp_file("empty", &[]);
+        let buf = MappedBuffer::map_file(&path).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_bytes(), &[] as &[u8]);
+        if NATIVE_F64_VIEWS {
+            assert_eq!(buf.f64_slice(0, 0).unwrap(), &[] as &[f64]);
+        }
+        assert!(buf.f64_slice(0, 1).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn buffers_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MappedBuffer>();
+    }
+}

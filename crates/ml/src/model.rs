@@ -38,10 +38,21 @@ impl Dataset {
 
     /// Builds a dataset from parallel rows and labels.
     ///
+    /// Compatibility shim: nested `Vec<Vec<f64>>` rows cost one heap
+    /// allocation per row and defeat the flat row-major layout every
+    /// scoring kernel assumes. New code should hand the data over flat
+    /// ([`Dataset::from_flat`]) or as an already-built matrix
+    /// ([`Dataset::from_matrix`], which is what the mmap'd corpus-store
+    /// views feed in without a copy).
+    ///
     /// # Panics
     ///
     /// Panics if lengths differ, rows have inconsistent dimensionality, or
     /// any value is non-finite.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build flat instead: `Dataset::from_flat` or `Dataset::from_matrix`"
+    )]
     pub fn from_rows(rows: Vec<Vec<f64>>, labels: Vec<bool>) -> Dataset {
         assert_eq!(rows.len(), labels.len(), "rows and labels must align");
         let dims = rows.first().map_or(0, Vec::len);
@@ -51,6 +62,22 @@ impl Dataset {
             d.push_row(row, label);
         }
         d
+    }
+
+    /// Builds a dataset from a flat row-major buffer and parallel labels —
+    /// `labels.len()` rows of `dims` values each, no per-row allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != dims * labels.len()` or any value is
+    /// non-finite.
+    pub fn from_flat(dims: usize, flat: Vec<f64>, labels: Vec<bool>) -> Dataset {
+        assert_eq!(
+            flat.len(),
+            dims * labels.len(),
+            "flat buffer must hold labels.len() rows of dims values"
+        );
+        Dataset::from_matrix(FeatureMatrix::from_flat(dims, flat), labels)
     }
 
     /// Builds a dataset directly from a matrix and parallel labels.
@@ -317,9 +344,29 @@ mod tests {
         d.push(vec![f64::NAN], true);
     }
 
+    /// The deprecated nested-`Vec` constructor stays a faithful shim over
+    /// the flat path.
+    #[test]
+    #[allow(deprecated)]
+    fn from_rows_shim_matches_from_flat() {
+        let nested = Dataset::from_rows(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![true, false],
+        );
+        let flat = Dataset::from_flat(2, vec![1.0, 2.0, 3.0, 4.0], vec![true, false]);
+        assert_eq!(nested, flat);
+        assert_eq!(Dataset::from_rows(vec![], vec![]), Dataset::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "flat buffer")]
+    fn from_flat_rejects_ragged_length() {
+        let _ = Dataset::from_flat(2, vec![1.0, 2.0, 3.0], vec![true, false]);
+    }
+
     #[test]
     fn with_labels_replaces() {
-        let d = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]);
+        let d = Dataset::from_flat(1, vec![1.0, 2.0], vec![true, true]);
         let relabelled = d.with_labels(vec![false, true]);
         assert_eq!(relabelled.labels(), &[false, true]);
         assert_eq!(relabelled.rows(), d.rows());
@@ -327,8 +374,8 @@ mod tests {
 
     #[test]
     fn extend_from_concatenates() {
-        let mut a = Dataset::from_rows(vec![vec![1.0]], vec![true]);
-        let b = Dataset::from_rows(vec![vec![2.0]], vec![false]);
+        let mut a = Dataset::from_flat(1, vec![1.0], vec![true]);
+        let b = Dataset::from_flat(1, vec![2.0], vec![false]);
         a.extend_from(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.labels(), &[true, false]);
@@ -336,7 +383,7 @@ mod tests {
 
     #[test]
     fn extend_from_empty_is_noop() {
-        let mut a = Dataset::from_rows(vec![vec![1.0]], vec![true]);
+        let mut a = Dataset::from_flat(1, vec![1.0], vec![true]);
         a.extend_from(&Dataset::new(3));
         assert_eq!(a.len(), 1);
         assert_eq!(a.dims(), 1);
@@ -360,7 +407,7 @@ mod tests {
 
     #[test]
     fn display_summarizes() {
-        let d = Dataset::from_rows(vec![vec![0.0, 0.0]], vec![true]);
+        let d = Dataset::from_flat(2, vec![0.0, 0.0], vec![true]);
         assert_eq!(format!("{d}"), "Dataset(1 rows x 2 dims, 1 malware / 0 benign)");
     }
 }

@@ -273,8 +273,9 @@ fn sigmoid(z: f64) -> f64 {
 /// use rhmd_ml::model::{Classifier, Dataset};
 /// use rhmd_ml::quant::{QuantBits, QuantConfig, QuantizedLinear};
 ///
-/// let data = Dataset::from_rows(
-///     vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]],
+/// let data = Dataset::from_flat(
+///     1,
+///     vec![0.0, 0.1, 0.9, 1.0],
 ///     vec![false, false, true, true],
 /// );
 /// let exact = LogisticRegression::fit(&LrConfig::default(), &data);

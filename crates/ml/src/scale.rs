@@ -138,8 +138,9 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        Dataset::from_rows(
-            vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]],
+        Dataset::from_flat(
+            2,
+            vec![1.0, 10.0, 3.0, 10.0, 5.0, 10.0],
             vec![true, false, true],
         )
     }

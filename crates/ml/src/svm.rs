@@ -47,8 +47,9 @@ impl Default for SvmConfig {
 /// use rhmd_ml::svm::{LinearSvm, SvmConfig};
 /// use rhmd_ml::model::{Classifier, Dataset};
 ///
-/// let data = Dataset::from_rows(
-///     vec![vec![-1.0], vec![-0.8], vec![0.8], vec![1.0]],
+/// let data = Dataset::from_flat(
+///     1,
+///     vec![-1.0, -0.8, 0.8, 1.0],
 ///     vec![false, false, true, true],
 /// );
 /// let svm = LinearSvm::fit(&SvmConfig::default(), &data);

@@ -96,8 +96,9 @@ impl TrainerConfig {
 /// use rhmd_ml::trainer::{train, Algorithm, TrainerConfig};
 /// use rhmd_ml::model::Dataset;
 ///
-/// let data = Dataset::from_rows(
-///     vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]],
+/// let data = Dataset::from_flat(
+///     1,
+///     vec![0.0, 0.1, 0.9, 1.0],
 ///     vec![false, false, true, true],
 /// );
 /// for algo in Algorithm::ALL {
@@ -145,10 +146,7 @@ mod tests {
 
     #[test]
     fn train_dispatches_by_algorithm() {
-        let data = Dataset::from_rows(
-            vec![vec![0.0], vec![0.2], vec![0.8], vec![1.0]],
-            vec![false, false, true, true],
-        );
+        let data = Dataset::from_flat(1, vec![0.0, 0.2, 0.8, 1.0], vec![false, false, true, true]);
         for algo in Algorithm::ALL {
             let model = train(algo, &TrainerConfig::default(), &data);
             assert_eq!(model.algorithm(), algo.name());
@@ -165,10 +163,7 @@ mod tests {
 
     #[test]
     fn quantized_dispatch_preserves_family_names() {
-        let data = Dataset::from_rows(
-            vec![vec![0.0], vec![0.2], vec![0.8], vec![1.0]],
-            vec![false, false, true, true],
-        );
+        let data = Dataset::from_flat(1, vec![0.0, 0.2, 0.8, 1.0], vec![false, false, true, true]);
         let config = TrainerConfig {
             quant: Some(crate::quant::QuantConfig::stochastic(
                 crate::quant::QuantBits::Int16,
@@ -202,7 +197,7 @@ mod tests {
 
     #[test]
     fn boxed_models_clone() {
-        let data = Dataset::from_rows(vec![vec![0.0], vec![1.0]], vec![false, true]);
+        let data = Dataset::from_flat(1, vec![0.0, 1.0], vec![false, true]);
         let model = train(Algorithm::Lr, &TrainerConfig::default(), &data);
         let copy = model.clone();
         assert_eq!(copy.score(&[0.5]), model.score(&[0.5]));

@@ -384,7 +384,7 @@ mod tests {
 
     #[test]
     fn pure_data_yields_single_leaf() {
-        let data = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]);
+        let data = Dataset::from_flat(1, vec![1.0, 2.0], vec![true, true]);
         let tree = DecisionTree::fit(&TreeConfig::default(), &data);
         assert_eq!(tree.leaves(), 1);
         assert!(tree.predict(&[5.0]));
@@ -392,8 +392,9 @@ mod tests {
 
     #[test]
     fn learns_threshold_split() {
-        let data = Dataset::from_rows(
-            (0..40).map(|i| vec![f64::from(i)]).collect(),
+        let data = Dataset::from_flat(
+            1,
+            (0..40).map(f64::from).collect(),
             (0..40).map(|i| i >= 20).collect(),
         );
         let tree = DecisionTree::fit(&TreeConfig::default(), &data);
@@ -472,7 +473,7 @@ mod tests {
 
     #[test]
     fn flat_walk_handles_single_leaf() {
-        let d = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]);
+        let d = Dataset::from_flat(1, vec![1.0, 2.0], vec![true, true]);
         let tree = DecisionTree::fit(&TreeConfig::default(), &d);
         assert_eq!(tree.flatten().score(&[5.0]), 1.0);
     }
@@ -480,9 +481,9 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let rows: Vec<Vec<f64>> = (0..100).map(|_| vec![rng.gen(), rng.gen()]).collect();
+        let flat: Vec<f64> = (0..200).map(|_| rng.gen()).collect();
         let labels: Vec<bool> = (0..100).map(|_| rng.gen()).collect();
-        let d = Dataset::from_rows(rows, labels);
+        let d = Dataset::from_flat(2, flat, labels);
         let a = DecisionTree::fit(&TreeConfig::default(), &d);
         let b = DecisionTree::fit(&TreeConfig::default(), &d);
         assert_eq!(a, b);

@@ -28,7 +28,7 @@ fn dataset_and_queries() -> impl Strategy<Value = (Dataset, Vec<Vec<f64>>)> {
             let n = rows.len();
             // Alternate labels so every trainer sees both classes.
             let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-            (Dataset::from_rows(rows, labels), queries)
+            (Dataset::from_flat(dims, rows.concat(), labels), queries)
         })
 }
 
@@ -106,7 +106,7 @@ fn score_all_and_predict_all_match_per_row() {
         .map(|i| vec![f64::from(i) * 0.1, f64::from(i % 7) - 3.0, f64::from(i % 3)])
         .collect();
     let labels: Vec<bool> = (0..30).map(|i| i % 2 == 0).collect();
-    let data = Dataset::from_rows(rows, labels);
+    let data = Dataset::from_flat(3, rows.concat(), labels);
     let trainer = TrainerConfig::default();
     for algorithm in Algorithm::ALL {
         let model = train(algorithm, &trainer, &data);

@@ -103,7 +103,7 @@ proptest! {
     fn standardizer_centers(rows in prop::collection::vec(
         prop::collection::vec(-1e4f64..1e4, 3), 2..50)) {
         let n = rows.len();
-        let data = Dataset::from_rows(rows, vec![false; n]);
+        let data = Dataset::from_flat(3, rows.concat(), vec![false; n]);
         let s = Standardizer::fit(&data);
         let t = s.transform_dataset(&data);
         for d in 0..3 {

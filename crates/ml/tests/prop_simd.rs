@@ -256,17 +256,13 @@ proptest! {
 /// A small fixed-shape training set with both classes and per-dimension
 /// signal, so every family (including the RF/DT splitters) fits something.
 fn training_set(dims: usize) -> Dataset {
-    let mut rows = Vec::new();
-    let mut labels = Vec::new();
+    let mut flat = Vec::with_capacity(24 * dims);
+    let mut labels = Vec::with_capacity(24);
     for i in 0..24 {
         let label = i % 2 == 0;
         let base = if label { 1.0 } else { -1.0 };
-        rows.push(
-            (0..dims)
-                .map(|j| base * (1.0 + j as f64) + f64::from(i) * 0.03)
-                .collect(),
-        );
+        flat.extend((0..dims).map(|j| base * (1.0 + j as f64) + f64::from(i) * 0.03));
         labels.push(label);
     }
-    Dataset::from_rows(rows, labels)
+    Dataset::from_flat(dims, flat, labels)
 }

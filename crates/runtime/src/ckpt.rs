@@ -30,7 +30,7 @@
 //! clean run.
 
 use crate::durable::{fnv1a, Durable};
-use rhmd_core::RhmdError;
+use crate::error::RhmdError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::Seek;

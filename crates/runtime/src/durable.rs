@@ -27,7 +27,7 @@
 //! plane on for any experiment binary; the retry layer must then carry every
 //! run to completion, which the kill-and-resume CI job asserts.
 
-use rhmd_core::RhmdError;
+use crate::error::RhmdError;
 use rhmd_trace::seed::splitmix64;
 use std::io::{self, Seek, Write};
 use std::path::Path;

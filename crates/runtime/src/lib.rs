@@ -1,0 +1,23 @@
+//! Shared runtime plane for the RHMD reproduction.
+//!
+//! These modules started life scattered across `rhmd-core` (errors) and
+//! `rhmd-bench` (durable I/O, checkpoint journals), which pinned them near
+//! the top of the crate graph. The on-disk corpus store (`rhmd_data::store`)
+//! needs all three from *below* `rhmd-core`, so they live here — just above
+//! `rhmd-trace` — and the original paths re-export them unchanged:
+//!
+//! * [`error::RhmdError`] — the typed error hierarchy (still reachable as
+//!   `rhmd_core::RhmdError`);
+//! * [`durable`] — atomic writes, checksummed payloads, seeded I/O fault
+//!   plane with bounded retry (still reachable as `rhmd_bench::durable`);
+//! * [`ckpt`] — manifest-guarded journals for crash-tolerant, bit-identical
+//!   resume (still reachable as `rhmd_bench::ckpt`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ckpt;
+pub mod durable;
+pub mod error;
+
+pub use error::RhmdError;

@@ -84,6 +84,11 @@ pub struct ExecEvent {
 ///
 /// Implemented by the microarchitecture model, the feature extractors, and
 /// test probes. Take `&mut self`; the executor drives the sink to completion.
+///
+/// `Sink` is the single-consumer interface; when several independent
+/// consumers must watch one execution (feature extraction + counters, a
+/// core model + a probe), pass them as a list of [`Observer`]s to
+/// [`Executor::run_observed`] instead of hand-nesting [`Tee`]s.
 pub trait Sink {
     /// Observes one committed instruction.
     fn event(&mut self, ev: &ExecEvent);
@@ -95,7 +100,41 @@ impl<F: FnMut(&ExecEvent)> Sink for F {
     }
 }
 
+/// One of possibly many watchers of a single execution, in the
+/// executor/observer decomposition fuzzing engines use: the [`Executor`]
+/// owns *how* the program runs, observers own *what is recorded*.
+///
+/// Every [`Sink`] is an observer, so core models, feature extractors,
+/// counting probes, and closures all plug in unchanged. Observers attached
+/// to one [`Executor::run_observed`] call see the identical event stream,
+/// in list order — byte-for-byte the stream a lone [`Sink`] would see.
+pub trait Observer {
+    /// Observes one committed instruction.
+    fn observe(&mut self, ev: &ExecEvent);
+}
+
+impl<S: Sink + ?Sized> Observer for S {
+    fn observe(&mut self, ev: &ExecEvent) {
+        self.event(ev);
+    }
+}
+
+/// Fans one committed-instruction stream out to a list of observers.
+struct FanOut<'a, 'o>(&'a mut [&'o mut dyn Observer]);
+
+impl Sink for FanOut<'_, '_> {
+    fn event(&mut self, ev: &ExecEvent) {
+        for obs in self.0.iter_mut() {
+            obs.observe(ev);
+        }
+    }
+}
+
 /// A sink that fans one stream out to two sinks.
+///
+/// Compatibility shim predating [`Observer`]: new code that needs more
+/// than one consumer should prefer [`Executor::run_observed`], which takes
+/// any number of observers without nesting.
 #[derive(Debug)]
 pub struct Tee<'a, A: ?Sized, B: ?Sized>(pub &'a mut A, pub &'a mut B);
 
@@ -370,6 +409,31 @@ impl<'p> Executor<'p> {
         summary
     }
 
+    /// Runs the program to its limits, feeding every observer the identical
+    /// committed-instruction stream in list order.
+    ///
+    /// Behavior is bit-identical to [`Executor::run`] with a single sink:
+    /// the event sequence, the summary, and each observer's view are
+    /// unchanged whether consumers are stacked here or nested in [`Tee`]s.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rhmd_trace::exec::{CountingSink, ExecLimits, Executor, Observer};
+    /// use rhmd_trace::generate::{benign_profile, BenignClass, ProgramGenerator};
+    ///
+    /// let program = ProgramGenerator::new(benign_profile(BenignClass::Browser)).generate(1);
+    /// let mut counts = CountingSink::default();
+    /// let mut pcs = 0u64;
+    /// let mut last_pc = |ev: &rhmd_trace::exec::ExecEvent| pcs = ev.pc;
+    /// let summary = Executor::new(&program, ExecLimits::instructions(5_000))
+    ///     .run_observed(&mut [&mut counts, &mut last_pc]);
+    /// assert_eq!(summary.instructions, counts.total);
+    /// ```
+    pub fn run_observed(&self, observers: &mut [&mut dyn Observer]) -> ExecSummary {
+        self.run(&mut FanOut(observers))
+    }
+
     #[inline]
     fn commit<S: Sink + ?Sized>(&self, ev: &ExecEvent, sink: &mut S, summary: &mut ExecSummary) {
         summary.instructions += 1;
@@ -404,6 +468,17 @@ impl Program {
     pub fn execute<S: Sink + ?Sized>(&self, limits: ExecLimits, sink: &mut S) -> ExecSummary {
         rhmd_obs::incr("trace.programs_executed");
         Executor::new(self, limits).run(sink)
+    }
+
+    /// Convenience: executes the program, fanning the committed-instruction
+    /// stream out to every observer (see [`Executor::run_observed`]).
+    pub fn execute_observed(
+        &self,
+        limits: ExecLimits,
+        observers: &mut [&mut dyn Observer],
+    ) -> ExecSummary {
+        rhmd_obs::incr("trace.programs_executed");
+        Executor::new(self, limits).run_observed(observers)
     }
 }
 
@@ -505,6 +580,39 @@ mod tests {
         p.execute(ExecLimits::instructions(1_000), &mut Tee(&mut a, &mut b));
         assert_eq!(a.total, b.total);
         assert!(a.total > 0);
+    }
+
+    /// The observer fan-out is bit-identical to a lone sink and to nested
+    /// `Tee`s: same summary, and every observer sees the same stream.
+    #[test]
+    fn observers_match_single_sink_bit_for_bit() {
+        let p = ProgramGenerator::new(malware_profile(MalwareFamily::Ransomware)).generate(9);
+        let limits = ExecLimits::instructions(3_000);
+
+        let mut solo_events = Vec::new();
+        let solo = p.execute(limits, &mut |e: &ExecEvent| solo_events.push(*e));
+
+        let mut obs_events = Vec::new();
+        let mut counts = CountingSink::default();
+        let mut record = |e: &ExecEvent| obs_events.push(*e);
+        let observed = p.execute_observed(limits, &mut [&mut record, &mut counts]);
+
+        let mut tee_a = CountingSink::default();
+        let mut tee_b = CountingSink::default();
+        let teed = p.execute(limits, &mut Tee(&mut tee_a, &mut tee_b));
+
+        assert_eq!(solo, observed);
+        assert_eq!(solo, teed);
+        assert_eq!(solo_events, obs_events);
+        assert_eq!(counts.total, tee_a.total);
+        assert_eq!(counts.total, solo.instructions);
+    }
+
+    #[test]
+    fn empty_observer_list_still_executes() {
+        let p = ProgramGenerator::new(benign_profile(BenignClass::Browser)).generate(5);
+        let summary = p.execute_observed(ExecLimits::instructions(1_000), &mut []);
+        assert!(summary.instructions > 0);
     }
 
     #[test]

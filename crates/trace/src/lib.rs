@@ -48,7 +48,7 @@ pub mod program;
 pub mod seed;
 
 pub use block::{BasicBlock, BlockId, FuncId, Function, Terminator};
-pub use exec::{ExecEvent, ExecLimits, ExecSummary, Executor, Sink};
+pub use exec::{ExecEvent, ExecLimits, ExecSummary, Executor, Observer, Sink};
 pub use generate::{benign_profile, malware_profile, BenignClass, MalwareFamily, ProfileSpec,
                    ProgramGenerator};
 pub use inject::{apply as apply_injection, InjectionPlan, Placement, StaticOverhead};
