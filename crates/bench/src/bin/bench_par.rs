@@ -68,6 +68,7 @@ struct Report {
     kernels: Vec<KernelBench>,
     fused: FusedKernelBench,
     quant_kernels: Vec<QuantKernelBench>,
+    bench_trace: TraceBench,
     bench_store: StoreBench,
     metrics: MetricsOverhead,
 }
@@ -154,9 +155,9 @@ struct FusedKernelBench {
     rows: usize,
     dims: usize,
     /// Whether the crate was compiled with the `simd` cargo feature.
-    simd_compiled: bool,
+    simd_feature_compiled: bool,
     /// Whether AVX2 was detected at runtime, so the vector path actually ran.
-    avx2_active: bool,
+    avx2_detected: bool,
     scalar_rows_per_sec: f64,
     fused_rows_per_sec: f64,
     speedup_vs_scalar: f64,
@@ -272,8 +273,8 @@ fn fused_kernel_bench() -> FusedKernelBench {
     FusedKernelBench {
         rows: ROWS,
         dims: DIMS,
-        simd_compiled: cfg!(feature = "simd"),
-        avx2_active: kernel::simd::avx2_active(),
+        simd_feature_compiled: cfg!(feature = "simd"),
+        avx2_detected: kernel::simd::avx2_active(),
         scalar_rows_per_sec: scored / scalar_seconds.max(1e-12),
         fused_rows_per_sec: scored / fused_seconds.max(1e-12),
         speedup_vs_scalar: scalar_seconds / fused_seconds.max(1e-12),
@@ -374,6 +375,113 @@ fn quant_benches(exp: &Experiment) -> Vec<QuantKernelBench> {
     }
     out
 }
+
+/// The trace-phase hot path: the seed-era two-phase pipeline (per-event
+/// interpreter → buffered subwindows → per-spec projection) against the
+/// batched flat-IR streaming pass (one execution, every spec a lane,
+/// rows written straight into reused buffers) — same programs, same specs.
+#[derive(Debug, Serialize)]
+struct TraceBench {
+    programs: usize,
+    lanes: usize,
+    /// Committed instructions per pass, summed over the programs.
+    instructions: u64,
+    /// The pre-refactor path, frozen in `rhmd_uarch::reference`: reference
+    /// interpreter over the seed-era scan-based µarch structures +
+    /// `Vec<RawWindow>` + per-spec projection (best of trials).
+    two_phase_seconds: f64,
+    /// The streaming path: one batched pass per program (best of trials).
+    streaming_seconds: f64,
+    two_phase_minstr_per_sec: f64,
+    streaming_minstr_per_sec: f64,
+    /// `two_phase_seconds / streaming_seconds`.
+    speedup: f64,
+    /// Whether the batched subwindows AND every streamed lane's rows
+    /// reproduced the two-phase pipeline bit-for-bit on every program.
+    bit_identical: bool,
+}
+
+/// Benchmarks the two trace paths and pins their bit-identity.
+fn trace_bench(exp: &Experiment) -> TraceBench {
+    use rhmd_features::pipeline::{project_windows_into, trace_subwindows_reference};
+    use rhmd_features::stream::{collect_subwindows, stream_features_into, LaneSpec};
+
+    let specs = specs(exp);
+    let limits = exp.traced.limits();
+    let core_config = exp.traced.core_config();
+    let corpus = exp.traced.corpus();
+    let n = corpus.len().min(24);
+    let lanes: Vec<LaneSpec> = specs.iter().map(LaneSpec::clean).collect();
+    const TRIALS: usize = 3;
+
+    // Correctness first: batched subwindows and streamed rows must match
+    // the per-event two-phase pipeline bit-for-bit on every program.
+    let mut bit_identical = true;
+    let mut instructions = 0u64;
+    let mut streamed: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+    for id in 0..n {
+        let program = corpus.program(id);
+        let reference = trace_subwindows_reference(program, limits, core_config);
+        let (batched, summary) = collect_subwindows(program, limits, core_config);
+        bit_identical &= batched == reference;
+        instructions += summary.instructions;
+        for buf in &mut streamed {
+            buf.clear();
+        }
+        let mut outs: Vec<&mut Vec<f64>> = streamed.iter_mut().collect();
+        stream_features_into(program, limits, core_config, &lanes, &mut outs);
+        for (spec, out) in specs.iter().zip(&streamed) {
+            let mut expect = Vec::new();
+            project_windows_into(&reference, spec, &mut expect);
+            bit_identical &= out.len() == expect.len()
+                && out.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+        }
+    }
+
+    let mut two_phase_seconds = f64::INFINITY;
+    let mut streaming_seconds = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        for id in 0..n {
+            let windows =
+                trace_subwindows_reference(corpus.program(id), limits, core_config);
+            for spec in &specs {
+                let mut buf = Vec::new();
+                project_windows_into(std::hint::black_box(&windows), spec, &mut buf);
+                std::hint::black_box(&buf);
+            }
+        }
+        two_phase_seconds = two_phase_seconds.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for id in 0..n {
+            for buf in &mut streamed {
+                buf.clear();
+            }
+            let mut outs: Vec<&mut Vec<f64>> = streamed.iter_mut().collect();
+            stream_features_into(corpus.program(id), limits, core_config, &lanes, &mut outs);
+            std::hint::black_box(&streamed);
+        }
+        streaming_seconds = streaming_seconds.min(start.elapsed().as_secs_f64());
+    }
+
+    TraceBench {
+        programs: n,
+        lanes: specs.len(),
+        instructions,
+        two_phase_seconds,
+        streaming_seconds,
+        two_phase_minstr_per_sec: instructions as f64 / 1e6 / two_phase_seconds.max(1e-12),
+        streaming_minstr_per_sec: instructions as f64 / 1e6 / streaming_seconds.max(1e-12),
+        speedup: two_phase_seconds / streaming_seconds.max(1e-12),
+        bit_identical,
+    }
+}
+
+/// The floor the streaming trace path must clear over the two-phase
+/// pipeline (held conservative so tiny-scale CI runs pass; standard scale
+/// lands well above it).
+const MIN_TRACE_SPEEDUP: f64 = 1.5;
 
 /// The corpus-store data plane: trace-once build cost, then the mmap'd
 /// second-run read path against regenerating the same features live
@@ -681,14 +789,14 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         fused.scalar_rows_per_sec,
         fused.fused_rows_per_sec,
         fused.speedup_vs_scalar,
-        fused.simd_compiled,
-        fused.avx2_active,
+        fused.simd_feature_compiled,
+        fused.avx2_detected,
         fused.bit_identical
     );
     // Exact mode is a pure optimization: the vector kernel replays the
     // scalar summation order, so divergence at any bit is a bug.
     assert!(fused.bit_identical, "SIMD fused sweep diverged from the scalar kernels");
-    if fused.simd_compiled && fused.avx2_active {
+    if fused.simd_feature_compiled && fused.avx2_detected {
         assert!(
             fused.speedup_vs_scalar >= MIN_SIMD_SPEEDUP,
             "SIMD fused sweep speedup {:.2}x is below the {MIN_SIMD_SPEEDUP}x floor",
@@ -718,6 +826,38 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
     assert!(
         quant_kernels.iter().all(|q| q.batch_bit_identical),
         "a quantized batch sweep diverged from per-row scoring"
+    );
+
+    eprintln!("[bench_par] trace pipeline (two-phase reference vs streaming flat-IR) ...");
+    let bench_trace = trace_bench(&exp);
+    eprintln!(
+        "[bench_par]   {} programs x {} lanes, {:.1} Minstr: two-phase {:.3}s \
+         ({:.1} Minstr/s) vs streaming {:.3}s ({:.1} Minstr/s) \
+         ({:.2}x, bit_identical={})",
+        bench_trace.programs,
+        bench_trace.lanes,
+        bench_trace.instructions as f64 / 1e6,
+        bench_trace.two_phase_seconds,
+        bench_trace.two_phase_minstr_per_sec,
+        bench_trace.streaming_seconds,
+        bench_trace.streaming_minstr_per_sec,
+        bench_trace.speedup,
+        bench_trace.bit_identical,
+    );
+    // The batched walk and the streaming lanes are pure optimizations:
+    // every subwindow and every projected row must match the per-event
+    // two-phase pipeline exactly.
+    assert!(
+        bench_trace.bit_identical,
+        "streaming trace path diverged from the two-phase reference pipeline"
+    );
+    assert!(
+        bench_trace.speedup >= MIN_TRACE_SPEEDUP,
+        "streaming trace speedup {:.2}x is below the {MIN_TRACE_SPEEDUP}x floor \
+         (two-phase {:.3}s vs streaming {:.3}s)",
+        bench_trace.speedup,
+        bench_trace.two_phase_seconds,
+        bench_trace.streaming_seconds,
     );
 
     eprintln!("[bench_par] corpus store (trace-once build vs regenerate vs mmap read) ...");
@@ -813,6 +953,7 @@ fn run() -> Result<(), rhmd_core::RhmdError> {
         kernels,
         fused,
         quant_kernels,
+        bench_trace,
         bench_store,
         metrics: MetricsOverhead {
             enabled_seconds,

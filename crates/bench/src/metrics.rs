@@ -34,7 +34,9 @@ pub const STANDARD_COUNTERS: &[&str] = &[
     "ml.models_trained",
     "pool.maps",
     "pool.steals",
+    "trace.instructions",
     "trace.programs_executed",
+    "trace.windows",
     "uarch.windows_corrupted",
     "uarch.windows_dropped",
 ];
@@ -44,7 +46,7 @@ pub const STANDARD_GAUGES: &[&str] = &["pool.threads"];
 
 /// Histogram names every run preregisters.
 pub const STANDARD_HISTOGRAMS: &[&str] =
-    &["features.project", "features.trace", "ml.score", "ml.train"];
+    &["features.project", "features.trace", "ml.score", "ml.train", "trace.exec"];
 
 /// Preregisters the standard key set in the global registry.
 pub fn preregister_standard() {

@@ -57,8 +57,15 @@
 use crate::config::CorpusConfig;
 use crate::corpus::Corpus;
 use crate::traced::parallel_map_threads;
-use rhmd_features::pipeline::{project_windows_into, trace_subwindows};
+use rhmd_features::stream::{stream_features_into, LaneSpec};
 use rhmd_features::vector::FeatureSpec;
+
+std::thread_local! {
+    /// Per-thread staging buffers for streamed feature rows, reused across
+    /// every program a worker thread traces.
+    static STAGING: std::cell::RefCell<Vec<Vec<f64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
 use rhmd_ml::matrix::FeatureMatrix;
 use rhmd_ml::mmap::{MappedBuffer, NATIVE_F64_VIEWS};
 use rhmd_runtime::ckpt::{Journal, Manifest};
@@ -368,20 +375,40 @@ impl StoreBuilder {
             } else {
                 // Trace + project the chunk in parallel (ordered, so output
                 // is identical at any thread count), then append rows
-                // sequentially in program order.
+                // sequentially in program order. Each program is one
+                // streaming pass: every spec is a clean lane fed from the
+                // same execution, writing rows into per-thread staging
+                // buffers reused across programs.
+                let lanes: Vec<LaneSpec> = self.specs.iter().map(LaneSpec::clean).collect();
                 let flats: Vec<Vec<(u64, Vec<u8>)>> =
                     parallel_map_threads(self.threads, ids, |&id| {
-                        let windows = trace_subwindows(corpus.program(id), limits, core_config);
-                        self.specs
-                            .iter()
-                            .map(|spec| {
-                                let mut buf = Vec::new();
-                                let rows = project_windows_into(&windows, spec, &mut buf);
-                                let bytes: Vec<u8> =
-                                    buf.iter().flat_map(|v| v.to_le_bytes()).collect();
-                                (rows as u64, bytes)
-                            })
-                            .collect()
+                        STAGING.with(|staging| {
+                            let mut staging = staging.borrow_mut();
+                            let want = lanes.len().max(staging.len());
+                            staging.resize_with(want, Vec::new);
+                            for buf in staging.iter_mut().take(lanes.len()) {
+                                buf.clear();
+                            }
+                            let mut outs: Vec<&mut Vec<f64>> =
+                                staging.iter_mut().take(lanes.len()).collect();
+                            let outcome = stream_features_into(
+                                corpus.program(id),
+                                limits,
+                                core_config,
+                                &lanes,
+                                &mut outs,
+                            );
+                            outcome
+                                .rows
+                                .iter()
+                                .zip(outs.iter())
+                                .map(|(&rows, buf)| {
+                                    let bytes: Vec<u8> =
+                                        buf.iter().flat_map(|v| v.to_le_bytes()).collect();
+                                    (rows as u64, bytes)
+                                })
+                                .collect()
+                        })
                     });
                 let mut specs_progress: Vec<SpecProgress> = shards
                     .iter()

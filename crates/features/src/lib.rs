@@ -15,17 +15,22 @@
 //! Extraction is two-phase: [`pipeline::trace_subwindows`] runs a program
 //! once at fine granularity, and any [`vector::FeatureSpec`] (kind × period ×
 //! opcode subset) can then be projected from the cached subwindows — the
-//! pattern every period/feature sweep in the paper relies on.
+//! pattern every period/feature sweep in the paper relies on. When the
+//! consumer knows its specs up front, [`stream::stream_features_into`]
+//! fuses tracing, aggregation, and projection into one batched pass that
+//! writes rows straight into caller-owned buffers (bit-identical output).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod pipeline;
 pub mod select;
+pub mod stream;
 pub mod vector;
 pub mod window;
 
 pub use pipeline::{extract, project_windows, trace_subwindows};
+pub use stream::{collect_subwindows, stream_features_into, LaneSpec, StreamOutcome};
 pub use select::{select_top_delta_opcodes, DEFAULT_TOP_K};
 pub use vector::{FeatureKind, FeatureSpec};
 pub use window::{RawWindow, MEM_BINS, SUBWINDOW};

@@ -4,21 +4,36 @@ use crate::vector::FeatureSpec;
 use crate::window::{aggregate, RawWindow, WindowAccumulator};
 use rhmd_trace::exec::ExecLimits;
 use rhmd_trace::Program;
-use rhmd_uarch::{CoreConfig, CoreModel};
+use rhmd_uarch::{CoreConfig, ReferenceCore};
 
 /// Executes `program` once and returns its fine-grained subwindows.
 ///
 /// One call serves every collection period that divides into
 /// [`crate::window::SUBWINDOW`] multiples — execute once, aggregate many
-/// times.
+/// times. Runs on the batched flat-IR path
+/// ([`crate::stream::collect_subwindows`]); bit-identical to
+/// [`trace_subwindows_reference`].
 pub fn trace_subwindows(
     program: &Program,
     limits: ExecLimits,
     config: CoreConfig,
 ) -> Vec<RawWindow> {
     let _span = rhmd_obs::span("features.trace");
-    let mut acc = WindowAccumulator::new(CoreModel::new(config));
-    program.execute(limits, &mut acc);
+    crate::stream::collect_subwindows(program, limits, config).0
+}
+
+/// [`trace_subwindows`] on the frozen pre-refactor path: the reference
+/// interpreter driving a [`WindowAccumulator`] over
+/// [`rhmd_uarch::reference`]'s seed-era scan-based structures. Kept as the
+/// differential oracle for the batched walk — it shares no µarch code with
+/// the optimized path — and as the honest "before" leg of `bench_trace`.
+pub fn trace_subwindows_reference(
+    program: &Program,
+    limits: ExecLimits,
+    config: CoreConfig,
+) -> Vec<RawWindow> {
+    let mut acc = WindowAccumulator::new(ReferenceCore::new(config));
+    rhmd_trace::exec::Executor::new(program, limits).run_reference(&mut acc);
     acc.finish()
 }
 
@@ -78,8 +93,10 @@ pub fn extract(
     project_windows(&trace_subwindows(program, limits, config), spec)
 }
 
-/// [`extract`] writing flat row-major values into a caller-owned buffer via
-/// [`project_windows_into`]; returns the number of windows appended.
+/// [`extract`] writing flat row-major values into a caller-owned buffer;
+/// returns the number of windows appended. Rides the single-pass streaming
+/// path ([`crate::stream::stream_features_into`]) — no intermediate
+/// `Vec<RawWindow>` is materialized.
 pub fn extract_into(
     program: &Program,
     spec: &FeatureSpec,
@@ -87,7 +104,9 @@ pub fn extract_into(
     config: CoreConfig,
     out: &mut Vec<f64>,
 ) -> usize {
-    project_windows_into(&trace_subwindows(program, limits, config), spec, out)
+    let lanes = [crate::stream::LaneSpec::clean(spec)];
+    let outcome = crate::stream::stream_features_into(program, limits, config, &lanes, &mut [out]);
+    outcome.rows[0]
 }
 
 #[cfg(test)]

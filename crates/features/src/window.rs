@@ -5,11 +5,11 @@
 //! lets one (expensive) execution serve every period in the paper's sweep
 //! {5K, 8K, 9K, 10K, 11K, 12K, 15K, 19K} (Fig 3a).
 
-use rhmd_trace::exec::{ExecEvent, Sink};
+use rhmd_trace::exec::{ExecEvent, Observer};
 use rhmd_trace::isa::OPCODE_COUNT;
 use rhmd_uarch::events::{CounterSet, COUNTER_DIMS};
 use rhmd_uarch::faults::FaultModel;
-use rhmd_uarch::CoreModel;
+use rhmd_uarch::{CoreModel, CounterSource};
 use serde::{Deserialize, Serialize};
 
 /// Fine accumulation granularity, in committed instructions.
@@ -77,8 +77,12 @@ pub fn delta_bin(prev: u64, addr: u64) -> usize {
     }
 }
 
-/// A [`Sink`] that drives a [`CoreModel`] and slices the stream into
-/// [`SUBWINDOW`]-sized [`RawWindow`]s.
+/// An [`Observer`] that drives a commit-stage core and slices the stream
+/// into [`SUBWINDOW`]-sized [`RawWindow`]s.
+///
+/// Generic over the core so the same accumulation logic runs against the
+/// optimized [`CoreModel`] (the default) or the frozen
+/// [`rhmd_uarch::ReferenceCore`] differential oracle.
 ///
 /// # Examples
 ///
@@ -94,16 +98,16 @@ pub fn delta_bin(prev: u64, addr: u64) -> usize {
 /// assert_eq!(acc.finish().len(), 5);
 /// ```
 #[derive(Debug)]
-pub struct WindowAccumulator {
-    core: CoreModel,
+pub struct WindowAccumulator<C = CoreModel> {
+    core: C,
     current: RawWindow,
     windows: Vec<RawWindow>,
     last_mem_addr: Option<u64>,
 }
 
-impl WindowAccumulator {
+impl<C: Observer + CounterSource> WindowAccumulator<C> {
     /// Creates an accumulator running the stream through `core`.
-    pub fn new(core: CoreModel) -> WindowAccumulator {
+    pub fn new(core: C) -> WindowAccumulator<C> {
         WindowAccumulator {
             core,
             current: RawWindow::default(),
@@ -128,10 +132,10 @@ impl WindowAccumulator {
     }
 }
 
-impl Sink for WindowAccumulator {
+impl<C: Observer + CounterSource> Observer for WindowAccumulator<C> {
     #[inline]
-    fn event(&mut self, ev: &ExecEvent) {
-        self.core.event(ev);
+    fn observe(&mut self, ev: &ExecEvent) {
+        self.core.observe(ev);
         let w = &mut self.current;
         w.instructions += 1;
         w.opcode_counts[ev.opcode.index()] += 1;

@@ -80,68 +80,37 @@ pub struct ExecEvent {
     pub syscall: bool,
 }
 
-/// Consumer of the committed-instruction stream.
+/// Consumer of the committed-instruction stream, in the executor/observer
+/// decomposition fuzzing engines use: the [`Executor`] owns *how* the
+/// program runs, observers own *what is recorded*.
 ///
-/// Implemented by the microarchitecture model, the feature extractors, and
-/// test probes. Take `&mut self`; the executor drives the sink to completion.
-///
-/// `Sink` is the single-consumer interface; when several independent
-/// consumers must watch one execution (feature extraction + counters, a
-/// core model + a probe), pass them as a list of [`Observer`]s to
-/// [`Executor::run_observed`] instead of hand-nesting [`Tee`]s.
-pub trait Sink {
-    /// Observes one committed instruction.
-    fn event(&mut self, ev: &ExecEvent);
-}
-
-impl<F: FnMut(&ExecEvent)> Sink for F {
-    fn event(&mut self, ev: &ExecEvent) {
-        self(ev)
-    }
-}
-
-/// One of possibly many watchers of a single execution, in the
-/// executor/observer decomposition fuzzing engines use: the [`Executor`]
-/// owns *how* the program runs, observers own *what is recorded*.
-///
-/// Every [`Sink`] is an observer, so core models, feature extractors,
-/// counting probes, and closures all plug in unchanged. Observers attached
+/// Implemented by the microarchitecture model, the feature extractors,
+/// counting probes, and any `FnMut(&ExecEvent)` closure. Observers attached
 /// to one [`Executor::run_observed`] call see the identical event stream,
-/// in list order — byte-for-byte the stream a lone [`Sink`] would see.
+/// in list order — byte-for-byte the stream a lone observer would see.
+///
+/// This is the single event-consumer trait; the `Sink`-era shims (`Tee`,
+/// the `Sink` trait and its blanket impl) were removed once every call site
+/// migrated (see DESIGN.md).
 pub trait Observer {
     /// Observes one committed instruction.
     fn observe(&mut self, ev: &ExecEvent);
 }
 
-impl<S: Sink + ?Sized> Observer for S {
+impl<F: FnMut(&ExecEvent)> Observer for F {
     fn observe(&mut self, ev: &ExecEvent) {
-        self.event(ev);
+        self(ev)
     }
 }
 
 /// Fans one committed-instruction stream out to a list of observers.
 struct FanOut<'a, 'o>(&'a mut [&'o mut dyn Observer]);
 
-impl Sink for FanOut<'_, '_> {
-    fn event(&mut self, ev: &ExecEvent) {
+impl Observer for FanOut<'_, '_> {
+    fn observe(&mut self, ev: &ExecEvent) {
         for obs in self.0.iter_mut() {
             obs.observe(ev);
         }
-    }
-}
-
-/// A sink that fans one stream out to two sinks.
-///
-/// Compatibility shim predating [`Observer`]: new code that needs more
-/// than one consumer should prefer [`Executor::run_observed`], which takes
-/// any number of observers without nesting.
-#[derive(Debug)]
-pub struct Tee<'a, A: ?Sized, B: ?Sized>(pub &'a mut A, pub &'a mut B);
-
-impl<A: Sink + ?Sized, B: Sink + ?Sized> Sink for Tee<'_, A, B> {
-    fn event(&mut self, ev: &ExecEvent) {
-        self.0.event(ev);
-        self.1.event(ev);
     }
 }
 
@@ -228,14 +197,14 @@ impl ExecSummary {
     }
 
     #[inline]
-    fn mix(&mut self, value: u64) {
+    pub(crate) fn mix(&mut self, value: u64) {
         // FNV-style order-sensitive accumulation.
         self.original_fingerprint ^= value;
         self.original_fingerprint = self.original_fingerprint.wrapping_mul(0x100_0000_01b3);
     }
 }
 
-/// Walks a program's DCFG, emitting committed instructions to a sink.
+/// Walks a program's DCFG, emitting committed instructions to an observer.
 #[derive(Debug)]
 pub struct Executor<'p> {
     program: &'p Program,
@@ -248,11 +217,25 @@ impl<'p> Executor<'p> {
         Executor { program, limits }
     }
 
-    /// Runs the program to its limits, feeding `sink`.
+    /// Runs the program to its limits, feeding `observer`.
     ///
     /// Deterministic: identical `(program, limits)` produce identical event
     /// streams and summaries.
-    pub fn run<S: Sink + ?Sized>(&self, sink: &mut S) -> ExecSummary {
+    ///
+    /// Internally this lowers the program to the flat IR
+    /// ([`crate::flat::FlatProgram`]) and drives the batched walk, which is
+    /// bit-identical to [`Executor::run_reference`] — the equivalence tests
+    /// in `flat.rs` and the features crate pin that. Callers executing one
+    /// program many times should lower once and use the flat API directly.
+    pub fn run<O: Observer + ?Sized>(&self, observer: &mut O) -> ExecSummary {
+        let flat = crate::flat::FlatProgram::lower(self.program);
+        crate::flat::with_scratch(|scratch| flat.run_observed(self.limits, observer, scratch))
+    }
+
+    /// The seed-era per-instruction interpreter, kept verbatim as the
+    /// differential reference for the batched walk (and as the honest
+    /// "before" leg of `bench_trace`).
+    pub fn run_reference<O: Observer + ?Sized>(&self, observer: &mut O) -> ExecSummary {
         let program = self.program;
         let mut summary = ExecSummary::default();
         let mut streams = program.build_streams();
@@ -293,7 +276,7 @@ impl<'p> Executor<'p> {
                     injected: instr.injected,
                     syscall: false,
                 };
-                self.commit(&ev, sink, &mut summary);
+                self.commit(&ev, observer, &mut summary);
             }
             if summary.instructions >= self.limits.max_instructions
                 || summary.original_instructions >= self.limits.max_original_instructions
@@ -394,7 +377,7 @@ impl<'p> Executor<'p> {
                 injected: false,
                 syscall: is_syscall,
             };
-            self.commit(&ev, sink, &mut summary);
+            self.commit(&ev, observer, &mut summary);
             if is_syscall {
                 summary.syscalls += 1;
                 if summary.syscalls >= self.limits.max_syscalls {
@@ -412,9 +395,9 @@ impl<'p> Executor<'p> {
     /// Runs the program to its limits, feeding every observer the identical
     /// committed-instruction stream in list order.
     ///
-    /// Behavior is bit-identical to [`Executor::run`] with a single sink:
-    /// the event sequence, the summary, and each observer's view are
-    /// unchanged whether consumers are stacked here or nested in [`Tee`]s.
+    /// Behavior is bit-identical to [`Executor::run`] with a single
+    /// observer: the event sequence, the summary, and each observer's view
+    /// are unchanged however consumers are stacked.
     ///
     /// # Examples
     ///
@@ -435,7 +418,7 @@ impl<'p> Executor<'p> {
     }
 
     #[inline]
-    fn commit<S: Sink + ?Sized>(&self, ev: &ExecEvent, sink: &mut S, summary: &mut ExecSummary) {
+    fn commit<O: Observer + ?Sized>(&self, ev: &ExecEvent, observer: &mut O, summary: &mut ExecSummary) {
         summary.instructions += 1;
         if !ev.injected {
             summary.original_instructions += 1;
@@ -447,12 +430,13 @@ impl<'p> Executor<'p> {
                 summary.mix(if b.taken { 0x5555 } else { 0xaaaa });
             }
         }
-        sink.event(ev);
+        observer.observe(ev);
     }
 }
 
 impl Program {
-    /// Convenience: executes the program into `sink` with `limits`.
+    /// Convenience: executes the program into a single observer with
+    /// `limits`.
     ///
     /// # Examples
     ///
@@ -465,9 +449,9 @@ impl Program {
     /// let summary = program.execute(ExecLimits::instructions(5_000), &mut |_: &ExecEvent| count += 1);
     /// assert_eq!(summary.instructions, count);
     /// ```
-    pub fn execute<S: Sink + ?Sized>(&self, limits: ExecLimits, sink: &mut S) -> ExecSummary {
+    pub fn execute<O: Observer + ?Sized>(&self, limits: ExecLimits, observer: &mut O) -> ExecSummary {
         rhmd_obs::incr("trace.programs_executed");
-        Executor::new(self, limits).run(sink)
+        Executor::new(self, limits).run(observer)
     }
 
     /// Convenience: executes the program, fanning the committed-instruction
@@ -482,7 +466,7 @@ impl Program {
     }
 }
 
-/// A sink that counts events and discards them; useful for measuring
+/// An observer that counts events and discards them; useful for measuring
 /// overheads without paying for feature extraction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CountingSink {
@@ -492,8 +476,8 @@ pub struct CountingSink {
     pub injected: u64,
 }
 
-impl Sink for CountingSink {
-    fn event(&mut self, ev: &ExecEvent) {
+impl Observer for CountingSink {
+    fn observe(&mut self, ev: &ExecEvent) {
         self.total += 1;
         if ev.injected {
             self.injected += 1;
@@ -572,20 +556,10 @@ mod tests {
         assert_ne!(a.original_fingerprint, b.original_fingerprint);
     }
 
+    /// The observer fan-out is bit-identical to a lone observer: same
+    /// summary, and every observer sees the same stream.
     #[test]
-    fn tee_feeds_both_sinks() {
-        let p = ProgramGenerator::new(benign_profile(BenignClass::Browser)).generate(5);
-        let mut a = CountingSink::default();
-        let mut b = CountingSink::default();
-        p.execute(ExecLimits::instructions(1_000), &mut Tee(&mut a, &mut b));
-        assert_eq!(a.total, b.total);
-        assert!(a.total > 0);
-    }
-
-    /// The observer fan-out is bit-identical to a lone sink and to nested
-    /// `Tee`s: same summary, and every observer sees the same stream.
-    #[test]
-    fn observers_match_single_sink_bit_for_bit() {
+    fn observers_match_single_observer_bit_for_bit() {
         let p = ProgramGenerator::new(malware_profile(MalwareFamily::Ransomware)).generate(9);
         let limits = ExecLimits::instructions(3_000);
 
@@ -597,15 +571,24 @@ mod tests {
         let mut record = |e: &ExecEvent| obs_events.push(*e);
         let observed = p.execute_observed(limits, &mut [&mut record, &mut counts]);
 
-        let mut tee_a = CountingSink::default();
-        let mut tee_b = CountingSink::default();
-        let teed = p.execute(limits, &mut Tee(&mut tee_a, &mut tee_b));
-
         assert_eq!(solo, observed);
-        assert_eq!(solo, teed);
         assert_eq!(solo_events, obs_events);
-        assert_eq!(counts.total, tee_a.total);
         assert_eq!(counts.total, solo.instructions);
+    }
+
+    /// The default `run` (flat, batched) and the reference interpreter emit
+    /// the identical stream and summary.
+    #[test]
+    fn run_matches_run_reference() {
+        let p = ProgramGenerator::new(malware_profile(MalwareFamily::Worm)).generate(21);
+        let limits = ExecLimits::default();
+        let mut fast_events = Vec::new();
+        let fast = Executor::new(&p, limits).run(&mut |e: &ExecEvent| fast_events.push(*e));
+        let mut ref_events = Vec::new();
+        let reference =
+            Executor::new(&p, limits).run_reference(&mut |e: &ExecEvent| ref_events.push(*e));
+        assert_eq!(fast, reference);
+        assert_eq!(fast_events, ref_events);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod address;
 pub mod block;
 pub mod dump;
 pub mod exec;
+pub mod flat;
 pub mod generate;
 pub mod inject;
 pub mod isa;
@@ -48,7 +49,8 @@ pub mod program;
 pub mod seed;
 
 pub use block::{BasicBlock, BlockId, FuncId, Function, Terminator};
-pub use exec::{ExecEvent, ExecLimits, ExecSummary, Executor, Observer, Sink};
+pub use exec::{ExecEvent, ExecLimits, ExecSummary, Executor, Observer};
+pub use flat::{BatchSink, ExecScratch, FlatInstr, FlatProgram};
 pub use generate::{benign_profile, malware_profile, BenignClass, MalwareFamily, ProfileSpec,
                    ProgramGenerator};
 pub use inject::{apply as apply_injection, InjectionPlan, Placement, StaticOverhead};

@@ -2,10 +2,10 @@
 //! events.
 
 use crate::branch::{BranchConfig, Btb, GsharePredictor};
-use crate::cache::{Cache, CacheConfig};
+use crate::cache::{Cache, CacheConfig, LineMemo};
 use crate::events::CounterSet;
-use crate::tlb::{Tlb, TlbConfig};
-use rhmd_trace::exec::{BranchKind, ExecEvent, Sink};
+use crate::tlb::{PageMemo, Tlb, TlbConfig};
+use rhmd_trace::exec::{BranchKind, BranchOutcome, ExecEvent, Observer};
 use serde::{Deserialize, Serialize};
 
 /// Full core configuration.
@@ -42,6 +42,19 @@ impl Default for CoreConfig {
             branch: BranchConfig::default(),
         }
     }
+}
+
+/// Commit-stage models that accumulate a [`CounterSet`] and can be
+/// drained per collection window.
+///
+/// Implemented by the optimized [`CoreModel`] and the frozen
+/// [`crate::reference::ReferenceCore`], so window accumulation can run
+/// against either without caring which substrate is underneath.
+pub trait CounterSource {
+    /// Returns the counters accumulated since the last drain and resets
+    /// them. Microarchitectural state (cache contents, predictor tables)
+    /// persists, as in real hardware.
+    fn drain_counters(&mut self) -> CounterSet;
 }
 
 /// Commit-stage model: consumes [`ExecEvent`]s, updates caches and
@@ -117,11 +130,162 @@ impl CoreModel {
     pub fn misprediction_rate(&self) -> f64 {
         self.gshare.misprediction_rate()
     }
+
+    /// Bytes guaranteed to share one I-cache line *and* one page: the
+    /// granularity at which instruction fetches may be batched without
+    /// reordering L2 accesses relative to the per-event path.
+    pub fn fetch_span_bytes(&self) -> u64 {
+        u64::from(self.icache.config().line_bytes).min(crate::tlb::PAGE_BYTES)
+    }
+
+    /// Bulk-adds `n` committed instructions to the counters.
+    #[inline]
+    pub fn add_instructions(&mut self, n: u64) {
+        self.counters.instructions += n;
+    }
+
+    /// One full instruction fetch at `pc` — the fetch section of
+    /// [`Observer::observe`] on the memoized structure paths. Bit-identical
+    /// counter and structure evolution.
+    #[inline]
+    pub fn fetch_one(&mut self, pc: u64) {
+        let c = &mut self.counters;
+        if !self.itlb.access_memoized(pc) {
+            c.itlb_misses += 1;
+        }
+        let ic_misses = self.icache.access_range_memoized(pc, 4);
+        c.icache_misses += u64::from(ic_misses);
+        if ic_misses > 0 && !self.l2.access(pc) {
+            c.l2_misses += 1;
+        }
+    }
+
+    /// Fetches a run of `count` consecutive 4-byte instructions known to
+    /// share one I-cache line and one page: one full (possibly missing)
+    /// fetch at `pc`, then `count - 1` guaranteed hits applied in bulk.
+    ///
+    /// Callers must guarantee the span property (see
+    /// [`CoreModel::fetch_span_bytes`]); the batched executor derives runs
+    /// from it, so a straddling fetch can never land here.
+    #[inline]
+    pub fn fetch_line_run(&mut self, pc: u64, count: u64) {
+        self.fetch_one(pc);
+        if count > 1 {
+            self.itlb.bulk_repeat(count - 1);
+            self.icache.bulk_repeat(count - 1);
+        }
+    }
+
+    /// The data-access section of [`Observer::observe`] on the memoized
+    /// structure paths: D-TLB, D-cache (with straddle), L2 on miss, and the
+    /// load/store/unaligned counters.
+    #[inline]
+    pub fn data_access(&mut self, addr: u64, size: u8, is_load: bool, is_store: bool) {
+        let c = &mut self.counters;
+        if !self.dtlb.access_memoized(addr) {
+            c.dtlb_misses += 1;
+        }
+        let misses = self.dcache.access_range_memoized(addr, size);
+        c.dcache_misses += u64::from(misses);
+        if misses > 0 && !self.l2.access(addr) {
+            c.l2_misses += 1;
+        }
+        if is_load {
+            c.loads += 1;
+        }
+        if is_store {
+            c.stores += 1;
+        }
+        if size > 1 && !addr.is_multiple_of(u64::from(size)) {
+            c.unaligned += 1;
+        }
+    }
+
+    /// [`CoreModel::data_access`] with a caller-owned per-stream memo for
+    /// the D-TLB and D-cache. The internal last-line/last-page memos are
+    /// depth 1 and thrash when logical address streams interleave; a caller
+    /// that knows which stream issued the access (the batched executor
+    /// carries the stream id in the flat IR) keeps one [`DataMemo`] per
+    /// stream and recovers the locality. Bit-identical counter and
+    /// structure evolution.
+    #[inline]
+    pub fn data_access_hinted(
+        &mut self,
+        addr: u64,
+        size: u8,
+        is_load: bool,
+        is_store: bool,
+        memo: &mut DataMemo,
+    ) {
+        let c = &mut self.counters;
+        if !self.dtlb.access_hinted(addr, &mut memo.dtlb) {
+            c.dtlb_misses += 1;
+        }
+        let misses = self.dcache.access_range_hinted(addr, size, &mut memo.dcache);
+        c.dcache_misses += u64::from(misses);
+        if misses > 0 && !self.l2.access(addr) {
+            c.l2_misses += 1;
+        }
+        if is_load {
+            c.loads += 1;
+        }
+        if is_store {
+            c.stores += 1;
+        }
+        if size > 1 && !addr.is_multiple_of(u64::from(size)) {
+            c.unaligned += 1;
+        }
+    }
+
+    /// The control-flow section of [`Observer::observe`]: direction
+    /// prediction, BTB lookup, and the branch-class counters.
+    #[inline]
+    pub fn branch_event(&mut self, pc: u64, branch: &BranchOutcome) {
+        let c = &mut self.counters;
+        match branch.kind {
+            BranchKind::Conditional => {
+                c.cond_branches += 1;
+                if !self.gshare.predict_and_update(pc, branch.taken) {
+                    c.mispredicts += 1;
+                }
+            }
+            BranchKind::Call => c.calls += 1,
+            BranchKind::Return => c.returns += 1,
+            BranchKind::Jump => {}
+        }
+        if branch.taken {
+            c.taken_branches += 1;
+            if !self.btb.lookup_and_update(pc, branch.target) {
+                c.btb_misses += 1;
+            }
+        }
+    }
+
+    /// Counts one system call.
+    #[inline]
+    pub fn count_syscall(&mut self) {
+        self.counters.syscalls += 1;
+    }
 }
 
-impl Sink for CoreModel {
+/// Per-stream D-TLB + D-cache memo for [`CoreModel::data_access_hinted`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataMemo {
+    /// Where this stream last translated.
+    pub dtlb: PageMemo,
+    /// Where this stream last hit in the D-cache.
+    pub dcache: LineMemo,
+}
+
+impl CounterSource for CoreModel {
+    fn drain_counters(&mut self) -> CounterSet {
+        CoreModel::drain_counters(self)
+    }
+}
+
+impl Observer for CoreModel {
     #[inline]
-    fn event(&mut self, ev: &ExecEvent) {
+    fn observe(&mut self, ev: &ExecEvent) {
         let c = &mut self.counters;
         c.instructions += 1;
 

@@ -29,7 +29,7 @@
 
 use crate::core::CoreModel;
 use crate::events::{CounterSet, COUNTER_DIMS};
-use rhmd_trace::exec::{ExecEvent, Sink};
+use rhmd_trace::exec::{ExecEvent, Observer};
 use serde::{Deserialize, Serialize};
 
 /// How a width-limited counter handles overflow.
@@ -445,10 +445,10 @@ impl FaultedCore {
     }
 }
 
-impl Sink for FaultedCore {
+impl Observer for FaultedCore {
     #[inline]
-    fn event(&mut self, ev: &ExecEvent) {
-        self.core.event(ev);
+    fn observe(&mut self, ev: &ExecEvent) {
+        self.core.observe(ev);
     }
 }
 

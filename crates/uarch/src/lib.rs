@@ -11,9 +11,11 @@
 //! * [`timing`] — approximate cycle/IPC accounting over the counters;
 //! * [`events`] — the counter architecture ([`events::CounterSet`]);
 //! * [`core`] — the commit-stage model tying them together as a
-//!   [`rhmd_trace::exec::Sink`];
+//!   [`rhmd_trace::exec::Observer`];
 //! * [`faults`] — seeded counter fault injection (noise, saturation,
-//!   wraparound, dropped reads, multiplexing, burst corruption).
+//!   wraparound, dropped reads, multiplexing, burst corruption);
+//! * [`reference`](mod@reference) — the frozen pre-refactor scan-based implementation,
+//!   kept as the differential oracle for the optimized structures.
 //!
 //! # Examples
 //!
@@ -36,13 +38,15 @@ pub mod cache;
 pub mod core;
 pub mod events;
 pub mod faults;
+pub mod reference;
 pub mod timing;
 pub mod tlb;
 
-pub use crate::core::{CoreConfig, CoreModel};
+pub use crate::core::{CoreConfig, CoreModel, CounterSource, DataMemo};
 pub use branch::{BranchConfig, Btb, GsharePredictor};
-pub use cache::{Cache, CacheConfig};
+pub use cache::{Cache, CacheConfig, LineMemo};
 pub use events::{CounterSet, COUNTER_DIMS, COUNTER_NAMES};
 pub use faults::{FaultConfig, FaultModel, FaultedCore, Overflow};
+pub use reference::ReferenceCore;
 pub use timing::TimingModel;
-pub use tlb::{Tlb, TlbConfig};
+pub use tlb::{PageMemo, Tlb, TlbConfig};
